@@ -1,0 +1,41 @@
+//! Criterion microbenches for the codec: intra encode/decode and
+//! GOP video encode (the data-encoding axis of Fig. 2).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use deeplens_codec::video::{encode_video, VideoConfig};
+use deeplens_codec::{decode_image, encode_image, Image, Quality};
+
+fn textured(w: u32, h: u32) -> Image {
+    let mut img = Image::new(w, h);
+    for y in 0..h {
+        for x in 0..w {
+            let v = ((x * 13 + y * 7) % 97) as u8;
+            img.set(x, y, [v.wrapping_mul(2), v, 255 - v]);
+        }
+    }
+    img
+}
+
+fn bench_codec(c: &mut Criterion) {
+    let img = textured(192, 108);
+    c.bench_function("intra_encode_192x108_high", |b| {
+        b.iter(|| encode_image(std::hint::black_box(&img), Quality::High))
+    });
+    let bytes = encode_image(&img, Quality::High);
+    c.bench_function("intra_decode_192x108_high", |b| {
+        b.iter(|| decode_image(std::hint::black_box(&bytes)).unwrap())
+    });
+    let frames: Vec<Image> = (0..8)
+        .map(|t| {
+            let mut f = textured(96, 54);
+            f.fill_rect(t * 6, 10, 12, 12, [250, 60, 60]);
+            f
+        })
+        .collect();
+    c.bench_function("video_encode_8f_96x54_gop", |b| {
+        b.iter(|| encode_video(std::hint::black_box(&frames), VideoConfig::default()).unwrap())
+    });
+}
+
+criterion_group!(benches, bench_codec);
+criterion_main!(benches);

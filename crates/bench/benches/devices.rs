@@ -1,0 +1,45 @@
+//! Criterion microbenches for the execution backends (Fig. 8 axes):
+//! the threshold-join and convolution kernels per device.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use deeplens_exec::{Device, Executor, Matrix};
+
+fn matrix(rows: usize, cols: usize, seed: u64) -> Matrix {
+    let mut s = seed;
+    Matrix::from_vec(
+        rows,
+        cols,
+        (0..rows * cols)
+            .map(|_| {
+                s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+                (s >> 33) as f32 / (1u64 << 31) as f32 * 10.0
+            })
+            .collect(),
+    )
+}
+
+fn bench_devices(c: &mut Criterion) {
+    let a = matrix(600, 64, 1);
+    let b = matrix(600, 64, 2);
+    let mut join = c.benchmark_group("threshold_join_600x600_64d");
+    for dev in Device::all() {
+        let exec = Executor::new(dev);
+        join.bench_with_input(BenchmarkId::from_parameter(dev.label()), &dev, |bch, _| {
+            bch.iter(|| exec.threshold_join(std::hint::black_box(&a), std::hint::black_box(&b), 4.0))
+        });
+    }
+    join.finish();
+
+    let plane: Vec<f32> = (0..192 * 108).map(|i| (i % 251) as f32).collect();
+    let mut conv = c.benchmark_group("conv_stack_192x108_4l");
+    for dev in Device::all() {
+        let exec = Executor::new(dev);
+        conv.bench_with_input(BenchmarkId::from_parameter(dev.label()), &dev, |bch, _| {
+            bch.iter(|| exec.conv_stack(std::hint::black_box(&plane), 192, 108, 4))
+        });
+    }
+    conv.finish();
+}
+
+criterion_group!(benches, bench_devices);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! Criterion microbenches for the index structures (Figs. 6-7 axes):
+//! build and probe cost of Ball-Tree, R-Tree, KD-Tree and LSH.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use deeplens_index::lsh::{LshIndex, LshParams};
+use deeplens_index::{BallTree, KdTree, RTree, Rect};
+
+fn points(n: usize, dim: usize, seed: u64) -> Vec<f32> {
+    let mut s = seed;
+    (0..n * dim)
+        .map(|_| {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+            (s >> 33) as f32 / (1u64 << 31) as f32 * 10.0
+        })
+        .collect()
+}
+
+fn bench_indexes(c: &mut Criterion) {
+    let mut build = c.benchmark_group("index_build_10k");
+    let flat64 = points(10_000, 64, 1);
+    build.bench_function("balltree_64d", |b| {
+        b.iter(|| BallTree::build(64, std::hint::black_box(flat64.clone())))
+    });
+    let flat4 = points(10_000, 4, 2);
+    build.bench_function("kdtree_4d", |b| {
+        b.iter(|| KdTree::build(4, std::hint::black_box(flat4.clone())))
+    });
+    build.bench_function("lsh_64d", |b| {
+        b.iter(|| LshIndex::build(64, std::hint::black_box(flat64.clone()), LshParams::default()))
+    });
+    let rects: Vec<(Rect, u64)> = (0..10_000u64)
+        .map(|i| {
+            let x = (i % 100) as f32 * 10.0;
+            let y = (i / 100) as f32 * 10.0;
+            (Rect::new(x, y, x + 5.0, y + 5.0), i)
+        })
+        .collect();
+    build.bench_function("rtree_bulk", |b| {
+        b.iter(|| RTree::bulk_load(std::hint::black_box(rects.clone())))
+    });
+    build.finish();
+
+    let mut probe = c.benchmark_group("index_probe");
+    for dim in [3usize, 64] {
+        let flat = points(16_000, dim, 3);
+        let tree = BallTree::build(dim, flat);
+        let q: Vec<f32> = points(1, dim, 4);
+        probe.bench_with_input(BenchmarkId::new("balltree_range", dim), &dim, |b, _| {
+            b.iter(|| tree.range_query(std::hint::black_box(&q), 2.0))
+        });
+    }
+    probe.finish();
+}
+
+criterion_group!(benches, bench_indexes);
+criterion_main!(benches);

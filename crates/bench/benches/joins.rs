@@ -1,0 +1,39 @@
+//! Criterion microbenches for the join operators (Figs. 4-5 axes):
+//! nested-loop vs on-the-fly Ball-Tree similarity joins.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use deeplens_core::ops;
+use deeplens_core::prelude::*;
+
+fn patches(n: usize, dim: usize, seed: u64) -> Vec<Patch> {
+    let mut s = seed;
+    (0..n)
+        .map(|i| {
+            let f: Vec<f32> = (0..dim)
+                .map(|_| {
+                    s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+                    (s >> 33) as f32 / (1u64 << 31) as f32 * 10.0
+                })
+                .collect();
+            Patch::features(PatchId(i as u64), ImgRef::frame("b", i as u64), f)
+        })
+        .collect()
+}
+
+fn bench_joins(c: &mut Criterion) {
+    let left = patches(800, 64, 1);
+    let right = patches(800, 64, 2);
+    c.bench_function("sim_join_nested_800x800_64d", |b| {
+        b.iter(|| ops::similarity_join_nested(&left, &right, 4.0))
+    });
+    c.bench_function("sim_join_balltree_800x800_64d", |b| {
+        b.iter(|| ops::similarity_join_balltree(&left, &right, 4.0))
+    });
+    let people = patches(1_500, 64, 3);
+    c.bench_function("dedup_balltree_1500_64d", |b| {
+        b.iter(|| ops::dedup_similarity(&people, 4.0))
+    });
+}
+
+criterion_group!(benches, bench_joins);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Criterion microbenches for the storage engine: B+Tree point ops, range
+//! scans, and hash store lookups (the Fig. 3/6 building blocks).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use deeplens_storage::btree::{keys, BTree};
+use deeplens_storage::hashstore::HashStore;
+use std::ops::Bound;
+
+fn bench_storage(c: &mut Criterion) {
+    let dir = std::env::temp_dir().join("deeplens-bench-storage");
+    std::fs::create_dir_all(&dir).unwrap();
+
+    let path = dir.join(format!("bench-{}.dlb", std::process::id()));
+    let mut tree = BTree::create(&path).unwrap();
+    for i in 0..20_000u64 {
+        tree.insert(&keys::encode_u64(i), &i.to_le_bytes()).unwrap();
+    }
+    c.bench_function("btree_get_20k", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i + 7919) % 20_000;
+            tree.get(&keys::encode_u64(std::hint::black_box(i))).unwrap()
+        })
+    });
+    c.bench_function("btree_scan_1k_of_20k", |b| {
+        b.iter(|| {
+            let lo = keys::encode_u64(5_000);
+            let hi = keys::encode_u64(6_000);
+            tree.scan(Bound::Included(&lo), Bound::Excluded(&hi))
+                .unwrap()
+                .count()
+        })
+    });
+
+    let hpath = dir.join(format!("bench-{}.dlh", std::process::id()));
+    let mut hs = HashStore::create(&hpath).unwrap();
+    for i in 0..20_000u32 {
+        hs.put(format!("k{i}").as_bytes(), &i.to_le_bytes()).unwrap();
+    }
+    c.bench_function("hashstore_get_20k", |b| {
+        let mut i = 0u32;
+        b.iter(|| {
+            i = (i + 7919) % 20_000;
+            hs.get(format!("k{i}").as_bytes()).unwrap()
+        })
+    });
+}
+
+criterion_group!(benches, bench_storage);
+criterion_main!(benches);

@@ -1,0 +1,111 @@
+//! Figure 5 — even when indexes are built "on-the-fly" as part of the
+//! query, the optimized pipeline (DL) beats the baseline (BL) on the
+//! matching-heavy queries: index construction overhead is small next to the
+//! image-matching work it eliminates.
+//!
+//! Unlike Fig. 4, the optimized timings here INCLUDE index construction
+//! (Ball-Tree builds, hash index builds, lineage id-maps).
+
+use deeplens_bench::etl::{football_etl, pc_etl, traffic_etl_default};
+use deeplens_bench::queries::*;
+use deeplens_bench::report::{ms, time, Table};
+use deeplens_bench::{scale, WORLD_SEED};
+use deeplens_exec::Device;
+
+fn main() {
+    let s = scale();
+    println!("Fig. 5 | DEEPLENS_SCALE={s} (on-the-fly index builds charged to DL)");
+
+    let (pc, pc_etl_t) = time(|| pc_etl(1.0, WORLD_SEED, Device::Avx)); // paper-scale PC
+    let (traffic, tr_etl_t) = time(|| traffic_etl_default(s, WORLD_SEED, Device::Avx));
+    let (football, fb_etl_t) = time(|| football_etl(s, WORLD_SEED, Device::Avx));
+    let people = q4_person_patches(&traffic);
+
+    let mut table = Table::new(
+        "Fig. 5 — end-to-end runtime: baseline (BL) vs optimized with on-the-fly indexes (DL)",
+        &["query", "ETL ms", "BL query ms", "DL query+build ms", "DL speedup"],
+    );
+
+    // q1: the Ball-Tree build is already inside q1_optimized (on-the-fly).
+    let (_, bl) = time(|| q1_baseline(&pc));
+    let (_, dl) = time(|| q1_optimized(&pc));
+    table.row(&[
+        "q1 near-dup".to_string(),
+        ms(pc_etl_t),
+        ms(bl),
+        ms(dl),
+        format!("{:.1}x", bl.as_secs_f64() / dl.as_secs_f64()),
+    ]);
+
+    // q2: hash index build charged to DL.
+    let (_, bl) = time(|| q2_baseline(&traffic));
+    let mut traffic2 = traffic;
+    let (_, dl) = time(|| {
+        traffic2
+            .catalog
+            .collection_mut("traffic_dets")
+            .expect("materialized")
+            .build_hash_index("by_label", "label");
+        q2_optimized(&traffic2.catalog)
+    });
+    table.row(&[
+        "q2 vehicles".to_string(),
+        ms(tr_etl_t),
+        ms(bl),
+        ms(dl),
+        format!("{:.1}x", bl.as_secs_f64() / dl.as_secs_f64()),
+    ]);
+
+    // q3: id-map construction charged to DL.
+    let (_, bl) = time(|| q3_baseline(&football, &football.dataset.target_jersey));
+    let (_, dl) = time(|| {
+        let id_map = q3_build_id_map(&football);
+        q3_optimized(&football, &id_map, &football.dataset.target_jersey)
+    });
+    table.row(&[
+        "q3 trajectory".to_string(),
+        ms(fb_etl_t),
+        ms(bl),
+        ms(dl),
+        format!("{:.1}x", bl.as_secs_f64() / dl.as_secs_f64()),
+    ]);
+
+    // q4: Ball-Tree dedup (build inside).
+    let (_, bl) = time(|| q4_baseline(&people));
+    let (_, dl) = time(|| q4_optimized(&people));
+    table.row(&[
+        "q4 distinct peds".to_string(),
+        ms(tr_etl_t),
+        ms(bl),
+        ms(dl),
+        format!("{:.1}x", bl.as_secs_f64() / dl.as_secs_f64()),
+    ]);
+
+    // q5: nothing to build.
+    let (_, bl) = time(|| q5_scan(&pc, "DEEP"));
+    let (_, dl) = time(|| q5_scan(&pc, "DEEP"));
+    table.row(&[
+        "q5 string".to_string(),
+        ms(pc_etl_t),
+        ms(bl),
+        ms(dl),
+        format!("{:.1}x", bl.as_secs_f64() / dl.as_secs_f64()),
+    ]);
+
+    // q6: group-by + sort charged to DL (it is the index).
+    let (_, bl) = time(|| q6_baseline(&people));
+    let (_, dl) = time(|| q6_optimized(&people));
+    table.row(&[
+        "q6 behind-pairs".to_string(),
+        ms(tr_etl_t),
+        ms(bl),
+        ms(dl),
+        format!("{:.1}x", bl.as_secs_f64() / dl.as_secs_f64()),
+    ]);
+
+    table.emit("fig5_onthefly");
+    println!(
+        "\nPaper shape: q1 ≈ 5x and q4 ≈ 3.5x faster than baseline even with on-the-fly \
+         builds; indexing overhead is small next to the matching work saved."
+    );
+}

@@ -1,0 +1,44 @@
+//! Run every figure/table harness in sequence (the full paper evaluation).
+//!
+//! Each harness is a sibling binary in the same target directory; results
+//! land in `bench-results/*.csv`.
+
+use std::process::Command;
+
+fn main() {
+    let me = std::env::current_exe().expect("current exe");
+    let dir = me.parent().expect("target dir").to_path_buf();
+    let harnesses = [
+        "fig2_encoding",
+        "fig3_layout",
+        "fig4_indexes",
+        "fig5_onthefly",
+        "fig6_buildcost",
+        "fig7_balltree",
+        "fig8_devices",
+        "table1_accuracy",
+    ];
+    let mut failed = Vec::new();
+    for h in harnesses {
+        let path = dir.join(h);
+        println!("\n################ {h} ################");
+        let status = Command::new(&path).status();
+        match status {
+            Ok(s) if s.success() => {}
+            Ok(s) => {
+                eprintln!("{h} exited with {s}");
+                failed.push(h);
+            }
+            Err(e) => {
+                eprintln!("failed to launch {h} at {}: {e}", path.display());
+                failed.push(h);
+            }
+        }
+    }
+    if failed.is_empty() {
+        println!("\nAll harnesses completed. Results in bench-results/.");
+    } else {
+        eprintln!("\nFailed harnesses: {failed:?}");
+        std::process::exit(1);
+    }
+}

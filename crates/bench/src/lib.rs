@@ -1,0 +1,48 @@
+//! # deeplens-bench
+//!
+//! The DeepLens benchmark (paper §6) and the harnesses that regenerate every
+//! figure and table of the evaluation (§7).
+//!
+//! * [`etl`] — dataset → patch-collection ETL built from the vision
+//!   substrate (detector, OCR, depth, featurizers).
+//! * [`queries`] — the six benchmark queries, each in a baseline (no
+//!   indexes) and an optimized (hand-tuned physical design) variant.
+//! * [`report`] — timing helpers, table printing, CSV output into
+//!   `bench-results/`.
+//!
+//! Harness binaries (one per figure/table):
+//!
+//! | binary | reproduces |
+//! |---|---|
+//! | `fig2_encoding` | Fig. 2 — storage cost vs. accuracy across encodings |
+//! | `fig3_layout` | Fig. 3 — temporal filter pushdown across layouts |
+//! | `fig4_indexes` | Fig. 4 — query time, baseline vs. indexed, q1–q6 |
+//! | `fig5_onthefly` | Fig. 5 — end-to-end incl. on-the-fly index builds |
+//! | `fig6_buildcost` | Fig. 6 — index construction cost vs. #tuples |
+//! | `fig7_balltree` | Fig. 7 — Ball-Tree join cost vs. indexed size & dim |
+//! | `fig8_devices` | Fig. 8 — CPU / AVX / GPU for ETL and query time |
+//! | `table1_accuracy` | Table 1 — accuracy vs. runtime of q4 plan orders |
+//! | `run_all` | everything above in sequence |
+//!
+//! The workload scale defaults to a laptop-friendly fraction of the paper's
+//! corpus sizes and can be raised with the `DEEPLENS_SCALE` environment
+//! variable (`1.0` = paper scale).
+
+pub mod etl;
+pub mod queries;
+pub mod report;
+
+/// Default fraction of the paper's dataset sizes the harnesses run at.
+pub const DEFAULT_SCALE: f64 = 0.03;
+
+/// The workload scale: `DEEPLENS_SCALE` env var, or [`DEFAULT_SCALE`].
+pub fn scale() -> f64 {
+    std::env::var("DEEPLENS_SCALE")
+        .ok()
+        .and_then(|s| s.parse::<f64>().ok())
+        .filter(|v| *v > 0.0)
+        .unwrap_or(DEFAULT_SCALE)
+}
+
+/// Seed shared by all harnesses so every figure sees the same world.
+pub const WORLD_SEED: u64 = 0xCafe_F00d;

@@ -1,0 +1,156 @@
+//! 8×8 discrete cosine transform used by the intra and inter coders.
+//!
+//! Implemented as a separable transform with a precomputed cosine basis,
+//! which is simple, exactly invertible to within floating-point error, and
+//! fast enough for the simulated workloads.
+
+/// Transform block edge length in samples.
+pub const BLOCK: usize = 8;
+
+/// Precomputed `cos((2x+1) u pi / 16)` basis, indexed `[u][x]`.
+fn basis() -> &'static [[f32; BLOCK]; BLOCK] {
+    use std::sync::OnceLock;
+    static TABLE: OnceLock<[[f32; BLOCK]; BLOCK]> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut t = [[0f32; BLOCK]; BLOCK];
+        for (u, row) in t.iter_mut().enumerate() {
+            for (x, v) in row.iter_mut().enumerate() {
+                *v = ((2 * x + 1) as f32 * u as f32 * std::f32::consts::PI / 16.0).cos();
+            }
+        }
+        t
+    })
+}
+
+#[inline]
+fn alpha(u: usize) -> f32 {
+    if u == 0 {
+        1.0 / std::f32::consts::SQRT_2
+    } else {
+        1.0
+    }
+}
+
+/// Forward 8×8 DCT-II of a row-major block (in place into `out`).
+pub fn forward(block: &[f32; BLOCK * BLOCK], out: &mut [f32; BLOCK * BLOCK]) {
+    let b = basis();
+    // Row pass.
+    let mut tmp = [0f32; BLOCK * BLOCK];
+    for y in 0..BLOCK {
+        for u in 0..BLOCK {
+            let mut acc = 0.0;
+            for x in 0..BLOCK {
+                acc += block[y * BLOCK + x] * b[u][x];
+            }
+            tmp[y * BLOCK + u] = acc;
+        }
+    }
+    // Column pass.
+    for v in 0..BLOCK {
+        for u in 0..BLOCK {
+            let mut acc = 0.0;
+            for y in 0..BLOCK {
+                acc += tmp[y * BLOCK + u] * b[v][y];
+            }
+            out[v * BLOCK + u] = 0.25 * alpha(u) * alpha(v) * acc;
+        }
+    }
+}
+
+/// Inverse 8×8 DCT-III of a row-major coefficient block (into `out`).
+pub fn inverse(coef: &[f32; BLOCK * BLOCK], out: &mut [f32; BLOCK * BLOCK]) {
+    let b = basis();
+    // Column pass.
+    let mut tmp = [0f32; BLOCK * BLOCK];
+    for y in 0..BLOCK {
+        for u in 0..BLOCK {
+            let mut acc = 0.0;
+            for v in 0..BLOCK {
+                acc += alpha(v) * coef[v * BLOCK + u] * b[v][y];
+            }
+            tmp[y * BLOCK + u] = acc;
+        }
+    }
+    // Row pass.
+    for y in 0..BLOCK {
+        for x in 0..BLOCK {
+            let mut acc = 0.0;
+            for u in 0..BLOCK {
+                acc += alpha(u) * tmp[y * BLOCK + u] * b[u][x];
+            }
+            out[y * BLOCK + x] = 0.25 * acc;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(block: [f32; 64]) -> [f32; 64] {
+        let mut coef = [0f32; 64];
+        let mut back = [0f32; 64];
+        forward(&block, &mut coef);
+        inverse(&coef, &mut back);
+        back
+    }
+
+    #[test]
+    fn dc_only_for_flat_block() {
+        let block = [100.0f32; 64];
+        let mut coef = [0f32; 64];
+        forward(&block, &mut coef);
+        assert!((coef[0] - 800.0).abs() < 1e-2, "DC of flat block should be 8*value");
+        for (i, c) in coef.iter().enumerate().skip(1) {
+            assert!(c.abs() < 1e-3, "AC coefficient {i} should vanish, got {c}");
+        }
+    }
+
+    #[test]
+    fn forward_inverse_roundtrip() {
+        let mut block = [0f32; 64];
+        for (i, v) in block.iter_mut().enumerate() {
+            *v = ((i * 37) % 256) as f32 - 128.0;
+        }
+        let back = roundtrip(block);
+        for (a, b) in block.iter().zip(back.iter()) {
+            assert!((a - b).abs() < 1e-2, "roundtrip drift {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn linearity() {
+        let mut b1 = [0f32; 64];
+        let mut b2 = [0f32; 64];
+        for i in 0..64 {
+            b1[i] = (i as f32).sin() * 50.0;
+            b2[i] = (i as f32 * 0.7).cos() * 30.0;
+        }
+        let mut c1 = [0f32; 64];
+        let mut c2 = [0f32; 64];
+        let mut csum = [0f32; 64];
+        forward(&b1, &mut c1);
+        forward(&b2, &mut c2);
+        let mut sum = [0f32; 64];
+        for i in 0..64 {
+            sum[i] = b1[i] + b2[i];
+        }
+        forward(&sum, &mut csum);
+        for i in 0..64 {
+            assert!((csum[i] - (c1[i] + c2[i])).abs() < 1e-2);
+        }
+    }
+
+    #[test]
+    fn energy_preservation_parseval() {
+        let mut block = [0f32; 64];
+        for (i, v) in block.iter_mut().enumerate() {
+            *v = ((i as f32 * 1.3).sin()) * 100.0;
+        }
+        let mut coef = [0f32; 64];
+        forward(&block, &mut coef);
+        let es: f32 = block.iter().map(|v| v * v).sum();
+        let ec: f32 = coef.iter().map(|v| v * v).sum();
+        assert!((es - ec).abs() / es < 1e-4, "Parseval violated: {es} vs {ec}");
+    }
+}

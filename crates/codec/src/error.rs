@@ -1,0 +1,72 @@
+//! Error type for codec operations.
+
+use std::fmt;
+
+/// Errors produced while encoding or decoding images and video.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// The bitstream ended before a complete symbol could be decoded.
+    UnexpectedEof,
+    /// A container or frame header carried an invalid magic number.
+    BadMagic(u32),
+    /// Header fields are internally inconsistent (e.g. zero dimensions).
+    InvalidHeader(String),
+    /// A frame had different dimensions than the stream header declared.
+    DimensionMismatch {
+        /// Width/height the stream was configured with.
+        expected: (u32, u32),
+        /// Width/height of the offending frame.
+        actual: (u32, u32),
+    },
+    /// A decoded value fell outside its legal range.
+    CorruptStream(String),
+    /// The requested frame index does not exist in the stream.
+    FrameOutOfRange {
+        /// Index that was requested.
+        index: usize,
+        /// Number of frames in the stream.
+        len: usize,
+    },
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::UnexpectedEof => write!(f, "unexpected end of bitstream"),
+            CodecError::BadMagic(m) => write!(f, "bad container magic: {m:#010x}"),
+            CodecError::InvalidHeader(msg) => write!(f, "invalid header: {msg}"),
+            CodecError::DimensionMismatch { expected, actual } => write!(
+                f,
+                "frame dimensions {}x{} do not match stream {}x{}",
+                actual.0, actual.1, expected.0, expected.1
+            ),
+            CodecError::CorruptStream(msg) => write!(f, "corrupt stream: {msg}"),
+            CodecError::FrameOutOfRange { index, len } => {
+                write!(f, "frame index {index} out of range for stream of {len} frames")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = CodecError::DimensionMismatch { expected: (64, 48), actual: (32, 32) };
+        let s = e.to_string();
+        assert!(s.contains("32x32"));
+        assert!(s.contains("64x48"));
+        assert!(CodecError::UnexpectedEof.to_string().contains("end of bitstream"));
+        assert!(CodecError::BadMagic(0xdead).to_string().contains("0x0000dead"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        takes_err(&CodecError::UnexpectedEof);
+    }
+}

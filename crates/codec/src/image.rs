@@ -1,0 +1,346 @@
+//! Dense raster images and single-channel planes.
+//!
+//! [`Image`] is the interchange type of the whole DeepLens stack: the vision
+//! substrate renders scenes into it, the codec compresses it, and the core
+//! patch model crops sub-rectangles out of it.
+
+use crate::error::CodecError;
+
+/// An 8-bit interleaved RGB image.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Image {
+    width: u32,
+    height: u32,
+    /// Interleaved RGB, row-major, `3 * width * height` bytes.
+    data: Vec<u8>,
+}
+
+impl Image {
+    /// Create a black image of the given dimensions.
+    pub fn new(width: u32, height: u32) -> Self {
+        Image { width, height, data: vec![0; (width * height * 3) as usize] }
+    }
+
+    /// Create an image filled with a single RGB color.
+    pub fn solid(width: u32, height: u32, rgb: [u8; 3]) -> Self {
+        let mut data = Vec::with_capacity((width * height * 3) as usize);
+        for _ in 0..width * height {
+            data.extend_from_slice(&rgb);
+        }
+        Image { width, height, data }
+    }
+
+    /// Build an image from raw interleaved RGB bytes.
+    ///
+    /// Returns an error when the buffer length does not match the dimensions.
+    pub fn from_rgb(width: u32, height: u32, data: Vec<u8>) -> crate::Result<Self> {
+        if data.len() != (width * height * 3) as usize {
+            return Err(CodecError::InvalidHeader(format!(
+                "rgb buffer of {} bytes does not match {}x{}",
+                data.len(),
+                width,
+                height
+            )));
+        }
+        Ok(Image { width, height, data })
+    }
+
+    /// Image width in pixels.
+    #[inline]
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// Image height in pixels.
+    #[inline]
+    pub fn height(&self) -> u32 {
+        self.height
+    }
+
+    /// Raw interleaved RGB bytes.
+    #[inline]
+    pub fn data(&self) -> &[u8] {
+        &self.data
+    }
+
+    /// Mutable access to the raw interleaved RGB bytes.
+    #[inline]
+    pub fn data_mut(&mut self) -> &mut [u8] {
+        &mut self.data
+    }
+
+    /// Number of bytes this image occupies uncompressed.
+    #[inline]
+    pub fn byte_size(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Get the pixel at `(x, y)`. Panics when out of bounds.
+    #[inline]
+    pub fn get(&self, x: u32, y: u32) -> [u8; 3] {
+        debug_assert!(x < self.width && y < self.height);
+        let i = ((y * self.width + x) * 3) as usize;
+        [self.data[i], self.data[i + 1], self.data[i + 2]]
+    }
+
+    /// Set the pixel at `(x, y)`; out-of-bounds writes are ignored so
+    /// rasterizers can draw shapes that overlap the frame border.
+    #[inline]
+    pub fn set(&mut self, x: u32, y: u32, rgb: [u8; 3]) {
+        if x >= self.width || y >= self.height {
+            return;
+        }
+        let i = ((y * self.width + x) * 3) as usize;
+        self.data[i..i + 3].copy_from_slice(&rgb);
+    }
+
+    /// Fill an axis-aligned rectangle, clipping against the image bounds.
+    pub fn fill_rect(&mut self, x0: i64, y0: i64, w: u32, h: u32, rgb: [u8; 3]) {
+        let x_start = x0.max(0) as u32;
+        let y_start = y0.max(0) as u32;
+        let x_end = ((x0 + w as i64).max(0) as u64).min(self.width as u64) as u32;
+        let y_end = ((y0 + h as i64).max(0) as u64).min(self.height as u64) as u32;
+        for y in y_start..y_end {
+            for x in x_start..x_end {
+                self.set(x, y, rgb);
+            }
+        }
+    }
+
+    /// Crop a sub-rectangle, clipping to bounds. Returns a 1x1 black image if
+    /// the rectangle lies entirely outside the frame.
+    pub fn crop(&self, x0: i64, y0: i64, w: u32, h: u32) -> Image {
+        let x_start = x0.max(0).min(self.width as i64 - 1) as u32;
+        let y_start = y0.max(0).min(self.height as i64 - 1) as u32;
+        let x_end = ((x0 + w as i64).max(x_start as i64 + 1) as u64).min(self.width as u64) as u32;
+        let y_end =
+            ((y0 + h as i64).max(y_start as i64 + 1) as u64).min(self.height as u64) as u32;
+        let cw = x_end - x_start;
+        let ch = y_end - y_start;
+        let mut out = Image::new(cw, ch);
+        for y in 0..ch {
+            let src = (((y_start + y) * self.width + x_start) * 3) as usize;
+            let dst = (y * cw * 3) as usize;
+            out.data[dst..dst + (cw * 3) as usize]
+                .copy_from_slice(&self.data[src..src + (cw * 3) as usize]);
+        }
+        out
+    }
+
+    /// Nearest-neighbour resize to a fixed resolution (used to emulate the
+    /// fixed input resolution of neural networks, paper §4.2).
+    pub fn resize(&self, nw: u32, nh: u32) -> Image {
+        assert!(nw > 0 && nh > 0, "resize target must be non-empty");
+        let mut out = Image::new(nw, nh);
+        for y in 0..nh {
+            let sy = (y as u64 * self.height as u64 / nh as u64) as u32;
+            for x in 0..nw {
+                let sx = (x as u64 * self.width as u64 / nw as u64) as u32;
+                out.set(x, y, self.get(sx, sy));
+            }
+        }
+        out
+    }
+
+    /// Split into Y, Cb, Cr planes (BT.601 full-range).
+    pub fn to_ycbcr(&self) -> [Plane; 3] {
+        let n = (self.width * self.height) as usize;
+        let mut y_p = Vec::with_capacity(n);
+        let mut cb_p = Vec::with_capacity(n);
+        let mut cr_p = Vec::with_capacity(n);
+        for px in self.data.chunks_exact(3) {
+            let (r, g, b) = (px[0] as f32, px[1] as f32, px[2] as f32);
+            y_p.push(0.299 * r + 0.587 * g + 0.114 * b);
+            cb_p.push(128.0 - 0.168_736 * r - 0.331_264 * g + 0.5 * b);
+            cr_p.push(128.0 + 0.5 * r - 0.418_688 * g - 0.081_312 * b);
+        }
+        [
+            Plane { width: self.width, height: self.height, data: y_p },
+            Plane { width: self.width, height: self.height, data: cb_p },
+            Plane { width: self.width, height: self.height, data: cr_p },
+        ]
+    }
+
+    /// Reassemble an RGB image from Y, Cb, Cr planes of identical dimensions.
+    pub fn from_ycbcr(planes: &[Plane; 3]) -> Image {
+        let (w, h) = (planes[0].width, planes[0].height);
+        debug_assert!(planes.iter().all(|p| p.width == w && p.height == h));
+        let mut data = Vec::with_capacity((w * h * 3) as usize);
+        for i in 0..(w * h) as usize {
+            let y = planes[0].data[i];
+            let cb = planes[1].data[i] - 128.0;
+            let cr = planes[2].data[i] - 128.0;
+            let r = y + 1.402 * cr;
+            let g = y - 0.344_136 * cb - 0.714_136 * cr;
+            let b = y + 1.772 * cb;
+            data.push(clamp_u8(r));
+            data.push(clamp_u8(g));
+            data.push(clamp_u8(b));
+        }
+        Image { width: w, height: h, data }
+    }
+
+    /// Mean color of the whole image, as f32 RGB.
+    pub fn mean_color(&self) -> [f32; 3] {
+        let mut acc = [0f64; 3];
+        for px in self.data.chunks_exact(3) {
+            acc[0] += px[0] as f64;
+            acc[1] += px[1] as f64;
+            acc[2] += px[2] as f64;
+        }
+        let n = (self.width * self.height).max(1) as f64;
+        [(acc[0] / n) as f32, (acc[1] / n) as f32, (acc[2] / n) as f32]
+    }
+}
+
+#[inline]
+fn clamp_u8(v: f32) -> u8 {
+    v.round().clamp(0.0, 255.0) as u8
+}
+
+/// A single-channel floating-point plane.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Plane {
+    /// Plane width in samples.
+    pub width: u32,
+    /// Plane height in samples.
+    pub height: u32,
+    /// Row-major samples.
+    pub data: Vec<f32>,
+}
+
+impl Plane {
+    /// Create a zero-filled plane.
+    pub fn new(width: u32, height: u32) -> Self {
+        Plane { width, height, data: vec![0.0; (width * height) as usize] }
+    }
+
+    /// Sample at `(x, y)`, clamping coordinates to the border (the DCT tiler
+    /// uses this to pad edge blocks).
+    #[inline]
+    pub fn get_clamped(&self, x: i64, y: i64) -> f32 {
+        let cx = x.clamp(0, self.width as i64 - 1) as u32;
+        let cy = y.clamp(0, self.height as i64 - 1) as u32;
+        self.data[(cy * self.width + cx) as usize]
+    }
+
+    /// Set the sample at `(x, y)`; out-of-bounds writes are ignored.
+    #[inline]
+    pub fn set(&mut self, x: u32, y: u32, v: f32) {
+        if x < self.width && y < self.height {
+            self.data[(y * self.width + x) as usize] = v;
+        }
+    }
+
+    /// 2×2 box-filter downsample (chroma subsampling). Dimensions round up.
+    pub fn downsample2(&self) -> Plane {
+        let nw = self.width.div_ceil(2);
+        let nh = self.height.div_ceil(2);
+        let mut out = Plane::new(nw, nh);
+        for y in 0..nh {
+            for x in 0..nw {
+                let mut acc = 0.0;
+                for (dx, dy) in [(0, 0), (1, 0), (0, 1), (1, 1)] {
+                    acc += self.get_clamped((x * 2 + dx) as i64, (y * 2 + dy) as i64);
+                }
+                out.set(x, y, acc / 4.0);
+            }
+        }
+        out
+    }
+
+    /// Nearest-neighbour 2× upsample to the requested dimensions.
+    pub fn upsample2(&self, tw: u32, th: u32) -> Plane {
+        let mut out = Plane::new(tw, th);
+        for y in 0..th {
+            for x in 0..tw {
+                out.set(x, y, self.get_clamped((x / 2) as i64, (y / 2) as i64));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solid_roundtrips_pixels() {
+        let img = Image::solid(4, 3, [1, 2, 3]);
+        assert_eq!(img.get(0, 0), [1, 2, 3]);
+        assert_eq!(img.get(3, 2), [1, 2, 3]);
+        assert_eq!(img.byte_size(), 36);
+    }
+
+    #[test]
+    fn from_rgb_validates_length() {
+        assert!(Image::from_rgb(2, 2, vec![0; 12]).is_ok());
+        assert!(Image::from_rgb(2, 2, vec![0; 11]).is_err());
+    }
+
+    #[test]
+    fn fill_rect_clips() {
+        let mut img = Image::new(4, 4);
+        img.fill_rect(-2, -2, 4, 4, [255, 0, 0]);
+        assert_eq!(img.get(0, 0), [255, 0, 0]);
+        assert_eq!(img.get(1, 1), [255, 0, 0]);
+        assert_eq!(img.get(2, 2), [0, 0, 0]);
+    }
+
+    #[test]
+    fn crop_respects_bounds() {
+        let mut img = Image::new(8, 8);
+        img.fill_rect(2, 2, 2, 2, [9, 9, 9]);
+        let c = img.crop(2, 2, 2, 2);
+        assert_eq!(c.width(), 2);
+        assert_eq!(c.height(), 2);
+        assert_eq!(c.get(0, 0), [9, 9, 9]);
+
+        // Fully out-of-bounds crop degrades to a tiny clipped image.
+        let c2 = img.crop(100, 100, 4, 4);
+        assert!(c2.width() >= 1 && c2.height() >= 1);
+    }
+
+    #[test]
+    fn ycbcr_roundtrip_is_near_lossless() {
+        let mut img = Image::new(16, 16);
+        for y in 0..16 {
+            for x in 0..16 {
+                img.set(x, y, [(x * 16) as u8, (y * 16) as u8, ((x + y) * 8) as u8]);
+            }
+        }
+        let planes = img.to_ycbcr();
+        let back = Image::from_ycbcr(&planes);
+        for (a, b) in img.data().iter().zip(back.data()) {
+            assert!((*a as i32 - *b as i32).abs() <= 2, "channel drift too large");
+        }
+    }
+
+    #[test]
+    fn resize_preserves_solid_color() {
+        let img = Image::solid(10, 10, [7, 8, 9]);
+        let r = img.resize(3, 5);
+        assert_eq!(r.width(), 3);
+        assert_eq!(r.height(), 5);
+        assert_eq!(r.get(2, 4), [7, 8, 9]);
+    }
+
+    #[test]
+    fn downsample_upsample_shapes() {
+        let p = Plane::new(5, 7);
+        let d = p.downsample2();
+        assert_eq!((d.width, d.height), (3, 4));
+        let u = d.upsample2(5, 7);
+        assert_eq!((u.width, u.height), (5, 7));
+    }
+
+    #[test]
+    fn mean_color_of_solid() {
+        let img = Image::solid(6, 6, [10, 20, 30]);
+        let m = img.mean_color();
+        assert!((m[0] - 10.0).abs() < 1e-3);
+        assert!((m[1] - 20.0).abs() < 1e-3);
+        assert!((m[2] - 30.0).abs() < 1e-3);
+    }
+}

@@ -1,0 +1,217 @@
+//! Still-image (intra / JPEG-like) codec.
+//!
+//! RGB → YCbCr with 4:2:0 chroma subsampling, 8×8 block DCT, quality-scaled
+//! quantization, and run-length + Exp-Golomb entropy coding. This is both the
+//! standalone image codec (the paper's "JPEG" layout) and the I-frame coder
+//! of the [`crate::video`] module.
+
+use crate::bitstream::{BitReader, BitWriter};
+use crate::dct::{self, BLOCK};
+use crate::entropy::{BlockDecoder, BlockEncoder};
+use crate::error::CodecError;
+use crate::image::{Image, Plane};
+use crate::quant::{dequantize, quantize, QuantTables, Quality};
+
+/// Magic number prefixing standalone encoded images.
+pub const IMAGE_MAGIC: u32 = 0x444C_4931; // "DLI1"
+
+/// Encode a single plane into the writer: all blocks, row-major block order.
+///
+/// `shift` is subtracted from every sample before the transform (128 for the
+/// level shift of intra planes, 0 for residual planes that are already
+/// centred on zero).
+pub(crate) fn encode_plane(
+    plane: &Plane,
+    table: &[u16; BLOCK * BLOCK],
+    shift: f32,
+    w: &mut BitWriter,
+) {
+    let bw = (plane.width as usize).div_ceil(BLOCK);
+    let bh = (plane.height as usize).div_ceil(BLOCK);
+    let mut enc = BlockEncoder::new();
+    let mut block = [0f32; BLOCK * BLOCK];
+    let mut coef = [0f32; BLOCK * BLOCK];
+    for by in 0..bh {
+        for bx in 0..bw {
+            for y in 0..BLOCK {
+                for x in 0..BLOCK {
+                    block[y * BLOCK + x] = plane
+                        .get_clamped((bx * BLOCK + x) as i64, (by * BLOCK + y) as i64)
+                        - shift;
+                }
+            }
+            dct::forward(&block, &mut coef);
+            let levels = quantize(&coef, table);
+            enc.encode(&levels, w);
+        }
+    }
+}
+
+/// Decode a plane written by [`encode_plane`].
+pub(crate) fn decode_plane(
+    width: u32,
+    height: u32,
+    table: &[u16; BLOCK * BLOCK],
+    shift: f32,
+    r: &mut BitReader<'_>,
+) -> crate::Result<Plane> {
+    let bw = (width as usize).div_ceil(BLOCK);
+    let bh = (height as usize).div_ceil(BLOCK);
+    let mut plane = Plane::new(width, height);
+    let mut dec = BlockDecoder::new();
+    let mut pixels = [0f32; BLOCK * BLOCK];
+    for by in 0..bh {
+        for bx in 0..bw {
+            let levels = dec.decode(r)?;
+            let coef = dequantize(&levels, table);
+            dct::inverse(&coef, &mut pixels);
+            for y in 0..BLOCK {
+                for x in 0..BLOCK {
+                    plane.set(
+                        (bx * BLOCK + x) as u32,
+                        (by * BLOCK + y) as u32,
+                        pixels[y * BLOCK + x] + shift,
+                    );
+                }
+            }
+        }
+    }
+    Ok(plane)
+}
+
+/// Encode the three YCbCr planes of an image (4:2:0) into a writer.
+///
+/// Shared between the standalone image format and video I-frames.
+pub(crate) fn encode_planes(img: &Image, tables: &QuantTables, w: &mut BitWriter) {
+    let [y, cb, cr] = img.to_ycbcr();
+    let cb = cb.downsample2();
+    let cr = cr.downsample2();
+    encode_plane(&y, &tables.luma, 128.0, w);
+    encode_plane(&cb, &tables.chroma, 128.0, w);
+    encode_plane(&cr, &tables.chroma, 128.0, w);
+}
+
+/// Decode planes written by [`encode_planes`] back into an RGB image.
+pub(crate) fn decode_planes(
+    width: u32,
+    height: u32,
+    tables: &QuantTables,
+    r: &mut BitReader<'_>,
+) -> crate::Result<Image> {
+    let cw = width.div_ceil(2);
+    let ch = height.div_ceil(2);
+    let y = decode_plane(width, height, &tables.luma, 128.0, r)?;
+    let cb = decode_plane(cw, ch, &tables.chroma, 128.0, r)?.upsample2(width, height);
+    let cr = decode_plane(cw, ch, &tables.chroma, 128.0, r)?.upsample2(width, height);
+    Ok(Image::from_ycbcr(&[y, cb, cr]))
+}
+
+/// Encode an image to a standalone byte buffer (magic + header + bitstream).
+pub fn encode_image(img: &Image, quality: Quality) -> Vec<u8> {
+    let tables = QuantTables::for_quality(quality);
+    let mut w = BitWriter::new();
+    w.put_bits(IMAGE_MAGIC, 32);
+    w.put_bits(img.width(), 16);
+    w.put_bits(img.height(), 16);
+    w.put_bits(quality.factor() as u32, 8);
+    encode_planes(img, &tables, &mut w);
+    w.finish()
+}
+
+/// Decode a buffer produced by [`encode_image`].
+pub fn decode_image(bytes: &[u8]) -> crate::Result<Image> {
+    let mut r = BitReader::new(bytes);
+    let magic = r.get_bits(32)?;
+    if magic != IMAGE_MAGIC {
+        return Err(CodecError::BadMagic(magic));
+    }
+    let width = r.get_bits(16)?;
+    let height = r.get_bits(16)?;
+    if width == 0 || height == 0 {
+        return Err(CodecError::InvalidHeader("zero image dimension".into()));
+    }
+    let qf = r.get_bits(8)? as u8;
+    let tables = QuantTables::for_quality(Quality::Custom(qf));
+    decode_planes(width, height, &tables, &mut r)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::psnr;
+
+    fn gradient_image(w: u32, h: u32) -> Image {
+        let mut img = Image::new(w, h);
+        for y in 0..h {
+            for x in 0..w {
+                img.set(x, y, [(x * 255 / w.max(1)) as u8, (y * 255 / h.max(1)) as u8, 120]);
+            }
+        }
+        img
+    }
+
+    #[test]
+    fn solid_image_is_tiny_and_exactish() {
+        let img = Image::solid(64, 64, [200, 30, 90]);
+        let bytes = encode_image(&img, Quality::High);
+        assert!(bytes.len() < img.byte_size() / 20, "solid image should compress > 20x");
+        let back = decode_image(&bytes).unwrap();
+        assert!(psnr(&img, &back) > 35.0);
+    }
+
+    #[test]
+    fn gradient_roundtrip_quality_ordering() {
+        let img = gradient_image(96, 64);
+        let hi = decode_image(&encode_image(&img, Quality::High)).unwrap();
+        let lo = decode_image(&encode_image(&img, Quality::Low)).unwrap();
+        let p_hi = psnr(&img, &hi);
+        let p_lo = psnr(&img, &lo);
+        assert!(p_hi > p_lo, "high quality must beat low quality ({p_hi} vs {p_lo})");
+        assert!(p_hi > 30.0, "high quality PSNR too low: {p_hi}");
+    }
+
+    #[test]
+    fn lower_quality_smaller_output() {
+        let img = gradient_image(96, 64);
+        let hi = encode_image(&img, Quality::High);
+        let lo = encode_image(&img, Quality::Low);
+        assert!(lo.len() < hi.len());
+    }
+
+    #[test]
+    fn non_multiple_of_block_dimensions() {
+        let img = gradient_image(37, 23);
+        let back = decode_image(&encode_image(&img, Quality::High)).unwrap();
+        assert_eq!(back.width(), 37);
+        assert_eq!(back.height(), 23);
+        assert!(psnr(&img, &back) > 28.0);
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let img = Image::solid(16, 16, [1, 2, 3]);
+        let mut bytes = encode_image(&img, Quality::Medium);
+        bytes[0] ^= 0xFF;
+        assert!(matches!(decode_image(&bytes), Err(CodecError::BadMagic(_))));
+    }
+
+    #[test]
+    fn truncated_stream_rejected() {
+        let img = gradient_image(32, 32);
+        let bytes = encode_image(&img, Quality::Medium);
+        let res = decode_image(&bytes[..bytes.len() / 2]);
+        assert!(res.is_err());
+    }
+
+    #[test]
+    fn one_pixel_image() {
+        let img = Image::solid(1, 1, [77, 66, 55]);
+        let back = decode_image(&encode_image(&img, Quality::High)).unwrap();
+        assert_eq!(back.width(), 1);
+        assert_eq!(back.height(), 1);
+        let px = back.get(0, 0);
+        for c in 0..3 {
+            assert!((px[c] as i32 - img.get(0, 0)[c] as i32).abs() < 30);
+        }
+    }
+}

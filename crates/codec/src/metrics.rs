@@ -1,0 +1,68 @@
+//! Distortion metrics for the encoding-accuracy experiments (paper Fig. 2).
+
+use crate::image::Image;
+
+/// Mean squared error between two images of identical dimensions.
+///
+/// Panics if the dimensions differ — comparing different-sized rasters is a
+/// logic error in the benchmark harness, not a recoverable condition.
+pub fn mse(a: &Image, b: &Image) -> f64 {
+    assert_eq!(
+        (a.width(), a.height()),
+        (b.width(), b.height()),
+        "mse requires equal dimensions"
+    );
+    let mut acc = 0f64;
+    for (&x, &y) in a.data().iter().zip(b.data()) {
+        let d = x as f64 - y as f64;
+        acc += d * d;
+    }
+    acc / a.data().len() as f64
+}
+
+/// Peak signal-to-noise ratio in dB. Identical images yield `f64::INFINITY`.
+pub fn psnr(a: &Image, b: &Image) -> f64 {
+    let m = mse(a, b);
+    if m == 0.0 {
+        f64::INFINITY
+    } else {
+        10.0 * (255.0f64 * 255.0 / m).log10()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_images_have_infinite_psnr() {
+        let img = Image::solid(8, 8, [10, 20, 30]);
+        assert_eq!(mse(&img, &img), 0.0);
+        assert!(psnr(&img, &img).is_infinite());
+    }
+
+    #[test]
+    fn known_mse() {
+        let a = Image::solid(2, 2, [0, 0, 0]);
+        let b = Image::solid(2, 2, [10, 10, 10]);
+        assert!((mse(&a, &b) - 100.0).abs() < 1e-9);
+        // PSNR = 10 log10(255^2 / 100) ≈ 28.13 dB
+        assert!((psnr(&a, &b) - 28.13).abs() < 0.01);
+    }
+
+    #[test]
+    fn psnr_monotone_in_error() {
+        let a = Image::solid(4, 4, [100, 100, 100]);
+        let near = Image::solid(4, 4, [102, 102, 102]);
+        let far = Image::solid(4, 4, [140, 140, 140]);
+        assert!(psnr(&a, &near) > psnr(&a, &far));
+    }
+
+    #[test]
+    #[should_panic(expected = "equal dimensions")]
+    fn mismatched_dimensions_panic() {
+        let a = Image::new(2, 2);
+        let b = Image::new(3, 3);
+        let _ = mse(&a, &b);
+    }
+}

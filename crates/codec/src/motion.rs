@@ -1,0 +1,190 @@
+//! Block motion estimation and compensation for inter (P) frames.
+//!
+//! The inter coder divides the luma plane into 16×16 macroblocks, finds a
+//! motion vector against the reference frame with a three-step search, and
+//! codes the motion-compensated residual. Chroma reuses the luma vectors at
+//! half resolution (4:2:0).
+
+use crate::image::Plane;
+
+/// Macroblock edge length on the luma plane.
+pub const MB: usize = 16;
+
+/// Maximum search displacement in each axis (three-step search start radius).
+pub const SEARCH_RADIUS: i32 = 8;
+
+/// A per-macroblock motion vector in luma pixels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MotionVector {
+    /// Horizontal displacement (positive = reference block lies right).
+    pub dx: i32,
+    /// Vertical displacement.
+    pub dy: i32,
+}
+
+/// Sum of absolute differences between the macroblock at `(bx, by)` in
+/// `cur` and the displaced block in `reference`.
+fn sad(cur: &Plane, reference: &Plane, bx: usize, by: usize, dx: i32, dy: i32) -> f32 {
+    let mut acc = 0f32;
+    let x0 = (bx * MB) as i64;
+    let y0 = (by * MB) as i64;
+    for y in 0..MB as i64 {
+        for x in 0..MB as i64 {
+            let c = cur.get_clamped(x0 + x, y0 + y);
+            let r = reference.get_clamped(x0 + x + dx as i64, y0 + y + dy as i64);
+            acc += (c - r).abs();
+        }
+    }
+    acc
+}
+
+/// Three-step search for the best motion vector of macroblock `(bx, by)`.
+///
+/// Starts with step [`SEARCH_RADIUS`], probing the 8 neighbours plus the
+/// center, halving the step until 1. Complexity is logarithmic in the search
+/// radius versus quadratic for full search, with near-identical quality on
+/// smooth motion — matching how production encoders trade off here.
+pub fn estimate(cur: &Plane, reference: &Plane, bx: usize, by: usize) -> MotionVector {
+    let mut best = MotionVector::default();
+    let mut best_sad = sad(cur, reference, bx, by, 0, 0);
+    let mut step = SEARCH_RADIUS;
+    while step >= 1 {
+        let mut improved = true;
+        while improved {
+            improved = false;
+            for (ox, oy) in [(-1, -1), (0, -1), (1, -1), (-1, 0), (1, 0), (-1, 1), (0, 1), (1, 1)] {
+                let dx = best.dx + ox * step;
+                let dy = best.dy + oy * step;
+                if dx.abs() > 2 * SEARCH_RADIUS || dy.abs() > 2 * SEARCH_RADIUS {
+                    continue;
+                }
+                let s = sad(cur, reference, bx, by, dx, dy);
+                if s < best_sad {
+                    best_sad = s;
+                    best = MotionVector { dx, dy };
+                    improved = true;
+                }
+            }
+        }
+        step /= 2;
+    }
+    best
+}
+
+/// Build the motion-compensated prediction of `cur`'s geometry from
+/// `reference`, given one vector per macroblock (row-major).
+///
+/// `scale` divides the vectors (2 for half-resolution chroma planes).
+pub fn compensate(
+    reference: &Plane,
+    width: u32,
+    height: u32,
+    vectors: &[MotionVector],
+    mb_cols: usize,
+    scale: i32,
+) -> Plane {
+    let mut out = Plane::new(width, height);
+    let mb = MB / scale as usize;
+    for y in 0..height as usize {
+        for x in 0..width as usize {
+            let mb_x = (x / mb).min(mb_cols - 1);
+            let mb_y = y / mb;
+            let idx = (mb_y * mb_cols + mb_x).min(vectors.len().saturating_sub(1));
+            let v = vectors.get(idx).copied().unwrap_or_default();
+            let sx = x as i64 + (v.dx / scale) as i64;
+            let sy = y as i64 + (v.dy / scale) as i64;
+            out.set(x as u32, y as u32, reference.get_clamped(sx, sy));
+        }
+    }
+    out
+}
+
+/// Subtract prediction from current plane, producing the residual.
+pub fn residual(cur: &Plane, pred: &Plane) -> Plane {
+    debug_assert_eq!((cur.width, cur.height), (pred.width, pred.height));
+    let mut out = Plane::new(cur.width, cur.height);
+    for i in 0..cur.data.len() {
+        out.data[i] = cur.data[i] - pred.data[i];
+    }
+    out
+}
+
+/// Add a decoded residual back onto the prediction.
+pub fn reconstruct(pred: &Plane, res: &Plane) -> Plane {
+    debug_assert_eq!((pred.width, pred.height), (res.width, res.height));
+    let mut out = Plane::new(pred.width, pred.height);
+    for i in 0..pred.data.len() {
+        out.data[i] = (pred.data[i] + res.data[i]).clamp(0.0, 255.0);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A plane with a bright square at (x0, y0).
+    fn square_plane(w: u32, h: u32, x0: u32, y0: u32) -> Plane {
+        let mut p = Plane::new(w, h);
+        for y in 0..8 {
+            for x in 0..8 {
+                p.set(x0 + x, y0 + y, 250.0);
+            }
+        }
+        p
+    }
+
+    #[test]
+    fn zero_motion_for_identical_frames() {
+        let p = square_plane(32, 32, 8, 8);
+        let v = estimate(&p, &p, 0, 0);
+        assert_eq!(v, MotionVector { dx: 0, dy: 0 });
+    }
+
+    #[test]
+    fn detects_translation() {
+        // Object moved +4,+2 between reference and current frame: the block in
+        // the current frame is found 4 left / 2 up in the reference.
+        let reference = square_plane(48, 48, 8, 8);
+        let cur = square_plane(48, 48, 12, 10);
+        let v = estimate(&cur, &reference, 0, 0);
+        assert_eq!((v.dx, v.dy), (-4, -2));
+    }
+
+    #[test]
+    fn compensation_reconstructs_translation() {
+        let reference = square_plane(32, 32, 8, 8);
+        let cur = square_plane(32, 32, 10, 8);
+        let mb_cols = 2;
+        let mut vectors = vec![MotionVector::default(); 4];
+        for by in 0..2 {
+            for bx in 0..2 {
+                vectors[by * mb_cols + bx] = estimate(&cur, &reference, bx, by);
+            }
+        }
+        let pred = compensate(&reference, 32, 32, &vectors, mb_cols, 1);
+        let res = residual(&cur, &pred);
+        let energy: f32 = res.data.iter().map(|v| v * v).sum();
+        assert!(energy < 1.0, "residual energy after perfect compensation: {energy}");
+    }
+
+    #[test]
+    fn residual_reconstruct_inverse() {
+        let a = square_plane(16, 16, 2, 2);
+        let b = square_plane(16, 16, 6, 6);
+        let r = residual(&a, &b);
+        let back = reconstruct(&b, &r);
+        for (x, y) in a.data.iter().zip(back.data.iter()) {
+            assert!((x - y).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn compensate_clamps_at_borders() {
+        let reference = square_plane(16, 16, 0, 0);
+        let vectors = vec![MotionVector { dx: -20, dy: -20 }];
+        // Should not panic; samples clamp to the border.
+        let pred = compensate(&reference, 16, 16, &vectors, 1, 1);
+        assert_eq!(pred.data.len(), 256);
+    }
+}

@@ -1,0 +1,185 @@
+//! Quality-scaled quantization matrices.
+//!
+//! Follows the libjpeg convention: a base luminance/chrominance table is
+//! scaled by a factor derived from a quality setting in `[1, 100]`. The
+//! paper's experiments (Fig. 2) sweep three presets — High, Medium, Low —
+//! which map to qualities 90 / 50 / 10 here.
+
+use crate::dct::BLOCK;
+
+/// ITU-T T.81 Annex K luminance quantization table.
+pub const BASE_LUMA: [u16; BLOCK * BLOCK] = [
+    16, 11, 10, 16, 24, 40, 51, 61, //
+    12, 12, 14, 19, 26, 58, 60, 55, //
+    14, 13, 16, 24, 40, 57, 69, 56, //
+    14, 17, 22, 29, 51, 87, 80, 62, //
+    18, 22, 37, 56, 68, 109, 103, 77, //
+    24, 35, 55, 64, 81, 104, 113, 92, //
+    49, 64, 78, 87, 103, 121, 120, 101, //
+    72, 92, 95, 98, 112, 100, 103, 99,
+];
+
+/// ITU-T T.81 Annex K chrominance quantization table.
+pub const BASE_CHROMA: [u16; BLOCK * BLOCK] = [
+    17, 18, 24, 47, 99, 99, 99, 99, //
+    18, 21, 26, 66, 99, 99, 99, 99, //
+    24, 26, 56, 99, 99, 99, 99, 99, //
+    47, 66, 99, 99, 99, 99, 99, 99, //
+    99, 99, 99, 99, 99, 99, 99, 99, //
+    99, 99, 99, 99, 99, 99, 99, 99, //
+    99, 99, 99, 99, 99, 99, 99, 99, //
+    99, 99, 99, 99, 99, 99, 99, 99,
+];
+
+/// Lossy-encoding quality presets used across the DeepLens benchmarks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Quality {
+    /// Aggressive compression; visible artifacts, measurable accuracy loss.
+    Low,
+    /// Balanced preset.
+    Medium,
+    /// Near-transparent preset; negligible downstream accuracy impact.
+    High,
+    /// Arbitrary quality in `[1, 100]`.
+    Custom(u8),
+}
+
+impl Default for Quality {
+    fn default() -> Self {
+        Quality::High
+    }
+}
+
+impl Quality {
+    /// The JPEG-style quality factor in `[1, 100]`.
+    pub fn factor(self) -> u8 {
+        match self {
+            Quality::Low => 10,
+            Quality::Medium => 50,
+            Quality::High => 90,
+            Quality::Custom(q) => q.clamp(1, 100),
+        }
+    }
+
+    /// Human-readable label used by the benchmark harnesses.
+    pub fn label(self) -> String {
+        match self {
+            Quality::Low => "Low".to_string(),
+            Quality::Medium => "Medium".to_string(),
+            Quality::High => "High".to_string(),
+            Quality::Custom(q) => format!("Q{q}"),
+        }
+    }
+}
+
+/// A pair of quantization tables scaled to a quality factor.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QuantTables {
+    /// Scaled luminance divisors.
+    pub luma: [u16; BLOCK * BLOCK],
+    /// Scaled chrominance divisors.
+    pub chroma: [u16; BLOCK * BLOCK],
+}
+
+impl QuantTables {
+    /// Scale the Annex-K base tables to the given quality preset.
+    pub fn for_quality(q: Quality) -> Self {
+        let qf = q.factor() as u32;
+        // libjpeg scaling: quality < 50 => 5000/q, else 200 - 2q.
+        let scale = if qf < 50 { 5000 / qf } else { 200 - 2 * qf };
+        let scale_one = |base: u16| -> u16 {
+            let v = (base as u32 * scale + 50) / 100;
+            v.clamp(1, 4096) as u16
+        };
+        let mut luma = [0u16; BLOCK * BLOCK];
+        let mut chroma = [0u16; BLOCK * BLOCK];
+        for i in 0..BLOCK * BLOCK {
+            luma[i] = scale_one(BASE_LUMA[i]);
+            chroma[i] = scale_one(BASE_CHROMA[i]);
+        }
+        QuantTables { luma, chroma }
+    }
+}
+
+/// Quantize a coefficient block in place using the given divisors.
+pub fn quantize(coef: &[f32; BLOCK * BLOCK], table: &[u16; BLOCK * BLOCK]) -> [i32; BLOCK * BLOCK] {
+    let mut out = [0i32; BLOCK * BLOCK];
+    for i in 0..BLOCK * BLOCK {
+        out[i] = (coef[i] / table[i] as f32).round() as i32;
+    }
+    out
+}
+
+/// Reconstruct coefficients from quantized levels.
+pub fn dequantize(
+    levels: &[i32; BLOCK * BLOCK],
+    table: &[u16; BLOCK * BLOCK],
+) -> [f32; BLOCK * BLOCK] {
+    let mut out = [0f32; BLOCK * BLOCK];
+    for i in 0..BLOCK * BLOCK {
+        out[i] = levels[i] as f32 * table[i] as f32;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quality_ordering_of_divisors() {
+        let hi = QuantTables::for_quality(Quality::High);
+        let med = QuantTables::for_quality(Quality::Medium);
+        let lo = QuantTables::for_quality(Quality::Low);
+        // Higher quality must quantize no more aggressively anywhere.
+        for i in 0..64 {
+            assert!(hi.luma[i] <= med.luma[i]);
+            assert!(med.luma[i] <= lo.luma[i]);
+        }
+    }
+
+    #[test]
+    fn medium_matches_base_tables() {
+        // Quality 50 should reproduce the Annex-K tables exactly.
+        let med = QuantTables::for_quality(Quality::Medium);
+        assert_eq!(med.luma, BASE_LUMA);
+        assert_eq!(med.chroma, BASE_CHROMA);
+    }
+
+    #[test]
+    fn custom_quality_clamps() {
+        assert_eq!(Quality::Custom(0).factor(), 1);
+        assert_eq!(Quality::Custom(255).factor(), 100);
+        assert_eq!(Quality::Custom(42).factor(), 42);
+    }
+
+    #[test]
+    fn quantize_dequantize_bounds_error() {
+        let t = QuantTables::for_quality(Quality::High);
+        let mut coef = [0f32; 64];
+        for (i, c) in coef.iter_mut().enumerate() {
+            *c = (i as f32 - 32.0) * 7.3;
+        }
+        let q = quantize(&coef, &t.luma);
+        let d = dequantize(&q, &t.luma);
+        for i in 0..64 {
+            // Error bounded by half the quantizer step.
+            assert!((coef[i] - d[i]).abs() <= t.luma[i] as f32 / 2.0 + 1e-3);
+        }
+    }
+
+    #[test]
+    fn divisors_never_zero() {
+        for q in 1..=100u8 {
+            let t = QuantTables::for_quality(Quality::Custom(q));
+            assert!(t.luma.iter().all(|&v| v >= 1));
+            assert!(t.chroma.iter().all(|&v| v >= 1));
+        }
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(Quality::High.label(), "High");
+        assert_eq!(Quality::Custom(33).label(), "Q33");
+    }
+}

@@ -1,0 +1,388 @@
+//! Materialized patch collections and secondary indexes (§3.2).
+//!
+//! Any intermediate result in DeepLens can be materialized into the catalog
+//! and indexed. Each data type gets its specialized structure:
+//!
+//! * **hash** over any discrete metadata key (exact match),
+//! * **sorted run** over any numeric metadata key (range / threshold),
+//! * **R-Tree** over bounding-box metadata (intersection / containment),
+//! * **Ball-Tree** over feature payloads (Euclidean threshold / kNN),
+//! * **lineage** over source frames (backtracing, §5.1).
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use deeplens_index::{BallTree, RTree, Rect, SortedRunIndex};
+
+use crate::lineage::LineageStore;
+use crate::patch::{Patch, PatchId};
+use crate::value::Value;
+use crate::{DlError, Result};
+
+/// A secondary index over one collection.
+pub enum SecondaryIndex {
+    /// Exact-match index on a metadata key.
+    Hash {
+        /// The indexed key.
+        key: String,
+        /// Value → positions in the collection.
+        map: HashMap<Value, Vec<u32>>,
+    },
+    /// Range index on a numeric metadata key.
+    Sorted {
+        /// The indexed key.
+        key: String,
+        /// The sorted run (ids are positions).
+        index: SortedRunIndex,
+    },
+    /// Spatial index on bounding-box metadata (`x`,`y`,`w`,`h`).
+    Spatial {
+        /// The R-Tree (payloads are positions).
+        tree: RTree,
+    },
+    /// Similarity index on feature payloads.
+    Ball {
+        /// The Ball-Tree (ids are positions).
+        tree: BallTree,
+    },
+}
+
+impl std::fmt::Debug for SecondaryIndex {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "SecondaryIndex::{}", self.kind())
+    }
+}
+
+impl SecondaryIndex {
+    /// Short kind label.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            SecondaryIndex::Hash { .. } => "hash",
+            SecondaryIndex::Sorted { .. } => "sorted",
+            SecondaryIndex::Spatial { .. } => "spatial",
+            SecondaryIndex::Ball { .. } => "ball",
+        }
+    }
+}
+
+/// A named, materialized collection of patches with its indexes.
+#[derive(Debug, Default)]
+pub struct PatchCollection {
+    /// The patches, addressed by position.
+    pub patches: Vec<Patch>,
+    indexes: HashMap<String, SecondaryIndex>,
+}
+
+impl PatchCollection {
+    /// Number of patches.
+    pub fn len(&self) -> usize {
+        self.patches.len()
+    }
+
+    /// Whether the collection is empty.
+    pub fn is_empty(&self) -> bool {
+        self.patches.is_empty()
+    }
+
+    /// Approximate in-memory footprint of payloads in bytes.
+    pub fn byte_size(&self) -> usize {
+        self.patches.iter().map(|p| p.data.byte_size()).sum()
+    }
+
+    /// Names of existing indexes.
+    pub fn index_names(&self) -> Vec<&str> {
+        self.indexes.keys().map(String::as_str).collect()
+    }
+
+    /// Build (or rebuild) a hash index on `key` under `index_name`.
+    pub fn build_hash_index(&mut self, index_name: &str, key: &str) {
+        let mut map: HashMap<Value, Vec<u32>> = HashMap::new();
+        for (i, p) in self.patches.iter().enumerate() {
+            if let Some(v) = p.get(key) {
+                map.entry(v.clone()).or_default().push(i as u32);
+            }
+        }
+        self.indexes
+            .insert(index_name.to_string(), SecondaryIndex::Hash { key: key.to_string(), map });
+    }
+
+    /// Build a sorted-run index on a numeric `key` under `index_name`.
+    pub fn build_sorted_index(&mut self, index_name: &str, key: &str) {
+        let entries: Vec<(f64, u64)> = self
+            .patches
+            .iter()
+            .enumerate()
+            .filter_map(|(i, p)| p.get_float(key).map(|v| (v, i as u64)))
+            .collect();
+        self.indexes.insert(
+            index_name.to_string(),
+            SecondaryIndex::Sorted { key: key.to_string(), index: SortedRunIndex::build(entries) },
+        );
+    }
+
+    /// Build an R-Tree over bounding-box metadata under `index_name`.
+    pub fn build_spatial_index(&mut self, index_name: &str) {
+        let items: Vec<(Rect, u64)> = self
+            .patches
+            .iter()
+            .enumerate()
+            .filter_map(|(i, p)| {
+                p.bbox().map(|(x, y, w, h)| {
+                    (Rect::new(x as f32, y as f32, (x + w as i64) as f32, (y + h as i64) as f32), i as u64)
+                })
+            })
+            .collect();
+        self.indexes
+            .insert(index_name.to_string(), SecondaryIndex::Spatial { tree: RTree::bulk_load(items) });
+    }
+
+    /// Build a Ball-Tree over feature payloads under `index_name`.
+    ///
+    /// Errors if any patch lacks features.
+    pub fn build_ball_index(&mut self, index_name: &str) -> Result<()> {
+        let vectors: Vec<Vec<f32>> = self
+            .patches
+            .iter()
+            .enumerate()
+            .map(|(i, p)| {
+                p.data
+                    .features()
+                    .map(<[f32]>::to_vec)
+                    .ok_or_else(|| DlError::SchemaMismatch(format!("patch {i} has no features")))
+            })
+            .collect::<Result<_>>()?;
+        self.indexes
+            .insert(index_name.to_string(), SecondaryIndex::Ball { tree: BallTree::from_vectors(&vectors) });
+        Ok(())
+    }
+
+    fn index(&self, name: &str) -> Result<&SecondaryIndex> {
+        self.indexes.get(name).ok_or_else(|| DlError::NotFound(format!("index '{name}'")))
+    }
+
+    /// Exact-match lookup through a hash index: positions whose `key`
+    /// equals `value`.
+    pub fn lookup_eq(&self, index_name: &str, value: &Value) -> Result<Vec<u32>> {
+        match self.index(index_name)? {
+            SecondaryIndex::Hash { map, .. } => {
+                Ok(map.get(value).cloned().unwrap_or_default())
+            }
+            other => Err(DlError::WrongIndex { expected: "hash", actual: other.kind() }),
+        }
+    }
+
+    /// Range lookup `[lo, hi)` through a sorted index.
+    pub fn lookup_range(&self, index_name: &str, lo: f64, hi: f64) -> Result<Vec<u32>> {
+        match self.index(index_name)? {
+            SecondaryIndex::Sorted { index, .. } => {
+                Ok(index.range(lo, hi).into_iter().map(|v| v as u32).collect())
+            }
+            other => Err(DlError::WrongIndex { expected: "sorted", actual: other.kind() }),
+        }
+    }
+
+    /// Spatial intersection lookup through an R-Tree index.
+    pub fn lookup_intersecting(&self, index_name: &str, rect: &Rect) -> Result<Vec<u32>> {
+        match self.index(index_name)? {
+            SecondaryIndex::Spatial { tree } => {
+                Ok(tree.intersecting(rect).into_iter().map(|v| v as u32).collect())
+            }
+            other => Err(DlError::WrongIndex { expected: "spatial", actual: other.kind() }),
+        }
+    }
+
+    /// Similarity lookup through a Ball-Tree index: positions within `tau`
+    /// of `query`.
+    pub fn lookup_similar(&self, index_name: &str, query: &[f32], tau: f32) -> Result<Vec<u32>> {
+        match self.index(index_name)? {
+            SecondaryIndex::Ball { tree } => Ok(tree.range_query(query, tau)),
+            other => Err(DlError::WrongIndex { expected: "ball", actual: other.kind() }),
+        }
+    }
+}
+
+/// The session catalog: named collections, the lineage store, and the patch
+/// id allocator.
+#[derive(Debug, Default)]
+pub struct Catalog {
+    collections: HashMap<String, PatchCollection>,
+    /// The lineage graph across all collections.
+    pub lineage: LineageStore,
+    next_id: AtomicU64,
+}
+
+impl Catalog {
+    /// An empty catalog.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Allocate a fresh patch id.
+    pub fn next_patch_id(&self) -> PatchId {
+        PatchId(self.next_id.fetch_add(1, Ordering::Relaxed))
+    }
+
+    /// Materialize `patches` under `name`, recording their lineage.
+    /// Replaces any existing collection of that name.
+    pub fn materialize(&mut self, name: &str, patches: Vec<Patch>) {
+        self.lineage.record_all(patches.iter());
+        self.collections
+            .insert(name.to_string(), PatchCollection { patches, indexes: HashMap::new() });
+    }
+
+    /// Borrow a collection.
+    pub fn collection(&self, name: &str) -> Result<&PatchCollection> {
+        self.collections
+            .get(name)
+            .ok_or_else(|| DlError::NotFound(format!("collection '{name}'")))
+    }
+
+    /// Mutably borrow a collection (to build indexes).
+    pub fn collection_mut(&mut self, name: &str) -> Result<&mut PatchCollection> {
+        self.collections
+            .get_mut(name)
+            .ok_or_else(|| DlError::NotFound(format!("collection '{name}'")))
+    }
+
+    /// Names of all materialized collections.
+    pub fn names(&self) -> Vec<&str> {
+        let mut names: Vec<&str> = self.collections.keys().map(String::as_str).collect();
+        names.sort_unstable();
+        names
+    }
+
+    /// Drop a collection. Returns whether it existed.
+    pub fn drop_collection(&mut self, name: &str) -> bool {
+        self.collections.remove(name).is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::patch::ImgRef;
+
+    fn make_catalog() -> Catalog {
+        let mut cat = Catalog::new();
+        let patches: Vec<Patch> = (0..50)
+            .map(|i| {
+                Patch::features(
+                    cat.next_patch_id(),
+                    ImgRef::frame("cam", i / 5),
+                    vec![(i % 10) as f32, 1.0],
+                )
+                .with_meta("label", if i % 3 == 0 { "car" } else { "person" })
+                .with_meta("frameno", (i / 5) as i64)
+                .with_meta("score", 0.5 + (i % 5) as f64 * 0.1)
+                .with_meta("x", (i * 4) as i64)
+                .with_meta("y", 10i64)
+                .with_meta("w", 8i64)
+                .with_meta("h", 12i64)
+            })
+            .collect();
+        cat.materialize("dets", patches);
+        cat
+    }
+
+    #[test]
+    fn materialize_and_lookup() {
+        let cat = make_catalog();
+        assert_eq!(cat.names(), vec!["dets"]);
+        assert_eq!(cat.collection("dets").unwrap().len(), 50);
+        assert!(cat.collection("missing").is_err());
+    }
+
+    #[test]
+    fn hash_index_matches_scan() {
+        let mut cat = make_catalog();
+        let col = cat.collection_mut("dets").unwrap();
+        col.build_hash_index("by_label", "label");
+        let cars = col.lookup_eq("by_label", &Value::from("car")).unwrap();
+        let scan: Vec<u32> = col
+            .patches
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| p.get_str("label") == Some("car"))
+            .map(|(i, _)| i as u32)
+            .collect();
+        assert_eq!(cars, scan);
+        assert!(col.lookup_eq("by_label", &Value::from("giraffe")).unwrap().is_empty());
+    }
+
+    #[test]
+    fn sorted_index_range() {
+        let mut cat = make_catalog();
+        let col = cat.collection_mut("dets").unwrap();
+        col.build_sorted_index("by_score", "score");
+        let hits = col.lookup_range("by_score", 0.75, 1.01).unwrap();
+        for &i in &hits {
+            assert!(col.patches[i as usize].get_float("score").unwrap() >= 0.75);
+        }
+        let scan_count = col
+            .patches
+            .iter()
+            .filter(|p| {
+                let s = p.get_float("score").unwrap();
+                (0.75..1.01).contains(&s)
+            })
+            .count();
+        assert_eq!(hits.len(), scan_count);
+    }
+
+    #[test]
+    fn spatial_index_intersection() {
+        let mut cat = make_catalog();
+        let col = cat.collection_mut("dets").unwrap();
+        col.build_spatial_index("by_bbox");
+        let window = Rect::new(0.0, 0.0, 50.0, 50.0);
+        let hits = col.lookup_intersecting("by_bbox", &window).unwrap();
+        assert!(!hits.is_empty());
+        for &i in &hits {
+            let (x, ..) = col.patches[i as usize].bbox().unwrap();
+            assert!(x <= 50);
+        }
+    }
+
+    #[test]
+    fn ball_index_similarity() {
+        let mut cat = make_catalog();
+        let col = cat.collection_mut("dets").unwrap();
+        col.build_ball_index("by_feat").unwrap();
+        let hits = col.lookup_similar("by_feat", &[3.0, 1.0], 0.1).unwrap();
+        assert_eq!(hits.len(), 5, "five patches share feature [3,1]");
+    }
+
+    #[test]
+    fn wrong_index_kind_rejected() {
+        let mut cat = make_catalog();
+        let col = cat.collection_mut("dets").unwrap();
+        col.build_hash_index("idx", "label");
+        assert!(matches!(
+            col.lookup_similar("idx", &[0.0, 0.0], 1.0),
+            Err(DlError::WrongIndex { expected: "ball", actual: "hash" })
+        ));
+        assert!(col.lookup_eq("missing", &Value::from(1i64)).is_err());
+    }
+
+    #[test]
+    fn lineage_recorded_on_materialize() {
+        let cat = make_catalog();
+        assert_eq!(cat.lineage.len(), 50);
+    }
+
+    #[test]
+    fn patch_ids_unique() {
+        let cat = Catalog::new();
+        let a = cat.next_patch_id();
+        let b = cat.next_patch_id();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn drop_collection() {
+        let mut cat = make_catalog();
+        assert!(cat.drop_collection("dets"));
+        assert!(!cat.drop_collection("dets"));
+        assert!(cat.collection("dets").is_err());
+    }
+}

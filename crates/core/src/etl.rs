@@ -1,0 +1,341 @@
+//! Visual ETL: patch generators, transformers, pipelines (§4.1).
+//!
+//! The ETL layer turns raw frames into patch collections. A [`Generator`]
+//! maps one source image to a set of patches (object detection, whole-image,
+//! tiling); a [`Transformer`] maps patch to patch (featurization,
+//! compression). A [`Pipeline`] composes one generator with any number of
+//! transformers, validates the stage schemas before running (§4.2), and
+//! maintains lineage automatically.
+
+use deeplens_codec::Image;
+
+use crate::catalog::Catalog;
+use crate::patch::{ImgRef, Patch, PatchData, PatchId};
+use crate::types::PatchSchema;
+use crate::Result;
+
+/// Turns a source image into patches.
+pub trait Generator {
+    /// Human-readable stage name (for plans and error messages).
+    fn name(&self) -> &str;
+
+    /// Schema of the patches this generator emits.
+    fn output_schema(&self) -> PatchSchema;
+
+    /// Generate patches for one frame. `alloc` hands out fresh patch ids.
+    fn generate(
+        &mut self,
+        img_ref: &ImgRef,
+        img: &Image,
+        alloc: &mut dyn FnMut() -> PatchId,
+    ) -> Vec<Patch>;
+}
+
+/// Maps patches to patches (featurize, compress, annotate).
+pub trait Transformer {
+    /// Human-readable stage name.
+    fn name(&self) -> &str;
+
+    /// Schema the transformer requires from its input.
+    fn input_schema(&self) -> PatchSchema;
+
+    /// Schema of its output.
+    fn output_schema(&self) -> PatchSchema;
+
+    /// Transform one patch. `alloc` hands out fresh patch ids; the
+    /// implementation must derive the output from the input so lineage is
+    /// preserved (use [`Patch::derive`]).
+    fn transform(&mut self, patch: &Patch, alloc: &mut dyn FnMut() -> PatchId) -> Patch;
+}
+
+/// The identity generator: each frame becomes one whole-image patch
+/// (the paper's "whole-image patches" generator).
+#[derive(Debug, Default)]
+pub struct WholeImageGenerator;
+
+impl Generator for WholeImageGenerator {
+    fn name(&self) -> &str {
+        "whole-image"
+    }
+
+    fn output_schema(&self) -> PatchSchema {
+        PatchSchema::pixels().with_keys(["frameno"])
+    }
+
+    fn generate(
+        &mut self,
+        img_ref: &ImgRef,
+        img: &Image,
+        alloc: &mut dyn FnMut() -> PatchId,
+    ) -> Vec<Patch> {
+        vec![Patch::pixels(alloc(), img_ref.clone(), img.clone())
+            .with_meta("frameno", img_ref.frame_no as i64)]
+    }
+}
+
+/// A tiling generator: fixed-size grid patches (classical segmentation).
+#[derive(Debug)]
+pub struct TileGenerator {
+    /// Tile edge length in pixels.
+    pub tile: u32,
+}
+
+impl Generator for TileGenerator {
+    fn name(&self) -> &str {
+        "tile"
+    }
+
+    fn output_schema(&self) -> PatchSchema {
+        PatchSchema::pixels()
+            .with_resolution(self.tile, self.tile)
+            .with_keys(["frameno", "x", "y", "w", "h"])
+    }
+
+    fn generate(
+        &mut self,
+        img_ref: &ImgRef,
+        img: &Image,
+        alloc: &mut dyn FnMut() -> PatchId,
+    ) -> Vec<Patch> {
+        let mut out = Vec::new();
+        let t = self.tile;
+        for ty in (0..img.height()).step_by(t as usize) {
+            for tx in (0..img.width()).step_by(t as usize) {
+                let crop = img.crop(tx as i64, ty as i64, t, t);
+                if crop.width() != t || crop.height() != t {
+                    continue; // drop ragged border tiles to keep the schema exact
+                }
+                out.push(
+                    Patch::pixels(alloc(), img_ref.clone(), crop)
+                        .with_meta("frameno", img_ref.frame_no as i64)
+                        .with_meta("x", tx as i64)
+                        .with_meta("y", ty as i64)
+                        .with_meta("w", t as i64)
+                        .with_meta("h", t as i64),
+                );
+            }
+        }
+        out
+    }
+}
+
+/// A composed ETL pipeline: one generator, then transformers in order.
+pub struct Pipeline {
+    generator: Box<dyn Generator>,
+    transformers: Vec<Box<dyn Transformer>>,
+}
+
+impl Pipeline {
+    /// Start a pipeline from a generator.
+    pub fn new(generator: Box<dyn Generator>) -> Self {
+        Pipeline { generator, transformers: Vec::new() }
+    }
+
+    /// Append a transformer stage.
+    pub fn then(mut self, t: Box<dyn Transformer>) -> Self {
+        self.transformers.push(t);
+        self
+    }
+
+    /// Validate stage-to-stage schema compatibility (§4.2) without running.
+    pub fn validate(&self) -> Result<PatchSchema> {
+        let mut schema = self.generator.output_schema();
+        for t in &self.transformers {
+            schema.validate_into(&t.input_schema())?;
+            // Output carries forward the accumulated metadata guarantees.
+            let mut out = t.output_schema();
+            for k in &schema.meta_keys {
+                out.meta_keys.insert(k.clone());
+            }
+            if out.label_domain.is_none() {
+                out.label_domain = schema.label_domain.clone();
+            }
+            schema = out;
+        }
+        Ok(schema)
+    }
+
+    /// Run the pipeline over `(frame_no, image)` pairs from `source`,
+    /// materializing the result into `catalog` under `output_name`.
+    ///
+    /// Returns the number of patches materialized.
+    pub fn run<'a>(
+        &mut self,
+        frames: impl Iterator<Item = (u64, &'a Image)>,
+        source: &str,
+        catalog: &mut Catalog,
+        output_name: &str,
+    ) -> Result<usize> {
+        self.validate()?;
+        let mut patches = Vec::new();
+        for (frame_no, img) in frames {
+            let img_ref = ImgRef::frame(source, frame_no);
+            let mut alloc = || catalog.next_patch_id();
+            let mut generated = self.generator.generate(&img_ref, img, &mut alloc);
+            for t in self.transformers.iter_mut() {
+                // Intermediate patches are not materialized, but their
+                // lineage records must exist so downstream backtraces can
+                // walk through them to the source frames (§5.1).
+                catalog.lineage.record_all(generated.iter());
+                generated = generated
+                    .iter()
+                    .map(|p| {
+                        let mut alloc = || catalog.next_patch_id();
+                        t.transform(p, &mut alloc)
+                    })
+                    .collect();
+            }
+            patches.extend(generated);
+        }
+        let n = patches.len();
+        catalog.materialize(output_name, patches);
+        Ok(n)
+    }
+}
+
+impl std::fmt::Debug for Pipeline {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Pipeline({}", self.generator.name())?;
+        for t in &self.transformers {
+            write!(f, " -> {}", t.name())?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// A transformer that replaces pixel payloads with feature vectors computed
+/// by a caller-supplied function (color histograms, embeddings, ...).
+pub struct FeaturizeTransformer {
+    /// Stage name.
+    pub label: String,
+    /// Output feature dimension.
+    pub dim: usize,
+    /// The featurization function.
+    pub f: Box<dyn FnMut(&Image) -> Vec<f32>>,
+}
+
+impl Transformer for FeaturizeTransformer {
+    fn name(&self) -> &str {
+        &self.label
+    }
+
+    fn input_schema(&self) -> PatchSchema {
+        PatchSchema::pixels()
+    }
+
+    fn output_schema(&self) -> PatchSchema {
+        PatchSchema::features(self.dim)
+    }
+
+    fn transform(&mut self, patch: &Patch, alloc: &mut dyn FnMut() -> PatchId) -> Patch {
+        let features = match patch.data.pixels() {
+            Some(img) => (self.f)(img),
+            None => vec![0.0; self.dim],
+        };
+        debug_assert_eq!(features.len(), self.dim, "featurizer must honor its declared dim");
+        patch.derive(alloc(), PatchData::Features(features))
+    }
+}
+
+impl std::fmt::Debug for FeaturizeTransformer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "FeaturizeTransformer({}, dim={})", self.label, self.dim)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn frames(n: u64) -> Vec<Image> {
+        (0..n).map(|t| Image::solid(32, 32, [t as u8 * 20, 100, 50])).collect()
+    }
+
+    #[test]
+    fn whole_image_pipeline() {
+        let imgs = frames(4);
+        let mut catalog = Catalog::new();
+        let mut pipe = Pipeline::new(Box::new(WholeImageGenerator));
+        let n = pipe
+            .run(
+                imgs.iter().enumerate().map(|(i, f)| (i as u64, f)),
+                "vid",
+                &mut catalog,
+                "frames",
+            )
+            .unwrap();
+        assert_eq!(n, 4);
+        let col = catalog.collection("frames").unwrap();
+        assert_eq!(col.patches[2].get_int("frameno"), Some(2));
+        assert!(col.patches[2].data.pixels().is_some());
+    }
+
+    #[test]
+    fn tile_generator_counts() {
+        let imgs = frames(1);
+        let mut catalog = Catalog::new();
+        let mut pipe = Pipeline::new(Box::new(TileGenerator { tile: 16 }));
+        let n = pipe
+            .run(imgs.iter().map(|f| (0u64, f)), "vid", &mut catalog, "tiles")
+            .unwrap();
+        assert_eq!(n, 4, "32x32 tiles into 16x16 quarters");
+        let col = catalog.collection("tiles").unwrap();
+        assert_eq!(col.patches[3].bbox(), Some((16, 16, 16, 16)));
+    }
+
+    #[test]
+    fn featurize_composes_and_tracks_lineage() {
+        let imgs = frames(2);
+        let mut catalog = Catalog::new();
+        let mut pipe = Pipeline::new(Box::new(WholeImageGenerator)).then(Box::new(
+            FeaturizeTransformer {
+                label: "mean-color".into(),
+                dim: 3,
+                f: Box::new(|img| img.mean_color().to_vec()),
+            },
+        ));
+        pipe.run(
+            imgs.iter().enumerate().map(|(i, f)| (i as u64, f)),
+            "vid",
+            &mut catalog,
+            "feats",
+        )
+        .unwrap();
+        let col = catalog.collection("feats").unwrap();
+        assert_eq!(col.len(), 2);
+        let p = &col.patches[0];
+        assert_eq!(p.data.features().map(<[f32]>::len), Some(3));
+        assert_eq!(p.parents.len(), 1, "derived patch records its parent");
+        assert_eq!(p.get_int("frameno"), Some(0), "metadata carried through");
+    }
+
+    #[test]
+    fn validate_catches_kind_mismatch() {
+        // Two featurizers in a row: the second expects pixels, gets features.
+        let pipe = Pipeline::new(Box::new(WholeImageGenerator))
+            .then(Box::new(FeaturizeTransformer {
+                label: "f1".into(),
+                dim: 3,
+                f: Box::new(|img| img.mean_color().to_vec()),
+            }))
+            .then(Box::new(FeaturizeTransformer {
+                label: "f2".into(),
+                dim: 3,
+                f: Box::new(|img| img.mean_color().to_vec()),
+            }));
+        let err = pipe.validate().unwrap_err();
+        assert!(err.to_string().contains("Pixels"), "got: {err}");
+    }
+
+    #[test]
+    fn pipeline_debug_format() {
+        let pipe = Pipeline::new(Box::new(WholeImageGenerator)).then(Box::new(
+            FeaturizeTransformer {
+                label: "hist".into(),
+                dim: 4,
+                f: Box::new(|_| vec![0.0; 4]),
+            },
+        ));
+        assert_eq!(format!("{pipe:?}"), "Pipeline(whole-image -> hist)");
+    }
+}

@@ -1,0 +1,77 @@
+//! # deeplens-core
+//!
+//! The DeepLens visual data management system (CIDR 2019) — core library.
+//!
+//! DeepLens casts visual analytics as relational queries over unordered
+//! collections of **patches**: featurized sub-images with a key-value
+//! metadata dictionary and a lineage chain back to the frames that produced
+//! them. Every operator is closed over patch collections ("collection of
+//! patches in, collection of patches out", §2.2), which separates the
+//! logical query from physical design decisions — video layout, device
+//! placement, and single-/multi-dimensional indexing.
+//!
+//! Module map (paper section in parentheses):
+//!
+//! * [`patch`] — the `Patch(ImgRef, Data, MetaData)` abstract data type (§2.2).
+//! * [`value`] — typed metadata values with order-preserving key encodings.
+//! * [`types`] — the pipeline type system: resolutions, feature dimensions,
+//!   closed label worlds, and filter validation (§4.2).
+//! * [`lineage`] — tuple-level lineage chains and the lineage index that
+//!   accelerates backtracing queries (§5.1).
+//! * [`etl`] — patch generators, transformers and pipelines (§4.1).
+//! * [`ops`] — dataflow query operators: select, project, aggregate,
+//!   nested-loop join, on-the-fly Ball-Tree similarity join, and
+//!   similarity-based deduplication (§5).
+//! * [`catalog`] — materialized patch collections and their secondary
+//!   indexes (hash, sorted, Ball-Tree, R-Tree, lineage) (§3.2).
+//! * [`optimizer`] — the cost model (non-linear join costs, §7.4.1), device
+//!   placement (§7.4.2), and accuracy-aware plan ordering (§7.4.3).
+//! * [`session`] — a facade tying catalog, devices and ETL together.
+//!
+//! ```
+//! use deeplens_core::prelude::*;
+//!
+//! // Build a tiny collection of feature patches and run a similarity join.
+//! let mut catalog = Catalog::new();
+//! let patches: Vec<Patch> = (0..10)
+//!     .map(|i| {
+//!         Patch::features(
+//!             catalog.next_patch_id(),
+//!             ImgRef::frame("demo", i),
+//!             vec![i as f32, 0.0],
+//!         )
+//!     })
+//!     .collect();
+//! let pairs = ops::similarity_join_balltree(&patches, &patches, 1.5);
+//! assert!(pairs.len() > 10); // each point matches itself and its neighbours
+//! ```
+
+pub mod catalog;
+pub mod error;
+pub mod etl;
+pub mod lineage;
+pub mod ops;
+pub mod optimizer;
+pub mod patch;
+pub mod session;
+pub mod types;
+pub mod value;
+
+pub use error::DlError;
+
+/// Result alias for core operations.
+pub type Result<T> = std::result::Result<T, DlError>;
+
+/// Common imports for DeepLens applications.
+pub mod prelude {
+    pub use crate::catalog::{Catalog, PatchCollection, SecondaryIndex};
+    pub use crate::error::DlError;
+    pub use crate::etl::{Generator, Pipeline, Transformer};
+    pub use crate::lineage::LineageStore;
+    pub use crate::ops;
+    pub use crate::optimizer::{AccuracyProfile, CostModel, DevicePlanner};
+    pub use crate::patch::{ImgRef, Patch, PatchData, PatchId};
+    pub use crate::session::Session;
+    pub use crate::types::{DataKind, PatchSchema};
+    pub use crate::value::Value;
+}

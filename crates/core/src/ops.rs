@@ -1,0 +1,410 @@
+//! Dataflow query operators (§5).
+//!
+//! Operators implement the paper's closed algebra: collections of patches
+//! in, collections of patches (or index pairs into them) out. Single-pass
+//! operators are iterator adapters; joins and deduplication are provided in
+//! three physical variants each —
+//!
+//! * **nested loop** — the generic θ-join baseline,
+//! * **on-the-fly Ball-Tree** — builds the index over the *smaller*
+//!   relation and probes with the larger (§5, "On-The-Fly Index Similarity
+//!   Join"),
+//! * **device-offloaded** — all-pairs matching through a
+//!   [`deeplens_exec::Executor`] (the vectorized/GPU variants of Fig. 8).
+
+use std::collections::HashMap;
+
+use deeplens_exec::{Executor, Matrix};
+use deeplens_index::BallTree;
+
+use crate::patch::Patch;
+use crate::value::Value;
+use crate::{DlError, Result};
+
+// --------------------------------------------------------------------------
+// Single-pass operators
+// --------------------------------------------------------------------------
+
+/// Filter: keep patches satisfying `pred` (lazy).
+pub fn select<'a, I: Iterator<Item = Patch> + 'a>(
+    input: I,
+    pred: impl Fn(&Patch) -> bool + 'a,
+) -> impl Iterator<Item = Patch> + 'a {
+    input.filter(move |p| pred(p))
+}
+
+/// Filter on `label == value` (the paper's canonical predicate).
+pub fn select_label<'a, I: Iterator<Item = Patch> + 'a>(
+    input: I,
+    label: &'a str,
+) -> impl Iterator<Item = Patch> + 'a {
+    select(input, move |p| p.get_str("label") == Some(label))
+}
+
+/// Map: transform each patch (lazy).
+pub fn map<'a, I: Iterator<Item = Patch> + 'a>(
+    input: I,
+    f: impl FnMut(Patch) -> Patch + 'a,
+) -> impl Iterator<Item = Patch> + 'a {
+    input.map(f)
+}
+
+/// Limit: at most `n` patches (lazy).
+pub fn limit<'a, I: Iterator<Item = Patch> + 'a>(
+    input: I,
+    n: usize,
+) -> impl Iterator<Item = Patch> + 'a {
+    input.take(n)
+}
+
+// --------------------------------------------------------------------------
+// Aggregates
+// --------------------------------------------------------------------------
+
+/// Count of patches per integer metadata key value (e.g. cars per frame).
+pub fn count_group_by_int(patches: &[Patch], key: &str) -> HashMap<i64, usize> {
+    let mut out = HashMap::new();
+    for p in patches {
+        if let Some(v) = p.get_int(key) {
+            *out.entry(v).or_insert(0) += 1;
+        }
+    }
+    out
+}
+
+/// Number of distinct values a metadata key takes.
+pub fn count_distinct_values(patches: &[Patch], key: &str) -> usize {
+    let mut seen: std::collections::HashSet<&Value> = std::collections::HashSet::new();
+    for p in patches {
+        if let Some(v) = p.get(key) {
+            seen.insert(v);
+        }
+    }
+    seen.len()
+}
+
+// --------------------------------------------------------------------------
+// Feature extraction helper
+// --------------------------------------------------------------------------
+
+/// Stack the feature vectors of a patch collection into a matrix.
+///
+/// Errors if any patch is not featurized or dimensions disagree.
+pub fn feature_matrix(patches: &[Patch]) -> Result<Matrix> {
+    let dim = patches
+        .first()
+        .and_then(|p| p.data.features())
+        .map(|f| f.len())
+        .unwrap_or(0);
+    let mut flat = Vec::with_capacity(patches.len() * dim);
+    for (i, p) in patches.iter().enumerate() {
+        let f = p.data.features().ok_or_else(|| {
+            DlError::SchemaMismatch(format!("patch {i} has no features for similarity join"))
+        })?;
+        if f.len() != dim {
+            return Err(DlError::SchemaMismatch(format!(
+                "patch {i} has dimension {} but expected {dim}",
+                f.len()
+            )));
+        }
+        flat.extend_from_slice(f);
+    }
+    Ok(Matrix::from_vec(patches.len(), dim, flat))
+}
+
+// --------------------------------------------------------------------------
+// Joins
+// --------------------------------------------------------------------------
+
+/// Generic nested-loop θ-join: all index pairs satisfying `theta`.
+pub fn nested_loop_join(
+    left: &[Patch],
+    right: &[Patch],
+    theta: impl Fn(&Patch, &Patch) -> bool,
+) -> Vec<(u32, u32)> {
+    let mut out = Vec::new();
+    for (i, l) in left.iter().enumerate() {
+        for (j, r) in right.iter().enumerate() {
+            if theta(l, r) {
+                out.push((i as u32, j as u32));
+            }
+        }
+    }
+    out
+}
+
+/// Similarity join by brute force over feature vectors: pairs within `tau`.
+pub fn similarity_join_nested(left: &[Patch], right: &[Patch], tau: f32) -> Vec<(u32, u32)> {
+    let tau_sq = tau * tau;
+    let mut out = Vec::new();
+    for (i, l) in left.iter().enumerate() {
+        let lf = match l.data.features() {
+            Some(f) => f,
+            None => continue,
+        };
+        for (j, r) in right.iter().enumerate() {
+            let rf = match r.data.features() {
+                Some(f) => f,
+                None => continue,
+            };
+            if deeplens_index::dist::sq_euclidean(lf, rf) <= tau_sq {
+                out.push((i as u32, j as u32));
+            }
+        }
+    }
+    out
+}
+
+/// On-the-fly Ball-Tree similarity join: index the smaller relation, probe
+/// with the larger (§5). Returns `(left_idx, right_idx)` pairs within `tau`.
+pub fn similarity_join_balltree(left: &[Patch], right: &[Patch], tau: f32) -> Vec<(u32, u32)> {
+    if left.is_empty() || right.is_empty() {
+        return vec![];
+    }
+    let index_left = left.len() <= right.len();
+    let (indexed, probes) = if index_left { (left, right) } else { (right, left) };
+    let vectors: Vec<Vec<f32>> = indexed
+        .iter()
+        .filter_map(|p| p.data.features().map(<[f32]>::to_vec))
+        .collect();
+    if vectors.len() != indexed.len() {
+        // Some patches lack features; fall back to the nested variant which
+        // skips them pair-wise.
+        return similarity_join_nested(left, right, tau);
+    }
+    let tree = BallTree::from_vectors(&vectors);
+    let mut out = Vec::new();
+    for (j, p) in probes.iter().enumerate() {
+        let Some(f) = p.data.features() else { continue };
+        for hit in tree.range_query(f, tau) {
+            if index_left {
+                out.push((hit, j as u32));
+            } else {
+                out.push((j as u32, hit));
+            }
+        }
+    }
+    out.sort_unstable();
+    out
+}
+
+/// Device-offloaded all-pairs similarity join (the Fig. 8 query-time
+/// kernel): runs on whatever device `exec` wraps.
+pub fn similarity_join_executor(
+    left: &[Patch],
+    right: &[Patch],
+    tau: f32,
+    exec: &Executor,
+) -> Result<Vec<(u32, u32)>> {
+    if left.is_empty() || right.is_empty() {
+        return Ok(vec![]);
+    }
+    let a = feature_matrix(left)?;
+    let b = feature_matrix(right)?;
+    Ok(exec.threshold_join(&a, &b, tau))
+}
+
+// --------------------------------------------------------------------------
+// Similarity deduplication (distinct-entity counting, q4)
+// --------------------------------------------------------------------------
+
+/// Union-find over patch indices.
+struct UnionFind {
+    parent: Vec<u32>,
+}
+
+impl UnionFind {
+    fn new(n: usize) -> Self {
+        UnionFind { parent: (0..n as u32).collect() }
+    }
+
+    fn find(&mut self, x: u32) -> u32 {
+        let mut root = x;
+        while self.parent[root as usize] != root {
+            root = self.parent[root as usize];
+        }
+        // Path compression.
+        let mut cur = x;
+        while self.parent[cur as usize] != root {
+            let next = self.parent[cur as usize];
+            self.parent[cur as usize] = root;
+            cur = next;
+        }
+        root
+    }
+
+    fn union(&mut self, a: u32, b: u32) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra != rb {
+            self.parent[rb as usize] = ra;
+        }
+    }
+}
+
+/// Group patches into similarity clusters from precomputed match pairs.
+/// Returns one sorted index list per cluster (singletons included),
+/// clusters ordered by their smallest member.
+pub fn cluster_from_pairs(n: usize, pairs: &[(u32, u32)]) -> Vec<Vec<u32>> {
+    let mut uf = UnionFind::new(n);
+    for &(a, b) in pairs {
+        uf.union(a, b);
+    }
+    let mut groups: HashMap<u32, Vec<u32>> = HashMap::new();
+    for i in 0..n as u32 {
+        groups.entry(uf.find(i)).or_default().push(i);
+    }
+    let mut out: Vec<Vec<u32>> = groups.into_values().collect();
+    for g in out.iter_mut() {
+        g.sort_unstable();
+    }
+    out.sort_by_key(|g| g[0]);
+    out
+}
+
+/// Deduplicate by similarity with the on-the-fly Ball-Tree self-join:
+/// clusters of patches within `tau` of each other (transitively).
+pub fn dedup_similarity(patches: &[Patch], tau: f32) -> Vec<Vec<u32>> {
+    let pairs = similarity_join_balltree(patches, patches, tau);
+    cluster_from_pairs(patches.len(), &pairs)
+}
+
+/// Deduplicate by brute force (the unindexed baseline).
+pub fn dedup_bruteforce(patches: &[Patch], tau: f32) -> Vec<Vec<u32>> {
+    let pairs = similarity_join_nested(patches, patches, tau);
+    cluster_from_pairs(patches.len(), &pairs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::patch::{ImgRef, PatchId};
+
+    fn feat_patch(id: u64, f: Vec<f32>) -> Patch {
+        Patch::features(PatchId(id), ImgRef::frame("t", id), f)
+    }
+
+    fn labeled(id: u64, label: &str, frame: i64) -> Patch {
+        Patch::empty(PatchId(id), ImgRef::frame("t", id))
+            .with_meta("label", label)
+            .with_meta("frameno", frame)
+    }
+
+    #[test]
+    fn select_and_label_filter() {
+        let patches = vec![labeled(1, "car", 0), labeled(2, "person", 0), labeled(3, "car", 1)];
+        let cars: Vec<Patch> = select_label(patches.clone().into_iter(), "car").collect();
+        assert_eq!(cars.len(), 2);
+        let hi: Vec<Patch> =
+            select(patches.into_iter(), |p| p.get_int("frameno") == Some(1)).collect();
+        assert_eq!(hi.len(), 1);
+    }
+
+    #[test]
+    fn limit_and_map() {
+        let patches: Vec<Patch> = (0..10).map(|i| labeled(i, "car", i as i64)).collect();
+        let out: Vec<Patch> = limit(
+            map(patches.into_iter(), |p| p.clone().with_meta("seen", true)),
+            3,
+        )
+        .collect();
+        assert_eq!(out.len(), 3);
+        assert_eq!(out[0].get("seen"), Some(&Value::Bool(true)));
+    }
+
+    #[test]
+    fn aggregates() {
+        let patches = vec![
+            labeled(1, "car", 0),
+            labeled(2, "car", 0),
+            labeled(3, "car", 1),
+            labeled(4, "person", 2),
+        ];
+        let per_frame = count_group_by_int(&patches, "frameno");
+        assert_eq!(per_frame[&0], 2);
+        assert_eq!(per_frame[&1], 1);
+        assert_eq!(count_distinct_values(&patches, "label"), 2);
+        assert_eq!(count_distinct_values(&patches, "missing"), 0);
+    }
+
+    #[test]
+    fn join_variants_agree() {
+        let left: Vec<Patch> =
+            (0..30).map(|i| feat_patch(i, vec![i as f32, (i % 5) as f32, 0.0])).collect();
+        let right: Vec<Patch> =
+            (0..40).map(|i| feat_patch(100 + i, vec![i as f32 * 0.8, 1.0, 0.5])).collect();
+        let tau = 2.0;
+        let mut nested = similarity_join_nested(&left, &right, tau);
+        nested.sort_unstable();
+        let ball = similarity_join_balltree(&left, &right, tau);
+        assert_eq!(nested, ball);
+        let exec = similarity_join_executor(
+            &left,
+            &right,
+            tau,
+            &Executor::new(deeplens_exec::Device::Avx),
+        )
+        .unwrap();
+        let mut exec = exec;
+        exec.sort_unstable();
+        assert_eq!(nested, exec);
+    }
+
+    #[test]
+    fn balltree_join_indexes_smaller_side_transparently() {
+        let small: Vec<Patch> = (0..5).map(|i| feat_patch(i, vec![i as f32, 0.0])).collect();
+        let large: Vec<Patch> =
+            (0..200).map(|i| feat_patch(10 + i, vec![(i % 10) as f32, 0.0])).collect();
+        let a = similarity_join_balltree(&small, &large, 0.5);
+        let mut b = similarity_join_nested(&small, &large, 0.5);
+        b.sort_unstable();
+        assert_eq!(a, b);
+        // And flipped.
+        let c = similarity_join_balltree(&large, &small, 0.5);
+        let mut d = similarity_join_nested(&large, &small, 0.5);
+        d.sort_unstable();
+        assert_eq!(c, d);
+    }
+
+    #[test]
+    fn theta_join_on_metadata() {
+        let left = vec![labeled(1, "car", 3), labeled(2, "car", 9)];
+        let right = vec![labeled(3, "person", 3), labeled(4, "person", 5)];
+        let pairs = nested_loop_join(&left, &right, |a, b| {
+            a.get_int("frameno") == b.get_int("frameno")
+        });
+        assert_eq!(pairs, vec![(0, 0)]);
+    }
+
+    #[test]
+    fn dedup_clusters_transitively() {
+        // 0-1 close, 1-2 close (0-2 not directly) => one cluster of 3.
+        let patches = vec![
+            feat_patch(0, vec![0.0, 0.0]),
+            feat_patch(1, vec![0.9, 0.0]),
+            feat_patch(2, vec![1.8, 0.0]),
+            feat_patch(3, vec![50.0, 0.0]),
+        ];
+        let clusters = dedup_similarity(&patches, 1.0);
+        assert_eq!(clusters.len(), 2);
+        assert_eq!(clusters[0], vec![0, 1, 2]);
+        assert_eq!(clusters[1], vec![3]);
+        assert_eq!(dedup_bruteforce(&patches, 1.0), clusters);
+    }
+
+    #[test]
+    fn feature_matrix_validates() {
+        let ok = vec![feat_patch(1, vec![1.0, 2.0]), feat_patch(2, vec![3.0, 4.0])];
+        assert_eq!(feature_matrix(&ok).unwrap().rows(), 2);
+        let bad = vec![feat_patch(1, vec![1.0, 2.0]), labeled(2, "car", 0)];
+        assert!(matches!(feature_matrix(&bad), Err(DlError::SchemaMismatch(_))));
+        let mismatched = vec![feat_patch(1, vec![1.0]), feat_patch(2, vec![1.0, 2.0])];
+        assert!(feature_matrix(&mismatched).is_err());
+    }
+
+    #[test]
+    fn empty_join_inputs() {
+        assert!(similarity_join_balltree(&[], &[], 1.0).is_empty());
+        let one = vec![feat_patch(1, vec![0.0])];
+        assert!(similarity_join_balltree(&one, &[], 1.0).is_empty());
+    }
+}

@@ -1,0 +1,87 @@
+//! Session facade: catalog + device + working directory.
+//!
+//! A [`Session`] is the entry point applications use: it owns the catalog,
+//! picks the execution device, and manages the on-disk working directory for
+//! materialized storage (Frame/Encoded/Segmented files live under it).
+
+use std::path::{Path, PathBuf};
+
+use deeplens_exec::{Device, Executor};
+
+use crate::catalog::Catalog;
+use crate::Result;
+
+/// A DeepLens session.
+#[derive(Debug)]
+pub struct Session {
+    /// The materialization catalog.
+    pub catalog: Catalog,
+    device: Device,
+    dir: PathBuf,
+}
+
+impl Session {
+    /// Open a session with its working directory at `dir` (created if
+    /// missing), executing on `device`.
+    pub fn open(dir: impl AsRef<Path>, device: Device) -> Result<Self> {
+        std::fs::create_dir_all(dir.as_ref()).map_err(deeplens_storage::StorageError::from)?;
+        Ok(Session { catalog: Catalog::new(), device, dir: dir.as_ref().to_path_buf() })
+    }
+
+    /// An in-memory-leaning session rooted in a temp directory.
+    pub fn ephemeral() -> Result<Self> {
+        let dir = std::env::temp_dir()
+            .join("deeplens-session")
+            .join(format!("s{}", std::process::id()));
+        Self::open(dir, Device::Avx)
+    }
+
+    /// The session's execution device.
+    pub fn device(&self) -> Device {
+        self.device
+    }
+
+    /// Switch the execution device (the Fig. 8 knob).
+    pub fn set_device(&mut self, device: Device) {
+        self.device = device;
+    }
+
+    /// An executor bound to the session's device.
+    pub fn executor(&self) -> Executor {
+        Executor::new(self.device)
+    }
+
+    /// The working directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Path for a named storage file inside the working directory.
+    pub fn storage_path(&self, name: &str) -> PathBuf {
+        self.dir.join(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::patch::{ImgRef, Patch};
+
+    #[test]
+    fn session_lifecycle() {
+        let mut s = Session::ephemeral().unwrap();
+        assert_eq!(s.device(), Device::Avx);
+        s.set_device(Device::Cpu);
+        assert_eq!(s.executor().device(), Device::Cpu);
+        assert!(s.dir().exists());
+        assert!(s.storage_path("traffic.dlb").to_string_lossy().contains("traffic.dlb"));
+    }
+
+    #[test]
+    fn catalog_reachable_through_session() {
+        let mut s = Session::ephemeral().unwrap();
+        let id = s.catalog.next_patch_id();
+        s.catalog.materialize("x", vec![Patch::empty(id, ImgRef::frame("v", 0))]);
+        assert_eq!(s.catalog.collection("x").unwrap().len(), 1);
+    }
+}

@@ -1,0 +1,124 @@
+//! Device descriptors and the offload cost model.
+
+use std::time::Duration;
+
+/// An execution backend for DeepLens kernels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Device {
+    /// Vanilla scalar CPU implementation (the paper's "CPU").
+    Cpu,
+    /// Vectorized single-core implementation (the paper's "AVX").
+    Avx,
+    /// Simulated GPU: data-parallel workers plus launch/transfer overhead
+    /// (the paper's "GPU").
+    GpuSim,
+}
+
+impl Device {
+    /// All devices, in the order the paper's Fig. 8 reports them.
+    pub fn all() -> [Device; 3] {
+        [Device::Cpu, Device::Avx, Device::GpuSim]
+    }
+
+    /// Label used by the benchmark harnesses.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Device::Cpu => "CPU",
+            Device::Avx => "AVX",
+            Device::GpuSim => "GPU",
+        }
+    }
+}
+
+/// Overhead model of the simulated GPU.
+///
+/// Every kernel launch pays [`GpuProfile::launch_overhead`] once, plus
+/// transfer time for all input/output bytes at
+/// [`GpuProfile::bandwidth_gib_s`]. Compute itself runs on
+/// [`GpuProfile::workers`] threads. These three parameters reproduce the
+/// crossover in the paper's Fig. 8: small workloads lose to the overhead,
+/// large workloads amortize it.
+#[derive(Debug, Clone, Copy)]
+pub struct GpuProfile {
+    /// Fixed cost per kernel launch.
+    pub launch_overhead: Duration,
+    /// Host↔device transfer bandwidth in GiB/s.
+    pub bandwidth_gib_s: f64,
+    /// Data-parallel worker threads ("SM occupancy").
+    pub workers: usize,
+}
+
+impl Default for GpuProfile {
+    fn default() -> Self {
+        GpuProfile {
+            launch_overhead: Duration::from_micros(250),
+            bandwidth_gib_s: 8.0,
+            workers: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4),
+        }
+    }
+}
+
+impl GpuProfile {
+    /// Time to move `bytes` across the simulated PCIe link.
+    pub fn transfer_time(&self, bytes: usize) -> Duration {
+        let secs = bytes as f64 / (self.bandwidth_gib_s * 1024.0 * 1024.0 * 1024.0);
+        Duration::from_secs_f64(secs)
+    }
+
+    /// Total offload overhead for a kernel moving `bytes` in + out.
+    pub fn offload_overhead(&self, bytes: usize) -> Duration {
+        self.launch_overhead + self.transfer_time(bytes)
+    }
+
+    /// Busy-wait for the overhead duration. Sleeping is too coarse for
+    /// sub-millisecond overheads on most schedulers, so we spin — the point
+    /// is that wall-clock measurements include the cost.
+    pub fn pay_overhead(&self, bytes: usize) {
+        let d = self.offload_overhead(bytes);
+        let start = std::time::Instant::now();
+        while start.elapsed() < d {
+            std::hint::spin_loop();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_and_order() {
+        assert_eq!(Device::all().map(|d| d.label()), ["CPU", "AVX", "GPU"]);
+    }
+
+    #[test]
+    fn transfer_time_scales_linearly() {
+        let p = GpuProfile { bandwidth_gib_s: 1.0, ..Default::default() };
+        let t1 = p.transfer_time(1024 * 1024 * 1024);
+        assert!((t1.as_secs_f64() - 1.0).abs() < 1e-9);
+        let t2 = p.transfer_time(2 * 1024 * 1024 * 1024);
+        assert!((t2.as_secs_f64() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn overhead_includes_launch() {
+        let p = GpuProfile {
+            launch_overhead: Duration::from_micros(100),
+            bandwidth_gib_s: 8.0,
+            workers: 2,
+        };
+        assert!(p.offload_overhead(0) >= Duration::from_micros(100));
+    }
+
+    #[test]
+    fn pay_overhead_takes_wallclock_time() {
+        let p = GpuProfile {
+            launch_overhead: Duration::from_micros(500),
+            bandwidth_gib_s: 8.0,
+            workers: 2,
+        };
+        let start = std::time::Instant::now();
+        p.pay_overhead(0);
+        assert!(start.elapsed() >= Duration::from_micros(500));
+    }
+}

@@ -1,0 +1,203 @@
+//! Device-dispatching executor.
+//!
+//! An [`Executor`] binds a [`Device`] to concrete kernel implementations and
+//! charges the simulated GPU its offload overhead on every kernel call —
+//! which is exactly what makes small query-time workloads slower on the GPU
+//! (paper §7.4.2) while large ETL workloads win big.
+
+use crate::device::{Device, GpuProfile};
+use crate::kernels;
+use crate::matrix::Matrix;
+
+/// Executes DeepLens compute kernels on a chosen device.
+#[derive(Debug, Clone)]
+pub struct Executor {
+    device: Device,
+    gpu: GpuProfile,
+}
+
+impl Executor {
+    /// Executor for `device` with the default GPU profile.
+    pub fn new(device: Device) -> Self {
+        Executor { device, gpu: GpuProfile::default() }
+    }
+
+    /// Executor with an explicit GPU overhead profile.
+    pub fn with_gpu_profile(device: Device, gpu: GpuProfile) -> Self {
+        Executor { device, gpu }
+    }
+
+    /// The device this executor runs on.
+    pub fn device(&self) -> Device {
+        self.device
+    }
+
+    /// All-pairs Euclidean threshold join between two feature matrices:
+    /// returns `(row_in_a, row_in_b)` for every pair within `tau`.
+    pub fn threshold_join(&self, a: &Matrix, b: &Matrix, tau: f32) -> Vec<(u32, u32)> {
+        match self.device {
+            Device::Cpu => kernels::threshold_join_scalar(a, b, tau),
+            Device::Avx => kernels::threshold_join_vectorized(a, b, tau),
+            Device::GpuSim => {
+                self.gpu.pay_overhead(a.byte_size() + b.byte_size());
+                kernels::threshold_join_parallel(a, b, tau, self.gpu.workers)
+            }
+        }
+    }
+
+    /// The neural-network-inference stand-in: a stack of 3×3 conv + ReLU
+    /// layers over a luma plane. Returns the final activation plane.
+    pub fn conv_stack(&self, plane: &[f32], w: usize, h: usize, layers: usize) -> Vec<f32> {
+        match self.device {
+            Device::Cpu => kernels::conv_stack_scalar(plane, w, h, layers),
+            Device::Avx => kernels::conv_stack_vectorized(plane, w, h, layers),
+            Device::GpuSim => {
+                self.gpu.pay_overhead(plane.len() * 4 * 2);
+                // Row-sharding only pays off when each worker gets a real
+                // band; tiny planes run near-serial (occupancy limit).
+                let workers = self.gpu.workers.min(h / 16).max(1);
+                kernels::conv_stack_parallel(plane, w, h, layers, workers)
+            }
+        }
+    }
+
+    /// Batched inference: one conv stack per plane. The GPU pays a single
+    /// launch + transfer for the whole batch (streaming inference), which is
+    /// why it dominates the ETL phase.
+    pub fn conv_stack_batch(
+        &self,
+        planes: &[(Vec<f32>, usize, usize)],
+        layers: usize,
+    ) -> Vec<Vec<f32>> {
+        match self.device {
+            Device::Cpu => planes
+                .iter()
+                .map(|(p, w, h)| kernels::conv_stack_scalar(p, *w, *h, layers))
+                .collect(),
+            Device::Avx => planes
+                .iter()
+                .map(|(p, w, h)| kernels::conv_stack_vectorized(p, *w, *h, layers))
+                .collect(),
+            Device::GpuSim => {
+                let bytes: usize = planes.iter().map(|(p, _, _)| p.len() * 4 * 2).sum();
+                self.gpu.pay_overhead(bytes);
+                // Batch-level parallelism: each worker takes whole planes.
+                let workers = self.gpu.workers.max(1);
+                let chunk = planes.len().div_ceil(workers).max(1);
+                let mut out: Vec<Vec<Vec<f32>>> = Vec::new();
+                crossbeam::thread::scope(|s| {
+                    let mut handles = Vec::new();
+                    for piece in planes.chunks(chunk) {
+                        handles.push(s.spawn(move |_| {
+                            piece
+                                .iter()
+                                .map(|(p, w, h)| {
+                                    kernels::conv_stack_vectorized(p, *w, *h, layers)
+                                })
+                                .collect::<Vec<_>>()
+                        }));
+                    }
+                    for h in handles {
+                        out.push(h.join().expect("worker panicked"));
+                    }
+                })
+                .expect("thread scope failed");
+                out.into_iter().flatten().collect()
+            }
+        }
+    }
+
+    /// Histogram of `values` into `bins` cells over `[lo, hi)`.
+    pub fn histogram(&self, values: &[f32], bins: usize, lo: f32, hi: f32) -> Vec<u32> {
+        match self.device {
+            Device::Cpu | Device::Avx => kernels::histogram_scalar(values, bins, lo, hi),
+            Device::GpuSim => {
+                self.gpu.pay_overhead(values.len() * 4);
+                kernels::histogram_parallel(values, bins, lo, hi, self.gpu.workers)
+            }
+        }
+    }
+}
+
+impl Default for Executor {
+    fn default() -> Self {
+        Executor::new(Device::Avx)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::{Duration, Instant};
+
+    fn mat(rows: usize, cols: usize, seed: u64) -> Matrix {
+        let mut state = seed;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            (state >> 33) as f32 / (1u64 << 31) as f32 * 10.0
+        };
+        Matrix::from_vec(rows, cols, (0..rows * cols).map(|_| next()).collect())
+    }
+
+    #[test]
+    fn devices_agree_on_results() {
+        let a = mat(40, 12, 5);
+        let b = mat(50, 12, 6);
+        let mut base = Executor::new(Device::Cpu).threshold_join(&a, &b, 8.0);
+        base.sort_unstable();
+        for dev in [Device::Avx, Device::GpuSim] {
+            let mut got = Executor::new(dev).threshold_join(&a, &b, 8.0);
+            got.sort_unstable();
+            assert_eq!(base, got, "device {dev:?} result mismatch");
+        }
+    }
+
+    #[test]
+    fn gpu_pays_overhead_on_tiny_input() {
+        let profile = GpuProfile {
+            launch_overhead: Duration::from_millis(2),
+            bandwidth_gib_s: 8.0,
+            workers: 4,
+        };
+        let a = mat(2, 4, 1);
+        let b = mat(2, 4, 2);
+        let cpu = Executor::new(Device::Cpu);
+        let gpu = Executor::with_gpu_profile(Device::GpuSim, profile);
+
+        let t0 = Instant::now();
+        let _ = cpu.threshold_join(&a, &b, 1.0);
+        let cpu_time = t0.elapsed();
+
+        let t1 = Instant::now();
+        let _ = gpu.threshold_join(&a, &b, 1.0);
+        let gpu_time = t1.elapsed();
+
+        assert!(
+            gpu_time > cpu_time && gpu_time >= Duration::from_millis(2),
+            "tiny workload must be slower on the simulated GPU ({cpu_time:?} vs {gpu_time:?})"
+        );
+    }
+
+    #[test]
+    fn conv_batch_matches_sequential() {
+        let planes: Vec<(Vec<f32>, usize, usize)> = (0..5)
+            .map(|s| ((0..20 * 16).map(|i| ((i * (s + 3)) % 50) as f32).collect(), 20, 16))
+            .collect();
+        let cpu = Executor::new(Device::Cpu).conv_stack_batch(&planes, 2);
+        let gpu = Executor::new(Device::GpuSim).conv_stack_batch(&planes, 2);
+        assert_eq!(cpu.len(), gpu.len());
+        for (c, g) in cpu.iter().zip(&gpu) {
+            for (x, y) in c.iter().zip(g) {
+                assert!((x - y).abs() < 1e-3);
+            }
+        }
+    }
+
+    #[test]
+    fn histogram_device_agnostic() {
+        let values: Vec<f32> = (0..5000).map(|i| (i % 100) as f32).collect();
+        let a = Executor::new(Device::Cpu).histogram(&values, 10, 0.0, 100.0);
+        let b = Executor::new(Device::GpuSim).histogram(&values, 10, 0.0, 100.0);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,445 @@
+//! Compute kernels in scalar, vectorized, and data-parallel form.
+//!
+//! Three implementations of each kernel back the three devices of the
+//! paper's Fig. 8:
+//!
+//! * `*_scalar` — straightforward per-element loops (the "CPU" baseline).
+//! * `*_vectorized` — restructured for SIMD: squared-norm + dot-product
+//!   decomposition, fixed-width lane accumulators the compiler turns into
+//!   vector instructions (the "AVX" variant).
+//! * `*_parallel` — the vectorized kernel sharded over [`crossbeam`] scoped
+//!   threads (the compute half of the simulated GPU).
+
+use crate::matrix::Matrix;
+
+// --------------------------------------------------------------------------
+// Threshold join (image matching): pairs within Euclidean distance tau
+// --------------------------------------------------------------------------
+
+/// Naive scalar all-pairs threshold join.
+pub fn threshold_join_scalar(a: &Matrix, b: &Matrix, tau: f32) -> Vec<(u32, u32)> {
+    assert_eq!(a.cols(), b.cols(), "feature dimensions must match");
+    let tau_sq = tau * tau;
+    let mut out = Vec::new();
+    for i in 0..a.rows() {
+        let ra = a.row(i);
+        for j in 0..b.rows() {
+            let rb = b.row(j);
+            let mut acc = 0f32;
+            for k in 0..ra.len() {
+                let d = ra[k] - rb[k];
+                acc += d * d;
+            }
+            if acc <= tau_sq {
+                out.push((i as u32, j as u32));
+            }
+        }
+    }
+    out
+}
+
+/// Squared L2 norms of every row.
+fn row_norms(m: &Matrix) -> Vec<f32> {
+    (0..m.rows())
+        .map(|i| m.row(i).iter().map(|v| v * v).sum())
+        .collect()
+}
+
+/// 8-lane dot product the compiler autovectorizes.
+#[inline]
+fn dot8(a: &[f32], b: &[f32]) -> f32 {
+    let mut acc = [0f32; 8];
+    let chunks = a.len() / 8;
+    for c in 0..chunks {
+        for l in 0..8 {
+            acc[l] += a[c * 8 + l] * b[c * 8 + l];
+        }
+    }
+    let mut sum: f32 = acc.iter().sum();
+    for k in chunks * 8..a.len() {
+        sum += a[k] * b[k];
+    }
+    sum
+}
+
+/// Vectorized threshold join using `||a-b||² = ||a||² + ||b||² − 2·a·b`.
+pub fn threshold_join_vectorized(a: &Matrix, b: &Matrix, tau: f32) -> Vec<(u32, u32)> {
+    assert_eq!(a.cols(), b.cols(), "feature dimensions must match");
+    let tau_sq = tau * tau;
+    let na = row_norms(a);
+    let nb = row_norms(b);
+    let mut out = Vec::new();
+    for i in 0..a.rows() {
+        let ra = a.row(i);
+        let nai = na[i];
+        for j in 0..b.rows() {
+            let d2 = nai + nb[j] - 2.0 * dot8(ra, b.row(j));
+            if d2 <= tau_sq {
+                out.push((i as u32, j as u32));
+            }
+        }
+    }
+    out
+}
+
+/// Parallel threshold join: rows of `a` sharded across `workers` threads,
+/// each running the vectorized inner kernel.
+pub fn threshold_join_parallel(
+    a: &Matrix,
+    b: &Matrix,
+    tau: f32,
+    workers: usize,
+) -> Vec<(u32, u32)> {
+    assert_eq!(a.cols(), b.cols(), "feature dimensions must match");
+    let workers = workers.max(1);
+    if a.rows() == 0 || b.rows() == 0 {
+        return vec![];
+    }
+    let tau_sq = tau * tau;
+    let nb = row_norms(b);
+    let chunk = a.rows().div_ceil(workers);
+    let mut results: Vec<Vec<(u32, u32)>> = Vec::new();
+    crossbeam::thread::scope(|s| {
+        let mut handles = Vec::new();
+        for w in 0..workers {
+            let lo = w * chunk;
+            let hi = ((w + 1) * chunk).min(a.rows());
+            if lo >= hi {
+                continue;
+            }
+            let nb = &nb;
+            handles.push(s.spawn(move |_| {
+                let mut local = Vec::new();
+                for i in lo..hi {
+                    let ra = a.row(i);
+                    let nai: f32 = ra.iter().map(|v| v * v).sum();
+                    for j in 0..b.rows() {
+                        let d2 = nai + nb[j] - 2.0 * dot8(ra, b.row(j));
+                        if d2 <= tau_sq {
+                            local.push((i as u32, j as u32));
+                        }
+                    }
+                }
+                local
+            }));
+        }
+        for h in handles {
+            results.push(h.join().expect("worker panicked"));
+        }
+    })
+    .expect("thread scope failed");
+    let mut out: Vec<(u32, u32)> = results.into_iter().flatten().collect();
+    out.sort_unstable();
+    out
+}
+
+// --------------------------------------------------------------------------
+// Convolution stack (neural-network-inference stand-in)
+// --------------------------------------------------------------------------
+
+/// 3×3 kernel weights used by the inference stand-in (an edge-ish filter
+/// that keeps values bounded under repeated application with ReLU).
+pub const CONV_KERNEL: [f32; 9] = [
+    0.05, 0.10, 0.05, //
+    0.10, 0.40, 0.10, //
+    0.05, 0.10, 0.05,
+];
+
+#[inline]
+fn conv3x3_at(src: &[f32], w: usize, h: usize, x: usize, y: usize) -> f32 {
+    let mut acc = 0f32;
+    for ky in 0..3usize {
+        let sy = (y + ky).saturating_sub(1).min(h - 1);
+        for kx in 0..3usize {
+            let sx = (x + kx).saturating_sub(1).min(w - 1);
+            acc += CONV_KERNEL[ky * 3 + kx] * src[sy * w + sx];
+        }
+    }
+    acc
+}
+
+/// Scalar convolution stack: `layers` rounds of 3×3 conv + ReLU.
+pub fn conv_stack_scalar(plane: &[f32], w: usize, h: usize, layers: usize) -> Vec<f32> {
+    assert_eq!(plane.len(), w * h, "plane does not match shape");
+    let mut cur = plane.to_vec();
+    let mut next = vec![0f32; w * h];
+    for _ in 0..layers {
+        for y in 0..h {
+            for x in 0..w {
+                next[y * w + x] = conv3x3_at(&cur, w, h, x, y).max(0.0);
+            }
+        }
+        std::mem::swap(&mut cur, &mut next);
+    }
+    cur
+}
+
+/// Vectorized convolution stack: interior rows processed as three shifted
+/// row-slices so the inner loop is a pure element-wise FMA chain.
+pub fn conv_stack_vectorized(plane: &[f32], w: usize, h: usize, layers: usize) -> Vec<f32> {
+    assert_eq!(plane.len(), w * h, "plane does not match shape");
+    let mut cur = plane.to_vec();
+    let mut next = vec![0f32; w * h];
+    for _ in 0..layers {
+        conv_layer_rows(&cur, &mut next, w, h, 0, h);
+        std::mem::swap(&mut cur, &mut next);
+    }
+    cur
+}
+
+/// One conv+ReLU layer over rows `[y0, y1)` — shared by the vectorized and
+/// parallel kernels.
+fn conv_layer_rows(cur: &[f32], next: &mut [f32], w: usize, h: usize, y0: usize, y1: usize) {
+    for y in y0..y1 {
+        if y == 0 || y == h - 1 || w < 3 {
+            // Border rows fall back to the clamped scalar path.
+            for x in 0..w {
+                next[y * w + x] = conv3x3_at(cur, w, h, x, y).max(0.0);
+            }
+            continue;
+        }
+        let above = &cur[(y - 1) * w..y * w];
+        let mid = &cur[y * w..(y + 1) * w];
+        let below = &cur[(y + 1) * w..(y + 2) * w];
+        let out = &mut next[y * w..(y + 1) * w];
+        out[0] = conv3x3_at(cur, w, h, 0, y).max(0.0);
+        for x in 1..w - 1 {
+            let acc = CONV_KERNEL[0] * above[x - 1]
+                + CONV_KERNEL[1] * above[x]
+                + CONV_KERNEL[2] * above[x + 1]
+                + CONV_KERNEL[3] * mid[x - 1]
+                + CONV_KERNEL[4] * mid[x]
+                + CONV_KERNEL[5] * mid[x + 1]
+                + CONV_KERNEL[6] * below[x - 1]
+                + CONV_KERNEL[7] * below[x]
+                + CONV_KERNEL[8] * below[x + 1];
+            out[x] = acc.max(0.0);
+        }
+        out[w - 1] = conv3x3_at(cur, w, h, w - 1, y).max(0.0);
+    }
+}
+
+/// Parallel convolution stack: rows sharded across `workers` threads per
+/// layer (layers synchronize, as real GPU kernels do).
+pub fn conv_stack_parallel(
+    plane: &[f32],
+    w: usize,
+    h: usize,
+    layers: usize,
+    workers: usize,
+) -> Vec<f32> {
+    assert_eq!(plane.len(), w * h, "plane does not match shape");
+    let workers = workers.max(1);
+    if workers == 1 {
+        // Thread spawn costs dwarf the work for a single band; run the
+        // vectorized kernel inline.
+        return conv_stack_vectorized(plane, w, h, layers);
+    }
+    let mut cur = plane.to_vec();
+    let mut next = vec![0f32; w * h];
+    let rows_per = h.div_ceil(workers);
+    for _ in 0..layers {
+        crossbeam::thread::scope(|s| {
+            // Split `next` into disjoint row bands, one per worker.
+            let mut rest: &mut [f32] = &mut next;
+            let mut y = 0usize;
+            let cur_ref = &cur;
+            let mut handles = Vec::new();
+            while y < h {
+                let band_rows = rows_per.min(h - y);
+                let (band, tail) = rest.split_at_mut(band_rows * w);
+                rest = tail;
+                let y0 = y;
+                handles.push(s.spawn(move |_| {
+                    // Compute into a local buffer then copy: band indices are
+                    // offset by y0 rows.
+                    let mut local = vec![0f32; band.len()];
+                    conv_band(cur_ref, &mut local, w, h, y0, y0 + band_rows);
+                    band.copy_from_slice(&local);
+                }));
+                y += band_rows;
+            }
+            for h in handles {
+                h.join().expect("worker panicked");
+            }
+        })
+        .expect("thread scope failed");
+        std::mem::swap(&mut cur, &mut next);
+    }
+    cur
+}
+
+/// Like [`conv_layer_rows`] but writes into a band-local buffer.
+fn conv_band(cur: &[f32], band: &mut [f32], w: usize, h: usize, y0: usize, y1: usize) {
+    for y in y0..y1 {
+        let dst = &mut band[(y - y0) * w..(y - y0 + 1) * w];
+        if y == 0 || y == h - 1 || w < 3 {
+            for x in 0..w {
+                dst[x] = conv3x3_at(cur, w, h, x, y).max(0.0);
+            }
+            continue;
+        }
+        let above = &cur[(y - 1) * w..y * w];
+        let mid = &cur[y * w..(y + 1) * w];
+        let below = &cur[(y + 1) * w..(y + 2) * w];
+        dst[0] = conv3x3_at(cur, w, h, 0, y).max(0.0);
+        for x in 1..w - 1 {
+            let acc = CONV_KERNEL[0] * above[x - 1]
+                + CONV_KERNEL[1] * above[x]
+                + CONV_KERNEL[2] * above[x + 1]
+                + CONV_KERNEL[3] * mid[x - 1]
+                + CONV_KERNEL[4] * mid[x]
+                + CONV_KERNEL[5] * mid[x + 1]
+                + CONV_KERNEL[6] * below[x - 1]
+                + CONV_KERNEL[7] * below[x]
+                + CONV_KERNEL[8] * below[x + 1];
+            dst[x] = acc.max(0.0);
+        }
+        dst[w - 1] = conv3x3_at(cur, w, h, w - 1, y).max(0.0);
+    }
+}
+
+// --------------------------------------------------------------------------
+// Histogram
+// --------------------------------------------------------------------------
+
+/// Scalar histogram of `values` into `bins` equal cells over `[lo, hi)`.
+pub fn histogram_scalar(values: &[f32], bins: usize, lo: f32, hi: f32) -> Vec<u32> {
+    assert!(bins > 0 && hi > lo, "invalid histogram shape");
+    let mut out = vec![0u32; bins];
+    let scale = bins as f32 / (hi - lo);
+    for &v in values {
+        let b = (((v - lo) * scale) as isize).clamp(0, bins as isize - 1) as usize;
+        out[b] += 1;
+    }
+    out
+}
+
+/// Parallel histogram: per-worker local histograms merged at the end.
+pub fn histogram_parallel(
+    values: &[f32],
+    bins: usize,
+    lo: f32,
+    hi: f32,
+    workers: usize,
+) -> Vec<u32> {
+    assert!(bins > 0 && hi > lo, "invalid histogram shape");
+    let workers = workers.max(1);
+    if values.is_empty() {
+        return vec![0u32; bins];
+    }
+    let chunk = values.len().div_ceil(workers);
+    let mut locals: Vec<Vec<u32>> = Vec::new();
+    crossbeam::thread::scope(|s| {
+        let mut handles = Vec::new();
+        for piece in values.chunks(chunk) {
+            handles.push(s.spawn(move |_| histogram_scalar(piece, bins, lo, hi)));
+        }
+        for h in handles {
+            locals.push(h.join().expect("worker panicked"));
+        }
+    })
+    .expect("thread scope failed");
+    let mut out = vec![0u32; bins];
+    for local in locals {
+        for (o, l) in out.iter_mut().zip(local) {
+            *o += l;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mat(rows: usize, cols: usize, seed: u64) -> Matrix {
+        let mut state = seed;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            (state >> 33) as f32 / (1u64 << 31) as f32 * 10.0
+        };
+        Matrix::from_vec(rows, cols, (0..rows * cols).map(|_| next()).collect())
+    }
+
+    #[test]
+    fn join_variants_agree() {
+        let a = mat(60, 16, 1);
+        let b = mat(80, 16, 2);
+        let tau = 9.0;
+        let mut s = threshold_join_scalar(&a, &b, tau);
+        let mut v = threshold_join_vectorized(&a, &b, tau);
+        let p = threshold_join_parallel(&a, &b, tau, 4);
+        s.sort_unstable();
+        v.sort_unstable();
+        // Norm-decomposition introduces float rounding; allow a tiny
+        // disagreement only exactly at the threshold boundary.
+        assert_eq!(s.len(), v.len(), "scalar vs vectorized");
+        assert_eq!(s, v);
+        assert_eq!(s, p);
+    }
+
+    #[test]
+    fn join_self_contains_diagonal() {
+        let a = mat(30, 8, 3);
+        let pairs = threshold_join_vectorized(&a, &a, 1e-3);
+        for i in 0..30u32 {
+            assert!(pairs.contains(&(i, i)), "self-pair {i} missing");
+        }
+    }
+
+    #[test]
+    fn join_empty_inputs() {
+        let a = mat(0, 8, 1);
+        let b = mat(5, 8, 2);
+        assert!(threshold_join_scalar(&a, &b, 1.0).is_empty());
+        assert!(threshold_join_parallel(&a, &b, 1.0, 4).is_empty());
+    }
+
+    #[test]
+    fn conv_variants_agree() {
+        let (w, h) = (37, 23);
+        let plane: Vec<f32> = (0..w * h).map(|i| ((i * 31) % 97) as f32).collect();
+        let s = conv_stack_scalar(&plane, w, h, 3);
+        let v = conv_stack_vectorized(&plane, w, h, 3);
+        let p = conv_stack_parallel(&plane, w, h, 3, 4);
+        for i in 0..s.len() {
+            assert!((s[i] - v[i]).abs() < 1e-3, "scalar vs vectorized at {i}");
+            assert!((s[i] - p[i]).abs() < 1e-3, "scalar vs parallel at {i}");
+        }
+    }
+
+    #[test]
+    fn conv_relu_clamps_negative() {
+        let plane = vec![-5.0f32; 64];
+        let out = conv_stack_scalar(&plane, 8, 8, 1);
+        assert!(out.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn conv_preserves_flat_field_scale() {
+        // Kernel sums to 1.0, so a flat positive field is (nearly) preserved.
+        let plane = vec![100.0f32; 16 * 16];
+        let out = conv_stack_scalar(&plane, 16, 16, 5);
+        for &v in &out {
+            assert!((v - 100.0).abs() < 1.0);
+        }
+    }
+
+    #[test]
+    fn histogram_variants_agree() {
+        let values: Vec<f32> = (0..10_000).map(|i| (i % 256) as f32).collect();
+        let s = histogram_scalar(&values, 16, 0.0, 256.0);
+        let p = histogram_parallel(&values, 16, 0.0, 256.0, 8);
+        assert_eq!(s, p);
+        assert_eq!(s.iter().sum::<u32>(), 10_000);
+    }
+
+    #[test]
+    fn histogram_clamps_out_of_range() {
+        let values = vec![-100.0f32, 500.0];
+        let hist = histogram_scalar(&values, 4, 0.0, 256.0);
+        assert_eq!(hist[0], 1);
+        assert_eq!(hist[3], 1);
+    }
+}

@@ -1,0 +1,32 @@
+//! # deeplens-exec
+//!
+//! Execution backends for DeepLens compute kernels.
+//!
+//! The paper's Fig. 8 varies the "execution architecture" of both the ETL
+//! phase (neural-network inference) and the query phase (image matching)
+//! across a vanilla CPU implementation, a vectorized implementation (AVX),
+//! and a GPU. Its key observation: GPUs dominate the inference-heavy ETL
+//! phase, but for query-time kernels the *offload overhead* (kernel launch +
+//! PCIe transfer) can exceed the speedup on small inputs.
+//!
+//! We have no GPU in this environment, so [`device::Device::GpuSim`] is a
+//! simulated accelerator: a data-parallel thread-pool execution (high
+//! throughput) plus an explicit launch-latency and transfer-cost model
+//! (the overhead). The crossover behaviour — the only thing the experiments
+//! depend on — is preserved by construction.
+//!
+//! * [`device`] — device descriptors and the offload cost model.
+//! * [`matrix`] — dense row-major `f32` matrices (feature sets).
+//! * [`kernels`] — distance matrices, threshold joins, histograms and the
+//!   convolution stack used to emulate NN inference, each in scalar,
+//!   vectorized, and parallel form.
+//! * [`executor`] — ties a device to its kernel implementations.
+
+pub mod device;
+pub mod executor;
+pub mod kernels;
+pub mod matrix;
+
+pub use device::{Device, GpuProfile};
+pub use executor::Executor;
+pub use matrix::Matrix;

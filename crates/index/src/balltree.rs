@@ -1,0 +1,392 @@
+//! Ball-Tree for Euclidean threshold and k-nearest-neighbour queries.
+//!
+//! Kumar et al. [17 in the paper] found Ball-Trees the most effective
+//! structure for "find patches within distance τ" queries on image features.
+//! DeepLens uses it for image-matching similarity joins (q1, q4) and builds
+//! it *on-the-fly* over the smaller join relation (§5, "On-The-Fly Index
+//! Similarity Join").
+//!
+//! Construction recursively splits points along the dimension of maximum
+//! spread; every node stores the centroid and covering radius of its subtree
+//! so queries can prune whole subtrees via the triangle inequality.
+
+use std::cell::Cell;
+use std::collections::BinaryHeap;
+
+use crate::dist::{euclidean, sq_euclidean};
+
+/// Points per leaf before splitting stops.
+pub const LEAF_SIZE: usize = 16;
+
+#[derive(Debug)]
+struct TreeNode {
+    centroid: Vec<f32>,
+    radius: f32,
+    kind: NodeKind,
+}
+
+#[derive(Debug)]
+enum NodeKind {
+    /// Indices into the point set.
+    Leaf(Vec<u32>),
+    Branch(Box<TreeNode>, Box<TreeNode>),
+}
+
+/// A Ball-Tree over a dense set of `f32` vectors.
+///
+/// The tree owns a copy of its points; ids returned by queries index the
+/// original insertion order.
+#[derive(Debug)]
+pub struct BallTree {
+    dim: usize,
+    points: Vec<f32>,
+    root: Option<TreeNode>,
+    /// Distance computations performed by queries — the cost metric behind
+    /// the paper's Fig. 7 non-linearity study.
+    distance_evals: Cell<u64>,
+}
+
+impl BallTree {
+    /// Build a tree over `points` (row-major, `dim` components each).
+    ///
+    /// Panics if `points.len()` is not a multiple of `dim` or `dim == 0`.
+    pub fn build(dim: usize, points: Vec<f32>) -> Self {
+        assert!(dim > 0, "dimension must be positive");
+        assert_eq!(points.len() % dim, 0, "point buffer must be a multiple of dim");
+        let n = points.len() / dim;
+        let mut tree = BallTree { dim, points, root: None, distance_evals: Cell::new(0) };
+        if n > 0 {
+            let mut ids: Vec<u32> = (0..n as u32).collect();
+            tree.root = Some(tree.build_node(&mut ids));
+        }
+        tree
+    }
+
+    /// Build from a slice of equal-length vectors.
+    pub fn from_vectors(vectors: &[Vec<f32>]) -> Self {
+        let dim = vectors.first().map(|v| v.len()).unwrap_or(1);
+        let mut flat = Vec::with_capacity(vectors.len() * dim);
+        for v in vectors {
+            assert_eq!(v.len(), dim, "all vectors must share a dimension");
+            flat.extend_from_slice(v);
+        }
+        Self::build(dim, flat)
+    }
+
+    /// Number of indexed points.
+    pub fn len(&self) -> usize {
+        self.points.len() / self.dim
+    }
+
+    /// Whether the tree is empty.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Dimensionality of indexed points.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Borrow the point stored under `id`.
+    #[inline]
+    pub fn point(&self, id: u32) -> &[f32] {
+        let s = id as usize * self.dim;
+        &self.points[s..s + self.dim]
+    }
+
+    fn make_meta(&self, ids: &[u32]) -> (Vec<f32>, f32) {
+        let mut centroid = vec![0f32; self.dim];
+        for &id in ids {
+            for (c, v) in centroid.iter_mut().zip(self.point(id)) {
+                *c += v;
+            }
+        }
+        let n = ids.len().max(1) as f32;
+        for c in centroid.iter_mut() {
+            *c /= n;
+        }
+        let radius =
+            ids.iter().map(|&id| euclidean(&centroid, self.point(id))).fold(0f32, f32::max);
+        (centroid, radius)
+    }
+
+    fn build_node(&self, ids: &mut [u32]) -> TreeNode {
+        let (centroid, radius) = self.make_meta(ids);
+        if ids.len() <= LEAF_SIZE {
+            return TreeNode { centroid, radius, kind: NodeKind::Leaf(ids.to_vec()) };
+        }
+        // Split on the dimension of maximum spread at its median.
+        let spread = |d: usize| {
+            let (mut lo, mut hi) = (f32::INFINITY, f32::NEG_INFINITY);
+            for &id in ids.iter() {
+                let v = self.point(id)[d];
+                lo = lo.min(v);
+                hi = hi.max(v);
+            }
+            hi - lo
+        };
+        let split_dim =
+            (0..self.dim).max_by(|&a, &b| spread(a).total_cmp(&spread(b))).expect("dim > 0");
+        if spread(split_dim) <= f32::EPSILON {
+            // All points identical: no split is possible.
+            return TreeNode { centroid, radius, kind: NodeKind::Leaf(ids.to_vec()) };
+        }
+        let mid = ids.len() / 2;
+        ids.select_nth_unstable_by(mid, |&a, &b| {
+            self.point(a)[split_dim].total_cmp(&self.point(b)[split_dim])
+        });
+        let (left_ids, right_ids) = ids.split_at_mut(mid);
+        let left = self.build_node(left_ids);
+        let right = self.build_node(right_ids);
+        TreeNode { centroid, radius, kind: NodeKind::Branch(Box::new(left), Box::new(right)) }
+    }
+
+    #[inline]
+    fn count_dist(&self, n: u64) {
+        self.distance_evals.set(self.distance_evals.get() + n);
+    }
+
+    /// All point ids within Euclidean distance `tau` of `query`.
+    pub fn range_query(&self, query: &[f32], tau: f32) -> Vec<u32> {
+        assert_eq!(query.len(), self.dim, "query dimension mismatch");
+        let mut out = Vec::new();
+        if let Some(root) = &self.root {
+            self.range_rec(root, query, tau, &mut out);
+        }
+        out
+    }
+
+    fn range_rec(&self, node: &TreeNode, query: &[f32], tau: f32, out: &mut Vec<u32>) {
+        self.count_dist(1);
+        let d_centroid = euclidean(query, &node.centroid);
+        if d_centroid > node.radius + tau {
+            return; // ball entirely outside the query radius
+        }
+        match &node.kind {
+            NodeKind::Leaf(ids) => {
+                let tau_sq = tau * tau;
+                self.count_dist(ids.len() as u64);
+                for &id in ids {
+                    if sq_euclidean(query, self.point(id)) <= tau_sq {
+                        out.push(id);
+                    }
+                }
+            }
+            NodeKind::Branch(left, right) => {
+                self.range_rec(left, query, tau, out);
+                self.range_rec(right, query, tau, out);
+            }
+        }
+    }
+
+    /// The `k` nearest neighbours of `query` as `(id, distance)` pairs,
+    /// closest first.
+    pub fn knn(&self, query: &[f32], k: usize) -> Vec<(u32, f32)> {
+        assert_eq!(query.len(), self.dim, "query dimension mismatch");
+        if k == 0 || self.is_empty() {
+            return vec![];
+        }
+        let mut heap: BinaryHeap<HeapItem> = BinaryHeap::new();
+        if let Some(root) = &self.root {
+            self.knn_rec(root, query, k, &mut heap);
+        }
+        let mut out: Vec<(u32, f32)> = heap.into_iter().map(|h| (h.id, h.dist)).collect();
+        out.sort_by(|a, b| a.1.total_cmp(&b.1));
+        out
+    }
+
+    fn knn_rec(&self, node: &TreeNode, query: &[f32], k: usize, heap: &mut BinaryHeap<HeapItem>) {
+        self.count_dist(1);
+        let d_centroid = euclidean(query, &node.centroid);
+        if heap.len() == k {
+            let worst = heap.peek().expect("heap non-empty").dist;
+            if d_centroid - node.radius > worst {
+                return;
+            }
+        }
+        match &node.kind {
+            NodeKind::Leaf(ids) => {
+                self.count_dist(ids.len() as u64);
+                for &id in ids {
+                    let d = euclidean(query, self.point(id));
+                    if heap.len() < k {
+                        heap.push(HeapItem { dist: d, id });
+                    } else if d < heap.peek().expect("heap non-empty").dist {
+                        heap.pop();
+                        heap.push(HeapItem { dist: d, id });
+                    }
+                }
+            }
+            NodeKind::Branch(left, right) => {
+                // Visit the closer child first for tighter pruning bounds.
+                let dl = euclidean(query, &left.centroid);
+                let dr = euclidean(query, &right.centroid);
+                self.count_dist(2);
+                let (first, second) = if dl <= dr { (left, right) } else { (right, left) };
+                self.knn_rec(first, query, k, heap);
+                self.knn_rec(second, query, k, heap);
+            }
+        }
+    }
+
+    /// Reset the distance-evaluation counter and return its previous value.
+    pub fn take_distance_evals(&self) -> u64 {
+        let v = self.distance_evals.get();
+        self.distance_evals.set(0);
+        v
+    }
+}
+
+#[derive(Debug, PartialEq)]
+struct HeapItem {
+    dist: f32,
+    id: u32,
+}
+
+impl Eq for HeapItem {}
+
+impl PartialOrd for HeapItem {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for HeapItem {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.dist.total_cmp(&other.dist)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bruteforce;
+
+    fn grid_points(n: usize, dim: usize) -> Vec<Vec<f32>> {
+        // Deterministic pseudo-random points in [0, 10).
+        let mut state = 0x12345678u64;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 33) as f32 / (1u64 << 31) as f32 * 10.0
+        };
+        (0..n).map(|_| (0..dim).map(|_| next()).collect()).collect()
+    }
+
+    #[test]
+    fn empty_tree_queries() {
+        let t = BallTree::build(3, vec![]);
+        assert!(t.is_empty());
+        assert!(t.range_query(&[0.0, 0.0, 0.0], 1.0).is_empty());
+        assert!(t.knn(&[0.0, 0.0, 0.0], 5).is_empty());
+    }
+
+    #[test]
+    fn range_query_matches_bruteforce_low_dim() {
+        let pts = grid_points(500, 3);
+        let tree = BallTree::from_vectors(&pts);
+        for q in pts.iter().step_by(83) {
+            for tau in [0.5f32, 1.5, 4.0] {
+                let mut got = tree.range_query(q, tau);
+                let mut expect = bruteforce::range_query(&pts, q, tau);
+                got.sort_unstable();
+                expect.sort_unstable();
+                assert_eq!(got, expect, "tau={tau}");
+            }
+        }
+    }
+
+    #[test]
+    fn range_query_matches_bruteforce_high_dim() {
+        let pts = grid_points(300, 32);
+        let tree = BallTree::from_vectors(&pts);
+        let q = &pts[7];
+        for tau in [1.0f32, 8.0, 20.0] {
+            let mut got = tree.range_query(q, tau);
+            let mut expect = bruteforce::range_query(&pts, q, tau);
+            got.sort_unstable();
+            expect.sort_unstable();
+            assert_eq!(got, expect);
+        }
+    }
+
+    #[test]
+    fn knn_matches_bruteforce() {
+        let pts = grid_points(400, 8);
+        let tree = BallTree::from_vectors(&pts);
+        for qi in [0usize, 101, 399] {
+            let got = tree.knn(&pts[qi], 7);
+            let expect = bruteforce::knn(&pts, &pts[qi], 7);
+            assert_eq!(got.len(), 7);
+            // The nearest neighbour of a member point is itself.
+            assert_eq!(got[0].0 as usize, qi);
+            for (g, e) in got.iter().zip(&expect) {
+                assert!((g.1 - e.1).abs() < 1e-4, "distance order must agree");
+            }
+        }
+    }
+
+    #[test]
+    fn duplicate_points_handled() {
+        let pts: Vec<Vec<f32>> = (0..100).map(|_| vec![1.0, 2.0, 3.0]).collect();
+        let tree = BallTree::from_vectors(&pts);
+        assert_eq!(tree.range_query(&[1.0, 2.0, 3.0], 0.001).len(), 100);
+        assert_eq!(tree.knn(&[1.0, 2.0, 3.0], 5).len(), 5);
+    }
+
+    #[test]
+    fn pruning_reduces_distance_evals() {
+        let pts = grid_points(4000, 4);
+        let tree = BallTree::from_vectors(&pts);
+        tree.take_distance_evals();
+        let _ = tree.range_query(&pts[0], 0.5);
+        let evals = tree.take_distance_evals();
+        assert!(
+            evals < 4000,
+            "tight query should prune most points: {evals} evals vs 4000 points"
+        );
+    }
+
+    #[test]
+    fn high_dim_prunes_worse_than_low_dim() {
+        // The curse of dimensionality: same point count, more distance evals
+        // in higher dimension — the mechanism behind the paper's Fig. 7.
+        let lo = grid_points(2000, 3);
+        let hi = grid_points(2000, 48);
+        let t_lo = BallTree::from_vectors(&lo);
+        let t_hi = BallTree::from_vectors(&hi);
+        t_lo.take_distance_evals();
+        t_hi.take_distance_evals();
+        for i in (0..2000).step_by(100) {
+            let _ = t_lo.range_query(&lo[i], 0.5);
+            let _ = t_hi.range_query(&hi[i], 0.5);
+        }
+        let e_lo = t_lo.take_distance_evals();
+        let e_hi = t_hi.take_distance_evals();
+        assert!(e_hi > e_lo, "high-dim should evaluate more distances ({e_hi} vs {e_lo})");
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn query_dimension_checked() {
+        let tree = BallTree::build(3, vec![0.0; 9]);
+        let _ = tree.range_query(&[0.0, 0.0], 1.0);
+    }
+
+    #[test]
+    fn knn_k_larger_than_n() {
+        let pts = grid_points(5, 2);
+        let tree = BallTree::from_vectors(&pts);
+        assert_eq!(tree.knn(&pts[0], 100).len(), 5);
+    }
+
+    #[test]
+    fn knn_results_sorted_ascending() {
+        let pts = grid_points(200, 6);
+        let tree = BallTree::from_vectors(&pts);
+        let res = tree.knn(&pts[50], 10);
+        for w in res.windows(2) {
+            assert!(w[0].1 <= w[1].1);
+        }
+    }
+}

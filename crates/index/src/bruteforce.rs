@@ -1,0 +1,83 @@
+//! Linear-scan reference implementations.
+//!
+//! These double as the *unindexed baseline* in the paper's Fig. 4/5
+//! comparisons and as ground truth for the index structures' tests.
+
+use crate::dist::sq_euclidean;
+
+/// Ids of all points within Euclidean distance `tau` of `query`.
+pub fn range_query(points: &[Vec<f32>], query: &[f32], tau: f32) -> Vec<u32> {
+    let tau_sq = tau * tau;
+    points
+        .iter()
+        .enumerate()
+        .filter(|(_, p)| sq_euclidean(p, query) <= tau_sq)
+        .map(|(i, _)| i as u32)
+        .collect()
+}
+
+/// The `k` nearest neighbours of `query` as `(id, distance)`, closest first.
+pub fn knn(points: &[Vec<f32>], query: &[f32], k: usize) -> Vec<(u32, f32)> {
+    let mut all: Vec<(u32, f32)> = points
+        .iter()
+        .enumerate()
+        .map(|(i, p)| (i as u32, sq_euclidean(p, query).sqrt()))
+        .collect();
+    all.sort_by(|a, b| a.1.total_cmp(&b.1));
+    all.truncate(k);
+    all
+}
+
+/// All pairs `(i, j)` with `i < j` whose distance is at most `tau`
+/// (the quadratic all-pairs matching the paper's nested-loop join performs).
+pub fn all_pairs_within(points: &[Vec<f32>], tau: f32) -> Vec<(u32, u32)> {
+    let tau_sq = tau * tau;
+    let mut out = Vec::new();
+    for i in 0..points.len() {
+        for j in i + 1..points.len() {
+            if sq_euclidean(&points[i], &points[j]) <= tau_sq {
+                out.push((i as u32, j as u32));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pts() -> Vec<Vec<f32>> {
+        vec![
+            vec![0.0, 0.0],
+            vec![1.0, 0.0],
+            vec![0.0, 1.0],
+            vec![5.0, 5.0],
+        ]
+    }
+
+    #[test]
+    fn range_query_basic() {
+        let r = range_query(&pts(), &[0.0, 0.0], 1.1);
+        assert_eq!(r, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn knn_basic() {
+        let r = knn(&pts(), &[0.0, 0.0], 2);
+        assert_eq!(r[0].0, 0);
+        assert_eq!(r[0].1, 0.0);
+        assert_eq!(r.len(), 2);
+    }
+
+    #[test]
+    fn all_pairs_basic() {
+        let r = all_pairs_within(&pts(), 1.1);
+        assert_eq!(r, vec![(0, 1), (0, 2)]);
+    }
+
+    #[test]
+    fn all_pairs_empty_for_tiny_tau() {
+        assert!(all_pairs_within(&pts(), 0.01).is_empty());
+    }
+}

@@ -1,0 +1,36 @@
+//! # deeplens-index
+//!
+//! Multi- and single-dimensional index structures for DeepLens.
+//!
+//! The paper's §3.2 argues that every patch data type needs a specialized
+//! index, and its experiments (Figs. 4–7) hinge on the behaviour of these
+//! structures. This crate implements, from scratch:
+//!
+//! * [`balltree::BallTree`] — Euclidean threshold and kNN queries in high
+//!   dimensions; the structure behind image-matching similarity joins
+//!   (and the subject of Fig. 7's non-linear cost study).
+//! * [`rtree::RTree`] — 2-D rectangles with insert, STR bulk load, and
+//!   intersection/containment queries (the libspatialindex substitute;
+//!   Fig. 6's expensive-to-build index).
+//! * [`kdtree::KdTree`] — low-dimensional point index (the paper's example
+//!   of a KD-tree over color histograms).
+//! * [`lsh::LshIndex`] — locality-sensitive hashing, the paper's suggested
+//!   approximate mitigation for costly exact multidimensional indexing.
+//! * [`sorted::SortedRunIndex`] — binary-searchable sorted runs over a
+//!   single `f64` attribute (the "sorted file" of §3.2).
+//! * [`bruteforce`] — linear-scan reference implementations used as the
+//!   unindexed baseline and as ground truth in tests.
+
+pub mod balltree;
+pub mod bruteforce;
+pub mod dist;
+pub mod kdtree;
+pub mod lsh;
+pub mod rtree;
+pub mod sorted;
+
+pub use balltree::BallTree;
+pub use kdtree::KdTree;
+pub use lsh::LshIndex;
+pub use rtree::{RTree, Rect};
+pub use sorted::SortedRunIndex;

@@ -1,0 +1,128 @@
+//! Sorted-run index over a single `f64` attribute.
+//!
+//! The in-memory analogue of the paper's "sorted file" (§3.2): entries are
+//! sorted once at build time, after which equality and range predicates
+//! resolve with binary search. DeepLens uses it for single-dimensional
+//! queries over multidimensional data — e.g. "bounding boxes left of x",
+//! where the paper found a sorted/B+Tree structure beats an R-Tree.
+
+/// A static sorted index mapping `f64` keys to `u64` payload ids.
+#[derive(Debug, Clone, Default)]
+pub struct SortedRunIndex {
+    /// Entries sorted by key (ties preserve insertion order).
+    entries: Vec<(f64, u64)>,
+}
+
+impl SortedRunIndex {
+    /// Build from unsorted `(key, id)` pairs. NaN keys are rejected.
+    ///
+    /// Panics if any key is NaN — an attribute extractor producing NaN is a
+    /// bug upstream, not a queryable value.
+    pub fn build(mut entries: Vec<(f64, u64)>) -> Self {
+        assert!(entries.iter().all(|(k, _)| !k.is_nan()), "NaN keys are not indexable");
+        entries.sort_by(|a, b| a.0.total_cmp(&b.0));
+        SortedRunIndex { entries }
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the index is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Ids with key exactly equal to `key`.
+    pub fn eq(&self, key: f64) -> Vec<u64> {
+        let lo = self.entries.partition_point(|(k, _)| *k < key);
+        self.entries[lo..]
+            .iter()
+            .take_while(|(k, _)| *k == key)
+            .map(|(_, id)| *id)
+            .collect()
+    }
+
+    /// Ids with key in `[lo, hi)`.
+    pub fn range(&self, lo: f64, hi: f64) -> Vec<u64> {
+        let start = self.entries.partition_point(|(k, _)| *k < lo);
+        let end = self.entries.partition_point(|(k, _)| *k < hi);
+        self.entries[start..end].iter().map(|(_, id)| *id).collect()
+    }
+
+    /// Ids with key strictly below `threshold` (the "left of a point" query).
+    pub fn below(&self, threshold: f64) -> Vec<u64> {
+        let end = self.entries.partition_point(|(k, _)| *k < threshold);
+        self.entries[..end].iter().map(|(_, id)| *id).collect()
+    }
+
+    /// Ids with key at or above `threshold`.
+    pub fn at_or_above(&self, threshold: f64) -> Vec<u64> {
+        let start = self.entries.partition_point(|(k, _)| *k < threshold);
+        self.entries[start..].iter().map(|(_, id)| *id).collect()
+    }
+
+    /// The smallest key, if any.
+    pub fn min_key(&self) -> Option<f64> {
+        self.entries.first().map(|(k, _)| *k)
+    }
+
+    /// The largest key, if any.
+    pub fn max_key(&self) -> Option<f64> {
+        self.entries.last().map(|(k, _)| *k)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idx() -> SortedRunIndex {
+        SortedRunIndex::build(vec![(3.0, 30), (1.0, 10), (2.0, 20), (2.0, 21), (5.0, 50)])
+    }
+
+    #[test]
+    fn eq_finds_duplicates() {
+        assert_eq!(idx().eq(2.0), vec![20, 21]);
+        assert_eq!(idx().eq(4.0), Vec::<u64>::new());
+    }
+
+    #[test]
+    fn range_half_open() {
+        assert_eq!(idx().range(2.0, 5.0), vec![20, 21, 30]);
+        assert_eq!(idx().range(0.0, 100.0).len(), 5);
+        assert!(idx().range(5.1, 5.1).is_empty());
+    }
+
+    #[test]
+    fn below_and_above() {
+        assert_eq!(idx().below(2.0), vec![10]);
+        assert_eq!(idx().at_or_above(3.0), vec![30, 50]);
+    }
+
+    #[test]
+    fn min_max() {
+        assert_eq!(idx().min_key(), Some(1.0));
+        assert_eq!(idx().max_key(), Some(5.0));
+        assert_eq!(SortedRunIndex::build(vec![]).min_key(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn nan_rejected() {
+        SortedRunIndex::build(vec![(f64::NAN, 1)]);
+    }
+
+    #[test]
+    fn negative_and_infinite_keys_sort() {
+        let i = SortedRunIndex::build(vec![
+            (f64::NEG_INFINITY, 1),
+            (-3.5, 2),
+            (0.0, 3),
+            (f64::INFINITY, 4),
+        ]);
+        assert_eq!(i.below(0.0), vec![1, 2]);
+        assert_eq!(i.at_or_above(f64::INFINITY), vec![4]);
+    }
+}

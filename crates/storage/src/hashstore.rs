@@ -1,0 +1,386 @@
+//! Persistent hash store: static bucket directory with chained pages.
+//!
+//! The paper supports hash tables over any discrete metadata key (paper
+//! §3.2); this is the on-disk equivalent. Exact-match lookups cost one hash
+//! plus a short chain walk, independent of key order. Entries must fit in a
+//! single bucket page (they hold patch-id lists and small metadata, not
+//! frames), which keeps the structure simple and fast.
+
+use std::path::Path;
+
+use crate::buffer::BufferPool;
+use crate::page::{Page, PageId, NO_PAGE, PAGE_PAYLOAD};
+use crate::pager::Pager;
+use crate::{Result, StorageError};
+
+const T_DIR: u8 = 4;
+const T_BUCKET: u8 = 5;
+
+/// Maximum combined key + value size per entry.
+pub const MAX_ENTRY: usize = 2048;
+
+/// Default number of buckets.
+pub const DEFAULT_BUCKETS: u32 = 256;
+
+/// FNV-1a 64-bit hash.
+pub fn fnv1a(data: &[u8]) -> u64 {
+    let mut h = 0xCBF2_9CE4_8422_2325u64;
+    for &b in data {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// A persistent hash map from byte keys to byte values.
+#[derive(Debug)]
+pub struct HashStore {
+    pool: BufferPool,
+    dir_page: PageId,
+    nbuckets: u32,
+    count: u64,
+}
+
+impl HashStore {
+    /// Create a fresh store with [`DEFAULT_BUCKETS`] buckets.
+    pub fn create<P: AsRef<Path>>(path: P) -> Result<Self> {
+        Self::create_with_buckets(path, DEFAULT_BUCKETS)
+    }
+
+    /// Create a fresh store with a specific power-of-two bucket count.
+    pub fn create_with_buckets<P: AsRef<Path>>(path: P, nbuckets: u32) -> Result<Self> {
+        assert!(nbuckets.is_power_of_two(), "bucket count must be a power of two");
+        let max = ((PAGE_PAYLOAD - 13) / 4) as u32;
+        assert!(nbuckets <= max, "at most {max} buckets fit the directory page");
+        let pager = Pager::create(path)?;
+        let pool = BufferPool::new(pager);
+        let dir_page = pool.allocate()?;
+        let mut dir = Page::zeroed();
+        dir.put_u8(0, T_DIR);
+        dir.put_u32(1, nbuckets);
+        dir.put_u32(5, 0); // low 32 bits of count
+        for i in 0..nbuckets {
+            dir.put_u32(13 + (i as usize) * 4, NO_PAGE);
+        }
+        pool.put(dir_page, dir)?;
+        pool.with_pager(|p| p.set_root_b(dir_page));
+        Ok(HashStore { pool, dir_page, nbuckets, count: 0 })
+    }
+
+    /// Open an existing store.
+    pub fn open<P: AsRef<Path>>(path: P) -> Result<Self> {
+        let pager = Pager::open(path)?;
+        let pool = BufferPool::new(pager);
+        let dir_page = pool.with_pager(|p| p.root_b());
+        if dir_page == NO_PAGE {
+            return Err(StorageError::BadHeader("file has no hash directory".into()));
+        }
+        let dir = pool.get(dir_page)?;
+        if dir.get_u8(0) != T_DIR {
+            return Err(StorageError::Corrupt("directory page has wrong type".into()));
+        }
+        let nbuckets = dir.get_u32(1);
+        let count = dir.get_u32(5) as u64;
+        Ok(HashStore { pool, dir_page, nbuckets, count })
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> u64 {
+        self.count
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// On-disk footprint in bytes.
+    pub fn byte_size(&self) -> u64 {
+        self.pool.with_pager(|p| p.byte_size())
+    }
+
+    fn bucket_of(&self, key: &[u8]) -> u32 {
+        (fnv1a(key) & (self.nbuckets as u64 - 1)) as u32
+    }
+
+    fn bucket_head(&self, bucket: u32) -> Result<PageId> {
+        let dir = self.pool.get(self.dir_page)?;
+        Ok(dir.get_u32(13 + bucket as usize * 4))
+    }
+
+    fn set_bucket_head(&self, bucket: u32, head: PageId) -> Result<()> {
+        let mut dir = self.pool.get(self.dir_page)?;
+        dir.put_u32(13 + bucket as usize * 4, head);
+        self.pool.put(self.dir_page, dir)
+    }
+
+    /// Parse all entries of a bucket page.
+    fn page_entries(page: &Page) -> Result<(Vec<(Vec<u8>, Vec<u8>)>, PageId)> {
+        if page.get_u8(0) != T_BUCKET {
+            return Err(StorageError::Corrupt("expected bucket page".into()));
+        }
+        let n = page.get_u16(1) as usize;
+        let next = page.get_u32(3);
+        let mut entries = Vec::with_capacity(n);
+        let mut off = 7;
+        for _ in 0..n {
+            let klen = page.get_u16(off) as usize;
+            let vlen = page.get_u16(off + 2) as usize;
+            let k = page.get_slice(off + 4, klen).to_vec();
+            let v = page.get_slice(off + 4 + klen, vlen).to_vec();
+            entries.push((k, v));
+            off += 4 + klen + vlen;
+        }
+        Ok((entries, next))
+    }
+
+    fn write_entries(entries: &[(Vec<u8>, Vec<u8>)], next: PageId) -> Page {
+        let mut page = Page::zeroed();
+        page.put_u8(0, T_BUCKET);
+        page.put_u16(1, entries.len() as u16);
+        page.put_u32(3, next);
+        let mut off = 7;
+        for (k, v) in entries {
+            page.put_u16(off, k.len() as u16);
+            page.put_u16(off + 2, v.len() as u16);
+            page.put_slice(off + 4, k);
+            page.put_slice(off + 4 + k.len(), v);
+            off += 4 + k.len() + v.len();
+        }
+        page
+    }
+
+    fn entries_size(entries: &[(Vec<u8>, Vec<u8>)]) -> usize {
+        7 + entries.iter().map(|(k, v)| 4 + k.len() + v.len()).sum::<usize>()
+    }
+
+    /// Insert or replace. Returns `true` when the key was new.
+    pub fn put(&mut self, key: &[u8], value: &[u8]) -> Result<bool> {
+        if key.len() + value.len() > MAX_ENTRY {
+            return Err(StorageError::EntryTooLarge {
+                size: key.len() + value.len(),
+                max: MAX_ENTRY,
+            });
+        }
+        let bucket = self.bucket_of(key);
+        let head = self.bucket_head(bucket)?;
+
+        // Pass 1: replace in place if the key exists anywhere in the chain.
+        let mut cur = head;
+        while cur != NO_PAGE {
+            let page = self.pool.get(cur)?;
+            let (mut entries, next) = Self::page_entries(&page)?;
+            if let Some(pos) = entries.iter().position(|(k, _)| k == key) {
+                entries[pos].1 = value.to_vec();
+                if Self::entries_size(&entries) <= PAGE_PAYLOAD {
+                    self.pool.put(cur, Self::write_entries(&entries, next))?;
+                    return Ok(false);
+                }
+                // Doesn't fit after growth: drop here, reinsert below.
+                entries.remove(pos);
+                self.pool.put(cur, Self::write_entries(&entries, next))?;
+                self.count -= 1; // insert_new below re-increments
+                break;
+            }
+            cur = next;
+        }
+
+        // Pass 2: insert into the first page with room, else prepend a page.
+        let mut cur = head;
+        while cur != NO_PAGE {
+            let page = self.pool.get(cur)?;
+            let (mut entries, next) = Self::page_entries(&page)?;
+            let new_size = Self::entries_size(&entries) + 4 + key.len() + value.len();
+            if new_size <= PAGE_PAYLOAD {
+                entries.push((key.to_vec(), value.to_vec()));
+                self.pool.put(cur, Self::write_entries(&entries, next))?;
+                self.count += 1;
+                self.persist_count()?;
+                return Ok(true);
+            }
+            cur = next;
+        }
+        let new_page = self.pool.allocate()?;
+        let entries = vec![(key.to_vec(), value.to_vec())];
+        self.pool.put(new_page, Self::write_entries(&entries, head))?;
+        self.set_bucket_head(bucket, new_page)?;
+        self.count += 1;
+        self.persist_count()?;
+        Ok(true)
+    }
+
+    fn persist_count(&self) -> Result<()> {
+        let mut dir = self.pool.get(self.dir_page)?;
+        dir.put_u32(5, self.count as u32);
+        self.pool.put(self.dir_page, dir)
+    }
+
+    /// Look up a key.
+    pub fn get(&self, key: &[u8]) -> Result<Option<Vec<u8>>> {
+        let mut cur = self.bucket_head(self.bucket_of(key))?;
+        while cur != NO_PAGE {
+            let page = self.pool.get(cur)?;
+            let (entries, next) = Self::page_entries(&page)?;
+            if let Some((_, v)) = entries.iter().find(|(k, _)| k == key) {
+                return Ok(Some(v.clone()));
+            }
+            cur = next;
+        }
+        Ok(None)
+    }
+
+    /// Remove a key. Returns `true` when it existed.
+    pub fn delete(&mut self, key: &[u8]) -> Result<bool> {
+        let mut cur = self.bucket_head(self.bucket_of(key))?;
+        while cur != NO_PAGE {
+            let page = self.pool.get(cur)?;
+            let (mut entries, next) = Self::page_entries(&page)?;
+            if let Some(pos) = entries.iter().position(|(k, _)| k == key) {
+                entries.remove(pos);
+                self.pool.put(cur, Self::write_entries(&entries, next))?;
+                self.count -= 1;
+                self.persist_count()?;
+                return Ok(true);
+            }
+            cur = next;
+        }
+        Ok(false)
+    }
+
+    /// Visit every entry (unspecified order).
+    pub fn for_each(&self, mut f: impl FnMut(&[u8], &[u8])) -> Result<()> {
+        for bucket in 0..self.nbuckets {
+            let mut cur = self.bucket_head(bucket)?;
+            while cur != NO_PAGE {
+                let page = self.pool.get(cur)?;
+                let (entries, next) = Self::page_entries(&page)?;
+                for (k, v) in &entries {
+                    f(k, v);
+                }
+                cur = next;
+            }
+        }
+        Ok(())
+    }
+
+    /// Flush all dirty pages and fsync.
+    pub fn flush(&mut self) -> Result<()> {
+        self.persist_count()?;
+        self.pool.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn tmpfile(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("deeplens-hash-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let p = dir.join(format!("{name}-{}.dlh", std::process::id()));
+        std::fs::remove_file(&p).ok();
+        p
+    }
+
+    #[test]
+    fn fnv_distinct_for_close_keys() {
+        assert_ne!(fnv1a(b"a"), fnv1a(b"b"));
+        assert_ne!(fnv1a(b"key1"), fnv1a(b"key2"));
+        assert_eq!(fnv1a(b""), 0xCBF2_9CE4_8422_2325);
+    }
+
+    #[test]
+    fn put_get_delete() {
+        let path = tmpfile("basic");
+        let mut h = HashStore::create(&path).unwrap();
+        assert!(h.put(b"label", b"car").unwrap());
+        assert!(!h.put(b"label", b"truck").unwrap());
+        assert_eq!(h.get(b"label").unwrap(), Some(b"truck".to_vec()));
+        assert_eq!(h.get(b"missing").unwrap(), None);
+        assert!(h.delete(b"label").unwrap());
+        assert!(!h.delete(b"label").unwrap());
+        assert_eq!(h.len(), 0);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn many_keys_chain_overflow() {
+        let path = tmpfile("many");
+        // Tiny directory so chains get long and pages overflow.
+        let mut h = HashStore::create_with_buckets(&path, 8).unwrap();
+        for i in 0..2000u32 {
+            let k = format!("key-{i}");
+            let v = format!("value-{i}").repeat(4);
+            assert!(h.put(k.as_bytes(), v.as_bytes()).unwrap());
+        }
+        assert_eq!(h.len(), 2000);
+        for i in (0..2000u32).step_by(37) {
+            let k = format!("key-{i}");
+            assert_eq!(
+                h.get(k.as_bytes()).unwrap(),
+                Some(format!("value-{i}").repeat(4).into_bytes())
+            );
+        }
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn replacement_with_growth_relocates() {
+        let path = tmpfile("grow");
+        let mut h = HashStore::create_with_buckets(&path, 8).unwrap();
+        // Fill one page nearly to the brim, then grow an entry.
+        for i in 0..20u32 {
+            h.put(format!("k{i}").as_bytes(), &vec![b'x'; 180]).unwrap();
+        }
+        let n = h.len();
+        h.put(b"k3", &vec![b'y'; 1500]).unwrap();
+        assert_eq!(h.len(), n, "replacement must not change count");
+        assert_eq!(h.get(b"k3").unwrap().unwrap().len(), 1500);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn oversized_entry_rejected() {
+        let path = tmpfile("big");
+        let mut h = HashStore::create(&path).unwrap();
+        assert!(matches!(
+            h.put(b"k", &vec![0u8; MAX_ENTRY + 1]),
+            Err(StorageError::EntryTooLarge { .. })
+        ));
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn persistence_across_reopen() {
+        let path = tmpfile("persist");
+        {
+            let mut h = HashStore::create(&path).unwrap();
+            for i in 0..300u32 {
+                h.put(format!("k{i}").as_bytes(), format!("v{i}").as_bytes()).unwrap();
+            }
+            h.flush().unwrap();
+        }
+        let h = HashStore::open(&path).unwrap();
+        assert_eq!(h.len(), 300);
+        assert_eq!(h.get(b"k250").unwrap(), Some(b"v250".to_vec()));
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn for_each_visits_everything() {
+        let path = tmpfile("iter");
+        let mut h = HashStore::create_with_buckets(&path, 16).unwrap();
+        for i in 0..100u32 {
+            h.put(format!("k{i}").as_bytes(), b"v").unwrap();
+        }
+        let mut seen = 0;
+        h.for_each(|_, v| {
+            assert_eq!(v, b"v");
+            seen += 1;
+        })
+        .unwrap();
+        assert_eq!(seen, 100);
+        std::fs::remove_file(path).ok();
+    }
+}

@@ -1,0 +1,143 @@
+//! Patch transformers: featurized representations for matching.
+//!
+//! The paper's ETL layer featurizes patches before comparing them (§4.1,
+//! "Transformers"); its experiments use color histograms for image matching.
+//! Two feature families are provided:
+//!
+//! * [`color_histogram`] — a low-dimensional (3 × bins) per-channel
+//!   histogram; the "low-dim" case of Fig. 7.
+//! * [`joint_histogram`] — a bins³ joint RGB histogram; the "high-dim" case.
+//! * [`embed`] — a random-projection embedding of downsampled luma, a
+//!   generic stand-in for learned feature extractors.
+
+use deeplens_codec::Image;
+
+/// Per-channel color histogram, L1-normalized. Output dimension `3 * bins`.
+pub fn color_histogram(img: &Image, bins: usize) -> Vec<f32> {
+    assert!(bins > 0 && bins <= 256, "bins must be in 1..=256");
+    let mut hist = vec![0f32; 3 * bins];
+    for px in img.data().chunks_exact(3) {
+        for c in 0..3 {
+            let b = px[c] as usize * bins / 256;
+            hist[c * bins + b] += 1.0;
+        }
+    }
+    let n = (img.width() * img.height()).max(1) as f32;
+    for v in hist.iter_mut() {
+        *v /= n;
+    }
+    hist
+}
+
+/// Joint RGB histogram, L1-normalized. Output dimension `bins³` — the
+/// high-dimensional feature used to stress multidimensional indexes.
+pub fn joint_histogram(img: &Image, bins: usize) -> Vec<f32> {
+    assert!(bins > 0 && bins <= 16, "joint histogram bins must be in 1..=16");
+    let mut hist = vec![0f32; bins * bins * bins];
+    for px in img.data().chunks_exact(3) {
+        let r = px[0] as usize * bins / 256;
+        let g = px[1] as usize * bins / 256;
+        let b = px[2] as usize * bins / 256;
+        hist[(r * bins + g) * bins + b] += 1.0;
+    }
+    let n = (img.width() * img.height()).max(1) as f32;
+    for v in hist.iter_mut() {
+        *v /= n;
+    }
+    hist
+}
+
+/// Random-projection embedding of the downsampled luma plane into `dim`
+/// components. Deterministic in `seed`.
+pub fn embed(img: &Image, dim: usize, seed: u64) -> Vec<f32> {
+    assert!(dim > 0, "embedding dimension must be positive");
+    // Normalize the input to a fixed 16×16 luma patch (neural nets demand a
+    // fixed input resolution — paper §4.2).
+    let small = img.resize(16, 16);
+    let [y, _, _] = small.to_ycbcr();
+    let mut out = vec![0f32; dim];
+    for (i, &v) in y.data.iter().enumerate() {
+        for (j, o) in out.iter_mut().enumerate() {
+            // Hash-derived ±1 projection matrix entry.
+            let mut h = seed
+                ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                ^ (j as u64).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            h ^= h >> 33;
+            h = h.wrapping_mul(0xC4CE_B9FE_1A85_EC53);
+            h ^= h >> 29;
+            h = h.wrapping_mul(0x94D0_49BB_1331_11EB);
+            h ^= h >> 32;
+            let sign = if (h >> 17) & 1 == 1 { 1.0 } else { -1.0 };
+            *o += sign * (v / 255.0);
+        }
+    }
+    let norm = (y.data.len() as f32).sqrt();
+    for o in out.iter_mut() {
+        *o /= norm;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn euclidean(a: &[f32], b: &[f32]) -> f32 {
+        a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum::<f32>().sqrt()
+    }
+
+    #[test]
+    fn histogram_normalized() {
+        let img = Image::solid(10, 10, [255, 0, 128]);
+        let h = color_histogram(&img, 4);
+        assert_eq!(h.len(), 12);
+        let sum: f32 = h.iter().sum();
+        assert!((sum - 3.0).abs() < 1e-4, "each channel sums to 1");
+        assert_eq!(h[3], 1.0); // R=255 in last bin of channel 0
+        assert_eq!(h[4], 1.0); // G=0 in first bin of channel 1
+    }
+
+    #[test]
+    fn joint_histogram_dimension() {
+        let img = Image::solid(4, 4, [0, 0, 0]);
+        let h = joint_histogram(&img, 4);
+        assert_eq!(h.len(), 64);
+        assert_eq!(h[0], 1.0);
+    }
+
+    #[test]
+    fn similar_images_have_close_features() {
+        let a = Image::solid(20, 20, [200, 50, 50]);
+        let mut b = a.clone();
+        b.fill_rect(0, 0, 3, 3, [190, 60, 60]); // small perturbation
+        let c = Image::solid(20, 20, [20, 200, 220]); // very different
+        let (ha, hb, hc) =
+            (color_histogram(&a, 8), color_histogram(&b, 8), color_histogram(&c, 8));
+        assert!(euclidean(&ha, &hb) < euclidean(&ha, &hc));
+    }
+
+    #[test]
+    fn embed_deterministic_and_discriminative() {
+        let a = Image::solid(32, 32, [100, 100, 100]);
+        let b = Image::solid(32, 32, [220, 220, 220]);
+        let ea1 = embed(&a, 24, 9);
+        let ea2 = embed(&a, 24, 9);
+        let eb = embed(&b, 24, 9);
+        assert_eq!(ea1, ea2);
+        assert!(euclidean(&ea1, &eb) > 0.1, "distinct images must embed apart");
+    }
+
+    #[test]
+    fn embed_handles_any_input_size() {
+        let tiny = Image::solid(3, 5, [10, 20, 30]);
+        let big = Image::solid(200, 100, [10, 20, 30]);
+        assert_eq!(embed(&tiny, 16, 1).len(), 16);
+        assert_eq!(embed(&big, 16, 1).len(), 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "bins must be in")]
+    fn histogram_bins_checked() {
+        color_histogram(&Image::new(2, 2), 0);
+    }
+}

@@ -1,0 +1,147 @@
+//! Minimal 3×5 bitmap font for rendering digits and uppercase letters.
+//!
+//! Jersey numbers, document text and screenshots need *some* glyph-shaped
+//! pixels so that encoded/decoded frames still look like text and OCR
+//! bounding boxes enclose real structure. Legibility to humans is a bonus;
+//! the simulated OCR reads scene ground truth, not pixels.
+
+/// Glyph width in pixels.
+pub const GLYPH_W: u32 = 3;
+/// Glyph height in pixels.
+pub const GLYPH_H: u32 = 5;
+
+/// 15-bit bitmaps, row-major, MSB = top-left.
+fn glyph_bits(c: char) -> u16 {
+    match c.to_ascii_uppercase() {
+        '0' => 0b111_101_101_101_111,
+        '1' => 0b010_110_010_010_111,
+        '2' => 0b111_001_111_100_111,
+        '3' => 0b111_001_111_001_111,
+        '4' => 0b101_101_111_001_001,
+        '5' => 0b111_100_111_001_111,
+        '6' => 0b111_100_111_101_111,
+        '7' => 0b111_001_010_010_010,
+        '8' => 0b111_101_111_101_111,
+        '9' => 0b111_101_111_001_111,
+        'A' => 0b010_101_111_101_101,
+        'B' => 0b110_101_110_101_110,
+        'C' => 0b011_100_100_100_011,
+        'D' => 0b110_101_101_101_110,
+        'E' => 0b111_100_110_100_111,
+        'F' => 0b111_100_110_100_100,
+        'G' => 0b011_100_101_101_011,
+        'H' => 0b101_101_111_101_101,
+        'I' => 0b111_010_010_010_111,
+        'J' => 0b001_001_001_101_010,
+        'K' => 0b101_110_100_110_101,
+        'L' => 0b100_100_100_100_111,
+        'M' => 0b101_111_111_101_101,
+        'N' => 0b101_111_111_111_101,
+        'O' => 0b010_101_101_101_010,
+        'P' => 0b110_101_110_100_100,
+        'Q' => 0b010_101_101_011_001,
+        'R' => 0b110_101_110_110_101,
+        'S' => 0b011_100_010_001_110,
+        'T' => 0b111_010_010_010_010,
+        'U' => 0b101_101_101_101_111,
+        'V' => 0b101_101_101_101_010,
+        'W' => 0b101_101_111_111_101,
+        'X' => 0b101_101_010_101_101,
+        'Y' => 0b101_101_010_010_010,
+        'Z' => 0b111_001_010_100_111,
+        ' ' => 0,
+        _ => 0b111_111_111_111_111, // unknown chars render as solid blocks
+    }
+}
+
+/// Whether the glyph pixel at `(x, y)` is set for character `c`.
+pub fn glyph_pixel(c: char, x: u32, y: u32) -> bool {
+    debug_assert!(x < GLYPH_W && y < GLYPH_H);
+    let bit = 14 - (y * GLYPH_W + x);
+    (glyph_bits(c) >> bit) & 1 == 1
+}
+
+/// Draw `text` into an image at `(x0, y0)` with per-glyph `scale` and the
+/// given color. Returns the pixel width consumed.
+pub fn draw_text(
+    img: &mut deeplens_codec::Image,
+    text: &str,
+    x0: i64,
+    y0: i64,
+    scale: u32,
+    color: [u8; 3],
+) -> u32 {
+    let mut cursor = 0u32;
+    for c in text.chars() {
+        for gy in 0..GLYPH_H {
+            for gx in 0..GLYPH_W {
+                if glyph_pixel(c, gx, gy) {
+                    img.fill_rect(
+                        x0 + (cursor + gx * scale) as i64,
+                        y0 + (gy * scale) as i64,
+                        scale,
+                        scale,
+                        color,
+                    );
+                }
+            }
+        }
+        cursor += (GLYPH_W + 1) * scale; // 1-pixel letter spacing
+    }
+    cursor
+}
+
+/// Pixel width of `text` at the given scale.
+pub fn text_width(text: &str, scale: u32) -> u32 {
+    text.chars().count() as u32 * (GLYPH_W + 1) * scale
+}
+
+/// Pixel height of a text line at the given scale.
+pub fn text_height(scale: u32) -> u32 {
+    GLYPH_H * scale
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deeplens_codec::Image;
+
+    #[test]
+    fn digits_have_distinct_shapes() {
+        let shapes: Vec<u16> = ('0'..='9').map(glyph_bits).collect();
+        for i in 0..shapes.len() {
+            for j in i + 1..shapes.len() {
+                assert_ne!(shapes[i], shapes[j], "digits {i} and {j} collide");
+            }
+        }
+    }
+
+    #[test]
+    fn space_is_blank() {
+        for y in 0..GLYPH_H {
+            for x in 0..GLYPH_W {
+                assert!(!glyph_pixel(' ', x, y));
+            }
+        }
+    }
+
+    #[test]
+    fn draw_text_marks_pixels() {
+        let mut img = Image::new(40, 10);
+        let w = draw_text(&mut img, "42", 1, 1, 1, [255, 255, 255]);
+        assert_eq!(w, text_width("42", 1));
+        let lit = img.data().iter().filter(|&&b| b == 255).count();
+        assert!(lit > 10, "text should light up pixels");
+    }
+
+    #[test]
+    fn lowercase_maps_to_uppercase() {
+        assert_eq!(glyph_bits('a'), glyph_bits('A'));
+    }
+
+    #[test]
+    fn scaled_text_metrics() {
+        assert_eq!(text_width("AB", 2), 16);
+        assert_eq!(text_height(3), 15);
+    }
+}

@@ -1,0 +1,392 @@
+//! Parametric scene model and rasterizer.
+//!
+//! A [`Scene`] describes a camera view of moving objects — each with a
+//! stable identity, class, trajectory, camera depth, identity color
+//! signature and optional text label. Rendering a frame is deterministic in
+//! `(scene, t)`, and the scene doubles as ground truth for the simulated
+//! models and for accuracy scoring.
+
+use deeplens_codec::Image;
+
+use crate::font;
+
+/// Object classes the synthetic world contains (the closed label world the
+/// paper's type system tracks, §4.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ObjectClass {
+    /// A car (vehicle).
+    Car,
+    /// A truck (vehicle).
+    Truck,
+    /// A person on foot.
+    Pedestrian,
+    /// A football player (person with a jersey number).
+    Player,
+    /// A bicycle.
+    Bicycle,
+    /// A block of rendered text (documents, screenshots).
+    TextBlock,
+}
+
+impl ObjectClass {
+    /// The detector's label string for this class.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ObjectClass::Car => "car",
+            ObjectClass::Truck => "truck",
+            ObjectClass::Pedestrian => "person",
+            ObjectClass::Player => "person",
+            ObjectClass::Bicycle => "bicycle",
+            ObjectClass::TextBlock => "text",
+        }
+    }
+
+    /// Whether the paper's q2 "vehicle" predicate matches this class.
+    pub fn is_vehicle(&self) -> bool {
+        matches!(self, ObjectClass::Car | ObjectClass::Truck)
+    }
+
+    /// Every label the synthetic detector can emit (the closed world used
+    /// for pipeline validation).
+    pub fn all_labels() -> &'static [&'static str] {
+        &["car", "truck", "person", "bicycle", "text"]
+    }
+}
+
+/// An axis-aligned bounding box in pixel coordinates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BBox {
+    /// Left edge (may be negative while an object enters the frame).
+    pub x: i64,
+    /// Top edge.
+    pub y: i64,
+    /// Width in pixels.
+    pub w: u32,
+    /// Height in pixels.
+    pub h: u32,
+}
+
+impl BBox {
+    /// Construct a bounding box.
+    pub fn new(x: i64, y: i64, w: u32, h: u32) -> Self {
+        BBox { x, y, w, h }
+    }
+
+    /// Area in pixels.
+    pub fn area(&self) -> u64 {
+        self.w as u64 * self.h as u64
+    }
+
+    /// Intersection-over-union with another box.
+    pub fn iou(&self, other: &BBox) -> f64 {
+        let x1 = self.x.max(other.x);
+        let y1 = self.y.max(other.y);
+        let x2 = (self.x + self.w as i64).min(other.x + other.w as i64);
+        let y2 = (self.y + self.h as i64).min(other.y + other.h as i64);
+        if x2 <= x1 || y2 <= y1 {
+            return 0.0;
+        }
+        let inter = ((x2 - x1) * (y2 - y1)) as f64;
+        let union = (self.area() + other.area()) as f64 - inter;
+        inter / union
+    }
+
+    /// Whether the box overlaps a `width`×`height` frame at all.
+    pub fn visible_in(&self, width: u32, height: u32) -> bool {
+        self.x < width as i64
+            && self.y < height as i64
+            && self.x + self.w as i64 > 0
+            && self.y + self.h as i64 > 0
+    }
+
+    /// Center point.
+    pub fn center(&self) -> (f64, f64) {
+        (self.x as f64 + self.w as f64 / 2.0, self.y as f64 + self.h as f64 / 2.0)
+    }
+}
+
+/// One object in a scene.
+#[derive(Debug, Clone)]
+pub struct SceneObject {
+    /// Stable identity (ground truth for distinct-counting, q4).
+    pub id: u64,
+    /// Object class.
+    pub class: ObjectClass,
+    /// Top-left x at `enter` time.
+    pub x0: f64,
+    /// Top-left y at `enter` time.
+    pub y0: f64,
+    /// Width in pixels.
+    pub w: u32,
+    /// Height in pixels.
+    pub h: u32,
+    /// Horizontal velocity in pixels per frame.
+    pub vx: f64,
+    /// Vertical velocity in pixels per frame.
+    pub vy: f64,
+    /// Identity color signature (what makes the same object matchable
+    /// across frames and cameras).
+    pub color: [u8; 3],
+    /// Distance from the camera in meters (ground truth for q6).
+    pub depth: f64,
+    /// Optional rendered text (jersey number, document content).
+    pub text: Option<String>,
+    /// First frame the object exists.
+    pub enter: u64,
+    /// First frame the object no longer exists.
+    pub exit: u64,
+}
+
+impl SceneObject {
+    /// Ground-truth bounding box at frame `t`, or `None` if the object does
+    /// not exist or is fully outside the frame.
+    pub fn bbox_at(&self, t: u64, frame_w: u32, frame_h: u32) -> Option<BBox> {
+        if t < self.enter || t >= self.exit {
+            return None;
+        }
+        let dt = (t - self.enter) as f64;
+        let bb = BBox::new(
+            (self.x0 + self.vx * dt).round() as i64,
+            (self.y0 + self.vy * dt).round() as i64,
+            self.w,
+            self.h,
+        );
+        bb.visible_in(frame_w, frame_h).then_some(bb)
+    }
+}
+
+/// A camera view of a set of moving objects.
+#[derive(Debug, Clone)]
+pub struct Scene {
+    /// Frame width in pixels.
+    pub width: u32,
+    /// Frame height in pixels.
+    pub height: u32,
+    /// Background color.
+    pub background: [u8; 3],
+    /// Amplitude of the static background texture (0 disables).
+    pub texture: u8,
+    /// The objects in the world.
+    pub objects: Vec<SceneObject>,
+}
+
+/// Cheap deterministic 2-D hash for static background texture.
+#[inline]
+fn pixel_hash(x: u32, y: u32) -> u32 {
+    let mut h = x.wrapping_mul(0x9E37_79B9) ^ y.wrapping_mul(0x85EB_CA6B);
+    h ^= h >> 13;
+    h = h.wrapping_mul(0xC2B2_AE35);
+    h ^ (h >> 16)
+}
+
+impl Scene {
+    /// Create an empty scene.
+    pub fn new(width: u32, height: u32, background: [u8; 3]) -> Self {
+        Scene { width, height, background, texture: 6, objects: Vec::new() }
+    }
+
+    /// Ground truth: all objects visible at frame `t` with their boxes.
+    pub fn visible_at(&self, t: u64) -> Vec<(&SceneObject, BBox)> {
+        self.objects
+            .iter()
+            .filter_map(|o| o.bbox_at(t, self.width, self.height).map(|bb| (o, bb)))
+            .collect()
+    }
+
+    /// Distinct identities of a class that are ever visible in `[0, frames)`.
+    pub fn distinct_identities(&self, class: ObjectClass, frames: u64) -> Vec<u64> {
+        let mut ids: Vec<u64> = self
+            .objects
+            .iter()
+            .filter(|o| o.class == class)
+            .filter(|o| (0..frames).any(|t| o.bbox_at(t, self.width, self.height).is_some()))
+            .map(|o| o.id)
+            .collect();
+        ids.sort_unstable();
+        ids.dedup();
+        ids
+    }
+
+    /// Render frame `t` deterministically.
+    pub fn render_frame(&self, t: u64) -> Image {
+        let mut img = Image::solid(self.width, self.height, self.background);
+        // Static background texture: compresses well under inter coding and
+        // gives the intra coder something real to chew on.
+        if self.texture > 0 {
+            let amp = self.texture as i32;
+            let data = img.data_mut();
+            for y in 0..self.height {
+                for x in 0..self.width {
+                    let n = (pixel_hash(x, y) % (2 * amp as u32 + 1)) as i32 - amp;
+                    let i = ((y * self.width + x) * 3) as usize;
+                    for c in 0..3 {
+                        data[i + c] = (data[i + c] as i32 + n).clamp(0, 255) as u8;
+                    }
+                }
+            }
+        }
+        // Draw objects back-to-front (deeper objects first) so that closer
+        // objects occlude farther ones — q6's geometry becomes visible.
+        let mut visible = self.visible_at(t);
+        visible.sort_by(|a, b| b.0.depth.total_cmp(&a.0.depth));
+        for (obj, bb) in visible {
+            self.draw_object(&mut img, obj, &bb);
+        }
+        img
+    }
+
+    fn draw_object(&self, img: &mut Image, obj: &SceneObject, bb: &BBox) {
+        match obj.class {
+            ObjectClass::TextBlock => {
+                // Text blocks render their content on a light card.
+                img.fill_rect(bb.x, bb.y, bb.w, bb.h, [235, 235, 230]);
+                if let Some(text) = &obj.text {
+                    let scale = (bb.h / (font::text_height(1) + 2)).max(1);
+                    font::draw_text(img, text, bb.x + 2, bb.y + 2, scale, [20, 20, 30]);
+                }
+            }
+            _ => {
+                // Body in the identity color with a darker border.
+                let border = [
+                    obj.color[0].saturating_sub(60),
+                    obj.color[1].saturating_sub(60),
+                    obj.color[2].saturating_sub(60),
+                ];
+                img.fill_rect(bb.x, bb.y, bb.w, bb.h, border);
+                if bb.w > 4 && bb.h > 4 {
+                    img.fill_rect(bb.x + 2, bb.y + 2, bb.w - 4, bb.h - 4, obj.color);
+                }
+                // Identity stripe pattern: two accent bars whose offsets
+                // depend on the id, separating same-color identities.
+                let accent = [
+                    (obj.color[0] as u16 * 2 % 255) as u8,
+                    (obj.color[1] as u16 * 3 % 255) as u8,
+                    (obj.color[2] as u16 * 5 % 255) as u8,
+                ];
+                let stripe = (obj.id % (bb.w.max(4) as u64 / 2)) as i64;
+                img.fill_rect(bb.x + stripe, bb.y, 2, bb.h, accent);
+                // Jersey number / text label.
+                if let Some(text) = &obj.text {
+                    let scale = (bb.h / (font::text_height(1) * 2)).max(1);
+                    let tw = font::text_width(text, scale);
+                    font::draw_text(
+                        img,
+                        text,
+                        bb.x + (bb.w as i64 - tw as i64) / 2,
+                        bb.y + bb.h as i64 / 4,
+                        scale,
+                        [250, 250, 250],
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn car(id: u64, x: f64, vx: f64) -> SceneObject {
+        SceneObject {
+            id,
+            class: ObjectClass::Car,
+            x0: x,
+            y0: 20.0,
+            w: 16,
+            h: 10,
+            vx,
+            vy: 0.0,
+            color: [200, 40, 40],
+            depth: 10.0,
+            text: None,
+            enter: 0,
+            exit: 100,
+        }
+    }
+
+    #[test]
+    fn bbox_iou_cases() {
+        let a = BBox::new(0, 0, 10, 10);
+        assert_eq!(a.iou(&a), 1.0);
+        assert_eq!(a.iou(&BBox::new(20, 20, 5, 5)), 0.0);
+        let half = a.iou(&BBox::new(0, 5, 10, 10));
+        assert!((half - 50.0 / 150.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn object_moves_linearly() {
+        let o = car(1, 0.0, 2.0);
+        let b0 = o.bbox_at(0, 100, 50).unwrap();
+        let b5 = o.bbox_at(5, 100, 50).unwrap();
+        assert_eq!(b0.x, 0);
+        assert_eq!(b5.x, 10);
+        assert!(o.bbox_at(100, 100, 50).is_none(), "object expired");
+    }
+
+    #[test]
+    fn object_clips_out_of_frame() {
+        let o = car(1, -200.0, 0.0);
+        assert!(o.bbox_at(0, 100, 50).is_none());
+    }
+
+    #[test]
+    fn render_is_deterministic() {
+        let mut scene = Scene::new(64, 48, [30, 60, 40]);
+        scene.objects.push(car(1, 5.0, 1.0));
+        let a = scene.render_frame(3);
+        let b = scene.render_frame(3);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn rendered_object_changes_pixels() {
+        let empty = Scene::new(64, 48, [30, 60, 40]);
+        let mut with_car = empty.clone();
+        with_car.objects.push(car(1, 10.0, 0.0));
+        let fa = empty.render_frame(0);
+        let fb = with_car.render_frame(0);
+        assert_ne!(fa, fb);
+        // The car's interior pixel carries its identity color.
+        assert_eq!(fb.get(18, 25), [200, 40, 40]);
+    }
+
+    #[test]
+    fn occlusion_by_depth() {
+        let mut scene = Scene::new(64, 48, [0, 0, 0]);
+        scene.texture = 0;
+        let mut near = car(1, 10.0, 0.0);
+        near.depth = 5.0;
+        near.color = [10, 200, 10];
+        let mut far = car(2, 10.0, 0.0);
+        far.depth = 50.0;
+        far.color = [10, 10, 200];
+        scene.objects.push(far.clone());
+        scene.objects.push(near.clone());
+        let f = scene.render_frame(0);
+        // The near (green) car wins the overlapping interior pixel.
+        assert_eq!(f.get(18, 25), [10, 200, 10]);
+    }
+
+    #[test]
+    fn distinct_identities_deduplicate() {
+        let mut scene = Scene::new(64, 48, [0, 0, 0]);
+        scene.objects.push(car(7, 0.0, 1.0));
+        scene.objects.push(car(7, 30.0, 1.0)); // same identity re-entering
+        scene.objects.push(car(9, 0.0, 1.0));
+        let ids = scene.distinct_identities(ObjectClass::Car, 50);
+        assert_eq!(ids, vec![7, 9]);
+    }
+
+    #[test]
+    fn visible_at_respects_enter_exit() {
+        let mut scene = Scene::new(64, 48, [0, 0, 0]);
+        let mut o = car(1, 5.0, 0.0);
+        o.enter = 10;
+        o.exit = 20;
+        scene.objects.push(o);
+        assert!(scene.visible_at(5).is_empty());
+        assert_eq!(scene.visible_at(15).len(), 1);
+        assert!(scene.visible_at(25).is_empty());
+    }
+}

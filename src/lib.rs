@@ -1,0 +1,52 @@
+//! # DeepLens
+//!
+//! A from-scratch Rust reproduction of **"DeepLens: Towards a Visual Data
+//! Management System"** (Krishnan, Dziedzic, Elmore — CIDR 2019).
+//!
+//! DeepLens manages the outputs of computer-vision models as first-class
+//! database content: visual analytics are relational queries over unordered
+//! collections of *patches* (featurized sub-images with metadata and
+//! lineage), decoupled from physical design decisions — video encoding and
+//! layout, device placement, and single-/multi-dimensional indexing.
+//!
+//! This facade crate re-exports the whole workspace:
+//!
+//! * [`core`] ([`deeplens_core`]) — patch model, type system, lineage, ETL,
+//!   query operators, catalog, optimizer.
+//! * [`storage`] ([`deeplens_storage`]) — pages, buffer pool, WAL, on-disk
+//!   B+Tree, hash store, and the Frame/Encoded/Segmented video layouts.
+//! * [`codec`] ([`deeplens_codec`]) — block-DCT image codec and
+//!   GOP-structured video codec with sequential decode semantics.
+//! * [`index`] ([`deeplens_index`]) — Ball-Tree, R-Tree, KD-Tree, LSH,
+//!   sorted runs.
+//! * [`exec`] ([`deeplens_exec`]) — CPU / vectorized / simulated-GPU
+//!   execution backends.
+//! * [`vision`] ([`deeplens_vision`]) — synthetic scenes, the three
+//!   benchmark corpora, and simulated detector / OCR / depth models.
+//!
+//! ```
+//! use deeplens::prelude::*;
+//!
+//! let mut catalog = Catalog::new();
+//! let patches: Vec<Patch> = (0..4)
+//!     .map(|i| {
+//!         Patch::features(catalog.next_patch_id(), ImgRef::frame("v", i), vec![i as f32])
+//!             .with_meta("label", "car")
+//!     })
+//!     .collect();
+//! catalog.materialize("cars", patches);
+//! assert_eq!(catalog.collection("cars").unwrap().len(), 4);
+//! ```
+
+pub use deeplens_codec as codec;
+pub use deeplens_core as core;
+pub use deeplens_exec as exec;
+pub use deeplens_index as index;
+pub use deeplens_storage as storage;
+pub use deeplens_vision as vision;
+
+/// Common imports for DeepLens applications (re-export of
+/// [`deeplens_core::prelude`]).
+pub mod prelude {
+    pub use deeplens_core::prelude::*;
+}

@@ -1,0 +1,204 @@
+//! Property-based tests over the core invariants of the DeepLens stack:
+//! codec round-trips, index/bruteforce agreement, B+Tree vs BTreeMap model,
+//! and key-encoding order preservation.
+
+use std::collections::BTreeMap;
+use std::ops::Bound;
+
+use proptest::prelude::*;
+
+use deeplens::codec::{decode_image, encode_image, psnr, Image, Quality};
+use deeplens::index::{bruteforce, BallTree, KdTree, Rect, RTree};
+use deeplens::storage::btree::{keys, BTree};
+
+fn unique_tmp(tag: &str) -> std::path::PathBuf {
+    static CTR: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+    let n = CTR.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    let dir = std::env::temp_dir().join("deeplens-proptest");
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(format!("{tag}-{}-{n}.dlb", std::process::id()))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    /// Intra codec: any image round-trips with bounded distortion at
+    /// high quality and always preserves dimensions.
+    #[test]
+    fn intra_codec_roundtrip(
+        w in 1u32..80,
+        h in 1u32..60,
+        seed in any::<u64>(),
+    ) {
+        let mut img = Image::new(w, h);
+        let mut s = seed;
+        for y in 0..h {
+            for x in 0..w {
+                s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+                let v = (s >> 33) as u8;
+                img.set(x, y, [v, v.wrapping_mul(3), v.wrapping_add(80)]);
+            }
+        }
+        let bytes = encode_image(&img, Quality::High);
+        let back = decode_image(&bytes).unwrap();
+        prop_assert_eq!(back.width(), w);
+        prop_assert_eq!(back.height(), h);
+        // Random noise is the worst case for a DCT coder, and 4:2:0 chroma
+        // subsampling legitimately wrecks sub-block images — only demand a
+        // distortion floor once a full 8x8 block exists.
+        if w >= 8 && h >= 8 {
+            prop_assert!(psnr(&img, &back) > 12.0);
+        }
+    }
+
+    /// Ball-Tree range queries agree exactly with brute force.
+    #[test]
+    fn balltree_matches_bruteforce(
+        n in 1usize..200,
+        dim in 1usize..12,
+        tau in 0.1f32..8.0,
+        seed in any::<u64>(),
+    ) {
+        let mut s = seed | 1;
+        let pts: Vec<Vec<f32>> = (0..n)
+            .map(|_| {
+                (0..dim)
+                    .map(|_| {
+                        s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+                        (s >> 33) as f32 / (1u64 << 31) as f32 * 10.0
+                    })
+                    .collect()
+            })
+            .collect();
+        let tree = BallTree::from_vectors(&pts);
+        let q = &pts[n / 2];
+        let mut got = tree.range_query(q, tau);
+        let mut expect = bruteforce::range_query(&pts, q, tau);
+        got.sort_unstable();
+        expect.sort_unstable();
+        prop_assert_eq!(got, expect);
+    }
+
+    /// KD-Tree nearest neighbour agrees with brute force.
+    #[test]
+    fn kdtree_nearest_matches_bruteforce(
+        n in 2usize..150,
+        seed in any::<u64>(),
+    ) {
+        let mut s = seed | 1;
+        let pts: Vec<Vec<f32>> = (0..n)
+            .map(|_| {
+                (0..3)
+                    .map(|_| {
+                        s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+                        (s >> 33) as f32 / (1u64 << 31) as f32 * 10.0
+                    })
+                    .collect()
+            })
+            .collect();
+        let tree = KdTree::from_vectors(&pts);
+        let q = vec![5.0f32, 5.0, 5.0];
+        let (_, got_d) = tree.nearest(&q).unwrap();
+        let (_, want_d) = bruteforce::knn(&pts, &q, 1)[0];
+        prop_assert!((got_d - want_d).abs() < 1e-4);
+    }
+
+    /// R-Tree intersection queries agree with a linear filter.
+    #[test]
+    fn rtree_matches_linear_filter(
+        n in 1usize..150,
+        qx in 0f32..900.0,
+        qy in 0f32..900.0,
+        seed in any::<u64>(),
+    ) {
+        let mut s = seed | 1;
+        let mut next = move || {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+            (s >> 33) as f32 / (1u64 << 31) as f32 * 1000.0
+        };
+        let rects: Vec<(Rect, u64)> = (0..n as u64)
+            .map(|i| {
+                let x = next();
+                let y = next();
+                (Rect::new(x, y, x + next() / 20.0, y + next() / 20.0), i)
+            })
+            .collect();
+        let mut tree = RTree::new();
+        for (r, id) in &rects {
+            tree.insert(*r, *id);
+        }
+        let window = Rect::new(qx, qy, qx + 120.0, qy + 120.0);
+        let mut got = tree.intersecting(&window);
+        got.sort_unstable();
+        let mut expect: Vec<u64> = rects
+            .iter()
+            .filter(|(r, _)| window.intersects(r))
+            .map(|(_, id)| *id)
+            .collect();
+        expect.sort_unstable();
+        prop_assert_eq!(got, expect);
+    }
+
+    /// Numeric key encodings preserve order for arbitrary values.
+    #[test]
+    fn key_encodings_preserve_order(a in any::<i64>(), b in any::<i64>()) {
+        prop_assert_eq!(a.cmp(&b), keys::encode_i64(a).cmp(&keys::encode_i64(b)));
+        let (fa, fb) = (a as f64 / 1e6, b as f64 / 1e6);
+        prop_assert_eq!(fa.total_cmp(&fb), keys::encode_f64(fa).cmp(&keys::encode_f64(fb)));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
+
+    /// The on-disk B+Tree behaves exactly like a BTreeMap model under an
+    /// arbitrary interleaving of inserts, deletes and lookups, including
+    /// range scans.
+    #[test]
+    fn btree_matches_model(
+        ops in prop::collection::vec(
+            (0u8..3, prop::collection::vec(any::<u8>(), 1..24),
+             prop::collection::vec(any::<u8>(), 0..600)),
+            1..150,
+        )
+    ) {
+        let path = unique_tmp("model");
+        let mut tree = BTree::create(&path).unwrap();
+        let mut model: BTreeMap<Vec<u8>, Vec<u8>> = BTreeMap::new();
+        for (op, key, value) in &ops {
+            match op {
+                0 => {
+                    tree.insert(key, value).unwrap();
+                    model.insert(key.clone(), value.clone());
+                }
+                1 => {
+                    let got = tree.delete(key).unwrap();
+                    let want = model.remove(key).is_some();
+                    prop_assert_eq!(got, want);
+                }
+                _ => {
+                    let got = tree.get(key).unwrap();
+                    let want = model.get(key).cloned();
+                    prop_assert_eq!(got, want);
+                }
+            }
+        }
+        prop_assert_eq!(tree.len() as usize, model.len());
+        // Full ordered scan equals the model.
+        let scan: Vec<(Vec<u8>, Vec<u8>)> =
+            tree.scan_all().unwrap().collect::<Result<_, _>>().unwrap();
+        let want: Vec<(Vec<u8>, Vec<u8>)> =
+            model.iter().map(|(k, v)| (k.clone(), v.clone())).collect();
+        prop_assert_eq!(scan, want);
+        // A bounded range scan equals the model's range.
+        if let (Some(first), Some(last)) = (model.keys().next(), model.keys().last()) {
+            let got: Vec<_> = tree
+                .scan(Bound::Included(first.as_slice()), Bound::Included(last.as_slice()))
+                .unwrap()
+                .collect::<Result<Vec<_>, _>>()
+                .unwrap();
+            prop_assert_eq!(got.len(), model.len());
+        }
+        std::fs::remove_file(path).ok();
+    }
+}
