@@ -22,17 +22,19 @@ fn bench_devices(c: &mut Criterion) {
     let a = matrix(600, 64, 1);
     let b = matrix(600, 64, 2);
     let mut join = c.benchmark_group("threshold_join_600x600_64d");
-    for dev in Device::all() {
+    for dev in Device::all_with_parallel() {
         let exec = Executor::new(dev);
         join.bench_with_input(BenchmarkId::from_parameter(dev.label()), &dev, |bch, _| {
-            bch.iter(|| exec.threshold_join(std::hint::black_box(&a), std::hint::black_box(&b), 4.0))
+            bch.iter(|| {
+                exec.threshold_join(std::hint::black_box(&a), std::hint::black_box(&b), 4.0)
+            })
         });
     }
     join.finish();
 
     let plane: Vec<f32> = (0..192 * 108).map(|i| (i % 251) as f32).collect();
     let mut conv = c.benchmark_group("conv_stack_192x108_4l");
-    for dev in Device::all() {
+    for dev in Device::all_with_parallel() {
         let exec = Executor::new(dev);
         conv.bench_with_input(BenchmarkId::from_parameter(dev.label()), &dev, |bch, _| {
             bch.iter(|| exec.conv_stack(std::hint::black_box(&plane), 192, 108, 4))

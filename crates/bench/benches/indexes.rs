@@ -26,7 +26,13 @@ fn bench_indexes(c: &mut Criterion) {
         b.iter(|| KdTree::build(4, std::hint::black_box(flat4.clone())))
     });
     build.bench_function("lsh_64d", |b| {
-        b.iter(|| LshIndex::build(64, std::hint::black_box(flat64.clone()), LshParams::default()))
+        b.iter(|| {
+            LshIndex::build(
+                64,
+                std::hint::black_box(flat64.clone()),
+                LshParams::default(),
+            )
+        })
     });
     let rects: Vec<(Rect, u64)> = (0..10_000u64)
         .map(|i| {

@@ -1,0 +1,73 @@
+//! Criterion benches for the multi-core CPU backend: scalar vs vectorized
+//! vs `ParallelCpu(threads)` vs simulated GPU on large threshold-joins
+//! (≥100k distance pairs) and batch distance kernels, plus thread-count
+//! scaling of the morsel pool.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use deeplens_exec::{Device, Executor, Matrix};
+
+fn matrix(rows: usize, cols: usize, seed: u64) -> Matrix {
+    let mut s = seed;
+    Matrix::from_vec(
+        rows,
+        cols,
+        (0..rows * cols)
+            .map(|_| {
+                s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+                (s >> 33) as f32 / (1u64 << 31) as f32 * 10.0
+            })
+            .collect(),
+    )
+}
+
+fn bench_parallel_join(c: &mut Criterion) {
+    // 400 x 400 = 160k distance pairs at 64 dimensions.
+    let a = matrix(400, 64, 1);
+    let b = matrix(400, 64, 2);
+    let mut join = c.benchmark_group("threshold_join_160k_pairs_64d");
+    for dev in Device::all_with_parallel() {
+        let exec = Executor::new(dev);
+        join.bench_with_input(BenchmarkId::from_parameter(dev.label()), &dev, |bch, _| {
+            bch.iter(|| {
+                exec.threshold_join(std::hint::black_box(&a), std::hint::black_box(&b), 4.0)
+            })
+        });
+    }
+    join.finish();
+}
+
+fn bench_thread_scaling(c: &mut Criterion) {
+    let a = matrix(500, 64, 3);
+    let b = matrix(500, 64, 4);
+    let mut scaling = c.benchmark_group("parallel_join_250k_pairs_by_threads");
+    for threads in [1usize, 2, 4, 8] {
+        let exec = Executor::new(Device::ParallelCpu(threads));
+        scaling.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |bch, _| {
+            bch.iter(|| {
+                exec.threshold_join(std::hint::black_box(&a), std::hint::black_box(&b), 4.0)
+            })
+        });
+    }
+    scaling.finish();
+}
+
+fn bench_distance_batch(c: &mut Criterion) {
+    let m = matrix(100_000, 24, 5);
+    let q: Vec<f32> = (0..24).map(|i| i as f32 / 4.0).collect();
+    let mut dist = c.benchmark_group("distances_100k_24d");
+    for dev in Device::all_with_parallel() {
+        let exec = Executor::new(dev);
+        dist.bench_with_input(BenchmarkId::from_parameter(dev.label()), &dev, |bch, _| {
+            bch.iter(|| exec.distances(std::hint::black_box(&m), std::hint::black_box(&q)))
+        });
+    }
+    dist.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_parallel_join,
+    bench_thread_scaling,
+    bench_distance_batch
+);
+criterion_main!(benches);

@@ -19,7 +19,8 @@ fn bench_storage(c: &mut Criterion) {
         let mut i = 0u64;
         b.iter(|| {
             i = (i + 7919) % 20_000;
-            tree.get(&keys::encode_u64(std::hint::black_box(i))).unwrap()
+            tree.get(&keys::encode_u64(std::hint::black_box(i)))
+                .unwrap()
         })
     });
     c.bench_function("btree_scan_1k_of_20k", |b| {
@@ -35,7 +36,8 @@ fn bench_storage(c: &mut Criterion) {
     let hpath = dir.join(format!("bench-{}.dlh", std::process::id()));
     let mut hs = HashStore::create(&hpath).unwrap();
     for i in 0..20_000u32 {
-        hs.put(format!("k{i}").as_bytes(), &i.to_le_bytes()).unwrap();
+        hs.put(format!("k{i}").as_bytes(), &i.to_le_bytes())
+            .unwrap();
     }
     c.bench_function("hashstore_get_20k", |b| {
         let mut i = 0u32;

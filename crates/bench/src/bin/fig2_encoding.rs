@@ -32,8 +32,16 @@ fn q2_f1(ds: &TrafficDataset, frames: &[(u64, Image)], det: &ObjectDetector) -> 
     let eval: HashSet<u64> = frames.iter().map(|(t, _)| *t).collect();
     let truth_eval: HashSet<u64> = truth.intersection(&eval).copied().collect();
     let tp = predicted.intersection(&truth_eval).count() as f64;
-    let precision = if predicted.is_empty() { 1.0 } else { tp / predicted.len() as f64 };
-    let recall = if truth_eval.is_empty() { 1.0 } else { tp / truth_eval.len() as f64 };
+    let precision = if predicted.is_empty() {
+        1.0
+    } else {
+        tp / predicted.len() as f64
+    };
+    let recall = if truth_eval.is_empty() {
+        1.0
+    } else {
+        tp / truth_eval.len() as f64
+    };
     if precision + recall == 0.0 {
         0.0
     } else {
@@ -56,7 +64,10 @@ fn main() {
     // small objects push their color signature past this threshold, which is
     // how lossy encoding translates into lost detections (Fig. 2's y-axis).
     let det = ObjectDetector::new(
-        DetectorConfig { evidence_threshold: 21.0, ..Default::default() },
+        DetectorConfig {
+            evidence_threshold: 21.0,
+            ..Default::default()
+        },
         Device::Avx,
     );
 
@@ -70,8 +81,10 @@ fn main() {
     );
 
     // RAW baseline.
-    let eval: Vec<(u64, Image)> =
-        eval_ids.iter().map(|&t| (t, frames[t as usize].clone())).collect();
+    let eval: Vec<(u64, Image)> = eval_ids
+        .iter()
+        .map(|&t| (t, frames[t as usize].clone()))
+        .collect();
     let f1 = q2_f1(&ds, &eval, &det);
     table.row(&[
         "RAW".to_string(),
@@ -89,7 +102,10 @@ fn main() {
             let enc = encode_image(f, Quality::High);
             total += enc.len() as u64;
             if t % eval_step == 0 {
-                eval.push((t as u64, deeplens_codec::decode_image(&enc).expect("decodes")));
+                eval.push((
+                    t as u64,
+                    deeplens_codec::decode_image(&enc).expect("decodes"),
+                ));
             }
         }
         (total, eval)
@@ -106,12 +122,21 @@ fn main() {
     // Sequential (H.264-like) at three qualities.
     for q in [Quality::High, Quality::Medium, Quality::Low] {
         let (stream, enc_t) = time(|| {
-            encode_video(&frames, VideoConfig { quality: q, gop: 30, fps: 24.0 })
-                .expect("encodes")
+            encode_video(
+                &frames,
+                VideoConfig {
+                    quality: q,
+                    gop: 30,
+                    fps: 24.0,
+                },
+            )
+            .expect("encodes")
         });
         let decoded = decode_video(&stream).expect("decodes");
-        let eval: Vec<(u64, Image)> =
-            eval_ids.iter().map(|&t| (t, decoded[t as usize].clone())).collect();
+        let eval: Vec<(u64, Image)> = eval_ids
+            .iter()
+            .map(|&t| (t, decoded[t as usize].clone()))
+            .collect();
         let f1 = q2_f1(&ds, &eval, &det);
         table.row(&[
             format!("H264-{}", q.label()),

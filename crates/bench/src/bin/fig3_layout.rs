@@ -10,8 +10,7 @@ use deeplens_bench::report::{human_bytes, ms, time, Table};
 use deeplens_bench::{scale, WORLD_SEED};
 use deeplens_codec::Quality;
 use deeplens_storage::layout::{
-    EncodedFile, FrameFile, FrameFormat, SegmentedFile, StorageAdvisor, VideoStore,
-    WorkloadProfile,
+    EncodedFile, FrameFile, FrameFormat, SegmentedFile, StorageAdvisor, VideoStore, WorkloadProfile,
 };
 use deeplens_vision::datasets::TrafficDataset;
 
@@ -19,7 +18,10 @@ fn main() {
     let ds = TrafficDataset::generate(scale(), WORLD_SEED);
     let frames = ds.render_all();
     let n = frames.len() as u64;
-    println!("Fig. 3 | {} frames @ {}x{}", n, ds.scene.width, ds.scene.height);
+    println!(
+        "Fig. 3 | {} frames @ {}x{}",
+        n, ds.scene.width, ds.scene.height
+    );
 
     // Temporal predicate: a 2%-of-video window at 60% of the timeline.
     let start = n * 60 / 100;
@@ -77,7 +79,11 @@ fn main() {
             }
         };
         let (scanned, scan_t) = time(|| store.scan_range(start, end).expect("scan"));
-        assert_eq!(scanned.len() as u64, end - start, "layouts must agree on the answer");
+        assert_eq!(
+            scanned.len() as u64,
+            end - start,
+            "layouts must agree on the answer"
+        );
         table.row(&[
             store.label(),
             human_bytes(store.byte_size()),

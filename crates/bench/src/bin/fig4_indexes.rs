@@ -40,7 +40,13 @@ fn main() {
 
     let mut table = Table::new(
         "Fig. 4 — query time: baseline (no index) vs hand-tuned physical design",
-        &["query", "baseline ms", "indexed ms", "speedup", "answers agree"],
+        &[
+            "query",
+            "baseline ms",
+            "indexed ms",
+            "speedup",
+            "answers agree",
+        ],
     );
 
     // q1 — near-duplicates (Ball-Tree self-join).

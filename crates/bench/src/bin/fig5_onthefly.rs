@@ -23,7 +23,13 @@ fn main() {
 
     let mut table = Table::new(
         "Fig. 5 — end-to-end runtime: baseline (BL) vs optimized with on-the-fly indexes (DL)",
-        &["query", "ETL ms", "BL query ms", "DL query+build ms", "DL speedup"],
+        &[
+            "query",
+            "ETL ms",
+            "BL query ms",
+            "DL query+build ms",
+            "DL speedup",
+        ],
     );
 
     // q1: the Ball-Tree build is already inside q1_optimized (on-the-fly).

@@ -12,7 +12,10 @@ struct Lcg(u64);
 
 impl Lcg {
     fn next_f32(&mut self) -> f32 {
-        self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         (self.0 >> 33) as f32 / (1u64 << 31) as f32
     }
 }
@@ -51,8 +54,9 @@ fn main() {
             .collect();
         let feats_high: Vec<f32> = (0..n * dim_high).map(|_| rng.next_f32() * 10.0).collect();
         let feats_low: Vec<f32> = (0..n * 4).map(|_| rng.next_f32() * 10.0).collect();
-        let scalars: Vec<(f64, u64)> =
-            (0..n).map(|i| (rng.next_f32() as f64 * 1e6, i as u64)).collect();
+        let scalars: Vec<(f64, u64)> = (0..n)
+            .map(|i| (rng.next_f32() as f64 * 1e6, i as u64))
+            .collect();
 
         let (_, t_hash) = time(|| {
             let mut m = std::collections::HashMap::new();
@@ -73,7 +77,8 @@ fn main() {
         let (_, t_btree) = time(|| {
             let mut t = BTree::create(dir.join(format!("bt-{n}.dlb"))).expect("create");
             for (i, (k, _)) in scalars.iter().enumerate() {
-                t.insert(&keys::encode_f64(*k), &(i as u64).to_le_bytes()).expect("insert");
+                t.insert(&keys::encode_f64(*k), &(i as u64).to_le_bytes())
+                    .expect("insert");
             }
             t.flush().expect("flush");
         });
@@ -84,9 +89,8 @@ fn main() {
 
         let (_, t_ball) = time(|| BallTree::build(dim_high, feats_high.clone()));
 
-        let (_, t_lsh) = time(|| {
-            LshIndex::build(dim_high, feats_high.clone(), LshParams::default())
-        });
+        let (_, t_lsh) =
+            time(|| LshIndex::build(dim_high, feats_high.clone(), LshParams::default()));
 
         let (_, t_rtree_ins) = time(|| {
             let mut t = RTree::new();

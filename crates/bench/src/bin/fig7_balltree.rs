@@ -11,15 +11,19 @@ struct Lcg(u64);
 
 impl Lcg {
     fn next_f32(&mut self) -> f32 {
-        self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         (self.0 >> 33) as f32 / (1u64 << 31) as f32
     }
 }
 
 fn run_dim(dim: usize, tau: f32, sizes: &[usize], probes: usize, table: &mut Table) {
     let mut rng = Lcg(7 + dim as u64);
-    let probe_pts: Vec<Vec<f32>> =
-        (0..probes).map(|_| (0..dim).map(|_| rng.next_f32() * 10.0).collect()).collect();
+    let probe_pts: Vec<Vec<f32>> = (0..probes)
+        .map(|_| (0..dim).map(|_| rng.next_f32() * 10.0).collect())
+        .collect();
     let model = CostModel::default();
     for &n in sizes {
         let flat: Vec<f32> = (0..n * dim).map(|_| rng.next_f32() * 10.0).collect();
@@ -53,7 +57,16 @@ fn main() {
 
     let mut table = Table::new(
         "Fig. 7 — Ball-Tree join time vs indexed-relation size (low vs high dim)",
-        &["dim", "n indexed", "build ms", "join ms", "us/probe", "dist evals", "matches", "model cost"],
+        &[
+            "dim",
+            "n indexed",
+            "build ms",
+            "join ms",
+            "us/probe",
+            "dist evals",
+            "matches",
+            "model cost",
+        ],
     );
     // Low-dimensional: 3-d features (e.g. mean color).
     run_dim(3, 0.8, &sizes, probes, &mut table);

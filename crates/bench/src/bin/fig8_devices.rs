@@ -20,8 +20,9 @@ fn main() {
     // inference time", so this measures batched detector inference directly
     // over pre-rendered frames (the rest of ETL is device-independent).
     let ds = deeplens_vision::datasets::TrafficDataset::generate(s, WORLD_SEED);
-    let frames: Vec<(u64, deeplens_codec::Image)> =
-        (0..ds.num_frames).map(|t| (t, ds.scene.render_frame(t))).collect();
+    let frames: Vec<(u64, deeplens_codec::Image)> = (0..ds.num_frames)
+        .map(|t| (t, ds.scene.render_frame(t)))
+        .collect();
     let mut etl_table = Table::new(
         "Fig. 8 (left) — ETL time (detector inference over the traffic feed) per device",
         &["device", "inference ms", "vs CPU"],

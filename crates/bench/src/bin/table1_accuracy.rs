@@ -27,7 +27,10 @@ use deeplens_vision::scene::ObjectClass;
 
 /// Same-identity pedestrian pairs, over positions in `all`.
 fn truth_pairs(all: &[Patch], ped_ids: &HashSet<i64>) -> HashSet<(u32, u32)> {
-    let gt: Vec<i64> = all.iter().map(|p| p.get_int(GT_KEY).unwrap_or(-1)).collect();
+    let gt: Vec<i64> = all
+        .iter()
+        .map(|p| p.get_int(GT_KEY).unwrap_or(-1))
+        .collect();
     let mut out = HashSet::new();
     for i in 0..gt.len() {
         if gt[i] < 0 || !ped_ids.contains(&gt[i]) {
@@ -44,8 +47,16 @@ fn truth_pairs(all: &[Patch], ped_ids: &HashSet<i64>) -> HashSet<(u32, u32)> {
 
 fn score(pred: &HashSet<(u32, u32)>, truth: &HashSet<(u32, u32)>) -> (f64, f64) {
     let tp = pred.intersection(truth).count() as f64;
-    let recall = if truth.is_empty() { 1.0 } else { tp / truth.len() as f64 };
-    let precision = if pred.is_empty() { 1.0 } else { tp / pred.len() as f64 };
+    let recall = if truth.is_empty() {
+        1.0
+    } else {
+        tp / truth.len() as f64
+    };
+    let precision = if pred.is_empty() {
+        1.0
+    } else {
+        tp / pred.len() as f64
+    };
     (recall, precision)
 }
 
@@ -53,7 +64,10 @@ fn main() {
     let s = scale();
     // Raise label confusion so the filter's recall errors are visible, as
     // in the paper's q4 study.
-    let cfg = DetectorConfig { label_confusion: 0.18, ..Default::default() };
+    let cfg = DetectorConfig {
+        label_confusion: 0.18,
+        ..Default::default()
+    };
     let etl = traffic_etl(s, WORLD_SEED, Device::Avx, cfg);
     let all = &etl.detections;
     let ped_ids: HashSet<i64> = etl
@@ -80,8 +94,10 @@ fn main() {
             .filter(|(_, p)| p.get_str("label") == Some("person"))
             .map(|(i, _)| i as u32)
             .collect();
-        let person_patches: Vec<Patch> =
-            person_pos.iter().map(|&i| all[i as usize].clone()).collect();
+        let person_patches: Vec<Patch> = person_pos
+            .iter()
+            .map(|&i| all[i as usize].clone())
+            .collect();
         let clusters = ops::dedup_similarity(&person_patches, TAU);
         let mut pred = HashSet::new();
         for c in &clusters {
@@ -120,7 +136,12 @@ fn main() {
 
     let mut table = Table::new(
         "Table 1 — accuracy vs runtime for q4 execution orders",
-        &["Execution method for q4", "Recall", "Precision", "Runtime (ms)"],
+        &[
+            "Execution method for q4",
+            "Recall",
+            "Precision",
+            "Runtime (ms)",
+        ],
     );
     table.row(&[
         "Patch, Filter, Match".to_string(),
@@ -139,11 +160,19 @@ fn main() {
     // The optimizer's analytical prediction of the same trade-off.
     let plans = enumerate_filter_match_plans(
         all.len(),
-        all.iter().filter(|p| p.get_str("label") == Some("person")).count() as f64
+        all.iter()
+            .filter(|p| p.get_str("label") == Some("person"))
+            .count() as f64
             / all.len().max(1) as f64,
         64,
-        AccuracyProfile { recall: 1.0 - 0.18, precision: 0.97 },
-        AccuracyProfile { recall: 0.9, precision: 0.98 },
+        AccuracyProfile {
+            recall: 1.0 - 0.18,
+            precision: 0.97,
+        },
+        AccuracyProfile {
+            recall: 0.9,
+            precision: 0.98,
+        },
     );
     let mut opt = Table::new(
         "Optimizer's analytical prediction (cost model + accuracy composition)",

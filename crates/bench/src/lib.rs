@@ -45,4 +45,4 @@ pub fn scale() -> f64 {
 }
 
 /// Seed shared by all harnesses so every figure sees the same world.
-pub const WORLD_SEED: u64 = 0xCafe_F00d;
+pub const WORLD_SEED: u64 = 0xCAFE_F00D;

@@ -23,8 +23,7 @@ use crate::etl::{FootballEtl, PcEtl, TrafficEtl, GT_KEY, MATCH_TAU, Q1_TAU};
 
 /// Deduplicated unordered near-duplicate pairs `(i, j)`, `i < j`.
 fn self_pairs(pairs: Vec<(u32, u32)>) -> Vec<(u32, u32)> {
-    let mut out: Vec<(u32, u32)> =
-        pairs.into_iter().filter(|(a, b)| a < b).collect();
+    let mut out: Vec<(u32, u32)> = pairs.into_iter().filter(|(a, b)| a < b).collect();
     out.sort_unstable();
     out.dedup();
     out
@@ -49,14 +48,20 @@ fn within_tau(a: &Patch, b: &Patch, tau: f32) -> bool {
 /// q1 baseline: the generic nested-loop θ-join operator evaluating the
 /// similarity predicate pair by pair (no physical design).
 pub fn q1_baseline(etl: &PcEtl) -> Vec<(u32, u32)> {
-    self_pairs(ops::nested_loop_join(&etl.image_patches, &etl.image_patches, |a, b| {
-        within_tau(a, b, Q1_TAU)
-    }))
+    self_pairs(ops::nested_loop_join(
+        &etl.image_patches,
+        &etl.image_patches,
+        |a, b| within_tau(a, b, Q1_TAU),
+    ))
 }
 
 /// q1 optimized: on-the-fly Ball-Tree self-join.
 pub fn q1_optimized(etl: &PcEtl) -> Vec<(u32, u32)> {
-    self_pairs(ops::similarity_join_balltree(&etl.image_patches, &etl.image_patches, Q1_TAU))
+    self_pairs(ops::similarity_join_balltree(
+        &etl.image_patches,
+        &etl.image_patches,
+        Q1_TAU,
+    ))
 }
 
 /// Recall/precision of predicted duplicate pairs against planted truth.
@@ -64,8 +69,16 @@ pub fn q1_accuracy(etl: &PcEtl, predicted: &[(u32, u32)]) -> (f64, f64) {
     let truth: HashSet<(u32, u32)> = etl.dataset.duplicate_pairs.iter().copied().collect();
     let pred: HashSet<(u32, u32)> = predicted.iter().copied().collect();
     let hit = truth.intersection(&pred).count() as f64;
-    let recall = if truth.is_empty() { 1.0 } else { hit / truth.len() as f64 };
-    let precision = if pred.is_empty() { 1.0 } else { hit / pred.len() as f64 };
+    let recall = if truth.is_empty() {
+        1.0
+    } else {
+        hit / truth.len() as f64
+    };
+    let precision = if pred.is_empty() {
+        1.0
+    } else {
+        hit / pred.len() as f64
+    };
     (recall, precision)
 }
 
@@ -86,7 +99,9 @@ pub fn q2_baseline(etl: &TrafficEtl) -> usize {
 
 /// q2 optimized: hash-index lookups on the label, then distinct frames.
 pub fn q2_optimized(catalog: &Catalog) -> usize {
-    let col = catalog.collection("traffic_dets").expect("traffic_dets materialized");
+    let col = catalog
+        .collection("traffic_dets")
+        .expect("traffic_dets materialized");
     let mut frames: HashSet<i64> = HashSet::new();
     for label in ["car", "truck"] {
         for pos in col
@@ -123,7 +138,11 @@ fn bbox_center(p: &Patch) -> Option<(f64, f64)> {
 /// the text region — no lineage used.
 pub fn q3_baseline(etl: &FootballEtl, jersey: &str) -> Vec<TrajPoint> {
     let mut out = Vec::new();
-    for hit in etl.ocr_patches.iter().filter(|p| p.get_str("text") == Some(jersey)) {
+    for hit in etl
+        .ocr_patches
+        .iter()
+        .filter(|p| p.get_str("text") == Some(jersey))
+    {
         let clip = hit.get_int("clip").unwrap_or(-1);
         let frame = hit.get_int("frameno").unwrap_or(-1);
         // Full scan of all detections for the matching source patch.
@@ -150,7 +169,11 @@ pub fn q3_optimized(
     jersey: &str,
 ) -> Vec<TrajPoint> {
     let mut out = Vec::new();
-    for hit in etl.ocr_patches.iter().filter(|p| p.get_str("text") == Some(jersey)) {
+    for hit in etl
+        .ocr_patches
+        .iter()
+        .filter(|p| p.get_str("text") == Some(jersey))
+    {
         let parent = hit.parents.first().expect("ocr has parent");
         if let Some(&pos) = id_map.get(parent) {
             let det = &etl.detections[pos];
@@ -170,7 +193,11 @@ pub fn q3_optimized(
 
 /// The lineage-side physical design for q3: patch-id → position map.
 pub fn q3_build_id_map(etl: &FootballEtl) -> HashMap<PatchId, usize> {
-    etl.detections.iter().enumerate().map(|(i, p)| (p.id, i)).collect()
+    etl.detections
+        .iter()
+        .enumerate()
+        .map(|(i, p)| (p.id, i))
+        .collect()
 }
 
 // --------------------------------------------------------------------------
@@ -189,8 +216,7 @@ pub fn q4_person_patches(etl: &TrafficEtl) -> Vec<Patch> {
 /// q4 baseline: the generic nested-loop θ-join operator evaluates the
 /// similarity predicate over all pairs, then clusters (no physical design).
 pub fn q4_baseline(people: &[Patch]) -> usize {
-    let pairs =
-        ops::nested_loop_join(people, people, |a, b| within_tau(a, b, MATCH_TAU));
+    let pairs = ops::nested_loop_join(people, people, |a, b| within_tau(a, b, MATCH_TAU));
     ops::cluster_from_pairs(people.len(), &pairs).len()
 }
 
@@ -202,7 +228,10 @@ pub fn q4_optimized(people: &[Patch]) -> usize {
 /// Pair-level accuracy of a clustering against ground-truth identities:
 /// returns `(recall, precision)` over same-identity pairs.
 pub fn clustering_pair_accuracy(patches: &[Patch], clusters: &[Vec<u32>]) -> (f64, f64) {
-    let gt: Vec<i64> = patches.iter().map(|p| p.get_int(GT_KEY).unwrap_or(-1)).collect();
+    let gt: Vec<i64> = patches
+        .iter()
+        .map(|p| p.get_int(GT_KEY).unwrap_or(-1))
+        .collect();
     // Truth pairs: same non-negative ground-truth id.
     let mut truth = HashSet::new();
     for i in 0..gt.len() {
@@ -222,8 +251,16 @@ pub fn clustering_pair_accuracy(patches: &[Patch], clusters: &[Vec<u32>]) -> (f6
         }
     }
     let hit = truth.intersection(&pred).count() as f64;
-    let recall = if truth.is_empty() { 1.0 } else { hit / truth.len() as f64 };
-    let precision = if pred.is_empty() { 1.0 } else { hit / pred.len() as f64 };
+    let recall = if truth.is_empty() {
+        1.0
+    } else {
+        hit / truth.len() as f64
+    };
+    let precision = if pred.is_empty() {
+        1.0
+    } else {
+        hit / pred.len() as f64
+    };
     (recall, precision)
 }
 
@@ -331,7 +368,10 @@ mod tests {
         let opt = q1_optimized(&etl);
         assert_eq!(base, opt, "physical variants must agree");
         let (recall, _precision) = q1_accuracy(&etl, &opt);
-        assert!(recall > 0.7, "planted duplicates mostly found, recall {recall}");
+        assert!(
+            recall > 0.7,
+            "planted duplicates mostly found, recall {recall}"
+        );
     }
 
     #[test]
@@ -394,7 +434,10 @@ mod tests {
         // The scan may or may not find it depending on OCR noise; a partial
         // needle ("DEEP") is robust.
         let found = q5_scan(&etl, "DEEP");
-        assert!(found.is_some(), "substring scan should hit the planted document");
+        assert!(
+            found.is_some(),
+            "substring scan should hit the planted document"
+        );
     }
 
     #[test]
@@ -414,6 +457,9 @@ mod tests {
         let (recall, precision) = clustering_pair_accuracy(&people, &clusters);
         assert!((0.0..=1.0).contains(&recall));
         assert!((0.0..=1.0).contains(&precision));
-        assert!(recall > 0.3, "same-identity patches should mostly cluster, r={recall}");
+        assert!(
+            recall > 0.3,
+            "same-identity patches should mostly cluster, r={recall}"
+        );
     }
 }

@@ -57,7 +57,11 @@ impl BitWriter {
 
     /// Signed Exp-Golomb code (zigzag mapping: 0, 1, -1, 2, -2, ...).
     pub fn put_se(&mut self, v: i32) {
-        let mapped = if v <= 0 { (-(v as i64) * 2) as u32 } else { (v as u32) * 2 - 1 };
+        let mapped = if v <= 0 {
+            (-(v as i64) * 2) as u32
+        } else {
+            (v as u32) * 2 - 1
+        };
         self.put_ue(mapped);
     }
 
@@ -119,7 +123,9 @@ impl<'a> BitReader<'a> {
         while !self.get_bit()? {
             zeros += 1;
             if zeros > 32 {
-                return Err(CodecError::CorruptStream("exp-golomb prefix too long".into()));
+                return Err(CodecError::CorruptStream(
+                    "exp-golomb prefix too long".into(),
+                ));
             }
         }
         let rest = self.get_bits(zeros)?;
@@ -130,7 +136,11 @@ impl<'a> BitReader<'a> {
     /// Decode a signed Exp-Golomb code.
     pub fn get_se(&mut self) -> crate::Result<i32> {
         let v = self.get_ue()? as i64;
-        Ok(if v % 2 == 0 { -(v / 2) as i32 } else { ((v + 1) / 2) as i32 })
+        Ok(if v % 2 == 0 {
+            -(v / 2) as i32
+        } else {
+            ((v + 1) / 2) as i32
+        })
     }
 
     /// Current read position in bits.

@@ -100,7 +100,10 @@ mod tests {
         let block = [100.0f32; 64];
         let mut coef = [0f32; 64];
         forward(&block, &mut coef);
-        assert!((coef[0] - 800.0).abs() < 1e-2, "DC of flat block should be 8*value");
+        assert!(
+            (coef[0] - 800.0).abs() < 1e-2,
+            "DC of flat block should be 8*value"
+        );
         for (i, c) in coef.iter().enumerate().skip(1) {
             assert!(c.abs() < 1e-3, "AC coefficient {i} should vanish, got {c}");
         }
@@ -151,6 +154,9 @@ mod tests {
         forward(&block, &mut coef);
         let es: f32 = block.iter().map(|v| v * v).sum();
         let ec: f32 = coef.iter().map(|v| v * v).sum();
-        assert!((es - ec).abs() / es < 1e-4, "Parseval violated: {es} vs {ec}");
+        assert!(
+            (es - ec).abs() / es < 1e-4,
+            "Parseval violated: {es} vs {ec}"
+        );
     }
 }

@@ -42,7 +42,10 @@ impl fmt::Display for CodecError {
             ),
             CodecError::CorruptStream(msg) => write!(f, "corrupt stream: {msg}"),
             CodecError::FrameOutOfRange { index, len } => {
-                write!(f, "frame index {index} out of range for stream of {len} frames")
+                write!(
+                    f,
+                    "frame index {index} out of range for stream of {len} frames"
+                )
             }
         }
     }
@@ -56,12 +59,19 @@ mod tests {
 
     #[test]
     fn display_messages_are_informative() {
-        let e = CodecError::DimensionMismatch { expected: (64, 48), actual: (32, 32) };
+        let e = CodecError::DimensionMismatch {
+            expected: (64, 48),
+            actual: (32, 32),
+        };
         let s = e.to_string();
         assert!(s.contains("32x32"));
         assert!(s.contains("64x48"));
-        assert!(CodecError::UnexpectedEof.to_string().contains("end of bitstream"));
-        assert!(CodecError::BadMagic(0xdead).to_string().contains("0x0000dead"));
+        assert!(CodecError::UnexpectedEof
+            .to_string()
+            .contains("end of bitstream"));
+        assert!(CodecError::BadMagic(0xdead)
+            .to_string()
+            .contains("0x0000dead"));
     }
 
     #[test]

@@ -18,7 +18,11 @@ pub struct Image {
 impl Image {
     /// Create a black image of the given dimensions.
     pub fn new(width: u32, height: u32) -> Self {
-        Image { width, height, data: vec![0; (width * height * 3) as usize] }
+        Image {
+            width,
+            height,
+            data: vec![0; (width * height * 3) as usize],
+        }
     }
 
     /// Create an image filled with a single RGB color.
@@ -27,7 +31,11 @@ impl Image {
         for _ in 0..width * height {
             data.extend_from_slice(&rgb);
         }
-        Image { width, height, data }
+        Image {
+            width,
+            height,
+            data,
+        }
     }
 
     /// Build an image from raw interleaved RGB bytes.
@@ -42,7 +50,11 @@ impl Image {
                 height
             )));
         }
-        Ok(Image { width, height, data })
+        Ok(Image {
+            width,
+            height,
+            data,
+        })
     }
 
     /// Image width in pixels.
@@ -113,8 +125,7 @@ impl Image {
         let x_start = x0.max(0).min(self.width as i64 - 1) as u32;
         let y_start = y0.max(0).min(self.height as i64 - 1) as u32;
         let x_end = ((x0 + w as i64).max(x_start as i64 + 1) as u64).min(self.width as u64) as u32;
-        let y_end =
-            ((y0 + h as i64).max(y_start as i64 + 1) as u64).min(self.height as u64) as u32;
+        let y_end = ((y0 + h as i64).max(y_start as i64 + 1) as u64).min(self.height as u64) as u32;
         let cw = x_end - x_start;
         let ch = y_end - y_start;
         let mut out = Image::new(cw, ch);
@@ -155,9 +166,21 @@ impl Image {
             cr_p.push(128.0 + 0.5 * r - 0.418_688 * g - 0.081_312 * b);
         }
         [
-            Plane { width: self.width, height: self.height, data: y_p },
-            Plane { width: self.width, height: self.height, data: cb_p },
-            Plane { width: self.width, height: self.height, data: cr_p },
+            Plane {
+                width: self.width,
+                height: self.height,
+                data: y_p,
+            },
+            Plane {
+                width: self.width,
+                height: self.height,
+                data: cb_p,
+            },
+            Plane {
+                width: self.width,
+                height: self.height,
+                data: cr_p,
+            },
         ]
     }
 
@@ -177,7 +200,11 @@ impl Image {
             data.push(clamp_u8(g));
             data.push(clamp_u8(b));
         }
-        Image { width: w, height: h, data }
+        Image {
+            width: w,
+            height: h,
+            data,
+        }
     }
 
     /// Mean color of the whole image, as f32 RGB.
@@ -189,7 +216,11 @@ impl Image {
             acc[2] += px[2] as f64;
         }
         let n = (self.width * self.height).max(1) as f64;
-        [(acc[0] / n) as f32, (acc[1] / n) as f32, (acc[2] / n) as f32]
+        [
+            (acc[0] / n) as f32,
+            (acc[1] / n) as f32,
+            (acc[2] / n) as f32,
+        ]
     }
 }
 
@@ -212,7 +243,11 @@ pub struct Plane {
 impl Plane {
     /// Create a zero-filled plane.
     pub fn new(width: u32, height: u32) -> Self {
-        Plane { width, height, data: vec![0.0; (width * height) as usize] }
+        Plane {
+            width,
+            height,
+            data: vec![0.0; (width * height) as usize],
+        }
     }
 
     /// Sample at `(x, y)`, clamping coordinates to the border (the DCT tiler
@@ -313,7 +348,10 @@ mod tests {
         let planes = img.to_ycbcr();
         let back = Image::from_ycbcr(&planes);
         for (a, b) in img.data().iter().zip(back.data()) {
-            assert!((*a as i32 - *b as i32).abs() <= 2, "channel drift too large");
+            assert!(
+                (*a as i32 - *b as i32).abs() <= 2,
+                "channel drift too large"
+            );
         }
     }
 

@@ -10,7 +10,7 @@ use crate::dct::{self, BLOCK};
 use crate::entropy::{BlockDecoder, BlockEncoder};
 use crate::error::CodecError;
 use crate::image::{Image, Plane};
-use crate::quant::{dequantize, quantize, QuantTables, Quality};
+use crate::quant::{dequantize, quantize, Quality, QuantTables};
 
 /// Magic number prefixing standalone encoded images.
 pub const IMAGE_MAGIC: u32 = 0x444C_4931; // "DLI1"
@@ -35,9 +35,8 @@ pub(crate) fn encode_plane(
         for bx in 0..bw {
             for y in 0..BLOCK {
                 for x in 0..BLOCK {
-                    block[y * BLOCK + x] = plane
-                        .get_clamped((bx * BLOCK + x) as i64, (by * BLOCK + y) as i64)
-                        - shift;
+                    block[y * BLOCK + x] =
+                        plane.get_clamped((bx * BLOCK + x) as i64, (by * BLOCK + y) as i64) - shift;
                 }
             }
             dct::forward(&block, &mut coef);
@@ -144,7 +143,11 @@ mod tests {
         let mut img = Image::new(w, h);
         for y in 0..h {
             for x in 0..w {
-                img.set(x, y, [(x * 255 / w.max(1)) as u8, (y * 255 / h.max(1)) as u8, 120]);
+                img.set(
+                    x,
+                    y,
+                    [(x * 255 / w.max(1)) as u8, (y * 255 / h.max(1)) as u8, 120],
+                );
             }
         }
         img
@@ -154,7 +157,10 @@ mod tests {
     fn solid_image_is_tiny_and_exactish() {
         let img = Image::solid(64, 64, [200, 30, 90]);
         let bytes = encode_image(&img, Quality::High);
-        assert!(bytes.len() < img.byte_size() / 20, "solid image should compress > 20x");
+        assert!(
+            bytes.len() < img.byte_size() / 20,
+            "solid image should compress > 20x"
+        );
         let back = decode_image(&bytes).unwrap();
         assert!(psnr(&img, &back) > 35.0);
     }
@@ -166,7 +172,10 @@ mod tests {
         let lo = decode_image(&encode_image(&img, Quality::Low)).unwrap();
         let p_hi = psnr(&img, &hi);
         let p_lo = psnr(&img, &lo);
-        assert!(p_hi > p_lo, "high quality must beat low quality ({p_hi} vs {p_lo})");
+        assert!(
+            p_hi > p_lo,
+            "high quality must beat low quality ({p_hi} vs {p_lo})"
+        );
         assert!(p_hi > 30.0, "high quality PSNR too low: {p_hi}");
     }
 
@@ -210,8 +219,8 @@ mod tests {
         assert_eq!(back.width(), 1);
         assert_eq!(back.height(), 1);
         let px = back.get(0, 0);
-        for c in 0..3 {
-            assert!((px[c] as i32 - img.get(0, 0)[c] as i32).abs() < 30);
+        for (got, want) in px.iter().zip(img.get(0, 0)) {
+            assert!((*got as i32 - want as i32).abs() < 30);
         }
     }
 }

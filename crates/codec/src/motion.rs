@@ -52,7 +52,16 @@ pub fn estimate(cur: &Plane, reference: &Plane, bx: usize, by: usize) -> MotionV
         let mut improved = true;
         while improved {
             improved = false;
-            for (ox, oy) in [(-1, -1), (0, -1), (1, -1), (-1, 0), (1, 0), (-1, 1), (0, 1), (1, 1)] {
+            for (ox, oy) in [
+                (-1, -1),
+                (0, -1),
+                (1, -1),
+                (-1, 0),
+                (1, 0),
+                (-1, 1),
+                (0, 1),
+                (1, 1),
+            ] {
                 let dx = best.dx + ox * step;
                 let dy = best.dy + oy * step;
                 if dx.abs() > 2 * SEARCH_RADIUS || dy.abs() > 2 * SEARCH_RADIUS {
@@ -165,7 +174,10 @@ mod tests {
         let pred = compensate(&reference, 32, 32, &vectors, mb_cols, 1);
         let res = residual(&cur, &pred);
         let energy: f32 = res.data.iter().map(|v| v * v).sum();
-        assert!(energy < 1.0, "residual energy after perfect compensation: {energy}");
+        assert!(
+            energy < 1.0,
+            "residual energy after perfect compensation: {energy}"
+        );
     }
 
     #[test]

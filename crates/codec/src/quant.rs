@@ -32,22 +32,17 @@ pub const BASE_CHROMA: [u16; BLOCK * BLOCK] = [
 ];
 
 /// Lossy-encoding quality presets used across the DeepLens benchmarks.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
 pub enum Quality {
     /// Aggressive compression; visible artifacts, measurable accuracy loss.
     Low,
     /// Balanced preset.
     Medium,
     /// Near-transparent preset; negligible downstream accuracy impact.
+    #[default]
     High,
     /// Arbitrary quality in `[1, 100]`.
     Custom(u8),
-}
-
-impl Default for Quality {
-    fn default() -> Self {
-        Quality::High
-    }
 }
 
 impl Quality {

@@ -13,7 +13,7 @@ use crate::error::CodecError;
 use crate::image::{Image, Plane};
 use crate::intra::{decode_plane, decode_planes, encode_plane, encode_planes};
 use crate::motion::{self, MotionVector, MB};
-use crate::quant::{QuantTables, Quality};
+use crate::quant::{Quality, QuantTables};
 
 /// Magic number prefixing encoded video streams ("DLV1").
 pub const VIDEO_MAGIC: u32 = 0x444C_5631;
@@ -39,7 +39,9 @@ impl FrameKind {
         match b {
             0 => Ok(FrameKind::Intra),
             1 => Ok(FrameKind::Predicted),
-            other => Err(CodecError::CorruptStream(format!("unknown frame kind {other}"))),
+            other => Err(CodecError::CorruptStream(format!(
+                "unknown frame kind {other}"
+            ))),
         }
     }
 }
@@ -58,7 +60,11 @@ pub struct VideoConfig {
 
 impl Default for VideoConfig {
     fn default() -> Self {
-        VideoConfig { quality: Quality::High, gop: 30, fps: 30.0 }
+        VideoConfig {
+            quality: Quality::High,
+            gop: 30,
+            fps: 30.0,
+        }
     }
 }
 
@@ -66,7 +72,11 @@ impl VideoConfig {
     /// A configuration emulating a fully-sequential encoded stream (the
     /// paper's "Encoded File"): one I-frame, everything else predicted.
     pub fn sequential(quality: Quality) -> Self {
-        VideoConfig { quality, gop: u32::MAX, fps: 30.0 }
+        VideoConfig {
+            quality,
+            gop: u32::MAX,
+            fps: 30.0,
+        }
     }
 }
 
@@ -140,9 +150,8 @@ fn decode_frame_payload(
             Ok([y, cb.downsample2(), cr.downsample2()])
         }
         FrameKind::Predicted => {
-            let reference = reference.ok_or_else(|| {
-                CodecError::CorruptStream("P-frame without reference".into())
-            })?;
+            let reference = reference
+                .ok_or_else(|| CodecError::CorruptStream("P-frame without reference".into()))?;
             let mb_cols = (width as usize).div_ceil(MB);
             let mb_rows = (height as usize).div_ceil(MB);
             let mut vectors = Vec::with_capacity(mb_cols * mb_rows);
@@ -209,7 +218,11 @@ impl VideoEncoder {
             });
         }
         let intra = self.reference.is_none() || self.frames_since_i >= self.cfg.gop;
-        let kind = if intra { FrameKind::Intra } else { FrameKind::Predicted };
+        let kind = if intra {
+            FrameKind::Intra
+        } else {
+            FrameKind::Predicted
+        };
         let payload = match kind {
             FrameKind::Intra => {
                 let mut w = BitWriter::new();
@@ -237,13 +250,34 @@ impl VideoEncoder {
                         vectors.push(v);
                     }
                 }
-                let pred_y =
-                    motion::compensate(&reference[0], self.width, self.height, &vectors, mb_cols, 1);
+                let pred_y = motion::compensate(
+                    &reference[0],
+                    self.width,
+                    self.height,
+                    &vectors,
+                    mb_cols,
+                    1,
+                );
                 let pred_cb = motion::compensate(&reference[1], cw, ch, &vectors, mb_cols, 2);
                 let pred_cr = motion::compensate(&reference[2], cw, ch, &vectors, mb_cols, 2);
-                encode_plane(&motion::residual(&cur_y, &pred_y), &self.tables.luma, 0.0, &mut w);
-                encode_plane(&motion::residual(&cur_cb, &pred_cb), &self.tables.chroma, 0.0, &mut w);
-                encode_plane(&motion::residual(&cur_cr, &pred_cr), &self.tables.chroma, 0.0, &mut w);
+                encode_plane(
+                    &motion::residual(&cur_y, &pred_y),
+                    &self.tables.luma,
+                    0.0,
+                    &mut w,
+                );
+                encode_plane(
+                    &motion::residual(&cur_cb, &pred_cb),
+                    &self.tables.chroma,
+                    0.0,
+                    &mut w,
+                );
+                encode_plane(
+                    &motion::residual(&cur_cr, &pred_cr),
+                    &self.tables.chroma,
+                    0.0,
+                    &mut w,
+                );
                 self.frames_since_i += 1;
                 w.finish()
             }
@@ -275,7 +309,10 @@ impl VideoEncoder {
         put_u16(&mut buf, self.height as u16);
         buf.push(self.cfg.quality.factor());
         put_u32(&mut buf, self.cfg.gop);
-        put_u16(&mut buf, (self.cfg.fps * 100.0).round().clamp(0.0, 65535.0) as u16);
+        put_u16(
+            &mut buf,
+            (self.cfg.fps * 100.0).round().clamp(0.0, 65535.0) as u16,
+        );
         put_u32(&mut buf, self.packets.len() as u32);
         for (kind, payload) in &self.packets {
             buf.push(kind.to_byte());
@@ -322,7 +359,14 @@ impl<'a> VideoDecoder<'a> {
         Ok(VideoDecoder {
             bytes,
             pos,
-            header: VideoHeader { width, height, quality, gop, fps, frame_count },
+            header: VideoHeader {
+                width,
+                height,
+                quality,
+                gop,
+                fps,
+                frame_count,
+            },
             tables: QuantTables::for_quality(quality),
             reference: None,
             decoded: 0,
@@ -409,7 +453,10 @@ pub fn segment_video(
     cfg: VideoConfig,
 ) -> crate::Result<Vec<Vec<u8>>> {
     assert!(clip_len > 0, "clip length must be positive");
-    frames.chunks(clip_len).map(|chunk| encode_video(chunk, cfg)).collect()
+    frames
+        .chunks(clip_len)
+        .map(|chunk| encode_video(chunk, cfg))
+        .collect()
 }
 
 #[cfg(test)]
@@ -454,8 +501,14 @@ mod tests {
     #[test]
     fn gop_inserts_periodic_i_frames() {
         let frames = moving_square(7, 32, 32);
-        let mut enc =
-            VideoEncoder::new(32, 32, VideoConfig { gop: 3, ..Default::default() });
+        let mut enc = VideoEncoder::new(
+            32,
+            32,
+            VideoConfig {
+                gop: 3,
+                ..Default::default()
+            },
+        );
         for f in &frames {
             enc.push(f).unwrap();
         }
@@ -487,9 +540,15 @@ mod tests {
         }
         let frames: Vec<Image> = (0..10).map(|_| textured.clone()).collect();
         let seq = encode_video(&frames, VideoConfig::sequential(Quality::Medium)).unwrap();
-        let intra_only =
-            encode_video(&frames, VideoConfig { gop: 1, quality: Quality::Medium, fps: 30.0 })
-                .unwrap();
+        let intra_only = encode_video(
+            &frames,
+            VideoConfig {
+                gop: 1,
+                quality: Quality::Medium,
+                fps: 30.0,
+            },
+        )
+        .unwrap();
         assert!(
             (seq.len() as f64) < intra_only.len() as f64 * 0.5,
             "sequential ({}) should be <50% of intra-only ({})",
@@ -502,7 +561,10 @@ mod tests {
     fn dimension_mismatch_rejected() {
         let mut enc = VideoEncoder::new(32, 32, VideoConfig::default());
         let bad = Image::new(16, 16);
-        assert!(matches!(enc.push(&bad), Err(CodecError::DimensionMismatch { .. })));
+        assert!(matches!(
+            enc.push(&bad),
+            Err(CodecError::DimensionMismatch { .. })
+        ));
     }
 
     #[test]
@@ -513,7 +575,11 @@ mod tests {
     #[test]
     fn header_fields_roundtrip() {
         let frames = moving_square(3, 32, 32);
-        let cfg = VideoConfig { quality: Quality::Custom(73), gop: 5, fps: 24.0 };
+        let cfg = VideoConfig {
+            quality: Quality::Custom(73),
+            gop: 5,
+            fps: 24.0,
+        };
         let bytes = encode_video(&frames, cfg).unwrap();
         let dec = VideoDecoder::new(&bytes).unwrap();
         let h = dec.header();
@@ -543,10 +609,9 @@ mod tests {
     #[test]
     fn segmentation_produces_independent_clips() {
         let frames = moving_square(10, 32, 32);
-        let clips =
-            segment_video(&frames, 4, VideoConfig::sequential(Quality::High)).unwrap();
+        let clips = segment_video(&frames, 4, VideoConfig::sequential(Quality::High)).unwrap();
         assert_eq!(clips.len(), 3); // 4 + 4 + 2
-        // Every clip decodes standalone.
+                                    // Every clip decodes standalone.
         let mut total = 0;
         for clip in &clips {
             total += decode_video(clip).unwrap().len();
@@ -559,6 +624,9 @@ mod tests {
         let frames = moving_square(2, 16, 16);
         let mut bytes = encode_video(&frames, VideoConfig::default()).unwrap();
         bytes[0] = 0;
-        assert!(matches!(VideoDecoder::new(&bytes), Err(CodecError::BadMagic(_))));
+        assert!(matches!(
+            VideoDecoder::new(&bytes),
+            Err(CodecError::BadMagic(_))
+        ));
     }
 }

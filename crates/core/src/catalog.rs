@@ -102,8 +102,13 @@ impl PatchCollection {
                 map.entry(v.clone()).or_default().push(i as u32);
             }
         }
-        self.indexes
-            .insert(index_name.to_string(), SecondaryIndex::Hash { key: key.to_string(), map });
+        self.indexes.insert(
+            index_name.to_string(),
+            SecondaryIndex::Hash {
+                key: key.to_string(),
+                map,
+            },
+        );
     }
 
     /// Build a sorted-run index on a numeric `key` under `index_name`.
@@ -116,7 +121,10 @@ impl PatchCollection {
             .collect();
         self.indexes.insert(
             index_name.to_string(),
-            SecondaryIndex::Sorted { key: key.to_string(), index: SortedRunIndex::build(entries) },
+            SecondaryIndex::Sorted {
+                key: key.to_string(),
+                index: SortedRunIndex::build(entries),
+            },
         );
     }
 
@@ -128,46 +136,64 @@ impl PatchCollection {
             .enumerate()
             .filter_map(|(i, p)| {
                 p.bbox().map(|(x, y, w, h)| {
-                    (Rect::new(x as f32, y as f32, (x + w as i64) as f32, (y + h as i64) as f32), i as u64)
+                    (
+                        Rect::new(
+                            x as f32,
+                            y as f32,
+                            (x + w as i64) as f32,
+                            (y + h as i64) as f32,
+                        ),
+                        i as u64,
+                    )
                 })
             })
             .collect();
-        self.indexes
-            .insert(index_name.to_string(), SecondaryIndex::Spatial { tree: RTree::bulk_load(items) });
+        self.indexes.insert(
+            index_name.to_string(),
+            SecondaryIndex::Spatial {
+                tree: RTree::bulk_load(items),
+            },
+        );
     }
 
     /// Build a Ball-Tree over feature payloads under `index_name`.
     ///
     /// Errors if any patch lacks features.
     pub fn build_ball_index(&mut self, index_name: &str) -> Result<()> {
-        let vectors: Vec<Vec<f32>> = self
-            .patches
-            .iter()
-            .enumerate()
-            .map(|(i, p)| {
-                p.data
-                    .features()
-                    .map(<[f32]>::to_vec)
-                    .ok_or_else(|| DlError::SchemaMismatch(format!("patch {i} has no features")))
-            })
-            .collect::<Result<_>>()?;
-        self.indexes
-            .insert(index_name.to_string(), SecondaryIndex::Ball { tree: BallTree::from_vectors(&vectors) });
+        let vectors: Vec<Vec<f32>> =
+            self.patches
+                .iter()
+                .enumerate()
+                .map(|(i, p)| {
+                    p.data.features().map(<[f32]>::to_vec).ok_or_else(|| {
+                        DlError::SchemaMismatch(format!("patch {i} has no features"))
+                    })
+                })
+                .collect::<Result<_>>()?;
+        self.indexes.insert(
+            index_name.to_string(),
+            SecondaryIndex::Ball {
+                tree: BallTree::from_vectors(&vectors),
+            },
+        );
         Ok(())
     }
 
     fn index(&self, name: &str) -> Result<&SecondaryIndex> {
-        self.indexes.get(name).ok_or_else(|| DlError::NotFound(format!("index '{name}'")))
+        self.indexes
+            .get(name)
+            .ok_or_else(|| DlError::NotFound(format!("index '{name}'")))
     }
 
     /// Exact-match lookup through a hash index: positions whose `key`
     /// equals `value`.
     pub fn lookup_eq(&self, index_name: &str, value: &Value) -> Result<Vec<u32>> {
         match self.index(index_name)? {
-            SecondaryIndex::Hash { map, .. } => {
-                Ok(map.get(value).cloned().unwrap_or_default())
-            }
-            other => Err(DlError::WrongIndex { expected: "hash", actual: other.kind() }),
+            SecondaryIndex::Hash { map, .. } => Ok(map.get(value).cloned().unwrap_or_default()),
+            other => Err(DlError::WrongIndex {
+                expected: "hash",
+                actual: other.kind(),
+            }),
         }
     }
 
@@ -177,17 +203,25 @@ impl PatchCollection {
             SecondaryIndex::Sorted { index, .. } => {
                 Ok(index.range(lo, hi).into_iter().map(|v| v as u32).collect())
             }
-            other => Err(DlError::WrongIndex { expected: "sorted", actual: other.kind() }),
+            other => Err(DlError::WrongIndex {
+                expected: "sorted",
+                actual: other.kind(),
+            }),
         }
     }
 
     /// Spatial intersection lookup through an R-Tree index.
     pub fn lookup_intersecting(&self, index_name: &str, rect: &Rect) -> Result<Vec<u32>> {
         match self.index(index_name)? {
-            SecondaryIndex::Spatial { tree } => {
-                Ok(tree.intersecting(rect).into_iter().map(|v| v as u32).collect())
-            }
-            other => Err(DlError::WrongIndex { expected: "spatial", actual: other.kind() }),
+            SecondaryIndex::Spatial { tree } => Ok(tree
+                .intersecting(rect)
+                .into_iter()
+                .map(|v| v as u32)
+                .collect()),
+            other => Err(DlError::WrongIndex {
+                expected: "spatial",
+                actual: other.kind(),
+            }),
         }
     }
 
@@ -196,7 +230,10 @@ impl PatchCollection {
     pub fn lookup_similar(&self, index_name: &str, query: &[f32], tau: f32) -> Result<Vec<u32>> {
         match self.index(index_name)? {
             SecondaryIndex::Ball { tree } => Ok(tree.range_query(query, tau)),
-            other => Err(DlError::WrongIndex { expected: "ball", actual: other.kind() }),
+            other => Err(DlError::WrongIndex {
+                expected: "ball",
+                actual: other.kind(),
+            }),
         }
     }
 }
@@ -226,8 +263,13 @@ impl Catalog {
     /// Replaces any existing collection of that name.
     pub fn materialize(&mut self, name: &str, patches: Vec<Patch>) {
         self.lineage.record_all(patches.iter());
-        self.collections
-            .insert(name.to_string(), PatchCollection { patches, indexes: HashMap::new() });
+        self.collections.insert(
+            name.to_string(),
+            PatchCollection {
+                patches,
+                indexes: HashMap::new(),
+            },
+        );
     }
 
     /// Borrow a collection.
@@ -306,7 +348,10 @@ mod tests {
             .map(|(i, _)| i as u32)
             .collect();
         assert_eq!(cars, scan);
-        assert!(col.lookup_eq("by_label", &Value::from("giraffe")).unwrap().is_empty());
+        assert!(col
+            .lookup_eq("by_label", &Value::from("giraffe"))
+            .unwrap()
+            .is_empty());
     }
 
     #[test]
@@ -359,7 +404,10 @@ mod tests {
         col.build_hash_index("idx", "label");
         assert!(matches!(
             col.lookup_similar("idx", &[0.0, 0.0], 1.0),
-            Err(DlError::WrongIndex { expected: "ball", actual: "hash" })
+            Err(DlError::WrongIndex {
+                expected: "ball",
+                actual: "hash"
+            })
         ));
         assert!(col.lookup_eq("missing", &Value::from(1i64)).is_err());
     }

@@ -72,7 +72,10 @@ mod tests {
         assert!(e.to_string().contains("traffic"));
         let s: DlError = deeplens_codec::CodecError::UnexpectedEof.into();
         assert!(std::error::Error::source(&s).is_some());
-        let w = DlError::WrongIndex { expected: "ball", actual: "hash" };
+        let w = DlError::WrongIndex {
+            expected: "ball",
+            actual: "hash",
+        };
         assert!(w.to_string().contains("ball"));
     }
 }

@@ -128,7 +128,10 @@ pub struct Pipeline {
 impl Pipeline {
     /// Start a pipeline from a generator.
     pub fn new(generator: Box<dyn Generator>) -> Self {
-        Pipeline { generator, transformers: Vec::new() }
+        Pipeline {
+            generator,
+            transformers: Vec::new(),
+        }
     }
 
     /// Append a transformer stage.
@@ -203,6 +206,9 @@ impl std::fmt::Debug for Pipeline {
     }
 }
 
+/// A featurization function mapping an image to a feature vector.
+pub type FeatureFn = Box<dyn FnMut(&Image) -> Vec<f32>>;
+
 /// A transformer that replaces pixel payloads with feature vectors computed
 /// by a caller-supplied function (color histograms, embeddings, ...).
 pub struct FeaturizeTransformer {
@@ -211,7 +217,7 @@ pub struct FeaturizeTransformer {
     /// Output feature dimension.
     pub dim: usize,
     /// The featurization function.
-    pub f: Box<dyn FnMut(&Image) -> Vec<f32>>,
+    pub f: FeatureFn,
 }
 
 impl Transformer for FeaturizeTransformer {
@@ -232,7 +238,11 @@ impl Transformer for FeaturizeTransformer {
             Some(img) => (self.f)(img),
             None => vec![0.0; self.dim],
         };
-        debug_assert_eq!(features.len(), self.dim, "featurizer must honor its declared dim");
+        debug_assert_eq!(
+            features.len(),
+            self.dim,
+            "featurizer must honor its declared dim"
+        );
         patch.derive(alloc(), PatchData::Features(features))
     }
 }
@@ -248,7 +258,9 @@ mod tests {
     use super::*;
 
     fn frames(n: u64) -> Vec<Image> {
-        (0..n).map(|t| Image::solid(32, 32, [t as u8 * 20, 100, 50])).collect()
+        (0..n)
+            .map(|t| Image::solid(32, 32, [t as u8 * 20, 100, 50]))
+            .collect()
     }
 
     #[test]
@@ -287,13 +299,12 @@ mod tests {
     fn featurize_composes_and_tracks_lineage() {
         let imgs = frames(2);
         let mut catalog = Catalog::new();
-        let mut pipe = Pipeline::new(Box::new(WholeImageGenerator)).then(Box::new(
-            FeaturizeTransformer {
+        let mut pipe =
+            Pipeline::new(Box::new(WholeImageGenerator)).then(Box::new(FeaturizeTransformer {
                 label: "mean-color".into(),
                 dim: 3,
                 f: Box::new(|img| img.mean_color().to_vec()),
-            },
-        ));
+            }));
         pipe.run(
             imgs.iter().enumerate().map(|(i, f)| (i as u64, f)),
             "vid",
@@ -329,13 +340,12 @@ mod tests {
 
     #[test]
     fn pipeline_debug_format() {
-        let pipe = Pipeline::new(Box::new(WholeImageGenerator)).then(Box::new(
-            FeaturizeTransformer {
+        let pipe =
+            Pipeline::new(Box::new(WholeImageGenerator)).then(Box::new(FeaturizeTransformer {
                 label: "hist".into(),
                 dim: 4,
                 f: Box::new(|_| vec![0.0; 4]),
-            },
-        ));
+            }));
         assert_eq!(format!("{pipe:?}"), "Pipeline(whole-image -> hist)");
     }
 }

@@ -39,7 +39,10 @@ impl LineageStore {
     pub fn record(&mut self, patch: &Patch) {
         self.records.insert(
             patch.id,
-            LineageRecord { img_ref: patch.img_ref.clone(), parents: patch.parents.clone() },
+            LineageRecord {
+                img_ref: patch.img_ref.clone(),
+                parents: patch.parents.clone(),
+            },
         );
         if self.index_built {
             self.frame_index

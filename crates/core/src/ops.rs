@@ -162,7 +162,11 @@ pub fn similarity_join_balltree(left: &[Patch], right: &[Patch], tau: f32) -> Ve
         return vec![];
     }
     let index_left = left.len() <= right.len();
-    let (indexed, probes) = if index_left { (left, right) } else { (right, left) };
+    let (indexed, probes) = if index_left {
+        (left, right)
+    } else {
+        (right, left)
+    };
     let vectors: Vec<Vec<f32>> = indexed
         .iter()
         .filter_map(|p| p.data.features().map(<[f32]>::to_vec))
@@ -215,7 +219,9 @@ struct UnionFind {
 
 impl UnionFind {
     fn new(n: usize) -> Self {
-        UnionFind { parent: (0..n as u32).collect() }
+        UnionFind {
+            parent: (0..n as u32).collect(),
+        }
     }
 
     fn find(&mut self, x: u32) -> u32 {
@@ -291,7 +297,11 @@ mod tests {
 
     #[test]
     fn select_and_label_filter() {
-        let patches = vec![labeled(1, "car", 0), labeled(2, "person", 0), labeled(3, "car", 1)];
+        let patches = vec![
+            labeled(1, "car", 0),
+            labeled(2, "person", 0),
+            labeled(3, "car", 1),
+        ];
         let cars: Vec<Patch> = select_label(patches.clone().into_iter(), "car").collect();
         assert_eq!(cars.len(), 2);
         let hi: Vec<Patch> =
@@ -328,10 +338,12 @@ mod tests {
 
     #[test]
     fn join_variants_agree() {
-        let left: Vec<Patch> =
-            (0..30).map(|i| feat_patch(i, vec![i as f32, (i % 5) as f32, 0.0])).collect();
-        let right: Vec<Patch> =
-            (0..40).map(|i| feat_patch(100 + i, vec![i as f32 * 0.8, 1.0, 0.5])).collect();
+        let left: Vec<Patch> = (0..30)
+            .map(|i| feat_patch(i, vec![i as f32, (i % 5) as f32, 0.0]))
+            .collect();
+        let right: Vec<Patch> = (0..40)
+            .map(|i| feat_patch(100 + i, vec![i as f32 * 0.8, 1.0, 0.5]))
+            .collect();
         let tau = 2.0;
         let mut nested = similarity_join_nested(&left, &right, tau);
         nested.sort_unstable();
@@ -352,8 +364,9 @@ mod tests {
     #[test]
     fn balltree_join_indexes_smaller_side_transparently() {
         let small: Vec<Patch> = (0..5).map(|i| feat_patch(i, vec![i as f32, 0.0])).collect();
-        let large: Vec<Patch> =
-            (0..200).map(|i| feat_patch(10 + i, vec![(i % 10) as f32, 0.0])).collect();
+        let large: Vec<Patch> = (0..200)
+            .map(|i| feat_patch(10 + i, vec![(i % 10) as f32, 0.0]))
+            .collect();
         let a = similarity_join_balltree(&small, &large, 0.5);
         let mut b = similarity_join_nested(&small, &large, 0.5);
         b.sort_unstable();
@@ -396,7 +409,10 @@ mod tests {
         let ok = vec![feat_patch(1, vec![1.0, 2.0]), feat_patch(2, vec![3.0, 4.0])];
         assert_eq!(feature_matrix(&ok).unwrap().rows(), 2);
         let bad = vec![feat_patch(1, vec![1.0, 2.0]), labeled(2, "car", 0)];
-        assert!(matches!(feature_matrix(&bad), Err(DlError::SchemaMismatch(_))));
+        assert!(matches!(
+            feature_matrix(&bad),
+            Err(DlError::SchemaMismatch(_))
+        ));
         let mismatched = vec![feat_patch(1, vec![1.0]), feat_patch(2, vec![1.0, 2.0])];
         assert!(feature_matrix(&mismatched).is_err());
     }

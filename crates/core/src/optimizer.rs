@@ -27,7 +27,10 @@ pub struct CostModel {
 
 impl Default for CostModel {
     fn default() -> Self {
-        CostModel { dist_eval_cost: 1.0, build_factor: 1.5 }
+        CostModel {
+            dist_eval_cost: 1.0,
+            build_factor: 1.5,
+        }
     }
 }
 
@@ -104,32 +107,101 @@ impl CostModel {
     }
 }
 
-/// Device placement advisor.
+/// Device placement advisor over all four backends: scalar CPU, vectorized
+/// CPU, multi-core parallel CPU, and GPU offload.
+///
+/// Placement follows the paper's §7.4.2 rule generalized to a device
+/// lattice: each backend has a throughput model and a fixed per-kernel
+/// overhead, and the planner picks the backend with the smallest estimated
+/// wall-clock. The parallel CPU sits between one vectorized core and the
+/// GPU: near-linear compute scaling across `cpu_threads` workers, a small
+/// per-kernel thread-orchestration cost, and no transfer cost at all.
 #[derive(Debug, Clone, Copy)]
 pub struct DevicePlanner {
     /// The GPU's overhead profile.
     pub gpu: GpuProfile,
     /// Estimated GPU throughput advantage over single-core vectorized code.
     pub speedup: f64,
+    /// Vectorized (AVX) throughput advantage over scalar code.
+    pub vector_speedup: f64,
+    /// Worker threads the parallel-CPU backend would use.
+    pub cpu_threads: usize,
+    /// Fraction of ideal scaling the morsel pool achieves (memory bandwidth
+    /// and merge costs eat the rest).
+    pub parallel_efficiency: f64,
+    /// Fixed per-kernel cost of spawning and joining the scoped workers, in
+    /// microseconds per thread.
+    pub spawn_overhead_us: f64,
 }
 
 impl Default for DevicePlanner {
     fn default() -> Self {
-        DevicePlanner { gpu: GpuProfile::default(), speedup: 8.0 }
+        DevicePlanner {
+            gpu: GpuProfile::default(),
+            speedup: 8.0,
+            vector_speedup: 4.0,
+            cpu_threads: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+            parallel_efficiency: 0.85,
+            spawn_overhead_us: 30.0,
+        }
     }
 }
 
 impl DevicePlanner {
-    /// Choose a device for a kernel with `cpu_estimate_us` of single-core
-    /// work moving `bytes` of data.
-    pub fn place(&self, cpu_estimate_us: f64, bytes: usize) -> Device {
-        let overhead_us = self.gpu.offload_overhead(bytes).as_secs_f64() * 1e6;
-        let gpu_us = overhead_us + cpu_estimate_us / self.speedup;
-        if gpu_us < cpu_estimate_us {
-            Device::GpuSim
-        } else {
-            Device::Avx
+    /// The candidate devices the planner ranks, cheapest-overhead first.
+    pub fn candidates(&self) -> [Device; 4] {
+        [
+            Device::Cpu,
+            Device::Avx,
+            Device::ParallelCpu(self.cpu_threads),
+            Device::GpuSim,
+        ]
+    }
+
+    /// Estimated wall-clock (µs) of running a kernel with `cpu_estimate_us`
+    /// of *vectorized single-core* work moving `bytes` of data on `device`.
+    pub fn estimate_us(&self, device: Device, cpu_estimate_us: f64, bytes: usize) -> f64 {
+        match device {
+            Device::Cpu => cpu_estimate_us * self.vector_speedup,
+            Device::Avx => cpu_estimate_us,
+            Device::ParallelCpu(threads) => {
+                let threads = if threads == 0 {
+                    self.cpu_threads
+                } else {
+                    threads
+                } as f64;
+                if threads <= 1.0 {
+                    cpu_estimate_us
+                } else {
+                    cpu_estimate_us / (threads * self.parallel_efficiency)
+                        + self.spawn_overhead_us * threads
+                }
+            }
+            Device::GpuSim => {
+                let overhead_us = self.gpu.offload_overhead(bytes).as_secs_f64() * 1e6;
+                overhead_us + cpu_estimate_us / self.speedup
+            }
         }
+    }
+
+    /// Choose a device for a kernel with `cpu_estimate_us` of single-core
+    /// vectorized work moving `bytes` of data: the [`DevicePlanner::candidates`]
+    /// entry with the smallest estimate, ties broken toward the
+    /// lower-overhead device (candidates are ordered cheapest-overhead
+    /// first).
+    pub fn place(&self, cpu_estimate_us: f64, bytes: usize) -> Device {
+        let mut best = Device::Cpu;
+        let mut best_us = f64::INFINITY;
+        for dev in self.candidates() {
+            let us = self.estimate_us(dev, cpu_estimate_us, bytes);
+            if us < best_us {
+                best = dev;
+                best_us = us;
+            }
+        }
+        best
     }
 }
 
@@ -146,7 +218,10 @@ pub struct AccuracyProfile {
 impl AccuracyProfile {
     /// A perfect (exact) operator.
     pub fn exact() -> Self {
-        AccuracyProfile { recall: 1.0, precision: 1.0 }
+        AccuracyProfile {
+            recall: 1.0,
+            precision: 1.0,
+        }
     }
 
     /// Compose with a downstream operator under an independence assumption:
@@ -223,8 +298,16 @@ pub fn enumerate_filter_match_plans(
     let acc_b = match_acc.then(&cluster_filter);
 
     vec![
-        PlanChoice { order: "Patch, Filter, Match", cost: cost_a, accuracy: acc_a },
-        PlanChoice { order: "Patch, Match, Filter", cost: cost_b, accuracy: acc_b },
+        PlanChoice {
+            order: "Patch, Filter, Match",
+            cost: cost_a,
+            accuracy: acc_a,
+        },
+        PlanChoice {
+            order: "Patch, Match, Filter",
+            cost: cost_b,
+            accuracy: acc_b,
+        },
     ]
 }
 
@@ -238,7 +321,10 @@ mod tests {
         let m = CostModel::default();
         let c1 = m.probe_cost(1_000, 64);
         let c2 = m.probe_cost(2_000, 64);
-        assert!(c2 > 1.9 * c1, "high-dim probe cost should be near-linear or worse");
+        assert!(
+            c2 > 1.9 * c1,
+            "high-dim probe cost should be near-linear or worse"
+        );
         // Low dimension is strongly sublinear.
         let l1 = m.probe_cost(1_000, 3);
         let l2 = m.probe_cost(2_000, 3);
@@ -265,26 +351,92 @@ mod tests {
         assert_eq!(m.recommend(5, 5, 8), JoinStrategy::NestedLoop);
     }
 
-    #[test]
-    fn device_planner_crossover() {
-        let planner = DevicePlanner {
+    /// Planner fixture with deterministic (host-independent) CPU topology.
+    fn planner_fixture() -> DevicePlanner {
+        DevicePlanner {
             gpu: GpuProfile {
                 launch_overhead: Duration::from_micros(500),
                 bandwidth_gib_s: 8.0,
                 workers: 8,
             },
             speedup: 8.0,
-        };
-        // Tiny kernel: stay on CPU.
+            vector_speedup: 4.0,
+            cpu_threads: 4,
+            parallel_efficiency: 0.85,
+            spawn_overhead_us: 30.0,
+        }
+    }
+
+    #[test]
+    fn device_planner_crossover() {
+        let planner = planner_fixture();
+        // Tiny kernel: stay on the single vectorized core.
         assert_eq!(planner.place(50.0, 1024), Device::Avx);
-        // Huge kernel: offload.
+        // Huge kernel: offload (8x GPU speedup beats 4 threads at 85%).
         assert_eq!(planner.place(1_000_000.0, 1 << 20), Device::GpuSim);
     }
 
     #[test]
+    fn device_planner_picks_parallel_cpu_in_the_middle() {
+        let planner = planner_fixture();
+        // Mid-size kernel: parallel CPU amortizes its spawn cost, while the
+        // GPU's launch + transfer overhead still dominates its compute win.
+        let placed = planner.place(2_000.0, 64 << 20);
+        assert_eq!(placed, Device::ParallelCpu(4));
+        // And the estimates are consistent with that pick.
+        let par = planner.estimate_us(placed, 2_000.0, 64 << 20);
+        assert!(par < planner.estimate_us(Device::Avx, 2_000.0, 64 << 20));
+        assert!(par < planner.estimate_us(Device::GpuSim, 2_000.0, 64 << 20));
+    }
+
+    #[test]
+    fn estimate_orders_scalar_above_vectorized() {
+        let planner = planner_fixture();
+        for work in [10.0, 1_000.0, 100_000.0] {
+            assert!(
+                planner.estimate_us(Device::Cpu, work, 0)
+                    > planner.estimate_us(Device::Avx, work, 0)
+            );
+        }
+    }
+
+    #[test]
+    fn single_threaded_parallel_degenerates_to_avx() {
+        let planner = planner_fixture();
+        assert_eq!(
+            planner.estimate_us(Device::ParallelCpu(1), 500.0, 0),
+            planner.estimate_us(Device::Avx, 500.0, 0)
+        );
+    }
+
+    #[test]
+    fn place_ranks_every_candidate() {
+        // On SIMD-weak hardware (vector_speedup < 1) the scalar backend is
+        // the planner's own minimum — place() must return it.
+        let planner = DevicePlanner {
+            vector_speedup: 0.8,
+            ..planner_fixture()
+        };
+        assert_eq!(planner.place(50.0, 1024), Device::Cpu);
+    }
+
+    #[test]
+    fn candidates_cover_the_lattice() {
+        let c = planner_fixture().candidates();
+        assert_eq!(c.len(), 4);
+        assert!(matches!(c[2], Device::ParallelCpu(4)));
+    }
+
+    #[test]
     fn accuracy_composition() {
-        let a = AccuracyProfile { recall: 0.9, precision: 0.95 };
-        let b = AccuracyProfile { recall: 0.8, precision: 0.9 };
+        let a = AccuracyProfile {
+            recall: 0.9,
+            precision: 0.95,
+        };
+        let b = AccuracyProfile {
+            recall: 0.8,
+            precision: 0.9,
+        };
         let c = a.then(&b);
         assert!((c.recall - 0.72).abs() < 1e-9);
         assert!((c.precision - 0.855).abs() < 1e-9);
@@ -299,8 +451,14 @@ mod tests {
             10_000,
             0.3,
             64,
-            AccuracyProfile { recall: 0.85, precision: 0.97 },
-            AccuracyProfile { recall: 0.9, precision: 0.99 },
+            AccuracyProfile {
+                recall: 0.85,
+                precision: 0.97,
+            },
+            AccuracyProfile {
+                recall: 0.9,
+                precision: 0.99,
+            },
         );
         let a = &plans[0]; // Filter, Match
         let b = &plans[1]; // Match, Filter

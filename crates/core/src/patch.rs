@@ -27,7 +27,10 @@ pub struct ImgRef {
 impl ImgRef {
     /// Reference frame `frame_no` of `source`.
     pub fn frame(source: impl Into<String>, frame_no: u64) -> Self {
-        ImgRef { source: source.into(), frame_no }
+        ImgRef {
+            source: source.into(),
+            frame_no,
+        }
     }
 }
 
@@ -88,7 +91,13 @@ pub struct Patch {
 impl Patch {
     /// A pixel patch generated directly from a source image.
     pub fn pixels(id: PatchId, img_ref: ImgRef, img: Image) -> Self {
-        Patch { id, img_ref, data: PatchData::Pixels(img), meta: BTreeMap::new(), parents: vec![] }
+        Patch {
+            id,
+            img_ref,
+            data: PatchData::Pixels(img),
+            meta: BTreeMap::new(),
+            parents: vec![],
+        }
     }
 
     /// A feature patch generated directly from a source image.
@@ -104,7 +113,13 @@ impl Patch {
 
     /// A metadata-only patch (aggregate results and the like).
     pub fn empty(id: PatchId, img_ref: ImgRef) -> Self {
-        Patch { id, img_ref, data: PatchData::Empty, meta: BTreeMap::new(), parents: vec![] }
+        Patch {
+            id,
+            img_ref,
+            data: PatchData::Empty,
+            meta: BTreeMap::new(),
+            parents: vec![],
+        }
     }
 
     /// Builder-style metadata insertion.
@@ -181,7 +196,10 @@ mod tests {
 
     #[test]
     fn builder_metadata() {
-        let patch = p(1).with_meta("label", "car").with_meta("score", 0.9).with_meta("frameno", 7i64);
+        let patch = p(1)
+            .with_meta("label", "car")
+            .with_meta("score", 0.9)
+            .with_meta("frameno", 7i64);
         assert_eq!(patch.get_str("label"), Some("car"));
         assert_eq!(patch.get_float("score"), Some(0.9));
         assert_eq!(patch.get_int("frameno"), Some(7));
@@ -194,7 +212,11 @@ mod tests {
         let child = parent.derive(PatchId(2), PatchData::Features(vec![1.0, 2.0]));
         assert_eq!(child.parents, vec![PatchId(1)]);
         assert_eq!(child.img_ref, parent.img_ref);
-        assert_eq!(child.get_str("label"), Some("person"), "metadata carried over");
+        assert_eq!(
+            child.get_str("label"),
+            Some("person"),
+            "metadata carried over"
+        );
         assert_eq!(child.data.features(), Some(&[1.0, 2.0][..]));
     }
 

@@ -25,7 +25,11 @@ impl Session {
     /// missing), executing on `device`.
     pub fn open(dir: impl AsRef<Path>, device: Device) -> Result<Self> {
         std::fs::create_dir_all(dir.as_ref()).map_err(deeplens_storage::StorageError::from)?;
-        Ok(Session { catalog: Catalog::new(), device, dir: dir.as_ref().to_path_buf() })
+        Ok(Session {
+            catalog: Catalog::new(),
+            device,
+            dir: dir.as_ref().to_path_buf(),
+        })
     }
 
     /// An in-memory-leaning session rooted in a temp directory.
@@ -74,14 +78,18 @@ mod tests {
         s.set_device(Device::Cpu);
         assert_eq!(s.executor().device(), Device::Cpu);
         assert!(s.dir().exists());
-        assert!(s.storage_path("traffic.dlb").to_string_lossy().contains("traffic.dlb"));
+        assert!(s
+            .storage_path("traffic.dlb")
+            .to_string_lossy()
+            .contains("traffic.dlb"));
     }
 
     #[test]
     fn catalog_reachable_through_session() {
         let mut s = Session::ephemeral().unwrap();
         let id = s.catalog.next_patch_id();
-        s.catalog.materialize("x", vec![Patch::empty(id, ImgRef::frame("v", 0))]);
+        s.catalog
+            .materialize("x", vec![Patch::empty(id, ImgRef::frame("v", 0))]);
         assert_eq!(s.catalog.collection("x").unwrap().len(), 1);
     }
 }

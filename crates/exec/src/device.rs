@@ -9,15 +9,30 @@ pub enum Device {
     Cpu,
     /// Vectorized single-core implementation (the paper's "AVX").
     Avx,
+    /// Multi-core CPU: the vectorized kernels sharded over a morsel-driven
+    /// scoped-thread pool. The payload is the worker count; `0` means one
+    /// worker per available hardware thread.
+    ParallelCpu(usize),
     /// Simulated GPU: data-parallel workers plus launch/transfer overhead
     /// (the paper's "GPU").
     GpuSim,
 }
 
 impl Device {
-    /// All devices, in the order the paper's Fig. 8 reports them.
+    /// The paper's three devices, in the order its Fig. 8 reports them.
     pub fn all() -> [Device; 3] {
         [Device::Cpu, Device::Avx, Device::GpuSim]
+    }
+
+    /// Every backend including the multi-core CPU (auto thread count),
+    /// scalar-to-parallel order.
+    pub fn all_with_parallel() -> [Device; 4] {
+        [
+            Device::Cpu,
+            Device::Avx,
+            Device::ParallelCpu(0),
+            Device::GpuSim,
+        ]
     }
 
     /// Label used by the benchmark harnesses.
@@ -25,7 +40,21 @@ impl Device {
         match self {
             Device::Cpu => "CPU",
             Device::Avx => "AVX",
+            Device::ParallelCpu(_) => "PAR",
             Device::GpuSim => "GPU",
+        }
+    }
+
+    /// The worker count a [`Device::ParallelCpu`] resolves to on this host
+    /// (`0` → hardware threads); `1` for the single-core backends and the
+    /// simulated GPU's host side.
+    pub fn resolved_threads(&self) -> usize {
+        match self {
+            Device::ParallelCpu(0) => std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+            Device::ParallelCpu(t) => *t,
+            _ => 1,
         }
     }
 }
@@ -53,7 +82,9 @@ impl Default for GpuProfile {
         GpuProfile {
             launch_overhead: Duration::from_micros(250),
             bandwidth_gib_s: 8.0,
-            workers: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4),
+            workers: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4),
         }
     }
 }
@@ -89,11 +120,26 @@ mod tests {
     #[test]
     fn labels_and_order() {
         assert_eq!(Device::all().map(|d| d.label()), ["CPU", "AVX", "GPU"]);
+        assert_eq!(
+            Device::all_with_parallel().map(|d| d.label()),
+            ["CPU", "AVX", "PAR", "GPU"]
+        );
+    }
+
+    #[test]
+    fn parallel_cpu_resolves_threads() {
+        assert_eq!(Device::ParallelCpu(6).resolved_threads(), 6);
+        assert!(Device::ParallelCpu(0).resolved_threads() >= 1);
+        assert_eq!(Device::Cpu.resolved_threads(), 1);
+        assert_eq!(Device::GpuSim.resolved_threads(), 1);
     }
 
     #[test]
     fn transfer_time_scales_linearly() {
-        let p = GpuProfile { bandwidth_gib_s: 1.0, ..Default::default() };
+        let p = GpuProfile {
+            bandwidth_gib_s: 1.0,
+            ..Default::default()
+        };
         let t1 = p.transfer_time(1024 * 1024 * 1024);
         assert!((t1.as_secs_f64() - 1.0).abs() < 1e-9);
         let t2 = p.transfer_time(2 * 1024 * 1024 * 1024);

@@ -8,6 +8,7 @@
 use crate::device::{Device, GpuProfile};
 use crate::kernels;
 use crate::matrix::Matrix;
+use crate::pool::WorkerPool;
 
 /// Executes DeepLens compute kernels on a chosen device.
 #[derive(Debug, Clone)]
@@ -19,7 +20,10 @@ pub struct Executor {
 impl Executor {
     /// Executor for `device` with the default GPU profile.
     pub fn new(device: Device) -> Self {
-        Executor { device, gpu: GpuProfile::default() }
+        Executor {
+            device,
+            gpu: GpuProfile::default(),
+        }
     }
 
     /// Executor with an explicit GPU overhead profile.
@@ -38,9 +42,28 @@ impl Executor {
         match self.device {
             Device::Cpu => kernels::threshold_join_scalar(a, b, tau),
             Device::Avx => kernels::threshold_join_vectorized(a, b, tau),
+            Device::ParallelCpu(_) => {
+                kernels::threshold_join_parallel(a, b, tau, self.device.resolved_threads())
+            }
             Device::GpuSim => {
                 self.gpu.pay_overhead(a.byte_size() + b.byte_size());
                 kernels::threshold_join_parallel(a, b, tau, self.gpu.workers)
+            }
+        }
+    }
+
+    /// Euclidean distances from `query` to every row of `m` (the kNN /
+    /// feature-scoring batch kernel).
+    pub fn distances(&self, m: &Matrix, query: &[f32]) -> Vec<f32> {
+        match self.device {
+            Device::Cpu => kernels::distances_scalar(m, query),
+            Device::Avx => kernels::distances_vectorized(m, query),
+            Device::ParallelCpu(_) => {
+                kernels::distances_parallel(m, query, self.device.resolved_threads())
+            }
+            Device::GpuSim => {
+                self.gpu.pay_overhead(m.byte_size() + query.len() * 4);
+                kernels::distances_parallel(m, query, self.gpu.workers)
             }
         }
     }
@@ -51,6 +74,12 @@ impl Executor {
         match self.device {
             Device::Cpu => kernels::conv_stack_scalar(plane, w, h, layers),
             Device::Avx => kernels::conv_stack_vectorized(plane, w, h, layers),
+            Device::ParallelCpu(_) => {
+                // Same occupancy guard as the GPU path: row-sharding only
+                // pays off once each worker gets a real band.
+                let workers = self.device.resolved_threads().min(h / 16).max(1);
+                kernels::conv_stack_parallel(plane, w, h, layers, workers)
+            }
             Device::GpuSim => {
                 self.gpu.pay_overhead(plane.len() * 4 * 2);
                 // Row-sharding only pays off when each worker gets a real
@@ -78,39 +107,43 @@ impl Executor {
                 .iter()
                 .map(|(p, w, h)| kernels::conv_stack_vectorized(p, *w, *h, layers))
                 .collect(),
+            Device::ParallelCpu(_) => {
+                Self::conv_batch_parallel(planes, layers, self.device.resolved_threads())
+            }
             Device::GpuSim => {
                 let bytes: usize = planes.iter().map(|(p, _, _)| p.len() * 4 * 2).sum();
                 self.gpu.pay_overhead(bytes);
-                // Batch-level parallelism: each worker takes whole planes.
-                let workers = self.gpu.workers.max(1);
-                let chunk = planes.len().div_ceil(workers).max(1);
-                let mut out: Vec<Vec<Vec<f32>>> = Vec::new();
-                crossbeam::thread::scope(|s| {
-                    let mut handles = Vec::new();
-                    for piece in planes.chunks(chunk) {
-                        handles.push(s.spawn(move |_| {
-                            piece
-                                .iter()
-                                .map(|(p, w, h)| {
-                                    kernels::conv_stack_vectorized(p, *w, *h, layers)
-                                })
-                                .collect::<Vec<_>>()
-                        }));
-                    }
-                    for h in handles {
-                        out.push(h.join().expect("worker panicked"));
-                    }
-                })
-                .expect("thread scope failed");
-                out.into_iter().flatten().collect()
+                Self::conv_batch_parallel(planes, layers, self.gpu.workers)
             }
         }
+    }
+
+    /// Batch-level parallelism shared by the multi-core CPU and simulated
+    /// GPU: workers claim morsels of whole planes.
+    fn conv_batch_parallel(
+        planes: &[(Vec<f32>, usize, usize)],
+        layers: usize,
+        workers: usize,
+    ) -> Vec<Vec<f32>> {
+        let pool = WorkerPool::new(workers);
+        pool.run_morsels(planes.len(), pool.morsel_size(planes.len()), |r| {
+            planes[r]
+                .iter()
+                .map(|(p, w, h)| kernels::conv_stack_vectorized(p, *w, *h, layers))
+                .collect::<Vec<_>>()
+        })
+        .into_iter()
+        .flatten()
+        .collect()
     }
 
     /// Histogram of `values` into `bins` cells over `[lo, hi)`.
     pub fn histogram(&self, values: &[f32], bins: usize, lo: f32, hi: f32) -> Vec<u32> {
         match self.device {
             Device::Cpu | Device::Avx => kernels::histogram_scalar(values, bins, lo, hi),
+            Device::ParallelCpu(_) => {
+                kernels::histogram_parallel(values, bins, lo, hi, self.device.resolved_threads())
+            }
             Device::GpuSim => {
                 self.gpu.pay_overhead(values.len() * 4);
                 kernels::histogram_parallel(values, bins, lo, hi, self.gpu.workers)
@@ -145,11 +178,42 @@ mod tests {
         let b = mat(50, 12, 6);
         let mut base = Executor::new(Device::Cpu).threshold_join(&a, &b, 8.0);
         base.sort_unstable();
-        for dev in [Device::Avx, Device::GpuSim] {
+        for dev in [
+            Device::Avx,
+            Device::ParallelCpu(0),
+            Device::ParallelCpu(1),
+            Device::ParallelCpu(5),
+            Device::GpuSim,
+        ] {
             let mut got = Executor::new(dev).threshold_join(&a, &b, 8.0);
             got.sort_unstable();
             assert_eq!(base, got, "device {dev:?} result mismatch");
         }
+    }
+
+    #[test]
+    fn distances_device_agnostic() {
+        let m = mat(64, 16, 9);
+        let q: Vec<f32> = mat(1, 16, 10).row(0).to_vec();
+        let base = Executor::new(Device::Cpu).distances(&m, &q);
+        for dev in [Device::Avx, Device::ParallelCpu(3), Device::GpuSim] {
+            let got = Executor::new(dev).distances(&m, &q);
+            assert_eq!(base.len(), got.len());
+            for (x, y) in base.iter().zip(&got) {
+                assert!((x - y).abs() < 1e-3, "device {dev:?} distance mismatch");
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_cpu_pays_no_offload_overhead() {
+        // Unlike the GPU, the parallel backend has no launch/transfer model:
+        // a tiny input runs inline (single morsel) and completes quickly.
+        let a = mat(2, 4, 1);
+        let b = mat(2, 4, 2);
+        let t0 = Instant::now();
+        let _ = Executor::new(Device::ParallelCpu(8)).threshold_join(&a, &b, 1.0);
+        assert!(t0.elapsed() < Duration::from_millis(50));
     }
 
     #[test]
@@ -181,7 +245,13 @@ mod tests {
     #[test]
     fn conv_batch_matches_sequential() {
         let planes: Vec<(Vec<f32>, usize, usize)> = (0..5)
-            .map(|s| ((0..20 * 16).map(|i| ((i * (s + 3)) % 50) as f32).collect(), 20, 16))
+            .map(|s| {
+                (
+                    (0..20 * 16).map(|i| ((i * (s + 3)) % 50) as f32).collect(),
+                    20,
+                    16,
+                )
+            })
             .collect();
         let cpu = Executor::new(Device::Cpu).conv_stack_batch(&planes, 2);
         let gpu = Executor::new(Device::GpuSim).conv_stack_batch(&planes, 2);

@@ -1,16 +1,18 @@
 //! Compute kernels in scalar, vectorized, and data-parallel form.
 //!
-//! Three implementations of each kernel back the three devices of the
-//! paper's Fig. 8:
+//! Three implementations of each kernel back the four execution devices
+//! (the paper's Fig. 8 trio plus the multi-core CPU backend):
 //!
 //! * `*_scalar` — straightforward per-element loops (the "CPU" baseline).
 //! * `*_vectorized` — restructured for SIMD: squared-norm + dot-product
 //!   decomposition, fixed-width lane accumulators the compiler turns into
 //!   vector instructions (the "AVX" variant).
-//! * `*_parallel` — the vectorized kernel sharded over [`crossbeam`] scoped
-//!   threads (the compute half of the simulated GPU).
+//! * `*_parallel` — the vectorized kernel sharded over a morsel-driven
+//!   [`WorkerPool`] of scoped threads (the multi-core CPU backend, and the
+//!   compute half of the simulated GPU).
 
 use crate::matrix::Matrix;
+use crate::pool::WorkerPool;
 
 // --------------------------------------------------------------------------
 // Threshold join (image matching): pairs within Euclidean distance tau
@@ -45,21 +47,26 @@ fn row_norms(m: &Matrix) -> Vec<f32> {
         .collect()
 }
 
-/// 8-lane dot product the compiler autovectorizes.
+/// 8-lane dot product the compiler autovectorizes. `chunks_exact` hands
+/// LLVM fixed-length slices, so the inner loop compiles to bounds-check-free
+/// SIMD lanes.
 #[inline]
 fn dot8(a: &[f32], b: &[f32]) -> f32 {
+    let ca = a.chunks_exact(8);
+    let cb = b.chunks_exact(8);
+    let tail: f32 = ca
+        .remainder()
+        .iter()
+        .zip(cb.remainder())
+        .map(|(x, y)| x * y)
+        .sum();
     let mut acc = [0f32; 8];
-    let chunks = a.len() / 8;
-    for c in 0..chunks {
+    for (ka, kb) in ca.zip(cb) {
         for l in 0..8 {
-            acc[l] += a[c * 8 + l] * b[c * 8 + l];
+            acc[l] += ka[l] * kb[l];
         }
     }
-    let mut sum: f32 = acc.iter().sum();
-    for k in chunks * 8..a.len() {
-        sum += a[k] * b[k];
-    }
-    sum
+    acc.iter().sum::<f32>() + tail
 }
 
 /// Vectorized threshold join using `||a-b||² = ||a||² + ||b||² − 2·a·b`.
@@ -69,11 +76,10 @@ pub fn threshold_join_vectorized(a: &Matrix, b: &Matrix, tau: f32) -> Vec<(u32, 
     let na = row_norms(a);
     let nb = row_norms(b);
     let mut out = Vec::new();
-    for i in 0..a.rows() {
+    for (i, &nai) in na.iter().enumerate() {
         let ra = a.row(i);
-        let nai = na[i];
-        for j in 0..b.rows() {
-            let d2 = nai + nb[j] - 2.0 * dot8(ra, b.row(j));
+        for (j, &nbj) in nb.iter().enumerate() {
+            let d2 = nai + nbj - 2.0 * dot8(ra, b.row(j));
             if d2 <= tau_sq {
                 out.push((i as u32, j as u32));
             }
@@ -82,8 +88,11 @@ pub fn threshold_join_vectorized(a: &Matrix, b: &Matrix, tau: f32) -> Vec<(u32, 
     out
 }
 
-/// Parallel threshold join: rows of `a` sharded across `workers` threads,
-/// each running the vectorized inner kernel.
+/// Parallel threshold join: morsels of `a`'s rows claimed dynamically by
+/// `workers` scoped threads, each running the vectorized inner kernel.
+///
+/// Output is identical to [`threshold_join_vectorized`], including pair
+/// order: morsels are contiguous row ranges reassembled in order.
 pub fn threshold_join_parallel(
     a: &Matrix,
     b: &Matrix,
@@ -91,46 +100,28 @@ pub fn threshold_join_parallel(
     workers: usize,
 ) -> Vec<(u32, u32)> {
     assert_eq!(a.cols(), b.cols(), "feature dimensions must match");
-    let workers = workers.max(1);
     if a.rows() == 0 || b.rows() == 0 {
         return vec![];
     }
     let tau_sq = tau * tau;
+    let na = row_norms(a);
     let nb = row_norms(b);
-    let chunk = a.rows().div_ceil(workers);
-    let mut results: Vec<Vec<(u32, u32)>> = Vec::new();
-    crossbeam::thread::scope(|s| {
-        let mut handles = Vec::new();
-        for w in 0..workers {
-            let lo = w * chunk;
-            let hi = ((w + 1) * chunk).min(a.rows());
-            if lo >= hi {
-                continue;
-            }
-            let nb = &nb;
-            handles.push(s.spawn(move |_| {
-                let mut local = Vec::new();
-                for i in lo..hi {
-                    let ra = a.row(i);
-                    let nai: f32 = ra.iter().map(|v| v * v).sum();
-                    for j in 0..b.rows() {
-                        let d2 = nai + nb[j] - 2.0 * dot8(ra, b.row(j));
-                        if d2 <= tau_sq {
-                            local.push((i as u32, j as u32));
-                        }
-                    }
+    let pool = WorkerPool::new(workers);
+    let morsels = pool.run_morsels(a.rows(), pool.morsel_size(a.rows()), |rows| {
+        let mut local = Vec::new();
+        for i in rows {
+            let ra = a.row(i);
+            let nai = na[i];
+            for (j, &nbj) in nb.iter().enumerate() {
+                let d2 = nai + nbj - 2.0 * dot8(ra, b.row(j));
+                if d2 <= tau_sq {
+                    local.push((i as u32, j as u32));
                 }
-                local
-            }));
+            }
         }
-        for h in handles {
-            results.push(h.join().expect("worker panicked"));
-        }
-    })
-    .expect("thread scope failed");
-    let mut out: Vec<(u32, u32)> = results.into_iter().flatten().collect();
-    out.sort_unstable();
-    out
+        local
+    });
+    morsels.into_iter().flatten().collect()
 }
 
 // --------------------------------------------------------------------------
@@ -219,8 +210,13 @@ fn conv_layer_rows(cur: &[f32], next: &mut [f32], w: usize, h: usize, y0: usize,
     }
 }
 
-/// Parallel convolution stack: rows sharded across `workers` threads per
-/// layer (layers synchronize, as real GPU kernels do).
+/// Parallel convolution stack: one scoped worker per contiguous row band
+/// per layer (layers synchronize, as real GPU kernels do).
+///
+/// Stencil rows are uniform-cost, so static banding beats morsel claiming
+/// here: workers write their band of a reused double buffer in place
+/// (`split_at_mut`), with no per-layer allocation and no serial
+/// reassembly on the caller thread.
 pub fn conv_stack_parallel(
     plane: &[f32],
     w: usize,
@@ -229,41 +225,28 @@ pub fn conv_stack_parallel(
     workers: usize,
 ) -> Vec<f32> {
     assert_eq!(plane.len(), w * h, "plane does not match shape");
-    let workers = workers.max(1);
-    if workers == 1 {
+    let threads = WorkerPool::new(workers).threads().min(h.max(1));
+    if threads <= 1 {
         // Thread spawn costs dwarf the work for a single band; run the
         // vectorized kernel inline.
         return conv_stack_vectorized(plane, w, h, layers);
     }
     let mut cur = plane.to_vec();
     let mut next = vec![0f32; w * h];
-    let rows_per = h.div_ceil(workers);
+    let rows_per = h.div_ceil(threads);
     for _ in 0..layers {
-        crossbeam::thread::scope(|s| {
-            // Split `next` into disjoint row bands, one per worker.
-            let mut rest: &mut [f32] = &mut next;
-            let mut y = 0usize;
+        std::thread::scope(|s| {
             let cur_ref = &cur;
-            let mut handles = Vec::new();
-            while y < h {
-                let band_rows = rows_per.min(h - y);
+            let mut rest: &mut [f32] = &mut next;
+            let mut y0 = 0usize;
+            while y0 < h {
+                let band_rows = rows_per.min(h - y0);
                 let (band, tail) = rest.split_at_mut(band_rows * w);
                 rest = tail;
-                let y0 = y;
-                handles.push(s.spawn(move |_| {
-                    // Compute into a local buffer then copy: band indices are
-                    // offset by y0 rows.
-                    let mut local = vec![0f32; band.len()];
-                    conv_band(cur_ref, &mut local, w, h, y0, y0 + band_rows);
-                    band.copy_from_slice(&local);
-                }));
-                y += band_rows;
+                s.spawn(move || conv_band(cur_ref, band, w, h, y0, y0 + band_rows));
+                y0 += band_rows;
             }
-            for h in handles {
-                h.join().expect("worker panicked");
-            }
-        })
-        .expect("thread scope failed");
+        });
         std::mem::swap(&mut cur, &mut next);
     }
     cur
@@ -274,8 +257,8 @@ fn conv_band(cur: &[f32], band: &mut [f32], w: usize, h: usize, y0: usize, y1: u
     for y in y0..y1 {
         let dst = &mut band[(y - y0) * w..(y - y0 + 1) * w];
         if y == 0 || y == h - 1 || w < 3 {
-            for x in 0..w {
-                dst[x] = conv3x3_at(cur, w, h, x, y).max(0.0);
+            for (x, d) in dst.iter_mut().enumerate() {
+                *d = conv3x3_at(cur, w, h, x, y).max(0.0);
             }
             continue;
         }
@@ -328,18 +311,10 @@ pub fn histogram_parallel(
     if values.is_empty() {
         return vec![0u32; bins];
     }
-    let chunk = values.len().div_ceil(workers);
-    let mut locals: Vec<Vec<u32>> = Vec::new();
-    crossbeam::thread::scope(|s| {
-        let mut handles = Vec::new();
-        for piece in values.chunks(chunk) {
-            handles.push(s.spawn(move |_| histogram_scalar(piece, bins, lo, hi)));
-        }
-        for h in handles {
-            locals.push(h.join().expect("worker panicked"));
-        }
-    })
-    .expect("thread scope failed");
+    let pool = WorkerPool::new(workers);
+    let locals = pool.run_morsels(values.len(), pool.morsel_size(values.len()), |r| {
+        histogram_scalar(&values[r], bins, lo, hi)
+    });
     let mut out = vec![0u32; bins];
     for local in locals {
         for (o, l) in out.iter_mut().zip(local) {
@@ -347,6 +322,58 @@ pub fn histogram_parallel(
         }
     }
     out
+}
+
+// --------------------------------------------------------------------------
+// Distance batch (kNN probes, feature scoring)
+// --------------------------------------------------------------------------
+
+/// Scalar batch distance kernel: Euclidean distance from `query` to every
+/// row of `m`.
+pub fn distances_scalar(m: &Matrix, query: &[f32]) -> Vec<f32> {
+    assert_eq!(m.cols(), query.len(), "feature dimensions must match");
+    (0..m.rows())
+        .map(|i| {
+            let r = m.row(i);
+            let mut acc = 0f32;
+            for k in 0..r.len() {
+                let d = r[k] - query[k];
+                acc += d * d;
+            }
+            acc.sqrt()
+        })
+        .collect()
+}
+
+/// Shared vectorized row distance: norm + dot decomposition, clamped so
+/// float rounding can't produce a negative squared distance.
+#[inline]
+fn row_distance(r: &[f32], nq: f32, query: &[f32]) -> f32 {
+    let nr: f32 = r.iter().map(|v| v * v).sum();
+    (nr + nq - 2.0 * dot8(r, query)).max(0.0).sqrt()
+}
+
+/// Vectorized batch distance kernel using the norm + dot decomposition.
+pub fn distances_vectorized(m: &Matrix, query: &[f32]) -> Vec<f32> {
+    assert_eq!(m.cols(), query.len(), "feature dimensions must match");
+    let nq: f32 = query.iter().map(|v| v * v).sum();
+    (0..m.rows())
+        .map(|i| row_distance(m.row(i), nq, query))
+        .collect()
+}
+
+/// Parallel batch distance kernel: row morsels claimed by `workers` threads,
+/// each running the vectorized inner kernel. Output order matches
+/// [`distances_vectorized`].
+pub fn distances_parallel(m: &Matrix, query: &[f32], workers: usize) -> Vec<f32> {
+    assert_eq!(m.cols(), query.len(), "feature dimensions must match");
+    let nq: f32 = query.iter().map(|v| v * v).sum();
+    let pool = WorkerPool::new(workers);
+    let morsels = pool.run_morsels(m.rows(), pool.morsel_size(m.rows()), |rows| {
+        rows.map(|i| row_distance(m.row(i), nq, query))
+            .collect::<Vec<f32>>()
+    });
+    morsels.into_iter().flatten().collect()
 }
 
 #[cfg(test)]
@@ -433,6 +460,45 @@ mod tests {
         let p = histogram_parallel(&values, 16, 0.0, 256.0, 8);
         assert_eq!(s, p);
         assert_eq!(s.iter().sum::<u32>(), 10_000);
+    }
+
+    #[test]
+    fn join_parallel_order_matches_vectorized_across_threads() {
+        let a = mat(45, 12, 7);
+        let b = mat(33, 12, 8);
+        let v = threshold_join_vectorized(&a, &b, 6.0);
+        for workers in [1, 2, 3, 8, 16] {
+            let p = threshold_join_parallel(&a, &b, 6.0, workers);
+            assert_eq!(v, p, "workers = {workers}: order must match vectorized");
+        }
+    }
+
+    #[test]
+    fn distance_variants_agree() {
+        let m = mat(70, 24, 11);
+        let q: Vec<f32> = mat(1, 24, 12).row(0).to_vec();
+        let s = distances_scalar(&m, &q);
+        let v = distances_vectorized(&m, &q);
+        for workers in [1, 4] {
+            let p = distances_parallel(&m, &q, workers);
+            assert_eq!(p.len(), s.len());
+            for i in 0..s.len() {
+                assert!((s[i] - v[i]).abs() < 1e-3, "scalar vs vectorized at {i}");
+                assert!(
+                    (s[i] - p[i]).abs() < 1e-3,
+                    "scalar vs parallel({workers}) at {i}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn distance_to_self_is_zero() {
+        let m = mat(5, 8, 13);
+        let q = m.row(2).to_vec();
+        let d = distances_vectorized(&m, &q);
+        assert!(d[2].abs() < 1e-3, "self distance {}", d[2]);
+        assert!(distances_parallel(&Matrix::zeros(0, 8), &[0.0; 8], 4).is_empty());
     }
 
     #[test]

@@ -15,18 +15,29 @@
 //! (the overhead). The crossover behaviour — the only thing the experiments
 //! depend on — is preserved by construction.
 //!
+//! Alongside the paper's three devices, [`device::Device::ParallelCpu`] is a
+//! real multi-core CPU backend: the vectorized kernels sharded over a
+//! morsel-driven scoped-thread [`pool::WorkerPool`], with no offload
+//! overhead. It fills the gap the paper's §7.4.2 device-placement story
+//! leaves between one vectorized core and full GPU offload.
+//!
 //! * [`device`] — device descriptors and the offload cost model.
 //! * [`matrix`] — dense row-major `f32` matrices (feature sets).
-//! * [`kernels`] — distance matrices, threshold joins, histograms and the
+//! * [`pool`] — the morsel-driven scoped worker pool.
+//! * [`kernels`] — distance batches, threshold joins, histograms and the
 //!   convolution stack used to emulate NN inference, each in scalar,
 //!   vectorized, and parallel form.
 //! * [`executor`] — ties a device to its kernel implementations.
+
+#![deny(missing_docs)]
 
 pub mod device;
 pub mod executor;
 pub mod kernels;
 pub mod matrix;
+pub mod pool;
 
 pub use device::{Device, GpuProfile};
 pub use executor::Executor;
 pub use matrix::Matrix;
+pub use pool::WorkerPool;

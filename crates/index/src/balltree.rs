@@ -52,9 +52,18 @@ impl BallTree {
     /// Panics if `points.len()` is not a multiple of `dim` or `dim == 0`.
     pub fn build(dim: usize, points: Vec<f32>) -> Self {
         assert!(dim > 0, "dimension must be positive");
-        assert_eq!(points.len() % dim, 0, "point buffer must be a multiple of dim");
+        assert_eq!(
+            points.len() % dim,
+            0,
+            "point buffer must be a multiple of dim"
+        );
         let n = points.len() / dim;
-        let mut tree = BallTree { dim, points, root: None, distance_evals: Cell::new(0) };
+        let mut tree = BallTree {
+            dim,
+            points,
+            root: None,
+            distance_evals: Cell::new(0),
+        };
         if n > 0 {
             let mut ids: Vec<u32> = (0..n as u32).collect();
             tree.root = Some(tree.build_node(&mut ids));
@@ -106,15 +115,21 @@ impl BallTree {
         for c in centroid.iter_mut() {
             *c /= n;
         }
-        let radius =
-            ids.iter().map(|&id| euclidean(&centroid, self.point(id))).fold(0f32, f32::max);
+        let radius = ids
+            .iter()
+            .map(|&id| euclidean(&centroid, self.point(id)))
+            .fold(0f32, f32::max);
         (centroid, radius)
     }
 
     fn build_node(&self, ids: &mut [u32]) -> TreeNode {
         let (centroid, radius) = self.make_meta(ids);
         if ids.len() <= LEAF_SIZE {
-            return TreeNode { centroid, radius, kind: NodeKind::Leaf(ids.to_vec()) };
+            return TreeNode {
+                centroid,
+                radius,
+                kind: NodeKind::Leaf(ids.to_vec()),
+            };
         }
         // Split on the dimension of maximum spread at its median.
         let spread = |d: usize| {
@@ -126,11 +141,16 @@ impl BallTree {
             }
             hi - lo
         };
-        let split_dim =
-            (0..self.dim).max_by(|&a, &b| spread(a).total_cmp(&spread(b))).expect("dim > 0");
+        let split_dim = (0..self.dim)
+            .max_by(|&a, &b| spread(a).total_cmp(&spread(b)))
+            .expect("dim > 0");
         if spread(split_dim) <= f32::EPSILON {
             // All points identical: no split is possible.
-            return TreeNode { centroid, radius, kind: NodeKind::Leaf(ids.to_vec()) };
+            return TreeNode {
+                centroid,
+                radius,
+                kind: NodeKind::Leaf(ids.to_vec()),
+            };
         }
         let mid = ids.len() / 2;
         ids.select_nth_unstable_by(mid, |&a, &b| {
@@ -139,7 +159,11 @@ impl BallTree {
         let (left_ids, right_ids) = ids.split_at_mut(mid);
         let left = self.build_node(left_ids);
         let right = self.build_node(right_ids);
-        TreeNode { centroid, radius, kind: NodeKind::Branch(Box::new(left), Box::new(right)) }
+        TreeNode {
+            centroid,
+            radius,
+            kind: NodeKind::Branch(Box::new(left), Box::new(right)),
+        }
     }
 
     #[inline]
@@ -223,7 +247,11 @@ impl BallTree {
                 let dl = euclidean(query, &left.centroid);
                 let dr = euclidean(query, &right.centroid);
                 self.count_dist(2);
-                let (first, second) = if dl <= dr { (left, right) } else { (right, left) };
+                let (first, second) = if dl <= dr {
+                    (left, right)
+                } else {
+                    (right, left)
+                };
                 self.knn_rec(first, query, k, heap);
                 self.knn_rec(second, query, k, heap);
             }
@@ -267,7 +295,9 @@ mod tests {
         // Deterministic pseudo-random points in [0, 10).
         let mut state = 0x12345678u64;
         let mut next = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (state >> 33) as f32 / (1u64 << 31) as f32 * 10.0
         };
         (0..n).map(|_| (0..dim).map(|_| next()).collect()).collect()
@@ -363,7 +393,10 @@ mod tests {
         }
         let e_lo = t_lo.take_distance_evals();
         let e_hi = t_hi.take_distance_evals();
-        assert!(e_hi > e_lo, "high-dim should evaluate more distances ({e_hi} vs {e_lo})");
+        assert!(
+            e_hi > e_lo,
+            "high-dim should evaluate more distances ({e_hi} vs {e_lo})"
+        );
     }
 
     #[test]

@@ -34,9 +34,17 @@ impl KdTree {
     /// Build over row-major `points` with `dim` components each.
     pub fn build(dim: usize, points: Vec<f32>) -> Self {
         assert!(dim > 0, "dimension must be positive");
-        assert_eq!(points.len() % dim, 0, "point buffer must be a multiple of dim");
+        assert_eq!(
+            points.len() % dim,
+            0,
+            "point buffer must be a multiple of dim"
+        );
         let n = points.len() / dim;
-        let mut tree = KdTree { dim, points, root: None };
+        let mut tree = KdTree {
+            dim,
+            points,
+            root: None,
+        };
         if n > 0 {
             let mut ids: Vec<u32> = (0..n as u32).collect();
             tree.root = Some(tree.build_node(&mut ids, 0));
@@ -116,7 +124,12 @@ impl KdTree {
                     }
                 }
             }
-            Node::Split { dim, value, left, right } => {
+            Node::Split {
+                dim,
+                value,
+                left,
+                right,
+            } => {
                 let delta = query[*dim] - value;
                 // Always search the side the query lies in; cross the plane
                 // only when the ball reaches it.
@@ -154,9 +167,18 @@ impl KdTree {
                     }
                 }
             }
-            Node::Split { dim, value, left, right } => {
+            Node::Split {
+                dim,
+                value,
+                left,
+                right,
+            } => {
                 let delta = query[*dim] - value;
-                let (near, far) = if delta <= 0.0 { (left, right) } else { (right, left) };
+                let (near, far) = if delta <= 0.0 {
+                    (left, right)
+                } else {
+                    (right, left)
+                };
                 self.nearest_rec(near, query, best);
                 let crossing = best.map(|(_, b)| delta * delta <= b).unwrap_or(true);
                 if crossing {

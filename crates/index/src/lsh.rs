@@ -30,7 +30,12 @@ pub struct LshParams {
 
 impl Default for LshParams {
     fn default() -> Self {
-        LshParams { tables: 8, projections: 4, width: 4.0, seed: 0xD1CE }
+        LshParams {
+            tables: 8,
+            projections: 4,
+            width: 4.0,
+            seed: 0xD1CE,
+        }
     }
 }
 
@@ -64,17 +69,27 @@ impl LshIndex {
     /// Build an index over row-major `points` with `dim` components each.
     pub fn build(dim: usize, points: Vec<f32>, params: LshParams) -> Self {
         assert!(dim > 0, "dimension must be positive");
-        assert_eq!(points.len() % dim, 0, "point buffer must be a multiple of dim");
+        assert_eq!(
+            points.len() % dim,
+            0,
+            "point buffer must be a multiple of dim"
+        );
         assert!(params.width > 0.0, "cell width must be positive");
         let mut rng = StdRng::seed_from_u64(params.seed);
         let n = points.len() / dim;
         let mut tables = Vec::with_capacity(params.tables);
         for _ in 0..params.tables {
-            let planes: Vec<f32> =
-                (0..params.projections * dim).map(|_| gaussian(&mut rng)).collect();
-            let offsets: Vec<f32> =
-                (0..params.projections).map(|_| rng.gen_range(0.0..params.width)).collect();
-            tables.push(Table { planes, offsets, buckets: HashMap::new() });
+            let planes: Vec<f32> = (0..params.projections * dim)
+                .map(|_| gaussian(&mut rng))
+                .collect();
+            let offsets: Vec<f32> = (0..params.projections)
+                .map(|_| rng.gen_range(0.0..params.width))
+                .collect();
+            tables.push(Table {
+                planes,
+                offsets,
+                buckets: HashMap::new(),
+            });
         }
         let mut index = LshIndex {
             dim,
@@ -84,8 +99,11 @@ impl LshIndex {
             tables,
         };
         for id in 0..n as u32 {
-            let key_sets: Vec<Vec<i32>> =
-                index.tables.iter().map(|t| index.hash_point(t, index.point(id))).collect();
+            let key_sets: Vec<Vec<i32>> = index
+                .tables
+                .iter()
+                .map(|t| index.hash_point(t, index.point(id)))
+                .collect();
             for (t, key) in index.tables.iter_mut().zip(key_sets) {
                 t.buckets.entry(key).or_default().push(id);
             }
@@ -206,7 +224,12 @@ mod tests {
         let pts = clustered_points(8, 25, 16);
         let idx = LshIndex::from_vectors(
             &pts,
-            LshParams { tables: 12, projections: 4, width: 8.0, seed: 7 },
+            LshParams {
+                tables: 12,
+                projections: 4,
+                width: 8.0,
+                seed: 7,
+            },
         );
         let tau = 3.0;
         let mut found = 0usize;

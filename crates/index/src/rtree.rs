@@ -28,12 +28,22 @@ pub struct Rect {
 impl Rect {
     /// Construct a rectangle, normalizing flipped coordinates.
     pub fn new(x1: f32, y1: f32, x2: f32, y2: f32) -> Self {
-        Rect { x1: x1.min(x2), y1: y1.min(y2), x2: x1.max(x2), y2: y1.max(y2) }
+        Rect {
+            x1: x1.min(x2),
+            y1: y1.min(y2),
+            x2: x1.max(x2),
+            y2: y1.max(y2),
+        }
     }
 
     /// A degenerate rectangle covering a single point.
     pub fn point(x: f32, y: f32) -> Self {
-        Rect { x1: x, y1: y, x2: x, y2: y }
+        Rect {
+            x1: x,
+            y1: y,
+            x2: x,
+            y2: y,
+        }
     }
 
     /// Area of the rectangle.
@@ -81,9 +91,11 @@ enum Node {
 impl Node {
     fn mbr(&self) -> Rect {
         match self {
-            Node::Leaf(entries) => {
-                entries.iter().map(|(r, _)| *r).reduce(|a, b| a.union(&b)).unwrap_or(Rect::point(0.0, 0.0))
-            }
+            Node::Leaf(entries) => entries
+                .iter()
+                .map(|(r, _)| *r)
+                .reduce(|a, b| a.union(&b))
+                .unwrap_or(Rect::point(0.0, 0.0)),
             Node::Branch(entries) => entries
                 .iter()
                 .map(|(r, _)| *r)
@@ -215,7 +227,10 @@ impl RTree {
             }
             level = parents;
         }
-        RTree { root: level.pop(), count }
+        RTree {
+            root: level.pop(),
+            count,
+        }
     }
 
     /// Ids of all rectangles intersecting `query`.
@@ -245,8 +260,11 @@ impl RTree {
         match node {
             Node::Leaf(entries) => {
                 for (r, id) in entries {
-                    let hit =
-                        if containment { query.contains(r) } else { query.intersects(r) };
+                    let hit = if containment {
+                        query.contains(r)
+                    } else {
+                        query.intersects(r)
+                    };
                     if hit {
                         out.push(*id);
                     }
@@ -278,23 +296,35 @@ impl RTree {
 }
 
 fn leaf_mbr(entries: &[(Rect, u64)]) -> Rect {
-    entries.iter().map(|(r, _)| *r).reduce(|a, b| a.union(&b)).expect("non-empty")
+    entries
+        .iter()
+        .map(|(r, _)| *r)
+        .reduce(|a, b| a.union(&b))
+        .expect("non-empty")
 }
 
 fn branch_mbr(entries: &[(Rect, Box<Node>)]) -> Rect {
-    entries.iter().map(|(r, _)| *r).reduce(|a, b| a.union(&b)).expect("non-empty")
+    entries
+        .iter()
+        .map(|(r, _)| *r)
+        .reduce(|a, b| a.union(&b))
+        .expect("non-empty")
 }
 
 /// Guttman's quadratic split: pick the pair wasting the most area as seeds,
 /// then assign each entry to the seed group needing least enlargement.
-fn quadratic_split<T>(entries: Vec<(Rect, T)>) -> (Vec<(Rect, T)>, Vec<(Rect, T)>) {
+/// The two entry groups a quadratic split distributes a node into.
+type SplitGroups<T> = (Vec<(Rect, T)>, Vec<(Rect, T)>);
+
+fn quadratic_split<T>(entries: Vec<(Rect, T)>) -> SplitGroups<T> {
     debug_assert!(entries.len() >= 2);
     // Seed selection: the pair with maximal dead space.
     let (mut s1, mut s2, mut worst) = (0, 1, f32::MIN);
     for i in 0..entries.len() {
         for j in i + 1..entries.len() {
-            let waste =
-                entries[i].0.union(&entries[j].0).area() - entries[i].0.area() - entries[j].0.area();
+            let waste = entries[i].0.union(&entries[j].0).area()
+                - entries[i].0.area()
+                - entries[j].0.area();
             if waste > worst {
                 worst = waste;
                 s1 = i;
@@ -387,7 +417,9 @@ mod tests {
         assert_eq!(t.len(), 2);
         assert_eq!(t.intersecting(&Rect::new(0.5, 0.5, 2.0, 2.0)), vec![1]);
         assert_eq!(t.at_point(10.5, 10.5), vec![2]);
-        assert!(t.intersecting(&Rect::new(50.0, 50.0, 51.0, 51.0)).is_empty());
+        assert!(t
+            .intersecting(&Rect::new(50.0, 50.0, 51.0, 51.0))
+            .is_empty());
     }
 
     #[test]

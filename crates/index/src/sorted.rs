@@ -19,7 +19,10 @@ impl SortedRunIndex {
     /// Panics if any key is NaN — an attribute extractor producing NaN is a
     /// bug upstream, not a queryable value.
     pub fn build(mut entries: Vec<(f64, u64)>) -> Self {
-        assert!(entries.iter().all(|(k, _)| !k.is_nan()), "NaN keys are not indexable");
+        assert!(
+            entries.iter().all(|(k, _)| !k.is_nan()),
+            "NaN keys are not indexable"
+        );
         entries.sort_by(|a, b| a.0.total_cmp(&b.0));
         SortedRunIndex { entries }
     }

@@ -1,0 +1,245 @@
+//! Offline shim for the [`criterion`](https://crates.io/crates/criterion)
+//! benchmark harness: the build environment has no network access, so this
+//! in-tree crate provides the subset of the API the DeepLens benches use —
+//! [`Criterion`], benchmark groups, [`BenchmarkId`], `Bencher::iter`, and
+//! the [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Measurement is real but intentionally simple: per benchmark it warms up,
+//! picks an iteration count targeting [`Criterion::measurement_secs`] of
+//! wall-clock, runs a fixed number of samples, and prints min / median /
+//! mean per-iteration times. No statistics files, plots, or regression
+//! detection. `CRITERION_QUICK=1` shrinks the run for smoke-testing.
+
+#![deny(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// Prevent the optimizer from discarding a benchmarked value.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Timing loop handed to benchmark closures.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Run `f` for the sample's iteration budget, timing the whole batch.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Identifier for one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` form.
+    pub fn new<P: std::fmt::Display>(function_name: &str, parameter: P) -> Self {
+        BenchmarkId {
+            name: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// Parameter-only form.
+    pub fn from_parameter<P: std::fmt::Display>(parameter: P) -> Self {
+        BenchmarkId {
+            name: parameter.to_string(),
+        }
+    }
+}
+
+/// The top-level benchmark driver.
+pub struct Criterion {
+    /// Wall-clock budget each benchmark's measurement phase aims for.
+    pub measurement_secs: f64,
+    samples: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let quick = std::env::var("CRITERION_QUICK").is_ok_and(|v| v != "0");
+        Criterion {
+            measurement_secs: if quick { 0.05 } else { 1.0 },
+            samples: if quick { 3 } else { 10 },
+        }
+    }
+}
+
+impl Criterion {
+    /// Run a standalone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        run_one(id, self.measurement_secs, self.samples, f);
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, group_name: &str) -> BenchmarkGroup<'_> {
+        println!("group {group_name}");
+        BenchmarkGroup {
+            criterion: self,
+            group_name: group_name.to_string(),
+        }
+    }
+}
+
+/// A set of benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    group_name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Run a benchmark inside the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        let full = format!("{}/{}", self.group_name, id);
+        run_one(
+            &full,
+            self.criterion.measurement_secs,
+            self.criterion.samples,
+            f,
+        );
+        self
+    }
+
+    /// Run a benchmark parameterized by `input`.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.group_name, id.name);
+        run_one(
+            &full,
+            self.criterion.measurement_secs,
+            self.criterion.samples,
+            |b| f(b, input),
+        );
+        self
+    }
+
+    /// Close the group.
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(id: &str, budget_secs: f64, samples: usize, mut f: F) {
+    // Calibrate: run single iterations until ~10% of the budget is spent,
+    // then size each sample so all samples together fill the budget.
+    let calib_start = Instant::now();
+    let mut calib_iters = 0u64;
+    let mut one = Bencher {
+        iters: 1,
+        elapsed: Duration::ZERO,
+    };
+    while calib_start.elapsed().as_secs_f64() < budget_secs * 0.1 || calib_iters == 0 {
+        f(&mut one);
+        calib_iters += 1;
+        if calib_iters >= 1_000 {
+            break;
+        }
+    }
+    let per_iter = calib_start.elapsed().as_secs_f64() / calib_iters as f64;
+    let iters_per_sample =
+        ((budget_secs * 0.9 / samples as f64 / per_iter.max(1e-9)) as u64).clamp(1, 1_000_000);
+
+    let mut per_iter_times: Vec<f64> = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let mut b = Bencher {
+            iters: iters_per_sample,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        per_iter_times.push(b.elapsed.as_secs_f64() / iters_per_sample as f64);
+    }
+    per_iter_times.sort_by(f64::total_cmp);
+    let min = per_iter_times[0];
+    let median = per_iter_times[per_iter_times.len() / 2];
+    let mean = per_iter_times.iter().sum::<f64>() / per_iter_times.len() as f64;
+    println!(
+        "bench {id:<48} min {} median {} mean {} ({} iters x {} samples)",
+        fmt_time(min),
+        fmt_time(median),
+        fmt_time(mean),
+        iters_per_sample,
+        samples,
+    );
+}
+
+fn fmt_time(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:>9.3} s ")
+    } else if secs >= 1e-3 {
+        format!("{:>9.3} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:>9.3} µs", secs * 1e6)
+    } else {
+        format!("{:>9.1} ns", secs * 1e9)
+    }
+}
+
+/// Bundle benchmark functions under one group function, mirroring
+/// criterion's macro of the same name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Entry point running every group, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_times() {
+        std::env::set_var("CRITERION_QUICK", "1");
+        let mut c = Criterion::default();
+        let mut runs = 0u64;
+        c.bench_function("smoke", |b| b.iter(|| runs += 1));
+        assert!(runs > 0, "benchmark body must actually run");
+    }
+
+    #[test]
+    fn groups_and_ids() {
+        std::env::set_var("CRITERION_QUICK", "1");
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        g.bench_function("plain", |b| b.iter(|| 1 + 1));
+        g.bench_with_input(BenchmarkId::new("param", 32), &32usize, |b, n| {
+            b.iter(|| n * 2)
+        });
+        g.bench_with_input(BenchmarkId::from_parameter("CPU"), &(), |b, _| {
+            b.iter(|| ())
+        });
+        g.finish();
+    }
+
+    #[test]
+    fn fmt_time_picks_unit() {
+        assert!(fmt_time(2.0).ends_with("s "));
+        assert!(fmt_time(2e-3).ends_with("ms"));
+        assert!(fmt_time(2e-6).ends_with("µs"));
+        assert!(fmt_time(2e-9).ends_with("ns"));
+    }
+}

@@ -70,7 +70,11 @@ pub mod keys {
     /// NaNs sort above all numbers.
     pub fn encode_f64(v: f64) -> [u8; 8] {
         let bits = v.to_bits();
-        let flipped = if bits >> 63 == 1 { !bits } else { bits | (1u64 << 63) };
+        let flipped = if bits >> 63 == 1 {
+            !bits
+        } else {
+            bits | (1u64 << 63)
+        };
         flipped.to_be_bytes()
     }
 
@@ -79,7 +83,11 @@ pub mod keys {
         let mut buf = [0u8; 8];
         buf.copy_from_slice(&b[..8]);
         let flipped = u64::from_be_bytes(buf);
-        let bits = if flipped >> 63 == 1 { flipped & !(1u64 << 63) } else { !flipped };
+        let bits = if flipped >> 63 == 1 {
+            flipped & !(1u64 << 63)
+        } else {
+            !flipped
+        };
         f64::from_bits(bits)
     }
 }
@@ -99,10 +107,20 @@ impl ValRef {
     }
 }
 
+/// A node split: the separator key and the page id of the new right node.
+type Split = (Vec<u8>, PageId);
+
 #[derive(Debug, Clone)]
 enum Node {
-    Leaf { keys: Vec<Vec<u8>>, vals: Vec<ValRef>, next: PageId },
-    Internal { keys: Vec<Vec<u8>>, children: Vec<PageId> },
+    Leaf {
+        keys: Vec<Vec<u8>>,
+        vals: Vec<ValRef>,
+        next: PageId,
+    },
+    Internal {
+        keys: Vec<Vec<u8>>,
+        children: Vec<PageId>,
+    },
 }
 
 impl Node {
@@ -115,9 +133,7 @@ impl Node {
                     .map(|(k, v)| 4 + k.len() + v.entry_len())
                     .sum::<usize>()
             }
-            Node::Internal { keys, .. } => {
-                7 + keys.iter().map(|k| 6 + k.len()).sum::<usize>()
-            }
+            Node::Internal { keys, .. } => 7 + keys.iter().map(|k| 6 + k.len()).sum::<usize>(),
         }
     }
 
@@ -183,7 +199,9 @@ impl Node {
                         off += 4 + klen + 8;
                     } else {
                         let vlen = vmark as usize;
-                        vals.push(ValRef::Inline(page.get_slice(off + 4 + klen, vlen).to_vec()));
+                        vals.push(ValRef::Inline(
+                            page.get_slice(off + 4 + klen, vlen).to_vec(),
+                        ));
                         off += 4 + klen + vlen;
                     }
                     keys.push(key);
@@ -223,13 +241,21 @@ impl BTree {
         let pager = Pager::create(path)?;
         let pool = BufferPool::new(pager);
         let root = pool.allocate()?;
-        let leaf = Node::Leaf { keys: vec![], vals: vec![], next: NO_PAGE };
+        let leaf = Node::Leaf {
+            keys: vec![],
+            vals: vec![],
+            next: NO_PAGE,
+        };
         pool.put(root, leaf.to_page())?;
         pool.with_pager(|p| {
             p.set_root_a(root);
             p.set_root_b(0); // entry count (low 32 bits)
         });
-        Ok(BTree { pool, root, count: 0 })
+        Ok(BTree {
+            pool,
+            root,
+            count: 0,
+        })
     }
 
     /// Open an existing tree.
@@ -304,7 +330,9 @@ impl BTree {
         while cur != NO_PAGE {
             let page = self.pool.get(cur)?;
             if page.get_u8(0) != T_OVERFLOW {
-                return Err(StorageError::Corrupt("overflow chain hit non-overflow page".into()));
+                return Err(StorageError::Corrupt(
+                    "overflow chain hit non-overflow page".into(),
+                ));
             }
             let n = page.get_u16(5) as usize;
             out.extend_from_slice(page.get_slice(7, n));
@@ -353,13 +381,18 @@ impl BTree {
     /// was new.
     pub fn insert(&mut self, key: &[u8], value: &[u8]) -> Result<bool> {
         if key.len() > MAX_KEY {
-            return Err(StorageError::EntryTooLarge { size: key.len(), max: MAX_KEY });
+            return Err(StorageError::EntryTooLarge {
+                size: key.len(),
+                max: MAX_KEY,
+            });
         }
         let (inserted, split) = self.insert_rec(self.root, key, value)?;
         if let Some((sep, right)) = split {
             let new_root_id = self.pool.allocate()?;
-            let new_root =
-                Node::Internal { keys: vec![sep], children: vec![self.root, right] };
+            let new_root = Node::Internal {
+                keys: vec![sep],
+                children: vec![self.root, right],
+            };
             self.store(new_root_id, &new_root)?;
             self.root = new_root_id;
         }
@@ -369,16 +402,20 @@ impl BTree {
         Ok(inserted)
     }
 
-    /// Recursive insert; returns (was_new, optional split (separator, right page)).
+    /// Recursive insert; returns (was_new, optional split).
     fn insert_rec(
         &mut self,
         id: PageId,
         key: &[u8],
         value: &[u8],
-    ) -> Result<(bool, Option<(Vec<u8>, PageId)>)> {
+    ) -> Result<(bool, Option<Split>)> {
         let mut node = self.load(id)?;
         match &mut node {
-            Node::Leaf { keys, vals, next: _ } => {
+            Node::Leaf {
+                keys,
+                vals,
+                next: _,
+            } => {
                 let val = self.make_valref(value)?;
                 let was_new = match keys.binary_search_by(|k| k.as_slice().cmp(key)) {
                     Ok(pos) => {
@@ -401,14 +438,19 @@ impl BTree {
                 }
                 // Split the leaf in half; right half moves to a new page.
                 let (sep, right_id) = {
-                    let Node::Leaf { keys, vals, next } = &mut node else { unreachable!() };
+                    let Node::Leaf { keys, vals, next } = &mut node else {
+                        unreachable!()
+                    };
                     let mid = keys.len() / 2;
                     let right_keys = keys.split_off(mid);
                     let right_vals = vals.split_off(mid);
                     let sep = right_keys[0].clone();
                     let right_id = self.pool.allocate()?;
-                    let right =
-                        Node::Leaf { keys: right_keys, vals: right_vals, next: *next };
+                    let right = Node::Leaf {
+                        keys: right_keys,
+                        vals: right_vals,
+                        next: *next,
+                    };
                     *next = right_id;
                     self.store(right_id, &right)?;
                     (sep, right_id)
@@ -441,8 +483,10 @@ impl BTree {
                         keys.pop(); // remove the promoted key from the left node
                         let right_children = children.split_off(mid + 1);
                         let right_id = self.pool.allocate()?;
-                        let right =
-                            Node::Internal { keys: right_keys, children: right_children };
+                        let right = Node::Internal {
+                            keys: right_keys,
+                            children: right_children,
+                        };
                         self.store(right_id, &right)?;
                         (promoted, right_id)
                     };
@@ -546,7 +590,11 @@ impl BTree {
         let node = self.load(leaf)?;
         let (keys, vals, next) = match node {
             Node::Leaf { keys, vals, next } => (keys, vals, next),
-            _ => return Err(StorageError::Corrupt("descend ended on internal node".into())),
+            _ => {
+                return Err(StorageError::Corrupt(
+                    "descend ended on internal node".into(),
+                ))
+            }
         };
         let start_owned = match start {
             Bound::Included(k) => Bound::Included(k.to_vec()),
@@ -563,7 +611,15 @@ impl BTree {
             Bound::Included(k) => keys.partition_point(|x| x.as_slice() < k.as_slice()),
             Bound::Excluded(k) => keys.partition_point(|x| x.as_slice() <= k.as_slice()),
         };
-        Ok(Scan { tree: self, keys, vals, next, idx, end: end_owned, done: false })
+        Ok(Scan {
+            tree: self,
+            keys,
+            vals,
+            next,
+            idx,
+            end: end_owned,
+            done: false,
+        })
     }
 
     /// Scan every entry in key order.
@@ -700,7 +756,8 @@ mod tests {
         // Insert in a scrambled order.
         for i in 0..n {
             let k = (i * 2654435761) % n;
-            t.insert(&keys::encode_u64(k), format!("val-{k}").as_bytes()).unwrap();
+            t.insert(&keys::encode_u64(k), format!("val-{k}").as_bytes())
+                .unwrap();
         }
         assert_eq!(t.len(), n);
         assert!(t.height().unwrap() >= 2, "tree should have split");
@@ -791,13 +848,17 @@ mod tests {
         {
             let mut t = BTree::create(&path).unwrap();
             for i in 0..1000u64 {
-                t.insert(&keys::encode_u64(i), format!("{i}").as_bytes()).unwrap();
+                t.insert(&keys::encode_u64(i), format!("{i}").as_bytes())
+                    .unwrap();
             }
             t.flush().unwrap();
         }
         let t = BTree::open(&path).unwrap();
         assert_eq!(t.len(), 1000);
-        assert_eq!(t.get(&keys::encode_u64(999)).unwrap(), Some(b"999".to_vec()));
+        assert_eq!(
+            t.get(&keys::encode_u64(999)).unwrap(),
+            Some(b"999".to_vec())
+        );
         std::fs::remove_file(path).ok();
     }
 

@@ -109,8 +109,12 @@ impl BufferPool {
     /// Write all dirty pages back and sync the file.
     pub fn flush(&self) -> Result<()> {
         let mut inner = self.inner.lock();
-        let dirty: Vec<PageId> =
-            inner.slots.iter().filter(|(_, s)| s.dirty).map(|(id, _)| *id).collect();
+        let dirty: Vec<PageId> = inner
+            .slots
+            .iter()
+            .filter(|(_, s)| s.dirty)
+            .map(|(id, _)| *id)
+            .collect();
         for id in dirty {
             let page = inner.slots[&id].page.clone();
             inner.pager.write_page(id, &page)?;
@@ -142,7 +146,14 @@ impl Inner {
             }
         }
         self.tick += 1;
-        self.slots.insert(id, Slot { page, dirty, last_used: self.tick });
+        self.slots.insert(
+            id,
+            Slot {
+                page,
+                dirty,
+                last_used: self.tick,
+            },
+        );
         Ok(())
     }
 }

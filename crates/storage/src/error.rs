@@ -45,8 +45,14 @@ impl fmt::Display for StorageError {
             StorageError::ChecksumMismatch { page_id } => {
                 write!(f, "checksum mismatch on page {page_id}")
             }
-            StorageError::PageOutOfBounds { page_id, page_count } => {
-                write!(f, "page {page_id} out of bounds (file has {page_count} pages)")
+            StorageError::PageOutOfBounds {
+                page_id,
+                page_count,
+            } => {
+                write!(
+                    f,
+                    "page {page_id} out of bounds (file has {page_count} pages)"
+                )
             }
             StorageError::BadHeader(msg) => write!(f, "bad storage header: {msg}"),
             StorageError::EntryTooLarge { size, max } => {
@@ -93,7 +99,11 @@ mod tests {
 
     #[test]
     fn display_variants() {
-        assert!(StorageError::ChecksumMismatch { page_id: 7 }.to_string().contains('7'));
-        assert!(StorageError::EntryTooLarge { size: 10, max: 5 }.to_string().contains("10"));
+        assert!(StorageError::ChecksumMismatch { page_id: 7 }
+            .to_string()
+            .contains('7'));
+        assert!(StorageError::EntryTooLarge { size: 10, max: 5 }
+            .to_string()
+            .contains("10"));
     }
 }

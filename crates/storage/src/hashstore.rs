@@ -13,6 +13,9 @@ use crate::page::{Page, PageId, NO_PAGE, PAGE_PAYLOAD};
 use crate::pager::Pager;
 use crate::{Result, StorageError};
 
+/// One stored key/value pair.
+type Entry = (Vec<u8>, Vec<u8>);
+
 const T_DIR: u8 = 4;
 const T_BUCKET: u8 = 5;
 
@@ -49,9 +52,15 @@ impl HashStore {
 
     /// Create a fresh store with a specific power-of-two bucket count.
     pub fn create_with_buckets<P: AsRef<Path>>(path: P, nbuckets: u32) -> Result<Self> {
-        assert!(nbuckets.is_power_of_two(), "bucket count must be a power of two");
+        assert!(
+            nbuckets.is_power_of_two(),
+            "bucket count must be a power of two"
+        );
         let max = ((PAGE_PAYLOAD - 13) / 4) as u32;
-        assert!(nbuckets <= max, "at most {max} buckets fit the directory page");
+        assert!(
+            nbuckets <= max,
+            "at most {max} buckets fit the directory page"
+        );
         let pager = Pager::create(path)?;
         let pool = BufferPool::new(pager);
         let dir_page = pool.allocate()?;
@@ -64,7 +73,12 @@ impl HashStore {
         }
         pool.put(dir_page, dir)?;
         pool.with_pager(|p| p.set_root_b(dir_page));
-        Ok(HashStore { pool, dir_page, nbuckets, count: 0 })
+        Ok(HashStore {
+            pool,
+            dir_page,
+            nbuckets,
+            count: 0,
+        })
     }
 
     /// Open an existing store.
@@ -77,11 +91,18 @@ impl HashStore {
         }
         let dir = pool.get(dir_page)?;
         if dir.get_u8(0) != T_DIR {
-            return Err(StorageError::Corrupt("directory page has wrong type".into()));
+            return Err(StorageError::Corrupt(
+                "directory page has wrong type".into(),
+            ));
         }
         let nbuckets = dir.get_u32(1);
         let count = dir.get_u32(5) as u64;
-        Ok(HashStore { pool, dir_page, nbuckets, count })
+        Ok(HashStore {
+            pool,
+            dir_page,
+            nbuckets,
+            count,
+        })
     }
 
     /// Number of live entries.
@@ -115,7 +136,7 @@ impl HashStore {
     }
 
     /// Parse all entries of a bucket page.
-    fn page_entries(page: &Page) -> Result<(Vec<(Vec<u8>, Vec<u8>)>, PageId)> {
+    fn page_entries(page: &Page) -> Result<(Vec<Entry>, PageId)> {
         if page.get_u8(0) != T_BUCKET {
             return Err(StorageError::Corrupt("expected bucket page".into()));
         }
@@ -151,7 +172,10 @@ impl HashStore {
     }
 
     fn entries_size(entries: &[(Vec<u8>, Vec<u8>)]) -> usize {
-        7 + entries.iter().map(|(k, v)| 4 + k.len() + v.len()).sum::<usize>()
+        7 + entries
+            .iter()
+            .map(|(k, v)| 4 + k.len() + v.len())
+            .sum::<usize>()
     }
 
     /// Insert or replace. Returns `true` when the key was new.
@@ -202,7 +226,8 @@ impl HashStore {
         }
         let new_page = self.pool.allocate()?;
         let entries = vec![(key.to_vec(), value.to_vec())];
-        self.pool.put(new_page, Self::write_entries(&entries, head))?;
+        self.pool
+            .put(new_page, Self::write_entries(&entries, head))?;
         self.set_bucket_head(bucket, new_page)?;
         self.count += 1;
         self.persist_count()?;
@@ -331,7 +356,7 @@ mod tests {
         let mut h = HashStore::create_with_buckets(&path, 8).unwrap();
         // Fill one page nearly to the brim, then grow an entry.
         for i in 0..20u32 {
-            h.put(format!("k{i}").as_bytes(), &vec![b'x'; 180]).unwrap();
+            h.put(format!("k{i}").as_bytes(), &[b'x'; 180]).unwrap();
         }
         let n = h.len();
         h.put(b"k3", &vec![b'y'; 1500]).unwrap();
@@ -357,7 +382,8 @@ mod tests {
         {
             let mut h = HashStore::create(&path).unwrap();
             for i in 0..300u32 {
-                h.put(format!("k{i}").as_bytes(), format!("v{i}").as_bytes()).unwrap();
+                h.put(format!("k{i}").as_bytes(), format!("v{i}").as_bytes())
+                    .unwrap();
             }
             h.flush().unwrap();
         }

@@ -84,14 +84,12 @@ pub struct FrameFile {
 
 impl FrameFile {
     /// Ingest `frames` into a fresh Frame File at `path`.
-    pub fn ingest<P: AsRef<Path>>(
-        path: P,
-        frames: &[Image],
-        format: FrameFormat,
-    ) -> Result<Self> {
+    pub fn ingest<P: AsRef<Path>>(path: P, frames: &[Image], format: FrameFormat) -> Result<Self> {
         let mut tree = BTree::create(path)?;
-        let (width, height) =
-            frames.first().map(|f| (f.width(), f.height())).unwrap_or((0, 0));
+        let (width, height) = frames
+            .first()
+            .map(|f| (f.width(), f.height()))
+            .unwrap_or((0, 0));
         for (i, frame) in frames.iter().enumerate() {
             let payload = match format {
                 FrameFormat::Raw => frame.data().to_vec(),
@@ -100,7 +98,13 @@ impl FrameFile {
             tree.insert(&keys::encode_u64(i as u64), &payload)?;
         }
         tree.flush()?;
-        Ok(FrameFile { tree, format, width, height, decoded: 0 })
+        Ok(FrameFile {
+            tree,
+            format,
+            width,
+            height,
+            decoded: 0,
+        })
     }
 
     /// Append one frame with the next frame number.
@@ -131,8 +135,9 @@ impl FrameFile {
 
     fn decode_payload(&self, bytes: &[u8]) -> Result<Image> {
         match self.format {
-            FrameFormat::Raw => Image::from_rgb(self.width, self.height, bytes.to_vec())
-                .map_err(StorageError::from),
+            FrameFormat::Raw => {
+                Image::from_rgb(self.width, self.height, bytes.to_vec()).map_err(StorageError::from)
+            }
             FrameFormat::Intra(_) => decode_image(bytes).map_err(StorageError::from),
         }
     }
@@ -186,7 +191,11 @@ impl EncodedFile {
     pub fn ingest<P: AsRef<Path>>(path: P, frames: &[Image], quality: Quality) -> Result<Self> {
         let bytes = encode_video(frames, VideoConfig::sequential(quality))?;
         std::fs::write(path.as_ref(), &bytes)?;
-        Ok(EncodedFile { bytes, frame_count: frames.len() as u64, decoded: 0 })
+        Ok(EncodedFile {
+            bytes,
+            frame_count: frames.len() as u64,
+            decoded: 0,
+        })
     }
 
     /// Open a previously-ingested stream.
@@ -194,7 +203,11 @@ impl EncodedFile {
         let bytes = std::fs::read(path.as_ref())?;
         let dec = deeplens_codec::video::VideoDecoder::new(&bytes)?;
         let frame_count = dec.header().frame_count as u64;
-        Ok(EncodedFile { bytes, frame_count, decoded: 0 })
+        Ok(EncodedFile {
+            bytes,
+            frame_count,
+            decoded: 0,
+        })
     }
 }
 
@@ -265,7 +278,12 @@ impl SegmentedFile {
             tree.insert(&keys::encode_u64(ci as u64 * clip_len), &clip)?;
         }
         tree.flush()?;
-        Ok(SegmentedFile { tree, clip_len, frame_count: frames.len() as u64, decoded: 0 })
+        Ok(SegmentedFile {
+            tree,
+            clip_len,
+            frame_count: frames.len() as u64,
+            decoded: 0,
+        })
     }
 
     /// Configured clip length in frames.
@@ -382,7 +400,11 @@ impl StorageAdvisor {
 
         let candidates = [
             ("FrameFile(RAW)", n * raw, span * model::READ_RAW),
-            ("FrameFile(JPEG)", n * raw * model::INTRA_RATIO, span * model::DECODE_INTRA),
+            (
+                "FrameFile(JPEG)",
+                n * raw * model::INTRA_RATIO,
+                span * model::DECODE_INTRA,
+            ),
             (
                 "EncodedFile",
                 n * raw * model::INTER_RATIO,
@@ -399,9 +421,16 @@ impl StorageAdvisor {
         ];
 
         // Normalize each axis so the weights are meaningful.
-        let max_storage =
-            candidates.iter().map(|c| c.1).fold(f64::MIN, f64::max).max(f64::EPSILON);
-        let max_cost = candidates.iter().map(|c| c.2).fold(f64::MIN, f64::max).max(f64::EPSILON);
+        let max_storage = candidates
+            .iter()
+            .map(|c| c.1)
+            .fold(f64::MIN, f64::max)
+            .max(f64::EPSILON);
+        let max_cost = candidates
+            .iter()
+            .map(|c| c.2)
+            .fold(f64::MIN, f64::max)
+            .max(f64::EPSILON);
         let w = profile.storage_weight.clamp(0.0, 1.0);
 
         let mut out: Vec<LayoutEstimate> = candidates
@@ -451,15 +480,22 @@ mod tests {
         assert_eq!(got.len(), 4);
         assert_eq!(got[0].0, 5);
         assert_eq!(got[0].1, frames[5], "raw layout is lossless");
-        assert_eq!(ff.last_decoded_frames(), 4, "exact pushdown decodes only the range");
+        assert_eq!(
+            ff.last_decoded_frames(),
+            4,
+            "exact pushdown decodes only the range"
+        );
     }
 
     #[test]
     fn frame_file_intra_is_lossy_but_close() {
         let frames = clip(6);
-        let mut ff =
-            FrameFile::ingest(tmpfile("ff-jpeg"), &frames, FrameFormat::Intra(Quality::High))
-                .unwrap();
+        let mut ff = FrameFile::ingest(
+            tmpfile("ff-jpeg"),
+            &frames,
+            FrameFormat::Intra(Quality::High),
+        )
+        .unwrap();
         let got = ff.scan_range(0, 6).unwrap();
         assert_eq!(got.len(), 6);
         for ((_, dec), orig) in got.iter().zip(&frames) {
@@ -495,8 +531,7 @@ mod tests {
     #[test]
     fn segmented_file_coarse_pushdown() {
         let frames = clip(20);
-        let mut sf =
-            SegmentedFile::ingest(tmpfile("sf"), &frames, 5, Quality::High).unwrap();
+        let mut sf = SegmentedFile::ingest(tmpfile("sf"), &frames, 5, Quality::High).unwrap();
         let got = sf.scan_range(7, 9).unwrap();
         assert_eq!(got.len(), 2);
         assert_eq!(got[0].0, 7);
@@ -507,8 +542,7 @@ mod tests {
     #[test]
     fn segmented_range_spanning_clips() {
         let frames = clip(20);
-        let mut sf =
-            SegmentedFile::ingest(tmpfile("sf-span"), &frames, 4, Quality::High).unwrap();
+        let mut sf = SegmentedFile::ingest(tmpfile("sf-span"), &frames, 4, Quality::High).unwrap();
         let got = sf.scan_range(3, 13).unwrap();
         assert_eq!(got.len(), 10);
         let nos: Vec<u64> = got.iter().map(|(n, _)| *n).collect();
@@ -520,8 +554,7 @@ mod tests {
     #[test]
     fn empty_range_is_empty() {
         let frames = clip(8);
-        let mut sf =
-            SegmentedFile::ingest(tmpfile("sf-empty"), &frames, 4, Quality::High).unwrap();
+        let mut sf = SegmentedFile::ingest(tmpfile("sf-empty"), &frames, 4, Quality::High).unwrap();
         assert!(sf.scan_range(5, 5).unwrap().is_empty());
         assert!(sf.scan_range(100, 200).unwrap().is_empty());
     }
@@ -565,8 +598,17 @@ mod tests {
         };
         let ranked = StorageAdvisor::advise(&profile);
         // With mixed weights the hybrid should beat the pure encoded layout.
-        let seg_pos = ranked.iter().position(|e| e.layout.contains("Segmented")).unwrap();
-        let enc_pos = ranked.iter().position(|e| e.layout == "EncodedFile").unwrap();
-        assert!(seg_pos < enc_pos, "segmented should outrank encoded: {ranked:?}");
+        let seg_pos = ranked
+            .iter()
+            .position(|e| e.layout.contains("Segmented"))
+            .unwrap();
+        let enc_pos = ranked
+            .iter()
+            .position(|e| e.layout == "EncodedFile")
+            .unwrap();
+        assert!(
+            seg_pos < enc_pos,
+            "segmented should outrank encoded: {ranked:?}"
+        );
     }
 }

@@ -27,7 +27,11 @@ pub fn crc32(data: &[u8]) -> u32 {
         for (i, e) in t.iter_mut().enumerate() {
             let mut c = i as u32;
             for _ in 0..8 {
-                c = if c & 1 == 1 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+                c = if c & 1 == 1 {
+                    0xEDB8_8320 ^ (c >> 1)
+                } else {
+                    c >> 1
+                };
             }
             *e = c;
         }
@@ -61,7 +65,9 @@ impl Default for Page {
 impl Page {
     /// An all-zero page.
     pub fn zeroed() -> Self {
-        Page { data: Box::new([0u8; PAGE_SIZE]) }
+        Page {
+            data: Box::new([0u8; PAGE_SIZE]),
+        }
     }
 
     /// Construct from a raw page image, verifying its checksum.
@@ -71,7 +77,9 @@ impl Page {
         if stored != computed {
             return Err(crate::StorageError::ChecksumMismatch { page_id });
         }
-        Ok(Page { data: Box::new(bytes) })
+        Ok(Page {
+            data: Box::new(bytes),
+        })
     }
 
     /// Serialize, stamping the checksum into the tail.

@@ -59,7 +59,10 @@ impl Pager {
 
     /// Open an existing database file.
     pub fn open<P: AsRef<Path>>(path: P) -> Result<Self> {
-        let mut file = OpenOptions::new().read(true).write(true).open(path.as_ref())?;
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .open(path.as_ref())?;
         let mut bytes = [0u8; PAGE_SIZE];
         file.seek(SeekFrom::Start(0))?;
         file.read_exact(&mut bytes)?;
@@ -121,10 +124,14 @@ impl Pager {
     /// Read a page from disk, verifying its checksum.
     pub fn read_page(&mut self, id: PageId) -> Result<Page> {
         if id >= self.page_count {
-            return Err(StorageError::PageOutOfBounds { page_id: id, page_count: self.page_count });
+            return Err(StorageError::PageOutOfBounds {
+                page_id: id,
+                page_count: self.page_count,
+            });
         }
         let mut bytes = [0u8; PAGE_SIZE];
-        self.file.seek(SeekFrom::Start(id as u64 * PAGE_SIZE as u64))?;
+        self.file
+            .seek(SeekFrom::Start(id as u64 * PAGE_SIZE as u64))?;
         self.file.read_exact(&mut bytes)?;
         Page::from_bytes(bytes, id)
     }
@@ -132,9 +139,13 @@ impl Pager {
     /// Write a page image to disk (checksum stamped automatically).
     pub fn write_page(&mut self, id: PageId, page: &Page) -> Result<()> {
         if id >= self.page_count {
-            return Err(StorageError::PageOutOfBounds { page_id: id, page_count: self.page_count });
+            return Err(StorageError::PageOutOfBounds {
+                page_id: id,
+                page_count: self.page_count,
+            });
         }
-        self.file.seek(SeekFrom::Start(id as u64 * PAGE_SIZE as u64))?;
+        self.file
+            .seek(SeekFrom::Start(id as u64 * PAGE_SIZE as u64))?;
         self.file.write_all(&page.to_bytes())?;
         Ok(())
     }
@@ -152,7 +163,8 @@ impl Pager {
         self.page_count += 1;
         self.header_dirty = true;
         // Extend the file with a zeroed page so subsequent reads succeed.
-        self.file.seek(SeekFrom::Start(id as u64 * PAGE_SIZE as u64))?;
+        self.file
+            .seek(SeekFrom::Start(id as u64 * PAGE_SIZE as u64))?;
         self.file.write_all(&Page::zeroed().to_bytes())?;
         Ok(id)
     }

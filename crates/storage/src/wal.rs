@@ -27,10 +27,17 @@ pub struct Wal {
 impl Wal {
     /// Open (creating if necessary) the WAL at `path`, positioned for append.
     pub fn open<P: AsRef<Path>>(path: P) -> Result<Self> {
-        let mut file =
-            OpenOptions::new().read(true).write(true).create(true).open(path.as_ref())?;
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false) // the log is append-only; existing records survive reopen
+            .open(path.as_ref())?;
         file.seek(SeekFrom::End(0))?;
-        Ok(Wal { file, path: path.as_ref().to_path_buf() })
+        Ok(Wal {
+            file,
+            path: path.as_ref().to_path_buf(),
+        })
     }
 
     /// Path of the log file.
@@ -93,8 +100,7 @@ impl Wal {
         let mut pos = 0usize;
         while pos + 13 <= bytes.len() {
             let kind = bytes[pos];
-            let page_id =
-                u32::from_le_bytes(bytes[pos + 1..pos + 5].try_into().expect("4 bytes"));
+            let page_id = u32::from_le_bytes(bytes[pos + 1..pos + 5].try_into().expect("4 bytes"));
             let len =
                 u32::from_le_bytes(bytes[pos + 5..pos + 9].try_into().expect("4 bytes")) as usize;
             let rec_end = pos + 9 + len;
@@ -117,7 +123,9 @@ impl Wal {
                 }
                 REC_COMMIT => committed.append(&mut pending),
                 other => {
-                    return Err(StorageError::WalCorrupt(format!("unknown record kind {other}")))
+                    return Err(StorageError::WalCorrupt(format!(
+                        "unknown record kind {other}"
+                    )))
                 }
             }
             pos = rec_end + 4;
@@ -136,8 +144,10 @@ impl Wal {
             while page_id >= pager.page_count() {
                 pager.allocate()?;
             }
-            let arr: [u8; PAGE_SIZE] =
-                image.as_slice().try_into().expect("replay validated length");
+            let arr: [u8; PAGE_SIZE] = image
+                .as_slice()
+                .try_into()
+                .expect("replay validated length");
             let page = crate::page::Page::from_bytes(arr, page_id)?;
             pager.write_page(page_id, &page)?;
         }

@@ -54,12 +54,19 @@ impl TrafficDataset {
             let y = 40.0 + lane as f64 * 18.0;
             let leftward = rng.gen_bool(0.5);
             let speed = rng.gen_range(1.2..3.0);
-            let (x0, vx) =
-                if leftward { (w as f64 + 4.0, -speed) } else { (-(ow as f64) - 4.0, speed) };
+            let (x0, vx) = if leftward {
+                (w as f64 + 4.0, -speed)
+            } else {
+                (-(ow as f64) - 4.0, speed)
+            };
             let travel = ((w as f64 + 2.0 * ow as f64) / speed).ceil() as u64 + 2;
             scene.objects.push(SceneObject {
                 id: next_id,
-                class: if truck { ObjectClass::Truck } else { ObjectClass::Car },
+                class: if truck {
+                    ObjectClass::Truck
+                } else {
+                    ObjectClass::Car
+                },
                 x0,
                 y0: y,
                 w: ow,
@@ -100,8 +107,11 @@ impl TrafficDataset {
                     + a * num_frames / appearances.max(1);
                 let speed = rng.gen_range(1.2..2.5);
                 let leftward = rng.gen_bool(0.5);
-                let (x0, vx) =
-                    if leftward { (w as f64, -speed) } else { (-6.0, speed) };
+                let (x0, vx) = if leftward {
+                    (w as f64, -speed)
+                } else {
+                    (-6.0, speed)
+                };
                 let travel = ((w as f64 + 12.0) / speed).ceil() as u64;
                 scene.objects.push(SceneObject {
                     id,
@@ -125,21 +135,27 @@ impl TrafficDataset {
 
     /// Render every frame into memory.
     pub fn render_all(&self) -> Vec<Image> {
-        (0..self.num_frames).map(|t| self.scene.render_frame(t)).collect()
+        (0..self.num_frames)
+            .map(|t| self.scene.render_frame(t))
+            .collect()
     }
 
     /// Ground truth for q2: frames containing at least one vehicle.
     pub fn frames_with_vehicle(&self) -> Vec<u64> {
         (0..self.num_frames)
             .filter(|&t| {
-                self.scene.visible_at(t).iter().any(|(o, _)| o.class.is_vehicle())
+                self.scene
+                    .visible_at(t)
+                    .iter()
+                    .any(|(o, _)| o.class.is_vehicle())
             })
             .collect()
     }
 
     /// Ground truth for q4: distinct pedestrian identities.
     pub fn distinct_pedestrians(&self) -> Vec<u64> {
-        self.scene.distinct_identities(ObjectClass::Pedestrian, self.num_frames)
+        self.scene
+            .distinct_identities(ObjectClass::Pedestrian, self.num_frames)
     }
 }
 
@@ -190,16 +206,26 @@ impl FootballDataset {
                     h: 18,
                     vx: rng.gen_range(-0.9..0.9),
                     vy: rng.gen_range(-0.5..0.5),
-                    color: if team_red { [180, 30, 30] } else { [230, 230, 240] },
+                    color: if team_red {
+                        [180, 30, 30]
+                    } else {
+                        [230, 230, 240]
+                    },
                     depth: rng.gen_range(10.0..40.0),
                     text: Some(jersey),
                     enter: 0,
                     exit: per_clip,
                 });
             }
-            clips.push(FootballClip { scene, num_frames: per_clip });
+            clips.push(FootballClip {
+                scene,
+                num_frames: per_clip,
+            });
         }
-        FootballDataset { clips, target_jersey }
+        FootballDataset {
+            clips,
+            target_jersey,
+        }
     }
 
     /// Total frames across all clips.
@@ -237,7 +263,9 @@ pub struct PcDataset {
 /// Random uppercase word of 3–8 characters.
 fn random_word(rng: &mut StdRng) -> String {
     let len = rng.gen_range(3..=8);
-    (0..len).map(|_| (b'A' + rng.gen_range(0..26u8)) as char).collect()
+    (0..len)
+        .map(|_| (b'A' + rng.gen_range(0..26u8)) as char)
+        .collect()
 }
 
 impl PcDataset {
@@ -279,7 +307,13 @@ impl PcDataset {
                 texts.push(texts[orig].clone());
             }
         }
-        PcDataset { images, kinds, duplicate_pairs, texts, needle }
+        PcDataset {
+            images,
+            kinds,
+            duplicate_pairs,
+            texts,
+            needle,
+        }
     }
 
     fn make_image(
@@ -384,7 +418,11 @@ mod tests {
             "not every frame should contain vehicles"
         );
         let peds = ds.distinct_pedestrians();
-        assert!(peds.len() >= 3, "need several distinct pedestrians, got {}", peds.len());
+        assert!(
+            peds.len() >= 3,
+            "need several distinct pedestrians, got {}",
+            peds.len()
+        );
     }
 
     #[test]
@@ -416,7 +454,10 @@ mod tests {
         assert!(ds.images.len() >= 40);
         assert_eq!(ds.images.len(), ds.texts.len());
         assert_eq!(ds.images.len(), ds.kinds.len());
-        assert!(!ds.duplicate_pairs.is_empty(), "need planted near-duplicates");
+        assert!(
+            !ds.duplicate_pairs.is_empty(),
+            "need planted near-duplicates"
+        );
         for &(a, b) in &ds.duplicate_pairs {
             assert!(a < b);
             assert!((b as usize) < ds.images.len());
@@ -433,8 +474,11 @@ mod tests {
     fn pc_images_differ_from_each_other() {
         let ds = PcDataset::generate(0.1, 13);
         // Two non-duplicate images should be visually distant.
-        let dup_set: std::collections::HashSet<u32> =
-            ds.duplicate_pairs.iter().flat_map(|&(a, b)| [a, b]).collect();
+        let dup_set: std::collections::HashSet<u32> = ds
+            .duplicate_pairs
+            .iter()
+            .flat_map(|&(a, b)| [a, b])
+            .collect();
         let free: Vec<usize> = (0..ds.images.len())
             .filter(|i| !dup_set.contains(&(*i as u32)))
             .take(2)

@@ -23,7 +23,11 @@ pub struct DepthConfig {
 
 impl Default for DepthConfig {
     fn default() -> Self {
-        DepthConfig { relative_noise: 0.08, cost_layers: 4, seed: 0xD395 }
+        DepthConfig {
+            relative_noise: 0.08,
+            cost_layers: 4,
+            seed: 0xD395,
+        }
     }
 }
 
@@ -46,7 +50,10 @@ pub struct DepthModel {
 impl DepthModel {
     /// Model with an explicit profile on `device`.
     pub fn new(cfg: DepthConfig, device: Device) -> Self {
-        DepthModel { cfg, exec: Executor::new(device) }
+        DepthModel {
+            cfg,
+            exec: Executor::new(device),
+        }
     }
 
     /// Default model on `device`.
@@ -60,8 +67,12 @@ impl DepthModel {
     pub fn predict(&self, patch: &Image, true_depth: f64, object_id: u64, frame_no: u64) -> f64 {
         // Pay the prediction compute on the patch pixels.
         let [y, _, _] = patch.to_ycbcr();
-        let _ =
-            self.exec.conv_stack(&y.data, y.width as usize, y.height as usize, self.cfg.cost_layers);
+        let _ = self.exec.conv_stack(
+            &y.data,
+            y.width as usize,
+            y.height as usize,
+            self.cfg.cost_layers,
+        );
         self.noisy_depth(true_depth, object_id, frame_no)
     }
 
@@ -116,7 +127,10 @@ mod tests {
         let m = DepthModel::default_on(Device::Avx);
         for id in 0..50u64 {
             let p = m.predict(&patch(), 20.0, id, 7);
-            assert!(p > 20.0 * 0.6 && p < 20.0 * 1.4, "prediction {p} too far from 20");
+            assert!(
+                p > 20.0 * 0.6 && p < 20.0 * 1.4,
+                "prediction {p} too far from 20"
+            );
         }
     }
 
@@ -139,7 +153,10 @@ mod tests {
     #[test]
     fn noise_free_model_is_exact() {
         let m = DepthModel::new(
-            DepthConfig { relative_noise: 0.0, ..Default::default() },
+            DepthConfig {
+                relative_noise: 0.0,
+                ..Default::default()
+            },
             Device::Cpu,
         );
         assert_eq!(m.predict(&patch(), 12.5, 1, 1), 12.5);

@@ -97,7 +97,10 @@ pub struct ObjectDetector {
 impl ObjectDetector {
     /// Detector with the given noise profile, running on `device`.
     pub fn new(cfg: DetectorConfig, device: Device) -> Self {
-        ObjectDetector { cfg, exec: Executor::new(device) }
+        ObjectDetector {
+            cfg,
+            exec: Executor::new(device),
+        }
     }
 
     /// Default detector on the vectorized CPU backend.
@@ -142,8 +145,12 @@ impl ObjectDetector {
     pub fn detect(&self, scene: &Scene, t: u64, frame: &Image) -> Vec<Detection> {
         // 1. Pay the inference cost on the actual pixels.
         let [y, _, _] = frame.to_ycbcr();
-        let _activations =
-            self.exec.conv_stack(&y.data, y.width as usize, y.height as usize, self.cfg.cost_layers);
+        let _activations = self.exec.conv_stack(
+            &y.data,
+            y.width as usize,
+            y.height as usize,
+            self.cfg.cost_layers,
+        );
         self.outputs(scene, t, frame)
     }
 
@@ -160,7 +167,10 @@ impl ObjectDetector {
             })
             .collect();
         let _activations = self.exec.conv_stack_batch(&planes, self.cfg.cost_layers);
-        frames.iter().map(|(t, f)| self.outputs(scene, *t, f)).collect()
+        frames
+            .iter()
+            .map(|(t, f)| self.outputs(scene, *t, f))
+            .collect()
     }
 
     /// The detection logic alone (ground truth + calibrated noise), without
@@ -191,13 +201,23 @@ impl ObjectDetector {
             let confused = unit_hash(self.cfg.seed, obj.id, t, 4) < self.cfg.label_confusion;
             if confused {
                 if obj.class.is_vehicle() {
-                    label = if label == "car" { "truck".into() } else { "car".into() };
+                    label = if label == "car" {
+                        "truck".into()
+                    } else {
+                        "car".into()
+                    };
                 } else if label == "person" {
                     label = "bicycle".into();
                 }
             }
             let score = (1.0 - ev / 255.0) * (0.7 + 0.3 * unit_hash(self.cfg.seed, obj.id, t, 5));
-            out.push(Detection { bbox, label, score, object_id: Some(obj.id), frame_no: t });
+            out.push(Detection {
+                bbox,
+                label,
+                score,
+                object_id: Some(obj.id),
+                frame_no: t,
+            });
         }
         // 3. False positives.
         if unit_hash(self.cfg.seed, t, 0, 6) < self.cfg.false_positives_per_frame {
@@ -241,8 +261,10 @@ mod tests {
             // Every true detection's box overlaps its object's box well.
             for d in &dets {
                 if let Some(id) = d.object_id {
-                    let (_, gt_bb) =
-                        gt.iter().find(|(o, _)| o.id == id).expect("ground truth exists");
+                    let (_, gt_bb) = gt
+                        .iter()
+                        .find(|(o, _)| o.id == id)
+                        .expect("ground truth exists");
                     assert!(d.bbox.iou(gt_bb) > 0.3, "jittered box must stay close");
                 }
             }
@@ -311,8 +333,16 @@ mod tests {
                 deeplens_codec::Quality::Custom(2),
             ))
             .unwrap();
-            hi_total += det.detect(&ds.scene, t, &hi).iter().filter(|d| d.object_id.is_some()).count();
-            lo_total += det.detect(&ds.scene, t, &lo).iter().filter(|d| d.object_id.is_some()).count();
+            hi_total += det
+                .detect(&ds.scene, t, &hi)
+                .iter()
+                .filter(|d| d.object_id.is_some())
+                .count();
+            lo_total += det
+                .detect(&ds.scene, t, &lo)
+                .iter()
+                .filter(|d| d.object_id.is_some())
+                .count();
         }
         assert!(
             lo_total <= hi_total,

@@ -32,7 +32,10 @@ pub fn color_histogram(img: &Image, bins: usize) -> Vec<f32> {
 /// Joint RGB histogram, L1-normalized. Output dimension `bins³` — the
 /// high-dimensional feature used to stress multidimensional indexes.
 pub fn joint_histogram(img: &Image, bins: usize) -> Vec<f32> {
-    assert!(bins > 0 && bins <= 16, "joint histogram bins must be in 1..=16");
+    assert!(
+        bins > 0 && bins <= 16,
+        "joint histogram bins must be in 1..=16"
+    );
     let mut hist = vec![0f32; bins * bins * bins];
     for px in img.data().chunks_exact(3) {
         let r = px[0] as usize * bins / 256;
@@ -83,7 +86,11 @@ mod tests {
     use super::*;
 
     fn euclidean(a: &[f32], b: &[f32]) -> f32 {
-        a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum::<f32>().sqrt()
+        a.iter()
+            .zip(b)
+            .map(|(x, y)| (x - y) * (x - y))
+            .sum::<f32>()
+            .sqrt()
     }
 
     #[test]
@@ -111,8 +118,11 @@ mod tests {
         let mut b = a.clone();
         b.fill_rect(0, 0, 3, 3, [190, 60, 60]); // small perturbation
         let c = Image::solid(20, 20, [20, 200, 220]); // very different
-        let (ha, hb, hc) =
-            (color_histogram(&a, 8), color_histogram(&b, 8), color_histogram(&c, 8));
+        let (ha, hb, hc) = (
+            color_histogram(&a, 8),
+            color_histogram(&b, 8),
+            color_histogram(&c, 8),
+        );
         assert!(euclidean(&ha, &hb) < euclidean(&ha, &hc));
     }
 
@@ -124,7 +134,10 @@ mod tests {
         let ea2 = embed(&a, 24, 9);
         let eb = embed(&b, 24, 9);
         assert_eq!(ea1, ea2);
-        assert!(euclidean(&ea1, &eb) > 0.1, "distinct images must embed apart");
+        assert!(
+            euclidean(&ea1, &eb) > 0.1,
+            "distinct images must embed apart"
+        );
     }
 
     #[test]

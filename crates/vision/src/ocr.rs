@@ -25,7 +25,12 @@ pub struct OcrConfig {
 
 impl Default for OcrConfig {
     fn default() -> Self {
-        OcrConfig { char_error_rate: 0.02, min_contrast: 12.0, cost_layers: 3, seed: 0x0C12 }
+        OcrConfig {
+            char_error_rate: 0.02,
+            min_contrast: 12.0,
+            cost_layers: 3,
+            seed: 0x0C12,
+        }
     }
 }
 
@@ -60,7 +65,10 @@ pub struct OcrEngine {
 impl OcrEngine {
     /// Engine with an explicit profile on `device`.
     pub fn new(cfg: OcrConfig, device: Device) -> Self {
-        OcrEngine { cfg, exec: Executor::new(device) }
+        OcrEngine {
+            cfg,
+            exec: Executor::new(device),
+        }
     }
 
     /// Default engine on `device`.
@@ -99,7 +107,12 @@ impl OcrEngine {
         // Pay the recognition compute on the cropped pixels.
         let crop = img.crop(region.x, region.y, region.w, region.h);
         let [y, _, _] = crop.to_ycbcr();
-        let _ = self.exec.conv_stack(&y.data, y.width as usize, y.height as usize, self.cfg.cost_layers);
+        let _ = self.exec.conv_stack(
+            &y.data,
+            y.width as usize,
+            y.height as usize,
+            self.cfg.cost_layers,
+        );
 
         let contrast = Self::region_contrast(img, region);
         if contrast < self.cfg.min_contrast {
@@ -121,7 +134,11 @@ impl OcrEngine {
                 }
             })
             .collect();
-        Some(OcrResult { bbox: *region, text, truth: truth.to_string() })
+        Some(OcrResult {
+            bbox: *region,
+            text,
+            truth: truth.to_string(),
+        })
     }
 }
 
@@ -146,7 +163,10 @@ mod tests {
     fn clean_text_reads_mostly_correctly() {
         let (img, bb) = text_image("HELLO");
         let ocr = OcrEngine::new(
-            OcrConfig { char_error_rate: 0.0, ..Default::default() },
+            OcrConfig {
+                char_error_rate: 0.0,
+                ..Default::default()
+            },
             Device::Avx,
         );
         let res = ocr.recognize(&img, &bb, "HELLO", 0).unwrap();
@@ -166,7 +186,10 @@ mod tests {
     fn corruption_is_deterministic() {
         let (img, bb) = text_image("DEEPLENS");
         let ocr = OcrEngine::new(
-            OcrConfig { char_error_rate: 0.5, ..Default::default() },
+            OcrConfig {
+                char_error_rate: 0.5,
+                ..Default::default()
+            },
             Device::Avx,
         );
         let a = ocr.recognize(&img, &bb, "DEEPLENS", 3).unwrap();
@@ -186,19 +209,30 @@ mod tests {
         ))
         .unwrap();
         let ocr = OcrEngine::new(
-            OcrConfig { char_error_rate: 0.01, ..Default::default() },
+            OcrConfig {
+                char_error_rate: 0.01,
+                ..Default::default()
+            },
             Device::Avx,
         );
         let clean_errs = {
             let r = ocr.recognize(&img, &bb, "QUICKBROWNFOX", 0).unwrap();
-            r.text.chars().zip(r.truth.chars()).filter(|(a, b)| a != b).count()
+            r.text
+                .chars()
+                .zip(r.truth.chars())
+                .filter(|(a, b)| a != b)
+                .count()
         };
         // The lossy region either fails outright or errs at least as much.
         match ocr.recognize(&lossy, &bb, "QUICKBROWNFOX", 0) {
             None => {}
             Some(r) => {
-                let errs =
-                    r.text.chars().zip(r.truth.chars()).filter(|(a, b)| a != b).count();
+                let errs = r
+                    .text
+                    .chars()
+                    .zip(r.truth.chars())
+                    .filter(|(a, b)| a != b)
+                    .count();
                 assert!(errs >= clean_errs, "lossy {errs} vs clean {clean_errs}");
             }
         }

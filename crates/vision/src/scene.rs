@@ -101,7 +101,10 @@ impl BBox {
 
     /// Center point.
     pub fn center(&self) -> (f64, f64) {
-        (self.x as f64 + self.w as f64 / 2.0, self.y as f64 + self.h as f64 / 2.0)
+        (
+            self.x as f64 + self.w as f64 / 2.0,
+            self.y as f64 + self.h as f64 / 2.0,
+        )
     }
 }
 
@@ -182,7 +185,13 @@ fn pixel_hash(x: u32, y: u32) -> u32 {
 impl Scene {
     /// Create an empty scene.
     pub fn new(width: u32, height: u32, background: [u8; 3]) -> Self {
-        Scene { width, height, background, texture: 6, objects: Vec::new() }
+        Scene {
+            width,
+            height,
+            background,
+            texture: 6,
+            objects: Vec::new(),
+        }
     }
 
     /// Ground truth: all objects visible at frame `t` with their boxes.

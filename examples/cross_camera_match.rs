@@ -46,7 +46,11 @@ fn main() {
     let mut catalog = Catalog::new();
     let cam_a = etl_camera(&world, "camA", &mut catalog);
     let cam_b = etl_camera(&world, "camB", &mut catalog);
-    println!("camA: {} vehicle patches, camB: {}", cam_a.len(), cam_b.len());
+    println!(
+        "camA: {} vehicle patches, camB: {}",
+        cam_a.len(),
+        cam_b.len()
+    );
 
     // The optimizer picks the join strategy from the non-linear cost model.
     let model = CostModel::default();

@@ -52,7 +52,11 @@ fn main() {
     let needle = "DEEP";
     let hit = strings
         .iter()
-        .filter(|p| p.get_str("text").map(|t| t.contains(needle)).unwrap_or(false))
+        .filter(|p| {
+            p.get_str("text")
+                .map(|t| t.contains(needle))
+                .unwrap_or(false)
+        })
         .filter_map(|p| p.get_int("imgno"))
         .min();
     match hit {
@@ -66,8 +70,7 @@ fn main() {
             .into_iter()
             .filter(|(a, b)| a < b)
             .collect();
-    let truth: std::collections::HashSet<(u32, u32)> =
-        ds.duplicate_pairs.iter().copied().collect();
+    let truth: std::collections::HashSet<(u32, u32)> = ds.duplicate_pairs.iter().copied().collect();
     let found = pairs.iter().filter(|p| truth.contains(p)).count();
     println!(
         "q1: {} near-duplicate pairs reported; {}/{} planted pairs recovered",

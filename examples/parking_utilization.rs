@@ -31,7 +31,11 @@ fn main() {
             );
         }
     }
-    println!("ETL: {} detections over {} frames", patches.len(), ds.num_frames);
+    println!(
+        "ETL: {} detections over {} frames",
+        patches.len(),
+        ds.num_frames
+    );
 
     // Query: SELECT frameno, COUNT(*) WHERE label IN (car, truck) GROUP BY frameno.
     let vehicles: Vec<Patch> = ops::select(patches.into_iter(), |p| {

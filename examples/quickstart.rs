@@ -19,7 +19,12 @@ fn main() {
     // 1. A tiny traffic world: ~140 frames of cars and pedestrians.
     let ds = TrafficDataset::generate(0.004, 7);
     let frames = ds.render_all();
-    println!("rendered {} frames of {}x{}", frames.len(), ds.scene.width, ds.scene.height);
+    println!(
+        "rendered {} frames of {}x{}",
+        frames.len(),
+        ds.scene.width,
+        ds.scene.height
+    );
 
     // 2. Physical layout: encoded clips of 24 frames in a B+Tree.
     let mut session = Session::ephemeral().expect("session");
@@ -60,11 +65,17 @@ fn main() {
 
     // 4. Materialize, index, query: count frames with at least one vehicle.
     session.catalog.materialize("dets", patches);
-    let col = session.catalog.collection_mut("dets").expect("materialized");
+    let col = session
+        .catalog
+        .collection_mut("dets")
+        .expect("materialized");
     col.build_hash_index("by_label", "label");
     let mut vehicle_frames = std::collections::HashSet::new();
     for label in ["car", "truck"] {
-        for pos in col.lookup_eq("by_label", &Value::from(label)).expect("indexed") {
+        for pos in col
+            .lookup_eq("by_label", &Value::from(label))
+            .expect("indexed")
+        {
             if let Some(f) = col.patches[pos as usize].get_int("frameno") {
                 vehicle_frames.insert(f);
             }

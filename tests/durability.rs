@@ -8,8 +8,9 @@ use deeplens::storage::pager::Pager;
 use deeplens::storage::wal::Wal;
 
 fn workdir(name: &str) -> std::path::PathBuf {
-    let dir =
-        std::env::temp_dir().join("deeplens-durability").join(format!("{}-{name}", std::process::id()));
+    let dir = std::env::temp_dir()
+        .join("deeplens-durability")
+        .join(format!("{}-{name}", std::process::id()));
     std::fs::create_dir_all(&dir).unwrap();
     dir
 }
@@ -110,7 +111,10 @@ fn wal_uncommitted_transaction_discarded() {
     let mut pager = Pager::open(&db).unwrap();
     let applied = Wal::recover_into(&wal_path, &mut pager).unwrap();
     assert_eq!(applied, 0, "uncommitted work must not replay");
-    assert_eq!(pager.read_page(pid).unwrap().get_slice(0, 15), b"committed state");
+    assert_eq!(
+        pager.read_page(pid).unwrap().get_slice(0, 15),
+        b"committed state"
+    );
 }
 
 /// Frame files tolerate thousands of mixed-size entries with overflow.
@@ -124,7 +128,8 @@ fn btree_stress_mixed_sizes() {
             let blob: Vec<u8> = (0..8_000).map(|j| ((i + j) % 251) as u8).collect();
             tree.insert(&keys::encode_u64(i), &blob).unwrap();
         } else {
-            tree.insert(&keys::encode_u64(i), format!("meta-{i}").as_bytes()).unwrap();
+            tree.insert(&keys::encode_u64(i), format!("meta-{i}").as_bytes())
+                .unwrap();
         }
     }
     assert_eq!(tree.len(), 2_000);
@@ -137,7 +142,11 @@ fn btree_stress_mixed_sizes() {
         }
     }
     // Ordered full scan sees every key exactly once.
-    let all: Vec<_> = tree.scan_all().unwrap().collect::<Result<Vec<_>, _>>().unwrap();
+    let all: Vec<_> = tree
+        .scan_all()
+        .unwrap()
+        .collect::<Result<Vec<_>, _>>()
+        .unwrap();
     assert_eq!(all.len(), 2_000);
     assert!(all.windows(2).all(|w| w[0].0 < w[1].0));
 }

@@ -10,7 +10,9 @@ use deeplens::vision::features::joint_histogram;
 use deeplens_exec::Device;
 
 fn workdir(name: &str) -> std::path::PathBuf {
-    let dir = std::env::temp_dir().join("deeplens-e2e").join(format!("{}-{name}", std::process::id()));
+    let dir = std::env::temp_dir()
+        .join("deeplens-e2e")
+        .join(format!("{}-{name}", std::process::id()));
     std::fs::create_dir_all(&dir).unwrap();
     dir
 }
@@ -63,7 +65,10 @@ fn ingest_detect_query_roundtrip() {
     let got = vehicle_frames.len();
     assert!(truth > 0);
     let rel_err = (got as f64 - truth as f64).abs() / truth as f64;
-    assert!(rel_err < 0.25, "q2 through the full stack: got {got}, truth {truth}");
+    assert!(
+        rel_err < 0.25,
+        "q2 through the full stack: got {got}, truth {truth}"
+    );
 }
 
 /// The three layouts must return identical frame windows (modulo lossy
@@ -76,14 +81,10 @@ fn layouts_agree_on_answers_and_order_on_decode_work() {
     let dir = workdir("layouts");
 
     let mut raw = FrameFile::ingest(dir.join("raw.dlb"), &frames, FrameFormat::Raw).unwrap();
-    let mut seg =
-        SegmentedFile::ingest(dir.join("seg.dlb"), &frames, 10, Quality::High).unwrap();
-    let mut enc = deeplens::storage::layout::EncodedFile::ingest(
-        dir.join("enc.dlv"),
-        &frames,
-        Quality::High,
-    )
-    .unwrap();
+    let mut seg = SegmentedFile::ingest(dir.join("seg.dlb"), &frames, 10, Quality::High).unwrap();
+    let mut enc =
+        deeplens::storage::layout::EncodedFile::ingest(dir.join("enc.dlv"), &frames, Quality::High)
+            .unwrap();
 
     let (start, end) = (n / 2, n / 2 + 5);
     let a = raw.scan_range(start, end).unwrap();
@@ -119,13 +120,12 @@ fn lineage_backtrace_through_pipeline() {
     let ds = TrafficDataset::generate(0.002, 31);
     let frames: Vec<_> = (0..10).map(|t| ds.scene.render_frame(t)).collect();
     let mut catalog = Catalog::new();
-    let mut pipe = Pipeline::new(Box::new(WholeImageGenerator)).then(Box::new(
-        FeaturizeTransformer {
+    let mut pipe =
+        Pipeline::new(Box::new(WholeImageGenerator)).then(Box::new(FeaturizeTransformer {
             label: "hist".into(),
             dim: 64,
             f: Box::new(|img| joint_histogram(img, 4)),
-        },
-    ));
+        }));
     pipe.run(
         frames.iter().enumerate().map(|(i, f)| (i as u64, f)),
         "cam0",

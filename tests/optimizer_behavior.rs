@@ -30,7 +30,11 @@ fn recommended_strategy_wins_on_asymmetric_join() {
     let large = feature_patches(12_000, 16, 2);
     let model = CostModel::default();
     let rec = model.recommend(small.len(), large.len(), 16);
-    assert_eq!(rec, JoinStrategy::IndexLeft, "model should index the small side");
+    assert_eq!(
+        rec,
+        JoinStrategy::IndexLeft,
+        "model should index the small side"
+    );
 
     let t0 = Instant::now();
     let nested = ops::similarity_join_nested(&small, &large, 2.0);
@@ -156,7 +160,10 @@ fn filter_pushdown_loses_recall_on_lossy_labels() {
     let clusters_b_all = ops::dedup_similarity(&patches, tau);
     let clusters_b: Vec<Vec<u32>> = clusters_b_all
         .into_iter()
-        .filter(|c| c.iter().any(|&i| patches[i as usize].get_str("label") == Some("person")))
+        .filter(|c| {
+            c.iter()
+                .any(|&i| patches[i as usize].get_str("label") == Some("person"))
+        })
         .collect();
     let recall_b = pair_recall(&clusters_b, &all_pos);
 

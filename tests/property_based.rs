@@ -8,7 +8,9 @@ use std::ops::Bound;
 use proptest::prelude::*;
 
 use deeplens::codec::{decode_image, encode_image, psnr, Image, Quality};
-use deeplens::index::{bruteforce, BallTree, KdTree, Rect, RTree};
+use deeplens::exec::{kernels, Matrix};
+use deeplens::index::lsh::{LshIndex, LshParams};
+use deeplens::index::{bruteforce, BallTree, KdTree, RTree, Rect};
 use deeplens::storage::btree::{keys, BTree};
 
 fn unique_tmp(tag: &str) -> std::path::PathBuf {
@@ -145,6 +147,162 @@ proptest! {
         prop_assert_eq!(a.cmp(&b), keys::encode_i64(a).cmp(&keys::encode_i64(b)));
         let (fa, fb) = (a as f64 / 1e6, b as f64 / 1e6);
         prop_assert_eq!(fa.total_cmp(&fb), keys::encode_f64(fa).cmp(&keys::encode_f64(fb)));
+    }
+}
+
+/// Deterministic point cloud shared by the index-equivalence properties.
+fn random_points(n: usize, dim: usize, seed: u64) -> Vec<Vec<f32>> {
+    let mut s = seed | 1;
+    (0..n)
+        .map(|_| {
+            (0..dim)
+                .map(|_| {
+                    s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+                    (s >> 33) as f32 / (1u64 << 31) as f32 * 10.0
+                })
+                .collect()
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    /// Ball-Tree kNN agrees with brute force: identical neighbour distances
+    /// (ids may differ only where distances tie).
+    #[test]
+    fn balltree_knn_matches_bruteforce(
+        n in 1usize..200,
+        dim in 1usize..12,
+        k in 1usize..12,
+        seed in any::<u64>(),
+    ) {
+        let pts = random_points(n, dim, seed);
+        let tree = BallTree::from_vectors(&pts);
+        let q = &pts[n / 2];
+        let got = tree.knn(q, k);
+        let want = bruteforce::knn(&pts, q, k);
+        prop_assert_eq!(got.len(), want.len());
+        for (i, ((_, gd), (_, wd))) in got.iter().zip(&want).enumerate() {
+            prop_assert!((gd - wd).abs() < 1e-4, "neighbour {} distance {} vs {}", i, gd, wd);
+        }
+    }
+
+    /// KD-Tree range queries agree exactly with brute force in low
+    /// dimension.
+    #[test]
+    fn kdtree_range_matches_bruteforce(
+        n in 1usize..200,
+        tau in 0.1f32..8.0,
+        seed in any::<u64>(),
+    ) {
+        let pts = random_points(n, 3, seed);
+        let tree = KdTree::from_vectors(&pts);
+        let q = &pts[n / 2];
+        let mut got = tree.range_query(q, tau);
+        let mut want = bruteforce::range_query(&pts, q, tau);
+        got.sort_unstable();
+        want.sort_unstable();
+        prop_assert_eq!(got, want);
+    }
+
+    /// LSH range queries: every returned id is a true neighbour (verified
+    /// candidates), the query point always finds itself, and recall against
+    /// brute force clears a bound when the bucket width comfortably exceeds
+    /// the query radius.
+    #[test]
+    fn lsh_range_precision_exact_and_recall_bounded(
+        clusters in 1usize..6,
+        per_cluster in 2usize..12,
+        seed in any::<u64>(),
+    ) {
+        // Tight clusters (spread ±1) queried at tau 3 with width 16: the
+        // regime LSH is built for.
+        let mut s = seed | 1;
+        let mut next = move || {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+            (s >> 33) as f32 / (1u64 << 31) as f32
+        };
+        let dim = 8usize;
+        let mut pts: Vec<Vec<f32>> = Vec::new();
+        for c in 0..clusters {
+            let center: Vec<f32> =
+                (0..dim).map(|_| next() * 100.0 + c as f32 * 40.0).collect();
+            for _ in 0..per_cluster {
+                pts.push(center.iter().map(|&v| v + next() * 2.0 - 1.0).collect());
+            }
+        }
+        let idx = LshIndex::from_vectors(
+            &pts,
+            LshParams { tables: 12, projections: 4, width: 16.0, seed: 0xD1CE },
+        );
+        let tau = 3.0f32;
+        let mut found = 0usize;
+        let mut total = 0usize;
+        for (qi, q) in pts.iter().enumerate() {
+            let got = idx.range_query(q, tau);
+            let truth = bruteforce::range_query(&pts, q, tau);
+            // Precision is exact: candidates are distance-verified.
+            for id in &got {
+                prop_assert!(truth.contains(id), "false positive {}", id);
+            }
+            // A point always collides with itself in every table.
+            prop_assert!(got.contains(&(qi as u32)), "query {} must find itself", qi);
+            total += truth.len();
+            found += truth.iter().filter(|t| got.contains(t)).count();
+        }
+        let recall = found as f64 / total.max(1) as f64;
+        prop_assert!(recall >= 0.8, "recall {} below bound", recall);
+    }
+
+    /// The parallel threshold join equals brute-force all-pairs for any
+    /// shape and thread count (the morsel pool drops no pair at shard
+    /// boundaries).
+    #[test]
+    fn parallel_join_matches_bruteforce(
+        n in 0usize..60,
+        m in 0usize..60,
+        dim in 1usize..10,
+        threads in 1usize..9,
+        tau in 0.5f32..10.0,
+        seed in any::<u64>(),
+    ) {
+        let a = random_points(n, dim, seed);
+        let b = random_points(m, dim, seed ^ 0xFFFF);
+        let ma = Matrix::from_rows(&a);
+        // Matrix::from_rows infers cols from the first row; pin the shape
+        // for the empty case so the kernel's dimension check passes.
+        let mb = if m == 0 {
+            Matrix::zeros(0, dim)
+        } else {
+            Matrix::from_rows(&b)
+        };
+        let ma = if n == 0 { Matrix::zeros(0, dim) } else { ma };
+        let mut got = kernels::threshold_join_parallel(&ma, &mb, tau, threads);
+        let mut want = Vec::new();
+        for (i, pa) in a.iter().enumerate() {
+            for (j, pb) in b.iter().enumerate() {
+                let d2: f32 = pa.iter().zip(pb).map(|(x, y)| (x - y) * (x - y)).sum();
+                if d2 <= tau * tau {
+                    want.push((i as u32, j as u32));
+                }
+            }
+        }
+        got.sort_unstable();
+        want.sort_unstable();
+        // Norm-decomposition rounding can flip pairs sitting exactly on the
+        // boundary; demand agreement away from it.
+        let boundary = |p: &(u32, u32)| {
+            let d2: f32 = a[p.0 as usize]
+                .iter()
+                .zip(&b[p.1 as usize])
+                .map(|(x, y)| (x - y) * (x - y))
+                .sum();
+            (d2 - tau * tau).abs() < 1e-3 * tau * tau
+        };
+        let got_core: Vec<_> = got.iter().filter(|p| !boundary(p)).collect();
+        let want_core: Vec<_> = want.iter().filter(|p| !boundary(p)).collect();
+        prop_assert_eq!(got_core, want_core);
     }
 }
 
