@@ -21,17 +21,20 @@ fn patches(n: usize, dim: usize, seed: u64) -> Vec<Patch> {
 }
 
 fn bench_joins(c: &mut Criterion) {
+    // Serial pool: this bench isolates the physical-design axis (nested vs
+    // indexed); `benches/ops.rs` sweeps the thread-count axis.
+    let pool = WorkerPool::new(1);
     let left = patches(800, 64, 1);
     let right = patches(800, 64, 2);
     c.bench_function("sim_join_nested_800x800_64d", |b| {
         b.iter(|| ops::similarity_join_nested(&left, &right, 4.0))
     });
     c.bench_function("sim_join_balltree_800x800_64d", |b| {
-        b.iter(|| ops::similarity_join_balltree(&left, &right, 4.0))
+        b.iter(|| ops::similarity_join_balltree(&left, &right, 4.0, &pool))
     });
     let people = patches(1_500, 64, 3);
     c.bench_function("dedup_balltree_1500_64d", |b| {
-        b.iter(|| ops::dedup_similarity(&people, 4.0))
+        b.iter(|| ops::dedup_similarity(&people, 4.0, &pool))
     });
 }
 

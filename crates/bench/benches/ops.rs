@@ -1,0 +1,207 @@
+//! Operator-layer benchmark: thread scaling of the parallelized Ball-Tree
+//! similarity join (build + probe), similarity dedup, ETL pipeline, and
+//! parallel index construction.
+//!
+//! Unlike the criterion-style benches this harness *records* its medians:
+//! it writes `BENCH_ops.json` at the workspace root so the speedups are
+//! tracked across PRs (CI uploads the file as an artifact). Set
+//! `BENCH_OPS_OUT` to redirect the output file, `CRITERION_QUICK=1` for a
+//! smoke-sized run.
+
+use std::time::Instant;
+
+use deeplens_core::etl::{FeaturizeTransformer, TileGenerator};
+use deeplens_core::ops;
+use deeplens_core::prelude::*;
+use deeplens_index::BallTree;
+
+const THREADS: [usize; 4] = [1, 2, 4, 8];
+
+fn feature_patches(n: usize, dim: usize, seed: u64) -> Vec<Patch> {
+    let mut s = seed;
+    (0..n)
+        .map(|i| {
+            let f: Vec<f32> = (0..dim)
+                .map(|_| {
+                    s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+                    (s >> 33) as f32 / (1u64 << 31) as f32 * 10.0
+                })
+                .collect();
+            Patch::features(PatchId(i as u64), ImgRef::frame("b", i as u64), f)
+        })
+        .collect()
+}
+
+/// Median wall-clock seconds of `reps` runs of `f`.
+fn median_secs<T>(reps: usize, mut f: impl FnMut() -> T) -> f64 {
+    let mut times: Vec<f64> = (0..reps)
+        .map(|_| {
+            let t0 = Instant::now();
+            std::hint::black_box(f());
+            t0.elapsed().as_secs_f64()
+        })
+        .collect();
+    times.sort_by(f64::total_cmp);
+    times[times.len() / 2]
+}
+
+struct Record {
+    name: &'static str,
+    threads: usize,
+    median_s: f64,
+}
+
+fn main() {
+    let quick = std::env::var("CRITERION_QUICK").is_ok_and(|v| v != "0");
+    // Sizes chosen so the probe phase dominates the join (the part the
+    // morsel pool shards).
+    let (n_indexed, n_probe, dim, n_dedup, n_frames, n_build, reps) = if quick {
+        (500, 2_000, 12, 600, 8, 6_000, 3)
+    } else {
+        (3_000, 20_000, 12, 3_000, 48, 60_000, 5)
+    };
+
+    let indexed = feature_patches(n_indexed, dim, 1);
+    let probes = feature_patches(n_probe, dim, 2);
+    let dedup_input = feature_patches(n_dedup, dim, 3);
+    let frames: Vec<deeplens_codec::Image> = (0..n_frames)
+        .map(|t| deeplens_codec::Image::solid(64, 64, [(t * 11) as u8, (t * 5) as u8, 77]))
+        .collect();
+    let build_vectors: Vec<Vec<f32>> = feature_patches(n_build, dim, 4)
+        .iter()
+        .map(|p| p.data.features().unwrap().to_vec())
+        .collect();
+
+    let mut records: Vec<Record> = Vec::new();
+    let mut reference: Option<Vec<(u32, u32)>> = None;
+
+    for threads in THREADS {
+        let pool = WorkerPool::new(threads);
+
+        // Ball-Tree similarity join: small indexed side, large probe side.
+        let join_s = median_secs(reps, || {
+            ops::similarity_join_balltree(&indexed, &probes, 2.0, &pool)
+        });
+        // Guard: every thread count must produce the identical answer.
+        let pairs = ops::similarity_join_balltree(&indexed, &probes, 2.0, &pool);
+        match &reference {
+            None => reference = Some(pairs),
+            Some(r) => assert_eq!(r, &pairs, "join answer diverged at {threads} threads"),
+        }
+        records.push(Record {
+            name: "sim_join_balltree_probe",
+            threads,
+            median_s: join_s,
+        });
+
+        let dedup_s = median_secs(reps, || {
+            ops::dedup_similarity(&dedup_input, 2.0, &pool).len()
+        });
+        records.push(Record {
+            name: "dedup_similarity",
+            threads,
+            median_s: dedup_s,
+        });
+
+        let pipeline_s = median_secs(reps, || {
+            let pipe = Pipeline::new(Box::new(TileGenerator { tile: 16 })).then(Box::new(
+                FeaturizeTransformer {
+                    label: "mean".into(),
+                    dim: 3,
+                    f: Box::new(|img| img.mean_color().to_vec()),
+                },
+            ));
+            let mut catalog = Catalog::new();
+            pipe.run(
+                frames.iter().enumerate().map(|(i, f)| (i as u64, f)),
+                "cam",
+                &mut catalog,
+                "tiles",
+                &pool,
+            )
+            .unwrap()
+        });
+        records.push(Record {
+            name: "etl_pipeline_run",
+            threads,
+            median_s: pipeline_s,
+        });
+
+        let build_s = median_secs(reps, || {
+            BallTree::from_vectors_parallel(&build_vectors, threads).len()
+        });
+        records.push(Record {
+            name: "balltree_build",
+            threads,
+            median_s: build_s,
+        });
+    }
+
+    for r in &records {
+        println!(
+            "bench ops/{:<28} threads {:>2}   median {:>9.3} ms",
+            r.name,
+            r.threads,
+            r.median_s * 1e3
+        );
+    }
+
+    // Speedups of every kernel at the max thread count vs serial.
+    let lookup = |name: &str, threads: usize| {
+        records
+            .iter()
+            .find(|r| r.name == name && r.threads == threads)
+            .map(|r| r.median_s)
+            .unwrap_or(f64::NAN)
+    };
+    let max_t = *THREADS.last().unwrap();
+    let kernels = [
+        "sim_join_balltree_probe",
+        "dedup_similarity",
+        "etl_pipeline_run",
+        "balltree_build",
+    ];
+
+    // Hand-rolled JSON (no serde in the offline workspace).
+    let host_threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let mut json = String::from("{\n");
+    json.push_str("  \"bench\": \"ops\",\n");
+    json.push_str(&format!("  \"quick\": {quick},\n"));
+    if host_threads == 1 {
+        json.push_str(
+            "  \"note\": \"degenerate capture: 1 hardware thread, speedups cannot exceed 1.0x — read the multi-core CI artifact for real scaling\",\n",
+        );
+    }
+    json.push_str(&format!(
+        "  \"config\": {{\"n_indexed\": {n_indexed}, \"n_probe\": {n_probe}, \"dim\": {dim}, \"n_dedup\": {n_dedup}, \"n_frames\": {n_frames}, \"n_build\": {n_build}, \"reps\": {reps}, \"host_threads\": {host_threads}}},\n"
+    ));
+    json.push_str("  \"results\": [\n");
+    for (i, r) in records.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"name\": \"{}\", \"threads\": {}, \"median_s\": {:.6}}}{}\n",
+            r.name,
+            r.threads,
+            r.median_s,
+            if i + 1 == records.len() { "" } else { "," }
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str("  \"speedup_vs_serial\": {\n");
+    for (i, k) in kernels.iter().enumerate() {
+        let s = lookup(k, 1) / lookup(k, max_t);
+        json.push_str(&format!(
+            "    \"{k}_{max_t}t\": {:.3}{}\n",
+            s,
+            if i + 1 == kernels.len() { "" } else { "," }
+        ));
+        println!("bench ops/speedup {k} x{max_t}: {s:.2}x");
+    }
+    json.push_str("  }\n}\n");
+
+    let out = std::env::var("BENCH_OPS_OUT")
+        .unwrap_or_else(|_| format!("{}/../../BENCH_ops.json", env!("CARGO_MANIFEST_DIR")));
+    std::fs::write(&out, json).expect("write BENCH_ops.json");
+    println!("recorded {out}");
+}

@@ -21,7 +21,7 @@ use deeplens_bench::{scale, WORLD_SEED};
 use deeplens_core::ops;
 use deeplens_core::optimizer::{enumerate_filter_match_plans, AccuracyProfile};
 use deeplens_core::prelude::Patch;
-use deeplens_exec::Device;
+use deeplens_exec::{Device, WorkerPool};
 use deeplens_vision::detector::DetectorConfig;
 use deeplens_vision::scene::ObjectClass;
 
@@ -98,7 +98,7 @@ fn main() {
             .iter()
             .map(|&i| all[i as usize].clone())
             .collect();
-        let clusters = ops::dedup_similarity(&person_patches, TAU);
+        let clusters = ops::dedup_similarity(&person_patches, TAU, &WorkerPool::new(1));
         let mut pred = HashSet::new();
         for c in &clusters {
             for a in 0..c.len() {
@@ -113,7 +113,7 @@ fn main() {
 
     // ---- Plan B: Patch, Match, Filter ----
     let ((rec_b, prec_b), t_b) = time(|| {
-        let clusters = ops::dedup_similarity(all, TAU);
+        let clusters = ops::dedup_similarity(all, TAU, &WorkerPool::new(1));
         let mut pred = HashSet::new();
         // The paper's order: match everything, then "filter on those pairs
         // that have at least one person label".

@@ -45,6 +45,13 @@ fn within_tau(a: &Patch, b: &Patch, tau: f32) -> bool {
     }
 }
 
+/// Serial pool for the single-threaded baselines: the harness measures
+/// physical-design effects (Fig. 4-5), so operator parallelism is pinned
+/// off. `benches/ops.rs` measures the thread-scaling axis.
+fn serial() -> WorkerPool {
+    WorkerPool::new(1)
+}
+
 /// q1 baseline: the generic nested-loop θ-join operator evaluating the
 /// similarity predicate pair by pair (no physical design).
 pub fn q1_baseline(etl: &PcEtl) -> Vec<(u32, u32)> {
@@ -52,6 +59,7 @@ pub fn q1_baseline(etl: &PcEtl) -> Vec<(u32, u32)> {
         &etl.image_patches,
         &etl.image_patches,
         |a, b| within_tau(a, b, Q1_TAU),
+        &serial(),
     ))
 }
 
@@ -61,6 +69,7 @@ pub fn q1_optimized(etl: &PcEtl) -> Vec<(u32, u32)> {
         &etl.image_patches,
         &etl.image_patches,
         Q1_TAU,
+        &serial(),
     ))
 }
 
@@ -216,13 +225,18 @@ pub fn q4_person_patches(etl: &TrafficEtl) -> Vec<Patch> {
 /// q4 baseline: the generic nested-loop θ-join operator evaluates the
 /// similarity predicate over all pairs, then clusters (no physical design).
 pub fn q4_baseline(people: &[Patch]) -> usize {
-    let pairs = ops::nested_loop_join(people, people, |a, b| within_tau(a, b, MATCH_TAU));
+    let pairs = ops::nested_loop_join(
+        people,
+        people,
+        |a, b| within_tau(a, b, MATCH_TAU),
+        &serial(),
+    );
     ops::cluster_from_pairs(people.len(), &pairs).len()
 }
 
 /// q4 optimized: Ball-Tree dedup join.
 pub fn q4_optimized(people: &[Patch]) -> usize {
-    ops::dedup_similarity(people, MATCH_TAU).len()
+    ops::dedup_similarity(people, MATCH_TAU, &serial()).len()
 }
 
 /// Pair-level accuracy of a clustering against ground-truth identities:
@@ -320,14 +334,19 @@ pub fn q6_baseline(people: &[Patch]) -> usize {
 /// q6 fully-unindexed variant (cross product with a θ predicate): the cost
 /// the paper's nested-loop join would pay with no equijoin support at all.
 pub fn q6_crossproduct(people: &[Patch]) -> usize {
-    ops::nested_loop_join(people, people, |a, b| {
-        a.id != b.id
-            && a.get_int("frameno") == b.get_int("frameno")
-            && match (a.get_float("depth"), b.get_float("depth")) {
-                (Some(da), Some(db)) => da > db + DEPTH_MARGIN,
-                _ => false,
-            }
-    })
+    ops::nested_loop_join(
+        people,
+        people,
+        |a, b| {
+            a.id != b.id
+                && a.get_int("frameno") == b.get_int("frameno")
+                && match (a.get_float("depth"), b.get_float("depth")) {
+                    (Some(da), Some(db)) => da > db + DEPTH_MARGIN,
+                    _ => false,
+                }
+        },
+        &serial(),
+    )
     .len()
 }
 
@@ -453,7 +472,8 @@ mod tests {
     fn clustering_accuracy_bounds() {
         let etl = traffic();
         let people = q4_person_patches(&etl);
-        let clusters = deeplens_core::ops::dedup_similarity(&people, MATCH_TAU);
+        let clusters =
+            deeplens_core::ops::dedup_similarity(&people, MATCH_TAU, &WorkerPool::new(1));
         let (recall, precision) = clustering_pair_accuracy(&people, &clusters);
         assert!((0.0..=1.0).contains(&recall));
         assert!((0.0..=1.0).contains(&precision));

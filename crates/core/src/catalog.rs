@@ -160,6 +160,13 @@ impl PatchCollection {
     ///
     /// Errors if any patch lacks features.
     pub fn build_ball_index(&mut self, index_name: &str) -> Result<()> {
+        self.build_ball_index_parallel(index_name, 1)
+    }
+
+    /// [`PatchCollection::build_ball_index`] with subtree construction
+    /// fanned out over up to `threads` scoped workers. The index is
+    /// structurally identical to the serial build.
+    pub fn build_ball_index_parallel(&mut self, index_name: &str, threads: usize) -> Result<()> {
         let vectors: Vec<Vec<f32>> =
             self.patches
                 .iter()
@@ -173,7 +180,7 @@ impl PatchCollection {
         self.indexes.insert(
             index_name.to_string(),
             SecondaryIndex::Ball {
-                tree: BallTree::from_vectors(&vectors),
+                tree: BallTree::from_vectors_parallel(&vectors, threads),
             },
         );
         Ok(())
@@ -238,6 +245,52 @@ impl PatchCollection {
     }
 }
 
+/// A pre-reserved, contiguous range of patch ids.
+///
+/// Parallel producers (ETL morsels) cannot share the catalog's single
+/// allocator without serializing on it and losing deterministic ids, so the
+/// catalog hands out whole ranges instead: reserve once, then allocate
+/// lock-free from the range. [`PatchIdRange::speculative`] starts a range at
+/// zero for work whose ids are rebased onto a real reservation afterwards
+/// (the ETL pipeline's per-frame scheme).
+#[derive(Debug)]
+pub struct PatchIdRange {
+    start: u64,
+    next: u64,
+    end: u64,
+}
+
+impl PatchIdRange {
+    /// A zero-based provisional range: ids handed out are *local* (0, 1, …)
+    /// and must be rebased by the caller (add the start of a real
+    /// reservation) before they enter a catalog.
+    pub fn speculative() -> Self {
+        PatchIdRange {
+            start: 0,
+            next: 0,
+            end: u64::MAX,
+        }
+    }
+
+    /// The first id of the range.
+    pub fn start(&self) -> u64 {
+        self.start
+    }
+
+    /// Hand out the next id. Panics if the reservation is exhausted.
+    pub fn alloc(&mut self) -> PatchId {
+        assert!(self.next < self.end, "patch id range exhausted");
+        let id = PatchId(self.next);
+        self.next += 1;
+        id
+    }
+
+    /// How many ids have been handed out so far.
+    pub fn used(&self) -> u64 {
+        self.next - self.start
+    }
+}
+
 /// The session catalog: named collections, the lineage store, and the patch
 /// id allocator.
 #[derive(Debug, Default)]
@@ -257,6 +310,17 @@ impl Catalog {
     /// Allocate a fresh patch id.
     pub fn next_patch_id(&self) -> PatchId {
         PatchId(self.next_id.fetch_add(1, Ordering::Relaxed))
+    }
+
+    /// Reserve `n` consecutive patch ids in one step (the morsel-friendly
+    /// bulk form of [`Catalog::next_patch_id`]).
+    pub fn reserve_patch_ids(&self, n: u64) -> PatchIdRange {
+        let start = self.next_id.fetch_add(n, Ordering::Relaxed);
+        PatchIdRange {
+            start,
+            next: start,
+            end: start + n,
+        }
     }
 
     /// Materialize `patches` under `name`, recording their lineage.
@@ -424,6 +488,59 @@ mod tests {
         let a = cat.next_patch_id();
         let b = cat.next_patch_id();
         assert_ne!(a, b);
+    }
+
+    #[test]
+    fn reserved_id_ranges_are_disjoint_and_dense() {
+        let cat = Catalog::new();
+        let a = cat.next_patch_id();
+        let mut r1 = cat.reserve_patch_ids(3);
+        let mut r2 = cat.reserve_patch_ids(2);
+        let b = cat.next_patch_id();
+        let mut seen = vec![a.0, b.0];
+        for _ in 0..3 {
+            seen.push(r1.alloc().0);
+        }
+        for _ in 0..2 {
+            seen.push(r2.alloc().0);
+        }
+        assert_eq!(r1.used(), 3);
+        seen.sort_unstable();
+        seen.dedup();
+        assert_eq!(seen.len(), 7, "no id is handed out twice");
+        assert_eq!(seen, (0..7).collect::<Vec<u64>>(), "ids stay dense");
+    }
+
+    #[test]
+    #[should_panic(expected = "exhausted")]
+    fn exhausted_range_panics() {
+        let cat = Catalog::new();
+        let mut r = cat.reserve_patch_ids(1);
+        let _ = r.alloc();
+        let _ = r.alloc();
+    }
+
+    #[test]
+    fn speculative_range_is_zero_based() {
+        let mut r = PatchIdRange::speculative();
+        assert_eq!(r.alloc(), PatchId(0));
+        assert_eq!(r.alloc(), PatchId(1));
+        assert_eq!(r.used(), 2);
+        assert_eq!(r.start(), 0);
+    }
+
+    #[test]
+    fn parallel_ball_index_matches_serial() {
+        let mut cat = make_catalog();
+        let col = cat.collection_mut("dets").unwrap();
+        col.build_ball_index("serial").unwrap();
+        col.build_ball_index_parallel("parallel", 4).unwrap();
+        for q in [[0.0f32, 1.0], [3.0, 1.0], [9.0, 1.0]] {
+            assert_eq!(
+                col.lookup_similar("serial", &q, 1.5).unwrap(),
+                col.lookup_similar("parallel", &q, 1.5).unwrap()
+            );
+        }
     }
 
     #[test]

@@ -6,33 +6,50 @@
 //! compression). A [`Pipeline`] composes one generator with any number of
 //! transformers, validates the stage schemas before running (§4.2), and
 //! maintains lineage automatically.
+//!
+//! [`Pipeline::run`] executes frames as morsels on a [`WorkerPool`]: each
+//! frame generates and transforms with a *speculative* zero-based
+//! [`PatchIdRange`], and the sequential epilogue rebases every frame onto a
+//! real reservation from the catalog ([`Catalog::reserve_patch_ids`]) in
+//! frame order. Ids, lineage, and patch payloads are therefore byte-
+//! identical across thread counts — and identical to what the historical
+//! serial implementation produced.
 
 use deeplens_codec::Image;
+use deeplens_exec::WorkerPool;
 
-use crate::catalog::Catalog;
+use crate::catalog::{Catalog, PatchIdRange};
 use crate::patch::{ImgRef, Patch, PatchData, PatchId};
 use crate::types::PatchSchema;
-use crate::Result;
+use crate::{DlError, Result};
 
 /// Turns a source image into patches.
-pub trait Generator {
+///
+/// Implementations must be `Send + Sync`: the pipeline invokes them from
+/// worker threads, one frame per call, with no shared mutable state.
+pub trait Generator: Send + Sync {
     /// Human-readable stage name (for plans and error messages).
     fn name(&self) -> &str;
 
     /// Schema of the patches this generator emits.
     fn output_schema(&self) -> PatchSchema;
 
-    /// Generate patches for one frame. `alloc` hands out fresh patch ids.
-    fn generate(
-        &mut self,
-        img_ref: &ImgRef,
-        img: &Image,
-        alloc: &mut dyn FnMut() -> PatchId,
-    ) -> Vec<Patch>;
+    /// Check configuration invariants before any frame runs (called by
+    /// [`Pipeline::validate`]). The default accepts everything.
+    fn validate(&self) -> Result<()> {
+        Ok(())
+    }
+
+    /// Generate patches for one frame. `ids` hands out fresh patch ids from
+    /// a pre-reserved range.
+    fn generate(&self, img_ref: &ImgRef, img: &Image, ids: &mut PatchIdRange)
+        -> Result<Vec<Patch>>;
 }
 
 /// Maps patches to patches (featurize, compress, annotate).
-pub trait Transformer {
+///
+/// Implementations must be `Send + Sync` (see [`Generator`]).
+pub trait Transformer: Send + Sync {
     /// Human-readable stage name.
     fn name(&self) -> &str;
 
@@ -42,10 +59,10 @@ pub trait Transformer {
     /// Schema of its output.
     fn output_schema(&self) -> PatchSchema;
 
-    /// Transform one patch. `alloc` hands out fresh patch ids; the
+    /// Transform one patch. `ids` hands out fresh patch ids; the
     /// implementation must derive the output from the input so lineage is
     /// preserved (use [`Patch::derive`]).
-    fn transform(&mut self, patch: &Patch, alloc: &mut dyn FnMut() -> PatchId) -> Patch;
+    fn transform(&self, patch: &Patch, ids: &mut PatchIdRange) -> Result<Patch>;
 }
 
 /// The identity generator: each frame becomes one whole-image patch
@@ -63,20 +80,25 @@ impl Generator for WholeImageGenerator {
     }
 
     fn generate(
-        &mut self,
+        &self,
         img_ref: &ImgRef,
         img: &Image,
-        alloc: &mut dyn FnMut() -> PatchId,
-    ) -> Vec<Patch> {
-        vec![Patch::pixels(alloc(), img_ref.clone(), img.clone())
-            .with_meta("frameno", img_ref.frame_no as i64)]
+        ids: &mut PatchIdRange,
+    ) -> Result<Vec<Patch>> {
+        Ok(vec![Patch::pixels(
+            ids.alloc(),
+            img_ref.clone(),
+            img.clone(),
+        )
+        .with_meta("frameno", img_ref.frame_no as i64)])
     }
 }
 
 /// A tiling generator: fixed-size grid patches (classical segmentation).
 #[derive(Debug)]
 pub struct TileGenerator {
-    /// Tile edge length in pixels.
+    /// Tile edge length in pixels. Must be positive; a zero tile is a
+    /// configuration error surfaced by [`Pipeline::validate`].
     pub tile: u32,
 }
 
@@ -91,12 +113,23 @@ impl Generator for TileGenerator {
             .with_keys(["frameno", "x", "y", "w", "h"])
     }
 
+    fn validate(&self) -> Result<()> {
+        if self.tile == 0 {
+            return Err(DlError::TypeError(
+                "tile generator: tile edge length must be positive".into(),
+            ));
+        }
+        Ok(())
+    }
+
     fn generate(
-        &mut self,
+        &self,
         img_ref: &ImgRef,
         img: &Image,
-        alloc: &mut dyn FnMut() -> PatchId,
-    ) -> Vec<Patch> {
+        ids: &mut PatchIdRange,
+    ) -> Result<Vec<Patch>> {
+        // Guard direct (non-pipeline) callers against the step_by(0) panic.
+        self.validate()?;
         let mut out = Vec::new();
         let t = self.tile;
         for ty in (0..img.height()).step_by(t as usize) {
@@ -106,7 +139,7 @@ impl Generator for TileGenerator {
                     continue; // drop ragged border tiles to keep the schema exact
                 }
                 out.push(
-                    Patch::pixels(alloc(), img_ref.clone(), crop)
+                    Patch::pixels(ids.alloc(), img_ref.clone(), crop)
                         .with_meta("frameno", img_ref.frame_no as i64)
                         .with_meta("x", tx as i64)
                         .with_meta("y", ty as i64)
@@ -115,8 +148,17 @@ impl Generator for TileGenerator {
                 );
             }
         }
-        out
+        Ok(out)
     }
+}
+
+/// Everything one frame produced, with frame-local ids: the final stage's
+/// patches in full, intermediate patches slimmed to lineage stubs (id,
+/// source ref, parents) so buffered frames don't hold pixel payloads.
+struct FrameOutput {
+    intermediates: Vec<Patch>,
+    finals: Vec<Patch>,
+    ids_used: u64,
 }
 
 /// A composed ETL pipeline: one generator, then transformers in order.
@@ -140,8 +182,10 @@ impl Pipeline {
         self
     }
 
-    /// Validate stage-to-stage schema compatibility (§4.2) without running.
+    /// Validate generator configuration and stage-to-stage schema
+    /// compatibility (§4.2) without running.
     pub fn validate(&self) -> Result<PatchSchema> {
+        self.generator.validate()?;
         let mut schema = self.generator.output_schema();
         for t in &self.transformers {
             schema.validate_into(&t.input_schema())?;
@@ -158,37 +202,86 @@ impl Pipeline {
         Ok(schema)
     }
 
+    /// Run one frame through every stage with a frame-local speculative id
+    /// range (ids start at 0 and are rebased by the caller). Intermediate
+    /// stage outputs are slimmed to lineage stubs the moment the next stage
+    /// has consumed them, so the frame buffer never holds more than one
+    /// stage's full payloads — the serial implementation's memory profile.
+    fn run_frame(&self, source: &str, frame_no: u64, img: &Image) -> Result<FrameOutput> {
+        let img_ref = ImgRef::frame(source, frame_no);
+        let mut ids = PatchIdRange::speculative();
+        let mut intermediates = Vec::new();
+        let mut current = self.generator.generate(&img_ref, img, &mut ids)?;
+        for t in &self.transformers {
+            let next: Vec<Patch> = current
+                .iter()
+                .map(|p| t.transform(p, &mut ids))
+                .collect::<Result<_>>()?;
+            intermediates.extend(current.into_iter().map(Patch::into_lineage_stub));
+            current = next;
+        }
+        Ok(FrameOutput {
+            intermediates,
+            finals: current,
+            ids_used: ids.used(),
+        })
+    }
+
     /// Run the pipeline over `(frame_no, image)` pairs from `source`,
-    /// materializing the result into `catalog` under `output_name`.
+    /// materializing the result into `catalog` under `output_name`. Frames
+    /// execute as morsels on `pool`; results (ids included) are identical
+    /// for every thread count.
     ///
     /// Returns the number of patches materialized.
     pub fn run<'a>(
-        &mut self,
+        &self,
         frames: impl Iterator<Item = (u64, &'a Image)>,
         source: &str,
         catalog: &mut Catalog,
         output_name: &str,
+        pool: &WorkerPool,
     ) -> Result<usize> {
         self.validate()?;
-        let mut patches = Vec::new();
-        for (frame_no, img) in frames {
-            let img_ref = ImgRef::frame(source, frame_no);
-            let mut alloc = || catalog.next_patch_id();
-            let mut generated = self.generator.generate(&img_ref, img, &mut alloc);
-            for t in self.transformers.iter_mut() {
-                // Intermediate patches are not materialized, but their
-                // lineage records must exist so downstream backtraces can
-                // walk through them to the source frames (§5.1).
-                catalog.lineage.record_all(generated.iter());
-                generated = generated
+        let frames: Vec<(u64, &Image)> = frames.collect();
+
+        // Parallel phase: generate + transform each frame with local ids.
+        let morsel_results: Vec<Result<Vec<FrameOutput>>> =
+            pool.run_morsels(frames.len(), pool.morsel_size(frames.len()), |range| {
+                frames[range]
                     .iter()
-                    .map(|p| {
-                        let mut alloc = || catalog.next_patch_id();
-                        t.transform(p, &mut alloc)
-                    })
-                    .collect();
+                    .map(|&(frame_no, img)| self.run_frame(source, frame_no, img))
+                    .collect()
+            });
+
+        // Surface any stage error before touching the catalog: a mid-run
+        // failure must not leave orphan lineage records or consumed ids
+        // behind (the historical serial code could not partially fail).
+        let mut frame_outputs: Vec<FrameOutput> = Vec::new();
+        for morsel in morsel_results {
+            frame_outputs.extend(morsel?);
+        }
+
+        // Sequential epilogue: rebase each frame onto a real id reservation
+        // (in frame order, so ids are deterministic), record intermediate
+        // lineage, and materialize the final stage.
+        let mut patches = Vec::new();
+        for mut frame in frame_outputs {
+            let base = catalog.reserve_patch_ids(frame.ids_used).start();
+            for p in frame
+                .intermediates
+                .iter_mut()
+                .chain(frame.finals.iter_mut())
+            {
+                p.id = PatchId(base + p.id.0);
+                for parent in p.parents.iter_mut() {
+                    *parent = PatchId(base + parent.0);
+                }
             }
-            patches.extend(generated);
+            // Intermediate patches are not materialized, but their
+            // lineage records must exist so downstream backtraces can
+            // walk through them to the source frames (§5.1).
+            catalog.lineage.record_all(frame.intermediates.iter());
+            patches.extend(frame.finals);
         }
         let n = patches.len();
         catalog.materialize(output_name, patches);
@@ -207,7 +300,9 @@ impl std::fmt::Debug for Pipeline {
 }
 
 /// A featurization function mapping an image to a feature vector.
-pub type FeatureFn = Box<dyn FnMut(&Image) -> Vec<f32>>;
+///
+/// `Send + Sync` because pipelines call it from worker threads.
+pub type FeatureFn = Box<dyn Fn(&Image) -> Vec<f32> + Send + Sync>;
 
 /// A transformer that replaces pixel payloads with feature vectors computed
 /// by a caller-supplied function (color histograms, embeddings, ...).
@@ -233,17 +328,23 @@ impl Transformer for FeaturizeTransformer {
         PatchSchema::features(self.dim)
     }
 
-    fn transform(&mut self, patch: &Patch, alloc: &mut dyn FnMut() -> PatchId) -> Patch {
-        let features = match patch.data.pixels() {
-            Some(img) => (self.f)(img),
-            None => vec![0.0; self.dim],
+    fn transform(&self, patch: &Patch, ids: &mut PatchIdRange) -> Result<Patch> {
+        // Schema validation makes a non-pixel input unreachable through a
+        // pipeline; surface the violation instead of fabricating an all-zero
+        // feature vector that would silently poison similarity joins.
+        let Some(img) = patch.data.pixels() else {
+            return Err(DlError::SchemaMismatch(format!(
+                "featurizer '{}' received a non-pixel patch (id {:?})",
+                self.label, patch.id
+            )));
         };
+        let features = (self.f)(img);
         debug_assert_eq!(
             features.len(),
             self.dim,
             "featurizer must honor its declared dim"
         );
-        patch.derive(alloc(), PatchData::Features(features))
+        Ok(patch.derive(ids.alloc(), PatchData::Features(features)))
     }
 }
 
@@ -256,6 +357,7 @@ impl std::fmt::Debug for FeaturizeTransformer {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::patch::PatchId;
 
     fn frames(n: u64) -> Vec<Image> {
         (0..n)
@@ -263,17 +365,22 @@ mod tests {
             .collect()
     }
 
+    fn serial() -> WorkerPool {
+        WorkerPool::new(1)
+    }
+
     #[test]
     fn whole_image_pipeline() {
         let imgs = frames(4);
         let mut catalog = Catalog::new();
-        let mut pipe = Pipeline::new(Box::new(WholeImageGenerator));
+        let pipe = Pipeline::new(Box::new(WholeImageGenerator));
         let n = pipe
             .run(
                 imgs.iter().enumerate().map(|(i, f)| (i as u64, f)),
                 "vid",
                 &mut catalog,
                 "frames",
+                &serial(),
             )
             .unwrap();
         assert_eq!(n, 4);
@@ -286,9 +393,15 @@ mod tests {
     fn tile_generator_counts() {
         let imgs = frames(1);
         let mut catalog = Catalog::new();
-        let mut pipe = Pipeline::new(Box::new(TileGenerator { tile: 16 }));
+        let pipe = Pipeline::new(Box::new(TileGenerator { tile: 16 }));
         let n = pipe
-            .run(imgs.iter().map(|f| (0u64, f)), "vid", &mut catalog, "tiles")
+            .run(
+                imgs.iter().map(|f| (0u64, f)),
+                "vid",
+                &mut catalog,
+                "tiles",
+                &serial(),
+            )
             .unwrap();
         assert_eq!(n, 4, "32x32 tiles into 16x16 quarters");
         let col = catalog.collection("tiles").unwrap();
@@ -296,10 +409,34 @@ mod tests {
     }
 
     #[test]
+    fn zero_tile_is_a_validation_error_not_a_panic() {
+        let pipe = Pipeline::new(Box::new(TileGenerator { tile: 0 }));
+        let err = pipe.validate().unwrap_err();
+        assert!(matches!(err, DlError::TypeError(_)), "got: {err:?}");
+        // And the run path reports the same error instead of panicking.
+        let imgs = frames(1);
+        let mut catalog = Catalog::new();
+        let res = pipe.run(
+            imgs.iter().map(|f| (0u64, f)),
+            "vid",
+            &mut catalog,
+            "tiles",
+            &serial(),
+        );
+        assert!(matches!(res, Err(DlError::TypeError(_))));
+        // Direct generate calls are guarded too.
+        let gen = TileGenerator { tile: 0 };
+        let mut ids = PatchIdRange::speculative();
+        assert!(gen
+            .generate(&ImgRef::frame("vid", 0), &imgs[0], &mut ids)
+            .is_err());
+    }
+
+    #[test]
     fn featurize_composes_and_tracks_lineage() {
         let imgs = frames(2);
         let mut catalog = Catalog::new();
-        let mut pipe =
+        let pipe =
             Pipeline::new(Box::new(WholeImageGenerator)).then(Box::new(FeaturizeTransformer {
                 label: "mean-color".into(),
                 dim: 3,
@@ -310,6 +447,7 @@ mod tests {
             "vid",
             &mut catalog,
             "feats",
+            &serial(),
         )
         .unwrap();
         let col = catalog.collection("feats").unwrap();
@@ -318,6 +456,109 @@ mod tests {
         assert_eq!(p.data.features().map(<[f32]>::len), Some(3));
         assert_eq!(p.parents.len(), 1, "derived patch records its parent");
         assert_eq!(p.get_int("frameno"), Some(0), "metadata carried through");
+    }
+
+    #[test]
+    fn featurizer_rejects_non_pixel_patches() {
+        let t = FeaturizeTransformer {
+            label: "hist".into(),
+            dim: 4,
+            f: Box::new(|_| vec![0.0; 4]),
+        };
+        let mut ids = PatchIdRange::speculative();
+        let featureless = Patch::features(PatchId(9), ImgRef::frame("v", 0), vec![1.0]);
+        let err = t.transform(&featureless, &mut ids).unwrap_err();
+        assert!(
+            matches!(err, DlError::SchemaMismatch(_)),
+            "non-pixel input must surface a schema violation, got {err:?}"
+        );
+        let empty = Patch::empty(PatchId(10), ImgRef::frame("v", 0));
+        assert!(t.transform(&empty, &mut ids).is_err());
+    }
+
+    #[test]
+    fn parallel_run_matches_serial_ids_and_lineage() {
+        let imgs = frames(9);
+        let run_with = |threads: usize| {
+            let mut catalog = Catalog::new();
+            let pipe = Pipeline::new(Box::new(TileGenerator { tile: 16 })).then(Box::new(
+                FeaturizeTransformer {
+                    label: "mean-color".into(),
+                    dim: 3,
+                    f: Box::new(|img| img.mean_color().to_vec()),
+                },
+            ));
+            pipe.run(
+                imgs.iter().enumerate().map(|(i, f)| (i as u64, f)),
+                "vid",
+                &mut catalog,
+                "feats",
+                &WorkerPool::new(threads),
+            )
+            .unwrap();
+            catalog
+        };
+        let serial_cat = run_with(1);
+        let serial_patches = &serial_cat.collection("feats").unwrap().patches;
+        for threads in [2usize, 4, 8] {
+            let par_cat = run_with(threads);
+            let par_patches = &par_cat.collection("feats").unwrap().patches;
+            assert_eq!(
+                serial_patches, par_patches,
+                "{threads} threads: ids, payloads and metadata must be byte-identical"
+            );
+            // Lineage must resolve identically too.
+            for p in par_patches.iter() {
+                assert_eq!(
+                    serial_cat.lineage.backtrace(p.id),
+                    par_cat.lineage.backtrace(p.id)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn stage_error_leaves_catalog_untouched() {
+        // A transformer that fails on one specific frame.
+        struct FailOn {
+            frame: i64,
+        }
+        impl Transformer for FailOn {
+            fn name(&self) -> &str {
+                "fail-on"
+            }
+            fn input_schema(&self) -> PatchSchema {
+                PatchSchema::pixels()
+            }
+            fn output_schema(&self) -> PatchSchema {
+                PatchSchema::features(1)
+            }
+            fn transform(&self, patch: &Patch, ids: &mut PatchIdRange) -> Result<Patch> {
+                if patch.get_int("frameno") == Some(self.frame) {
+                    return Err(DlError::TypeError("injected stage failure".into()));
+                }
+                Ok(patch.derive(ids.alloc(), PatchData::Features(vec![1.0])))
+            }
+        }
+        let imgs = frames(6);
+        let mut catalog = Catalog::new();
+        let pipe = Pipeline::new(Box::new(WholeImageGenerator)).then(Box::new(FailOn { frame: 4 }));
+        let res = pipe.run(
+            imgs.iter().enumerate().map(|(i, f)| (i as u64, f)),
+            "vid",
+            &mut catalog,
+            "out",
+            &serial(),
+        );
+        assert!(matches!(res, Err(DlError::TypeError(_))));
+        // No orphan lineage, no consumed ids, no half-materialized output.
+        assert_eq!(catalog.lineage.len(), 0, "no orphan lineage records");
+        assert!(catalog.collection("out").is_err());
+        assert_eq!(
+            catalog.next_patch_id(),
+            PatchId(0),
+            "no ids consumed by the failed run"
+        );
     }
 
     #[test]

@@ -31,7 +31,8 @@
 //! ```
 //! use deeplens_core::prelude::*;
 //!
-//! // Build a tiny collection of feature patches and run a similarity join.
+//! // Build a tiny collection of feature patches and run a similarity join
+//! // (serial pool; `Session` supplies the pool its device implies).
 //! let mut catalog = Catalog::new();
 //! let patches: Vec<Patch> = (0..10)
 //!     .map(|i| {
@@ -42,7 +43,7 @@
 //!         )
 //!     })
 //!     .collect();
-//! let pairs = ops::similarity_join_balltree(&patches, &patches, 1.5);
+//! let pairs = ops::similarity_join_balltree(&patches, &patches, 1.5, &WorkerPool::new(1));
 //! assert!(pairs.len() > 10); // each point matches itself and its neighbours
 //! ```
 
@@ -64,14 +65,15 @@ pub type Result<T> = std::result::Result<T, DlError>;
 
 /// Common imports for DeepLens applications.
 pub mod prelude {
-    pub use crate::catalog::{Catalog, PatchCollection, SecondaryIndex};
+    pub use crate::catalog::{Catalog, PatchCollection, PatchIdRange, SecondaryIndex};
     pub use crate::error::DlError;
     pub use crate::etl::{Generator, Pipeline, Transformer};
     pub use crate::lineage::LineageStore;
     pub use crate::ops;
-    pub use crate::optimizer::{AccuracyProfile, CostModel, DevicePlanner};
+    pub use crate::optimizer::{AccuracyProfile, CostModel, DevicePlanner, JoinStrategy};
     pub use crate::patch::{ImgRef, Patch, PatchData, PatchId};
     pub use crate::session::Session;
     pub use crate::types::{DataKind, PatchSchema};
     pub use crate::value::Value;
+    pub use deeplens_exec::{Device, Executor, WorkerPool};
 }

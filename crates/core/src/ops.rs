@@ -11,10 +11,17 @@
 //!   Join"),
 //! * **device-offloaded** — all-pairs matching through a
 //!   [`deeplens_exec::Executor`] (the vectorized/GPU variants of Fig. 8).
+//!
+//! The nested-loop and Ball-Tree variants take a [`WorkerPool`]: their probe
+//! phases shard over morsels (after Leis et al., see `deeplens_exec::pool`)
+//! and reassemble results in morsel order, so every output is byte-identical
+//! across thread counts. Pass `WorkerPool::new(1)` for strictly serial
+//! execution; [`crate::session::Session`] supplies the pool its device
+//! implies.
 
 use std::collections::HashMap;
 
-use deeplens_exec::{Executor, Matrix};
+use deeplens_exec::{Executor, Matrix, WorkerPool};
 use deeplens_index::BallTree;
 
 use crate::patch::Patch;
@@ -117,20 +124,34 @@ pub fn feature_matrix(patches: &[Patch]) -> Result<Matrix> {
 // --------------------------------------------------------------------------
 
 /// Generic nested-loop θ-join: all index pairs satisfying `theta`.
+///
+/// The outer relation shards over `pool` morsels; results are reassembled
+/// in morsel order, so the pair sequence is identical for every thread
+/// count (left-major, right-minor — the serial iteration order).
 pub fn nested_loop_join(
     left: &[Patch],
     right: &[Patch],
-    theta: impl Fn(&Patch, &Patch) -> bool,
+    theta: impl Fn(&Patch, &Patch) -> bool + Sync,
+    pool: &WorkerPool,
 ) -> Vec<(u32, u32)> {
-    let mut out = Vec::new();
-    for (i, l) in left.iter().enumerate() {
-        for (j, r) in right.iter().enumerate() {
-            if theta(l, r) {
-                out.push((i as u32, j as u32));
+    if left.is_empty() || right.is_empty() {
+        return vec![];
+    }
+    pool.run_morsels(left.len(), pool.morsel_size(left.len()), |range| {
+        let mut out = Vec::new();
+        for i in range {
+            let l = &left[i];
+            for (j, r) in right.iter().enumerate() {
+                if theta(l, r) {
+                    out.push((i as u32, j as u32));
+                }
             }
         }
-    }
-    out
+        out
+    })
+    .into_iter()
+    .flatten()
+    .collect()
 }
 
 /// Similarity join by brute force over feature vectors: pairs within `tau`.
@@ -157,7 +178,16 @@ pub fn similarity_join_nested(left: &[Patch], right: &[Patch], tau: f32) -> Vec<
 
 /// On-the-fly Ball-Tree similarity join: index the smaller relation, probe
 /// with the larger (§5). Returns `(left_idx, right_idx)` pairs within `tau`.
-pub fn similarity_join_balltree(left: &[Patch], right: &[Patch], tau: f32) -> Vec<(u32, u32)> {
+///
+/// Both phases run on `pool`: the index builds with parallel subtree
+/// morsels and the probe relation shards over morsels against the shared
+/// tree. The sorted output is byte-identical across thread counts.
+pub fn similarity_join_balltree(
+    left: &[Patch],
+    right: &[Patch],
+    tau: f32,
+    pool: &WorkerPool,
+) -> Vec<(u32, u32)> {
     if left.is_empty() || right.is_empty() {
         return vec![];
     }
@@ -173,21 +203,30 @@ pub fn similarity_join_balltree(left: &[Patch], right: &[Patch], tau: f32) -> Ve
         .collect();
     if vectors.len() != indexed.len() {
         // Some patches lack features; fall back to the nested variant which
-        // skips them pair-wise.
+        // skips them pair-wise. (Its left-major order is already sorted.)
         return similarity_join_nested(left, right, tau);
     }
-    let tree = BallTree::from_vectors(&vectors);
-    let mut out = Vec::new();
-    for (j, p) in probes.iter().enumerate() {
-        let Some(f) = p.data.features() else { continue };
-        for hit in tree.range_query(f, tau) {
-            if index_left {
-                out.push((hit, j as u32));
-            } else {
-                out.push((j as u32, hit));
+    let tree = BallTree::from_vectors_parallel(&vectors, pool.threads());
+    let mut out: Vec<(u32, u32)> = pool
+        .run_morsels(probes.len(), pool.morsel_size(probes.len()), |range| {
+            let mut part = Vec::new();
+            for j in range {
+                let Some(f) = probes[j].data.features() else {
+                    continue;
+                };
+                for hit in tree.range_query(f, tau) {
+                    if index_left {
+                        part.push((hit, j as u32));
+                    } else {
+                        part.push((j as u32, hit));
+                    }
+                }
             }
-        }
-    }
+            part
+        })
+        .into_iter()
+        .flatten()
+        .collect();
     out.sort_unstable();
     out
 }
@@ -212,15 +251,21 @@ pub fn similarity_join_executor(
 // Similarity deduplication (distinct-entity counting, q4)
 // --------------------------------------------------------------------------
 
-/// Union-find over patch indices.
+/// Union-find over patch indices, with union-by-size and path compression.
+///
+/// Union-by-size bounds tree depth at `log2(n)` no matter how adversarial
+/// the union order is; without it, a chain of unions in root order degrades
+/// `find` to O(n) pointer chases.
 struct UnionFind {
     parent: Vec<u32>,
+    size: Vec<u32>,
 }
 
 impl UnionFind {
     fn new(n: usize) -> Self {
         UnionFind {
             parent: (0..n as u32).collect(),
+            size: vec![1; n],
         }
     }
 
@@ -240,10 +285,28 @@ impl UnionFind {
     }
 
     fn union(&mut self, a: u32, b: u32) {
-        let (ra, rb) = (self.find(a), self.find(b));
-        if ra != rb {
-            self.parent[rb as usize] = ra;
+        let (mut ra, mut rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return;
         }
+        // Attach the smaller tree under the larger root.
+        if self.size[ra as usize] < self.size[rb as usize] {
+            std::mem::swap(&mut ra, &mut rb);
+        }
+        self.parent[rb as usize] = ra;
+        self.size[ra as usize] += self.size[rb as usize];
+    }
+
+    /// Depth of `x`'s parent chain without compressing it (test probe).
+    #[cfg(test)]
+    fn depth(&self, x: u32) -> usize {
+        let mut d = 0;
+        let mut cur = x;
+        while self.parent[cur as usize] != cur {
+            cur = self.parent[cur as usize];
+            d += 1;
+        }
+        d
     }
 }
 
@@ -268,9 +331,10 @@ pub fn cluster_from_pairs(n: usize, pairs: &[(u32, u32)]) -> Vec<Vec<u32>> {
 }
 
 /// Deduplicate by similarity with the on-the-fly Ball-Tree self-join:
-/// clusters of patches within `tau` of each other (transitively).
-pub fn dedup_similarity(patches: &[Patch], tau: f32) -> Vec<Vec<u32>> {
-    let pairs = similarity_join_balltree(patches, patches, tau);
+/// clusters of patches within `tau` of each other (transitively). The
+/// matching phase runs on `pool`; clustering is a cheap serial reduction.
+pub fn dedup_similarity(patches: &[Patch], tau: f32, pool: &WorkerPool) -> Vec<Vec<u32>> {
+    let pairs = similarity_join_balltree(patches, patches, tau, pool);
     cluster_from_pairs(patches.len(), &pairs)
 }
 
@@ -347,7 +411,7 @@ mod tests {
         let tau = 2.0;
         let mut nested = similarity_join_nested(&left, &right, tau);
         nested.sort_unstable();
-        let ball = similarity_join_balltree(&left, &right, tau);
+        let ball = similarity_join_balltree(&left, &right, tau, &WorkerPool::new(1));
         assert_eq!(nested, ball);
         let exec = similarity_join_executor(
             &left,
@@ -367,12 +431,13 @@ mod tests {
         let large: Vec<Patch> = (0..200)
             .map(|i| feat_patch(10 + i, vec![(i % 10) as f32, 0.0]))
             .collect();
-        let a = similarity_join_balltree(&small, &large, 0.5);
+        let pool = WorkerPool::new(2);
+        let a = similarity_join_balltree(&small, &large, 0.5, &pool);
         let mut b = similarity_join_nested(&small, &large, 0.5);
         b.sort_unstable();
         assert_eq!(a, b);
         // And flipped.
-        let c = similarity_join_balltree(&large, &small, 0.5);
+        let c = similarity_join_balltree(&large, &small, 0.5, &pool);
         let mut d = similarity_join_nested(&large, &small, 0.5);
         d.sort_unstable();
         assert_eq!(c, d);
@@ -382,9 +447,12 @@ mod tests {
     fn theta_join_on_metadata() {
         let left = vec![labeled(1, "car", 3), labeled(2, "car", 9)];
         let right = vec![labeled(3, "person", 3), labeled(4, "person", 5)];
-        let pairs = nested_loop_join(&left, &right, |a, b| {
-            a.get_int("frameno") == b.get_int("frameno")
-        });
+        let pairs = nested_loop_join(
+            &left,
+            &right,
+            |a, b| a.get_int("frameno") == b.get_int("frameno"),
+            &WorkerPool::new(1),
+        );
         assert_eq!(pairs, vec![(0, 0)]);
     }
 
@@ -397,11 +465,48 @@ mod tests {
             feat_patch(2, vec![1.8, 0.0]),
             feat_patch(3, vec![50.0, 0.0]),
         ];
-        let clusters = dedup_similarity(&patches, 1.0);
+        let clusters = dedup_similarity(&patches, 1.0, &WorkerPool::new(1));
         assert_eq!(clusters.len(), 2);
         assert_eq!(clusters[0], vec![0, 1, 2]);
         assert_eq!(clusters[1], vec![3]);
         assert_eq!(dedup_bruteforce(&patches, 1.0), clusters);
+    }
+
+    #[test]
+    fn union_by_size_bounds_depth_on_adversarial_chains() {
+        // Adversarial order for a rank-less union-find: repeatedly union a
+        // fresh singleton as the FIRST argument against the growing chain's
+        // head. Naive "attach b under a" would build an n-deep chain; with
+        // union-by-size the big cluster keeps absorbing the singleton, so
+        // every parent chain stays O(log n).
+        let n = 100_000u32;
+        let mut uf = UnionFind::new(n as usize);
+        for i in (1..n).rev() {
+            uf.union(i, i - 1);
+        }
+        let max_depth = (0..n).map(|x| uf.depth(x)).max().unwrap();
+        let bound = (n as f64).log2() as usize + 1;
+        assert!(
+            max_depth <= bound,
+            "depth {max_depth} exceeds union-by-size bound {bound}"
+        );
+        // And it is still one connected cluster.
+        let root = uf.find(0);
+        assert!((0..n).all(|x| uf.find(x) == root));
+    }
+
+    #[test]
+    fn worst_case_chain_cluster_dedups_fast_and_correctly() {
+        // A single long chain cluster (each point within tau of its
+        // neighbours only): the pair order from the self-join is exactly the
+        // adversarial pattern above.
+        let n = 20_000;
+        let patches: Vec<Patch> = (0..n)
+            .map(|i| feat_patch(i as u64, vec![i as f32 * 0.5, 0.0]))
+            .collect();
+        let clusters = dedup_similarity(&patches, 0.6, &WorkerPool::new(1));
+        assert_eq!(clusters.len(), 1, "chain must collapse to one cluster");
+        assert_eq!(clusters[0].len(), n);
     }
 
     #[test]
@@ -419,8 +524,26 @@ mod tests {
 
     #[test]
     fn empty_join_inputs() {
-        assert!(similarity_join_balltree(&[], &[], 1.0).is_empty());
+        let pool = WorkerPool::new(1);
+        assert!(similarity_join_balltree(&[], &[], 1.0, &pool).is_empty());
         let one = vec![feat_patch(1, vec![0.0])];
-        assert!(similarity_join_balltree(&one, &[], 1.0).is_empty());
+        assert!(similarity_join_balltree(&one, &[], 1.0, &pool).is_empty());
+    }
+
+    #[test]
+    fn zero_dimensional_features_match_nested_variant() {
+        // Degenerate (empty) feature vectors: the Ball-Tree variant must
+        // return what the nested variant computes — every pair matches at
+        // distance zero — instead of aborting on `dim == 0`.
+        let left: Vec<Patch> = (0..4).map(|i| feat_patch(i, vec![])).collect();
+        let right: Vec<Patch> = (0..3).map(|i| feat_patch(10 + i, vec![])).collect();
+        for threads in [1usize, 4] {
+            let pool = WorkerPool::new(threads);
+            let ball = similarity_join_balltree(&left, &right, 0.5, &pool);
+            let mut nested = similarity_join_nested(&left, &right, 0.5);
+            nested.sort_unstable();
+            assert_eq!(ball, nested);
+            assert_eq!(ball.len(), 12, "all pairs coincide at the 0-d origin");
+        }
     }
 }

@@ -132,6 +132,10 @@ pub struct DevicePlanner {
     /// Fixed per-kernel cost of spawning and joining the scoped workers, in
     /// microseconds per thread.
     pub spawn_overhead_us: f64,
+    /// [`CostModel`] cost units one microsecond of vectorized single-core
+    /// work covers (the bridge between the abstract join cost model and the
+    /// planner's wall-clock estimates).
+    pub units_per_us: f64,
 }
 
 impl Default for DevicePlanner {
@@ -145,6 +149,7 @@ impl Default for DevicePlanner {
                 .unwrap_or(1),
             parallel_efficiency: 0.85,
             spawn_overhead_us: 30.0,
+            units_per_us: 100.0,
         }
     }
 }
@@ -199,6 +204,68 @@ impl DevicePlanner {
             if us < best_us {
                 best = dev;
                 best_us = us;
+            }
+        }
+        best
+    }
+
+    /// Estimated wall-clock (µs) of a similarity join executed as
+    /// `strategy` on `device`. Tree strategies include build + probe cost;
+    /// the probe phase is the morsel-sharded part the parallel CPU
+    /// accelerates, and the build fans out as subtree morsels on the same
+    /// pool, so the whole cost routes through the device's scaling model.
+    pub fn join_estimate_us(
+        &self,
+        model: &CostModel,
+        strategy: JoinStrategy,
+        n_left: usize,
+        n_right: usize,
+        dim: usize,
+        device: Device,
+    ) -> f64 {
+        let units = match strategy {
+            JoinStrategy::NestedLoop => model.nested_loop_cost(n_left, n_right, dim),
+            JoinStrategy::IndexLeft => model.index_join_cost(n_left, n_right, dim),
+            JoinStrategy::IndexRight => model.index_join_cost(n_right, n_left, dim),
+        };
+        let bytes = (n_left + n_right) * dim * 4;
+        self.estimate_us(device, units / self.units_per_us, bytes)
+    }
+
+    /// Jointly choose a join strategy and a device for an `n_left × n_right`
+    /// similarity join in `dim` dimensions.
+    ///
+    /// The tree variants (`IndexLeft`/`IndexRight`) are CPU-side operators —
+    /// pointer-chasing probes do not offload — so they compete across the
+    /// scalar/vectorized/parallel CPU backends, while the simulated GPU
+    /// enters the race with the all-pairs kernel only (the paper's Fig. 8
+    /// query-time offload). Ties break toward the earlier (lower-overhead)
+    /// candidate.
+    pub fn place_join(
+        &self,
+        model: &CostModel,
+        n_left: usize,
+        n_right: usize,
+        dim: usize,
+    ) -> (JoinStrategy, Device) {
+        let mut best = (JoinStrategy::NestedLoop, Device::Cpu);
+        let mut best_us = f64::INFINITY;
+        for device in self.candidates() {
+            let strategies: &[JoinStrategy] = if device == Device::GpuSim {
+                &[JoinStrategy::NestedLoop]
+            } else {
+                &[
+                    JoinStrategy::NestedLoop,
+                    JoinStrategy::IndexLeft,
+                    JoinStrategy::IndexRight,
+                ]
+            };
+            for &strategy in strategies {
+                let us = self.join_estimate_us(model, strategy, n_left, n_right, dim, device);
+                if us < best_us {
+                    best = (strategy, device);
+                    best_us = us;
+                }
             }
         }
         best
@@ -364,6 +431,7 @@ mod tests {
             cpu_threads: 4,
             parallel_efficiency: 0.85,
             spawn_overhead_us: 30.0,
+            units_per_us: 100.0,
         }
     }
 
@@ -425,6 +493,61 @@ mod tests {
         let c = planner_fixture().candidates();
         assert_eq!(c.len(), 4);
         assert!(matches!(c[2], Device::ParallelCpu(4)));
+    }
+
+    #[test]
+    fn join_placement_routes_large_probes_to_parallel_cpu() {
+        let planner = planner_fixture();
+        let model = CostModel::default();
+        // Large asymmetric low-dimensional join: the Ball-Tree prunes well
+        // at dim 4, so indexing the small side beats the GPU's all-pairs
+        // kernel — and the probe work amortizes the pool's spawn overhead.
+        let (strategy, device) = planner.place_join(&model, 2_000, 500_000, 4);
+        assert_eq!(strategy, JoinStrategy::IndexLeft);
+        assert_eq!(
+            device,
+            Device::ParallelCpu(4),
+            "probe phase should fan out over the morsel pool"
+        );
+        // The pick is the planner's own minimum.
+        let picked = planner.join_estimate_us(&model, strategy, 2_000, 500_000, 4, device);
+        for d in [Device::Cpu, Device::Avx] {
+            assert!(picked <= planner.join_estimate_us(&model, strategy, 2_000, 500_000, 4, d));
+        }
+        // In high dimension the tree degenerates toward a scan and the GPU's
+        // all-pairs kernel takes over — the Fig. 7 / Fig. 8 interplay.
+        let (hi_strategy, hi_device) = planner.place_join(&model, 2_000, 500_000, 64);
+        assert_eq!(hi_strategy, JoinStrategy::NestedLoop);
+        assert_eq!(hi_device, Device::GpuSim);
+    }
+
+    #[test]
+    fn join_placement_keeps_tiny_joins_serial() {
+        let planner = planner_fixture();
+        let model = CostModel::default();
+        let (strategy, device) = planner.place_join(&model, 8, 8, 8);
+        assert_eq!(strategy, JoinStrategy::NestedLoop);
+        assert_eq!(
+            device,
+            Device::Avx,
+            "a few dozen distance evals never pay for thread spawns"
+        );
+    }
+
+    #[test]
+    fn join_placement_never_offloads_tree_probes_to_gpu() {
+        let planner = planner_fixture();
+        let model = CostModel::default();
+        for (l, r) in [(100, 100), (5_000, 5_000), (1_000, 2_000_000)] {
+            let (strategy, device) = planner.place_join(&model, l, r, 32);
+            if device == Device::GpuSim {
+                assert_eq!(
+                    strategy,
+                    JoinStrategy::NestedLoop,
+                    "GPU only runs the all-pairs kernel"
+                );
+            }
+        }
     }
 
     #[test]

@@ -170,6 +170,20 @@ impl Patch {
         }
     }
 
+    /// Reduce the patch to what lineage recording needs — id, source
+    /// reference, and parent pointers — dropping the payload and metadata.
+    /// Pipelines use this to keep intermediate stages alive for lineage
+    /// without holding their pixel buffers in memory.
+    pub fn into_lineage_stub(self) -> Patch {
+        Patch {
+            id: self.id,
+            img_ref: self.img_ref,
+            data: PatchData::Empty,
+            meta: BTreeMap::new(),
+            parents: self.parents,
+        }
+    }
+
     /// The patch's bounding box from conventional metadata keys
     /// (`x`, `y`, `w`, `h`), if present.
     pub fn bbox(&self) -> Option<(i64, i64, u32, u32)> {

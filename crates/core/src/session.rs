@@ -3,13 +3,27 @@
 //! A [`Session`] is the entry point applications use: it owns the catalog,
 //! picks the execution device, and manages the on-disk working directory for
 //! materialized storage (Frame/Encoded/Segmented files live under it).
+//!
+//! The device is a *thread budget* as well as a kernel choice: every join,
+//! dedup, index build, and pipeline run issued through the session executes
+//! on the worker pool the device implies — `Device::ParallelCpu(n)` fans
+//! operators out over `n` morsel workers, the single-core backends run them
+//! serially, and `Device::GpuSim` offloads the all-pairs join kernel.
 
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
 
-use deeplens_exec::{Device, Executor};
+use deeplens_codec::Image;
+use deeplens_exec::{Device, Executor, WorkerPool};
 
 use crate::catalog::Catalog;
+use crate::etl::Pipeline;
+use crate::ops;
+use crate::patch::Patch;
 use crate::Result;
+
+/// Distinguishes ephemeral session directories created by this process.
+static EPHEMERAL_SEQ: AtomicU64 = AtomicU64::new(0);
 
 /// A DeepLens session.
 #[derive(Debug)]
@@ -33,10 +47,23 @@ impl Session {
     }
 
     /// An in-memory-leaning session rooted in a temp directory.
+    ///
+    /// The directory name combines the process id, a wall-clock timestamp,
+    /// and a process-wide counter: two ephemeral sessions in one process get
+    /// distinct directories, and a recycled pid cannot inherit stale state
+    /// from an earlier run.
     pub fn ephemeral() -> Result<Self> {
-        let dir = std::env::temp_dir()
-            .join("deeplens-session")
-            .join(format!("s{}", std::process::id()));
+        let nanos = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_nanos() as u64)
+            .unwrap_or(0);
+        let seq = EPHEMERAL_SEQ.fetch_add(1, Ordering::Relaxed);
+        let dir = std::env::temp_dir().join("deeplens-session").join(format!(
+            "s{}-{:x}-{}",
+            std::process::id(),
+            nanos,
+            seq
+        ));
         Self::open(dir, Device::Avx)
     }
 
@@ -55,6 +82,90 @@ impl Session {
         Executor::new(self.device)
     }
 
+    /// The worker pool the session's device implies: `n` morsel workers for
+    /// `Device::ParallelCpu(n)`, one (inline execution) otherwise.
+    pub fn pool(&self) -> WorkerPool {
+        WorkerPool::new(self.device.resolved_threads())
+    }
+
+    /// Similarity join on the session's device: `(left_idx, right_idx)`
+    /// pairs within `tau`, sorted. CPU devices run the on-the-fly Ball-Tree
+    /// join on the session pool; the simulated GPU offloads the all-pairs
+    /// kernel. Every device returns the identical pair set — patches
+    /// without features never match (they are skipped pair-wise on every
+    /// path, including the GPU's, which falls back to the nested kernel
+    /// rather than erroring on a ragged feature matrix).
+    pub fn similarity_join(
+        &self,
+        left: &[Patch],
+        right: &[Patch],
+        tau: f32,
+    ) -> Result<Vec<(u32, u32)>> {
+        match self.device {
+            Device::GpuSim => {
+                if left
+                    .iter()
+                    .chain(right)
+                    .any(|p| p.data.features().is_none())
+                {
+                    // The dense all-pairs kernel needs a rectangular feature
+                    // matrix; mirror the CPU paths' skip-featureless
+                    // semantics instead of surfacing a schema error.
+                    return Ok(ops::similarity_join_nested(left, right, tau));
+                }
+                let mut pairs = ops::similarity_join_executor(left, right, tau, &self.executor())?;
+                pairs.sort_unstable();
+                Ok(pairs)
+            }
+            _ => Ok(ops::similarity_join_balltree(
+                left,
+                right,
+                tau,
+                &self.pool(),
+            )),
+        }
+    }
+
+    /// Similarity deduplication (§5 q4) on the session pool: clusters of
+    /// patches within `tau` of each other, transitively.
+    pub fn dedup(&self, patches: &[Patch], tau: f32) -> Vec<Vec<u32>> {
+        ops::dedup_similarity(patches, tau, &self.pool())
+    }
+
+    /// Generic θ-join on the session pool.
+    pub fn nested_loop_join(
+        &self,
+        left: &[Patch],
+        right: &[Patch],
+        theta: impl Fn(&Patch, &Patch) -> bool + Sync,
+    ) -> Vec<(u32, u32)> {
+        ops::nested_loop_join(left, right, theta, &self.pool())
+    }
+
+    /// Build a Ball-Tree index over `collection`'s features under
+    /// `index_name`, with subtree construction on the session's thread
+    /// budget.
+    pub fn build_ball_index(&mut self, collection: &str, index_name: &str) -> Result<()> {
+        let threads = self.device.resolved_threads();
+        self.catalog
+            .collection_mut(collection)?
+            .build_ball_index_parallel(index_name, threads)
+    }
+
+    /// Run an ETL pipeline over `frames` on the session pool, materializing
+    /// into the session catalog under `output_name`. Returns the number of
+    /// patches materialized.
+    pub fn run_pipeline<'a>(
+        &mut self,
+        pipeline: &Pipeline,
+        frames: impl Iterator<Item = (u64, &'a Image)>,
+        source: &str,
+        output_name: &str,
+    ) -> Result<usize> {
+        let pool = self.pool();
+        pipeline.run(frames, source, &mut self.catalog, output_name, &pool)
+    }
+
     /// The working directory.
     pub fn dir(&self) -> &Path {
         &self.dir
@@ -69,7 +180,8 @@ impl Session {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::patch::{ImgRef, Patch};
+    use crate::etl::{FeaturizeTransformer, WholeImageGenerator};
+    use crate::patch::{ImgRef, Patch, PatchId};
 
     #[test]
     fn session_lifecycle() {
@@ -85,11 +197,104 @@ mod tests {
     }
 
     #[test]
+    fn ephemeral_sessions_get_distinct_directories() {
+        // Regression: keying the temp dir on the pid alone made two
+        // ephemeral sessions in one process share (and clobber) state.
+        let a = Session::ephemeral().unwrap();
+        let b = Session::ephemeral().unwrap();
+        let c = Session::ephemeral().unwrap();
+        assert_ne!(a.dir(), b.dir());
+        assert_ne!(a.dir(), c.dir());
+        assert_ne!(b.dir(), c.dir());
+        assert!(a.dir().exists() && b.dir().exists() && c.dir().exists());
+    }
+
+    #[test]
     fn catalog_reachable_through_session() {
         let mut s = Session::ephemeral().unwrap();
         let id = s.catalog.next_patch_id();
         s.catalog
             .materialize("x", vec![Patch::empty(id, ImgRef::frame("v", 0))]);
         assert_eq!(s.catalog.collection("x").unwrap().len(), 1);
+    }
+
+    #[test]
+    fn device_thread_budget_flows_into_pool() {
+        let mut s = Session::ephemeral().unwrap();
+        assert_eq!(s.pool().threads(), 1, "single-core device: serial pool");
+        s.set_device(Device::ParallelCpu(3));
+        assert_eq!(s.pool().threads(), 3);
+    }
+
+    fn feat_patches(n: u64) -> Vec<Patch> {
+        (0..n)
+            .map(|i| {
+                Patch::features(
+                    PatchId(i),
+                    ImgRef::frame("t", i),
+                    vec![i as f32, (i % 3) as f32],
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn joins_and_dedup_agree_across_session_devices() {
+        let mut left = feat_patches(40);
+        // A featureless straggler: every device must skip it pair-wise
+        // (the GPU path falls back instead of erroring).
+        left.push(Patch::empty(PatchId(999), ImgRef::frame("t", 999)));
+        let right = feat_patches(25);
+        let mut reference: Option<Vec<(u32, u32)>> = None;
+        let mut dedup_ref: Option<Vec<Vec<u32>>> = None;
+        for device in [
+            Device::Cpu,
+            Device::Avx,
+            Device::ParallelCpu(1),
+            Device::ParallelCpu(4),
+            Device::GpuSim,
+        ] {
+            let mut s = Session::ephemeral().unwrap();
+            s.set_device(device);
+            let pairs = s.similarity_join(&left, &right, 1.5).unwrap();
+            match &reference {
+                None => reference = Some(pairs),
+                Some(r) => assert_eq!(r, &pairs, "device {device:?} join mismatch"),
+            }
+            let clusters = s.dedup(&left, 1.5);
+            match &dedup_ref {
+                None => dedup_ref = Some(clusters),
+                Some(r) => assert_eq!(r, &clusters, "device {device:?} dedup mismatch"),
+            }
+        }
+    }
+
+    #[test]
+    fn pipeline_and_index_build_flow_through_session() {
+        let imgs: Vec<deeplens_codec::Image> = (0..6)
+            .map(|t| deeplens_codec::Image::solid(16, 16, [t as u8 * 30, 80, 10]))
+            .collect();
+        let pipe =
+            Pipeline::new(Box::new(WholeImageGenerator)).then(Box::new(FeaturizeTransformer {
+                label: "mean-color".into(),
+                dim: 3,
+                f: Box::new(|img| img.mean_color().to_vec()),
+            }));
+        let mut s = Session::ephemeral().unwrap();
+        s.set_device(Device::ParallelCpu(4));
+        let n = s
+            .run_pipeline(
+                &pipe,
+                imgs.iter().enumerate().map(|(i, f)| (i as u64, f)),
+                "vid",
+                "feats",
+            )
+            .unwrap();
+        assert_eq!(n, 6);
+        s.build_ball_index("feats", "by_feat").unwrap();
+        let col = s.catalog.collection("feats").unwrap();
+        let probe = col.patches[0].data.features().unwrap().to_vec();
+        let hits = col.lookup_similar("by_feat", &probe, 0.01).unwrap();
+        assert!(hits.contains(&0));
     }
 }

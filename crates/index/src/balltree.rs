@@ -9,14 +9,20 @@
 //! Construction recursively splits points along the dimension of maximum
 //! spread; every node stores the centroid and covering radius of its subtree
 //! so queries can prune whole subtrees via the triangle inequality.
+//! Subtrees above [`PARALLEL_BUILD_CUTOFF`] points can build as scoped-thread
+//! morsels ([`BallTree::build_parallel`]): the split is computed before the
+//! spawn, so the parallel tree is structurally identical to the serial one.
 
-use std::cell::Cell;
 use std::collections::BinaryHeap;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use crate::dist::{euclidean, sq_euclidean};
 
 /// Points per leaf before splitting stops.
 pub const LEAF_SIZE: usize = 16;
+
+/// Minimum subtree size worth spawning a scoped build thread for.
+pub const PARALLEL_BUILD_CUTOFF: usize = 2048;
 
 #[derive(Debug)]
 struct TreeNode {
@@ -39,57 +45,95 @@ enum NodeKind {
 #[derive(Debug)]
 pub struct BallTree {
     dim: usize,
+    n: usize,
     points: Vec<f32>,
     root: Option<TreeNode>,
     /// Distance computations performed by queries — the cost metric behind
-    /// the paper's Fig. 7 non-linearity study.
-    distance_evals: Cell<u64>,
+    /// the paper's Fig. 7 non-linearity study. Atomic so a shared tree can
+    /// serve concurrent probe morsels.
+    distance_evals: AtomicU64,
 }
 
 impl BallTree {
     /// Build a tree over `points` (row-major, `dim` components each).
     ///
-    /// Panics if `points.len()` is not a multiple of `dim` or `dim == 0`.
+    /// `dim == 0` is accepted only for an empty point buffer (a tree over
+    /// zero-dimensional points must come through [`BallTree::from_vectors`],
+    /// which knows the point count). Panics if `points.len()` is not a
+    /// multiple of a positive `dim`.
     pub fn build(dim: usize, points: Vec<f32>) -> Self {
-        assert!(dim > 0, "dimension must be positive");
+        Self::build_parallel(dim, points, 1)
+    }
+
+    /// [`BallTree::build`] with subtree construction fanned out over up to
+    /// `threads` scoped worker threads. The resulting tree is structurally
+    /// identical to the serial build.
+    pub fn build_parallel(dim: usize, points: Vec<f32>, threads: usize) -> Self {
+        if dim == 0 {
+            assert!(
+                points.is_empty(),
+                "dim == 0 point buffers carry no point count; use from_vectors"
+            );
+            return Self::build_inner(0, 0, points, 1);
+        }
         assert_eq!(
             points.len() % dim,
             0,
             "point buffer must be a multiple of dim"
         );
         let n = points.len() / dim;
+        Self::build_inner(dim, n, points, threads)
+    }
+
+    /// Build from a slice of equal-length vectors.
+    ///
+    /// Zero-length vectors are legal: all points coincide at the (only)
+    /// zero-dimensional origin, so every point is within any `tau >= 0` of
+    /// any query — matching what a brute-force scan computes.
+    pub fn from_vectors(vectors: &[Vec<f32>]) -> Self {
+        Self::from_vectors_parallel(vectors, 1)
+    }
+
+    /// [`BallTree::from_vectors`] with a parallel construction budget of
+    /// `threads` scoped workers.
+    pub fn from_vectors_parallel(vectors: &[Vec<f32>], threads: usize) -> Self {
+        let dim = vectors.first().map(|v| v.len()).unwrap_or(1);
+        for v in vectors {
+            assert_eq!(v.len(), dim, "all vectors must share a dimension");
+        }
+        if dim == 0 {
+            return Self::build_inner(0, vectors.len(), Vec::new(), 1);
+        }
+        let mut flat = Vec::with_capacity(vectors.len() * dim);
+        for v in vectors {
+            flat.extend_from_slice(v);
+        }
+        Self::build_inner(dim, vectors.len(), flat, threads)
+    }
+
+    fn build_inner(dim: usize, n: usize, points: Vec<f32>, threads: usize) -> Self {
         let mut tree = BallTree {
             dim,
+            n,
             points,
             root: None,
-            distance_evals: Cell::new(0),
+            distance_evals: AtomicU64::new(0),
         };
         if n > 0 {
             let mut ids: Vec<u32> = (0..n as u32).collect();
-            tree.root = Some(tree.build_node(&mut ids));
+            tree.root = Some(tree.build_node_budget(&mut ids, threads.max(1)));
         }
         tree
     }
 
-    /// Build from a slice of equal-length vectors.
-    pub fn from_vectors(vectors: &[Vec<f32>]) -> Self {
-        let dim = vectors.first().map(|v| v.len()).unwrap_or(1);
-        let mut flat = Vec::with_capacity(vectors.len() * dim);
-        for v in vectors {
-            assert_eq!(v.len(), dim, "all vectors must share a dimension");
-            flat.extend_from_slice(v);
-        }
-        Self::build(dim, flat)
-    }
-
     /// Number of indexed points.
     pub fn len(&self) -> usize {
-        self.points.len() / self.dim
+        self.n
     }
 
     /// Whether the tree is empty.
     pub fn is_empty(&self) -> bool {
-        self.points.is_empty()
+        self.n == 0
     }
 
     /// Dimensionality of indexed points.
@@ -122,14 +166,18 @@ impl BallTree {
         (centroid, radius)
     }
 
-    fn build_node(&self, ids: &mut [u32]) -> TreeNode {
+    /// Build the subtree over `ids` with a budget of `budget` worker
+    /// threads. The split point is chosen *before* any thread spawns, so the
+    /// result is byte-identical to the serial build for every budget.
+    fn build_node_budget(&self, ids: &mut [u32], budget: usize) -> TreeNode {
         let (centroid, radius) = self.make_meta(ids);
+        let leaf = |ids: &[u32], centroid: Vec<f32>, radius: f32| TreeNode {
+            centroid,
+            radius,
+            kind: NodeKind::Leaf(ids.to_vec()),
+        };
         if ids.len() <= LEAF_SIZE {
-            return TreeNode {
-                centroid,
-                radius,
-                kind: NodeKind::Leaf(ids.to_vec()),
-            };
+            return leaf(ids, centroid, radius);
         }
         // Split on the dimension of maximum spread at its median.
         let spread = |d: usize| {
@@ -141,24 +189,34 @@ impl BallTree {
             }
             hi - lo
         };
-        let split_dim = (0..self.dim)
-            .max_by(|&a, &b| spread(a).total_cmp(&spread(b)))
-            .expect("dim > 0");
+        // `None` only for dim == 0, where all points coincide at the origin.
+        let Some(split_dim) = (0..self.dim).max_by(|&a, &b| spread(a).total_cmp(&spread(b))) else {
+            return leaf(ids, centroid, radius);
+        };
         if spread(split_dim) <= f32::EPSILON {
             // All points identical: no split is possible.
-            return TreeNode {
-                centroid,
-                radius,
-                kind: NodeKind::Leaf(ids.to_vec()),
-            };
+            return leaf(ids, centroid, radius);
         }
-        let mid = ids.len() / 2;
+        let n = ids.len();
+        let mid = n / 2;
         ids.select_nth_unstable_by(mid, |&a, &b| {
             self.point(a)[split_dim].total_cmp(&self.point(b)[split_dim])
         });
         let (left_ids, right_ids) = ids.split_at_mut(mid);
-        let left = self.build_node(left_ids);
-        let right = self.build_node(right_ids);
+        let (left, right) = if budget > 1 && n >= PARALLEL_BUILD_CUTOFF {
+            let right_budget = budget / 2;
+            let left_budget = budget - right_budget;
+            std::thread::scope(|s| {
+                let right = s.spawn(move || self.build_node_budget(right_ids, right_budget));
+                let left = self.build_node_budget(left_ids, left_budget);
+                (left, right.join().expect("subtree build panicked"))
+            })
+        } else {
+            (
+                self.build_node_budget(left_ids, 1),
+                self.build_node_budget(right_ids, 1),
+            )
+        };
         TreeNode {
             centroid,
             radius,
@@ -168,7 +226,7 @@ impl BallTree {
 
     #[inline]
     fn count_dist(&self, n: u64) {
-        self.distance_evals.set(self.distance_evals.get() + n);
+        self.distance_evals.fetch_add(n, Ordering::Relaxed);
     }
 
     /// All point ids within Euclidean distance `tau` of `query`.
@@ -260,9 +318,7 @@ impl BallTree {
 
     /// Reset the distance-evaluation counter and return its previous value.
     pub fn take_distance_evals(&self) -> u64 {
-        let v = self.distance_evals.get();
-        self.distance_evals.set(0);
-        v
+        self.distance_evals.swap(0, Ordering::Relaxed)
     }
 }
 
@@ -404,6 +460,75 @@ mod tests {
     fn query_dimension_checked() {
         let tree = BallTree::build(3, vec![0.0; 9]);
         let _ = tree.range_query(&[0.0, 0.0], 1.0);
+    }
+
+    #[test]
+    fn zero_dimensional_vectors_match_bruteforce() {
+        // Degenerate features (empty vectors) must not panic: every point
+        // sits at the zero-dimensional origin, so a tau >= 0 range query
+        // returns all of them — exactly what a brute-force scan computes.
+        let pts: Vec<Vec<f32>> = (0..40).map(|_| vec![]).collect();
+        let tree = BallTree::from_vectors(&pts);
+        assert_eq!(tree.len(), 40);
+        assert_eq!(tree.dim(), 0);
+        let mut got = tree.range_query(&[], 0.5);
+        got.sort_unstable();
+        let mut expect = bruteforce::range_query(&pts, &[], 0.5);
+        expect.sort_unstable();
+        assert_eq!(got, expect);
+        assert_eq!(got.len(), 40);
+        assert_eq!(tree.knn(&[], 5).len(), 5);
+    }
+
+    #[test]
+    fn empty_zero_dim_build_is_fine() {
+        let tree = BallTree::build(0, vec![]);
+        assert!(tree.is_empty());
+        assert!(tree.range_query(&[], 1.0).is_empty());
+    }
+
+    #[test]
+    fn parallel_build_is_structurally_identical() {
+        // Same points, different thread budgets: every query must return the
+        // identical id sequence (not just the same set), because the tree
+        // shape fixes the traversal order.
+        let pts = grid_points(6000, 8);
+        let serial = BallTree::from_vectors(&pts);
+        for threads in [2usize, 3, 8] {
+            let par = BallTree::from_vectors_parallel(&pts, threads);
+            assert_eq!(par.len(), serial.len());
+            for qi in (0..6000).step_by(577) {
+                for tau in [0.4f32, 2.0] {
+                    assert_eq!(
+                        serial.range_query(&pts[qi], tau),
+                        par.range_query(&pts[qi], tau),
+                        "threads={threads} qi={qi} tau={tau}"
+                    );
+                }
+                assert_eq!(serial.knn(&pts[qi], 9), par.knn(&pts[qi], 9));
+            }
+        }
+    }
+
+    #[test]
+    fn concurrent_probes_share_the_tree() {
+        // The tree is Sync: parallel probe morsels borrow it concurrently.
+        let pts = grid_points(3000, 6);
+        let tree = BallTree::from_vectors(&pts);
+        let results: Vec<Vec<u32>> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..4)
+                .map(|w| {
+                    let tree = &tree;
+                    let pts = &pts;
+                    s.spawn(move || tree.range_query(&pts[w * 100], 1.0))
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        for (w, got) in results.into_iter().enumerate() {
+            assert_eq!(got, tree.range_query(&pts[w * 100], 1.0));
+        }
+        assert!(tree.take_distance_evals() > 0);
     }
 
     #[test]

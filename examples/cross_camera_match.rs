@@ -57,8 +57,10 @@ fn main() {
     let strategy = model.recommend(cam_a.len(), cam_b.len(), 64);
     println!("cost model recommends: {strategy:?}");
 
-    // On-the-fly Ball-Tree similarity join over the pixel-derived features.
-    let pairs = ops::similarity_join_balltree(&cam_a, &cam_b, 0.22);
+    // On-the-fly Ball-Tree similarity join over the pixel-derived features,
+    // with index build + probe phase fanned out over all hardware threads.
+    let pool = WorkerPool::new(0);
+    let pairs = ops::similarity_join_balltree(&cam_a, &cam_b, 0.22, &pool);
     println!("similarity join produced {} candidate pairs", pairs.len());
 
     // Resolve candidate pairs into distinct shared identities and validate

@@ -66,7 +66,7 @@ fn main() {
 
     // q1: near-duplicate sweep over the whole corpus.
     let pairs: Vec<(u32, u32)> =
-        ops::similarity_join_balltree(&image_patches, &image_patches, 0.22)
+        ops::similarity_join_balltree(&image_patches, &image_patches, 0.22, &WorkerPool::new(0))
             .into_iter()
             .filter(|(a, b)| a < b)
             .collect();

@@ -120,17 +120,17 @@ fn lineage_backtrace_through_pipeline() {
     let ds = TrafficDataset::generate(0.002, 31);
     let frames: Vec<_> = (0..10).map(|t| ds.scene.render_frame(t)).collect();
     let mut catalog = Catalog::new();
-    let mut pipe =
-        Pipeline::new(Box::new(WholeImageGenerator)).then(Box::new(FeaturizeTransformer {
-            label: "hist".into(),
-            dim: 64,
-            f: Box::new(|img| joint_histogram(img, 4)),
-        }));
+    let pipe = Pipeline::new(Box::new(WholeImageGenerator)).then(Box::new(FeaturizeTransformer {
+        label: "hist".into(),
+        dim: 64,
+        f: Box::new(|img| joint_histogram(img, 4)),
+    }));
     pipe.run(
         frames.iter().enumerate().map(|(i, f)| (i as u64, f)),
         "cam0",
         &mut catalog,
         "feats",
+        &WorkerPool::new(2),
     )
     .unwrap();
 

@@ -41,7 +41,7 @@ fn recommended_strategy_wins_on_asymmetric_join() {
     let nested_t = t0.elapsed();
 
     let t1 = Instant::now();
-    let ball = ops::similarity_join_balltree(&small, &large, 2.0);
+    let ball = ops::similarity_join_balltree(&small, &large, 2.0, &WorkerPool::new(1));
     let ball_t = t1.elapsed();
 
     let mut nested = nested;
@@ -152,12 +152,12 @@ fn filter_pushdown_loses_recall_on_lossy_labels() {
         .map(|(i, _)| i)
         .collect();
     let filtered: Vec<Patch> = filtered_pos.iter().map(|&i| patches[i].clone()).collect();
-    let clusters_a = ops::dedup_similarity(&filtered, tau);
+    let clusters_a = ops::dedup_similarity(&filtered, tau, &WorkerPool::new(1));
     let recall_a = pair_recall(&clusters_a, &filtered_pos);
 
     // Plan B: match first, keep clusters with a person.
     let all_pos: Vec<usize> = (0..patches.len()).collect();
-    let clusters_b_all = ops::dedup_similarity(&patches, tau);
+    let clusters_b_all = ops::dedup_similarity(&patches, tau, &WorkerPool::new(1));
     let clusters_b: Vec<Vec<u32>> = clusters_b_all
         .into_iter()
         .filter(|c| {

@@ -169,6 +169,7 @@ fn optimizer_routes_midsize_kernels_to_parallel_cpu() {
         cpu_threads: 8,
         parallel_efficiency: 0.85,
         spawn_overhead_us: 30.0,
+        units_per_us: 100.0,
     };
 
     // ~5 ms of vectorized work moving 128 MiB: the GPU's transfer alone
