@@ -1,7 +1,13 @@
-//! Criterion microbenches for the execution backends (Fig. 8 axes):
-//! the threshold-join and convolution kernels per device.
+//! Execution-backend microbenches (Fig. 8 axes): the threshold-join and
+//! convolution kernels per device.
+//!
+//! Like `benches/ops.rs` this harness *records* its medians: it writes
+//! `BENCH_devices.json` at the workspace root so per-device timings are
+//! tracked across PRs (CI uploads the file as an artifact). Set
+//! `BENCH_DEVICES_OUT` to redirect the output file, `CRITERION_QUICK=1`
+//! for a smoke-sized run.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use deeplens_bench::report::{self, median_secs};
 use deeplens_exec::{Device, Executor, Matrix};
 
 fn matrix(rows: usize, cols: usize, seed: u64) -> Matrix {
@@ -18,30 +24,87 @@ fn matrix(rows: usize, cols: usize, seed: u64) -> Matrix {
     )
 }
 
-fn bench_devices(c: &mut Criterion) {
-    let a = matrix(600, 64, 1);
-    let b = matrix(600, 64, 2);
-    let mut join = c.benchmark_group("threshold_join_600x600_64d");
-    for dev in Device::all_with_parallel() {
-        let exec = Executor::new(dev);
-        join.bench_with_input(BenchmarkId::from_parameter(dev.label()), &dev, |bch, _| {
-            bch.iter(|| {
-                exec.threshold_join(std::hint::black_box(&a), std::hint::black_box(&b), 4.0)
-            })
-        });
-    }
-    join.finish();
-
-    let plane: Vec<f32> = (0..192 * 108).map(|i| (i % 251) as f32).collect();
-    let mut conv = c.benchmark_group("conv_stack_192x108_4l");
-    for dev in Device::all_with_parallel() {
-        let exec = Executor::new(dev);
-        conv.bench_with_input(BenchmarkId::from_parameter(dev.label()), &dev, |bch, _| {
-            bch.iter(|| exec.conv_stack(std::hint::black_box(&plane), 192, 108, 4))
-        });
-    }
-    conv.finish();
+struct Record {
+    name: &'static str,
+    device: &'static str,
+    median_s: f64,
 }
 
-criterion_group!(benches, bench_devices);
-criterion_main!(benches);
+fn main() {
+    let quick = std::env::var("CRITERION_QUICK").is_ok_and(|v| v != "0");
+    let (join_n, conv_w, conv_h, conv_layers, reps) = if quick {
+        (150usize, 96usize, 54usize, 2usize, 3usize)
+    } else {
+        (600, 192, 108, 4, 7)
+    };
+
+    let a = matrix(join_n, 64, 1);
+    let b = matrix(join_n, 64, 2);
+    let plane: Vec<f32> = (0..conv_w * conv_h).map(|i| (i % 251) as f32).collect();
+
+    let mut records: Vec<Record> = Vec::new();
+    for dev in Device::all_with_parallel() {
+        let exec = Executor::new(dev);
+        let join_s = median_secs(reps, || {
+            exec.threshold_join(std::hint::black_box(&a), std::hint::black_box(&b), 4.0)
+        });
+        records.push(Record {
+            name: "threshold_join_64d",
+            device: dev.label(),
+            median_s: join_s,
+        });
+        let conv_s = median_secs(reps, || {
+            exec.conv_stack(std::hint::black_box(&plane), conv_w, conv_h, conv_layers)
+        });
+        records.push(Record {
+            name: "conv_stack",
+            device: dev.label(),
+            median_s: conv_s,
+        });
+    }
+
+    for r in &records {
+        println!(
+            "bench devices/{:<22} {:>4}   median {:>9.3} ms",
+            r.name,
+            r.device,
+            r.median_s * 1e3
+        );
+    }
+
+    let host_threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+
+    let rows: Vec<String> = records
+        .iter()
+        .map(|r| {
+            format!(
+                "{{\"name\": \"{}\", \"device\": \"{}\", \"median_s\": {:.6}}}",
+                r.name, r.device, r.median_s
+            )
+        })
+        .collect();
+    let sections: Vec<(&str, String)> = vec![
+        ("bench", "\"devices\"".into()),
+        ("quick", quick.to_string()),
+        (
+            "config",
+            report::json_object(&[
+                ("join_n", join_n.to_string()),
+                ("conv_w", conv_w.to_string()),
+                ("conv_h", conv_h.to_string()),
+                ("conv_layers", conv_layers.to_string()),
+                ("reps", reps.to_string()),
+                ("host_threads", host_threads.to_string()),
+            ]),
+        ),
+        ("results", report::json_array(&rows)),
+    ];
+
+    report::record_artifact(
+        "BENCH_DEVICES_OUT",
+        format!("{}/../../BENCH_devices.json", env!("CARGO_MANIFEST_DIR")),
+        &report::bench_json(&sections),
+    );
+}

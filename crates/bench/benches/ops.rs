@@ -8,8 +8,9 @@
 //! `BENCH_OPS_OUT` to redirect the output file, `CRITERION_QUICK=1` for a
 //! smoke-sized run.
 
-use std::time::Instant;
+use std::sync::Arc;
 
+use deeplens_bench::report::{self, median_secs};
 use deeplens_core::etl::{FeaturizeTransformer, TileGenerator};
 use deeplens_core::ops;
 use deeplens_core::prelude::*;
@@ -30,19 +31,6 @@ fn feature_patches(n: usize, dim: usize, seed: u64) -> Vec<Patch> {
             Patch::features(PatchId(i as u64), ImgRef::frame("b", i as u64), f)
         })
         .collect()
-}
-
-/// Median wall-clock seconds of `reps` runs of `f`.
-fn median_secs<T>(reps: usize, mut f: impl FnMut() -> T) -> f64 {
-    let mut times: Vec<f64> = (0..reps)
-        .map(|_| {
-            let t0 = Instant::now();
-            std::hint::black_box(f());
-            t0.elapsed().as_secs_f64()
-        })
-        .collect();
-    times.sort_by(f64::total_cmp);
-    times[times.len() / 2]
 }
 
 struct Record {
@@ -137,6 +125,52 @@ fn main() {
         });
     }
 
+    // Multi-session scaling sweep: S concurrent sessions over one shared
+    // catalog, each running the identical Ball-Tree join workload. The
+    // `threads` column is the *session* count here; the figure of merit is
+    // aggregate throughput (S × work / wall-clock), which should grow with
+    // S on a multi-core host. Each session runs the join several times so
+    // per-session setup (thread spawn, session dirs) doesn't dominate the
+    // sample and scheduler jitter averages out.
+    const JOINS_PER_SESSION: usize = 3;
+    // The sweep samples are makespans of short concurrent bursts — noisier
+    // than the single-threaded kernels above — so give the median more reps.
+    let sweep_reps = reps.max(7);
+    for sessions in [1usize, 2, 4] {
+        let shared = Arc::new(SharedCatalog::new());
+        shared.materialize("indexed", indexed.clone());
+        shared.materialize("probes", probes.clone());
+        let sweep_s = median_secs(sweep_reps, || {
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..sessions)
+                    .map(|_| {
+                        let shared = shared.clone();
+                        scope.spawn(move || {
+                            // Each session is a single-core (Avx) query: the
+                            // scaling comes from admitting more sessions,
+                            // not from intra-query parallelism.
+                            let s = Session::ephemeral_attached(shared).unwrap();
+                            (0..JOINS_PER_SESSION)
+                                .map(|_| {
+                                    s.join_collections("indexed", "probes", 2.0).unwrap().len()
+                                })
+                                .sum::<usize>()
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().unwrap())
+                    .sum::<usize>()
+            })
+        });
+        records.push(Record {
+            name: "multi_session_join",
+            threads: sessions,
+            median_s: sweep_s,
+        });
+    }
+
     for r in &records {
         println!(
             "bench ops/{:<28} threads {:>2}   median {:>9.3} ms",
@@ -162,46 +196,67 @@ fn main() {
         "balltree_build",
     ];
 
-    // Hand-rolled JSON (no serde in the offline workspace).
     let host_threads = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
-    let mut json = String::from("{\n");
-    json.push_str("  \"bench\": \"ops\",\n");
-    json.push_str(&format!("  \"quick\": {quick},\n"));
+    let mut sections: Vec<(&str, String)> =
+        vec![("bench", "\"ops\"".into()), ("quick", quick.to_string())];
     if host_threads == 1 {
-        json.push_str(
-            "  \"note\": \"degenerate capture: 1 hardware thread, speedups cannot exceed 1.0x — read the multi-core CI artifact for real scaling\",\n",
-        );
+        sections.push((
+            "note",
+            "\"degenerate capture: 1 hardware thread, thread speedups and multi-session throughput scaling cannot exceed 1.0x — read the multi-core CI artifact for real scaling\"".into(),
+        ));
     }
-    json.push_str(&format!(
-        "  \"config\": {{\"n_indexed\": {n_indexed}, \"n_probe\": {n_probe}, \"dim\": {dim}, \"n_dedup\": {n_dedup}, \"n_frames\": {n_frames}, \"n_build\": {n_build}, \"reps\": {reps}, \"host_threads\": {host_threads}}},\n"
+    sections.push((
+        "config",
+        report::json_object(&[
+            ("n_indexed", n_indexed.to_string()),
+            ("n_probe", n_probe.to_string()),
+            ("dim", dim.to_string()),
+            ("n_dedup", n_dedup.to_string()),
+            ("n_frames", n_frames.to_string()),
+            ("n_build", n_build.to_string()),
+            ("reps", reps.to_string()),
+            ("host_threads", host_threads.to_string()),
+        ]),
     ));
-    json.push_str("  \"results\": [\n");
-    for (i, r) in records.iter().enumerate() {
-        json.push_str(&format!(
-            "    {{\"name\": \"{}\", \"threads\": {}, \"median_s\": {:.6}}}{}\n",
-            r.name,
-            r.threads,
-            r.median_s,
-            if i + 1 == records.len() { "" } else { "," }
-        ));
-    }
-    json.push_str("  ],\n");
-    json.push_str("  \"speedup_vs_serial\": {\n");
-    for (i, k) in kernels.iter().enumerate() {
-        let s = lookup(k, 1) / lookup(k, max_t);
-        json.push_str(&format!(
-            "    \"{k}_{max_t}t\": {:.3}{}\n",
-            s,
-            if i + 1 == kernels.len() { "" } else { "," }
-        ));
-        println!("bench ops/speedup {k} x{max_t}: {s:.2}x");
-    }
-    json.push_str("  }\n}\n");
+    let rows: Vec<String> = records
+        .iter()
+        .map(|r| {
+            format!(
+                "{{\"name\": \"{}\", \"threads\": {}, \"median_s\": {:.6}}}",
+                r.name, r.threads, r.median_s
+            )
+        })
+        .collect();
+    sections.push(("results", report::json_array(&rows)));
+    let speedups: Vec<(String, String)> = kernels
+        .iter()
+        .map(|k| {
+            let s = lookup(k, 1) / lookup(k, max_t);
+            println!("bench ops/speedup {k} x{max_t}: {s:.2}x");
+            (format!("{k}_{max_t}t"), format!("{s:.3}"))
+        })
+        .collect();
+    let speedup_refs: Vec<(&str, String)> = speedups
+        .iter()
+        .map(|(k, v)| (k.as_str(), v.clone()))
+        .collect();
+    sections.push(("speedup_vs_serial", report::json_object(&speedup_refs)));
+    // Aggregate throughput scaling of the multi-session sweep: 4 sessions
+    // complete 4× the work of 1 session, so the ratio of throughputs is
+    // 4 · t(1 session) / t(4 sessions). Anything > 1 means admitting
+    // concurrent sessions adds real capacity.
+    let scaling = 4.0 * lookup("multi_session_join", 1) / lookup("multi_session_join", 4);
+    println!("bench ops/multi_session throughput scaling 1->4 sessions: {scaling:.2}x");
+    sections.push((
+        "multi_session_throughput_scaling_4s",
+        format!("{scaling:.3}"),
+    ));
 
-    let out = std::env::var("BENCH_OPS_OUT")
-        .unwrap_or_else(|_| format!("{}/../../BENCH_ops.json", env!("CARGO_MANIFEST_DIR")));
-    std::fs::write(&out, json).expect("write BENCH_ops.json");
-    println!("recorded {out}");
+    report::record_artifact(
+        "BENCH_OPS_OUT",
+        format!("{}/../../BENCH_ops.json", env!("CARGO_MANIFEST_DIR")),
+        &report::bench_json(&sections),
+    );
 }

@@ -1,9 +1,15 @@
-//! Criterion benches for the multi-core CPU backend: scalar vs vectorized
-//! vs `ParallelCpu(threads)` vs simulated GPU on large threshold-joins
+//! Multi-core CPU backend benchmark: scalar vs vectorized vs
+//! `ParallelCpu(threads)` vs simulated GPU on large threshold-joins
 //! (≥100k distance pairs) and batch distance kernels, plus thread-count
 //! scaling of the morsel pool.
+//!
+//! Like `benches/ops.rs` this harness *records* its medians: it writes
+//! `BENCH_parallel.json` at the workspace root so backend speedups are
+//! tracked across PRs (CI uploads the file as an artifact). Set
+//! `BENCH_PARALLEL_OUT` to redirect the output file, `CRITERION_QUICK=1`
+//! for a smoke-sized run.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use deeplens_bench::report::{self, median_secs};
 use deeplens_exec::{Device, Executor, Matrix};
 
 fn matrix(rows: usize, cols: usize, seed: u64) -> Matrix {
@@ -20,54 +26,146 @@ fn matrix(rows: usize, cols: usize, seed: u64) -> Matrix {
     )
 }
 
-fn bench_parallel_join(c: &mut Criterion) {
-    // 400 x 400 = 160k distance pairs at 64 dimensions.
-    let a = matrix(400, 64, 1);
-    let b = matrix(400, 64, 2);
-    let mut join = c.benchmark_group("threshold_join_160k_pairs_64d");
-    for dev in Device::all_with_parallel() {
-        let exec = Executor::new(dev);
-        join.bench_with_input(BenchmarkId::from_parameter(dev.label()), &dev, |bch, _| {
-            bch.iter(|| {
-                exec.threshold_join(std::hint::black_box(&a), std::hint::black_box(&b), 4.0)
-            })
-        });
-    }
-    join.finish();
+struct Record {
+    name: &'static str,
+    variant: String,
+    median_s: f64,
 }
 
-fn bench_thread_scaling(c: &mut Criterion) {
-    let a = matrix(500, 64, 3);
-    let b = matrix(500, 64, 4);
-    let mut scaling = c.benchmark_group("parallel_join_250k_pairs_by_threads");
+fn main() {
+    let quick = std::env::var("CRITERION_QUICK").is_ok_and(|v| v != "0");
+    let (join_n, dist_rows, dim, reps) = if quick {
+        (120usize, 10_000usize, 24usize, 3usize)
+    } else {
+        (500, 100_000, 24, 7)
+    };
+
+    let a = matrix(join_n, 64, 1);
+    let b = matrix(join_n, 64, 2);
+    let m = matrix(dist_rows, dim, 5);
+    let q: Vec<f32> = (0..dim).map(|i| i as f32 / 4.0).collect();
+
+    let mut records: Vec<Record> = Vec::new();
+
+    // Threshold join across the device lattice.
+    for dev in Device::all_with_parallel() {
+        let exec = Executor::new(dev);
+        let s = median_secs(reps, || {
+            exec.threshold_join(std::hint::black_box(&a), std::hint::black_box(&b), 4.0)
+        });
+        records.push(Record {
+            name: "threshold_join_64d",
+            variant: dev.label().to_string(),
+            median_s: s,
+        });
+    }
+
+    // Thread scaling of the parallel join.
     for threads in [1usize, 2, 4, 8] {
         let exec = Executor::new(Device::ParallelCpu(threads));
-        scaling.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |bch, _| {
-            bch.iter(|| {
-                exec.threshold_join(std::hint::black_box(&a), std::hint::black_box(&b), 4.0)
-            })
+        let s = median_secs(reps, || {
+            exec.threshold_join(std::hint::black_box(&a), std::hint::black_box(&b), 4.0)
+        });
+        records.push(Record {
+            name: "parallel_join_by_threads",
+            variant: format!("{threads}t"),
+            median_s: s,
         });
     }
-    scaling.finish();
-}
 
-fn bench_distance_batch(c: &mut Criterion) {
-    let m = matrix(100_000, 24, 5);
-    let q: Vec<f32> = (0..24).map(|i| i as f32 / 4.0).collect();
-    let mut dist = c.benchmark_group("distances_100k_24d");
+    // Batch distance kernel across devices.
     for dev in Device::all_with_parallel() {
         let exec = Executor::new(dev);
-        dist.bench_with_input(BenchmarkId::from_parameter(dev.label()), &dev, |bch, _| {
-            bch.iter(|| exec.distances(std::hint::black_box(&m), std::hint::black_box(&q)))
+        let s = median_secs(reps, || {
+            exec.distances(std::hint::black_box(&m), std::hint::black_box(&q))
+        });
+        records.push(Record {
+            name: "distances_24d",
+            variant: dev.label().to_string(),
+            median_s: s,
         });
     }
-    dist.finish();
-}
 
-criterion_group!(
-    benches,
-    bench_parallel_join,
-    bench_thread_scaling,
-    bench_distance_batch
-);
-criterion_main!(benches);
+    for r in &records {
+        println!(
+            "bench parallel/{:<26} {:>4}   median {:>9.3} ms",
+            r.name,
+            r.variant,
+            r.median_s * 1e3
+        );
+    }
+
+    let lookup = |name: &str, variant: &str| {
+        records
+            .iter()
+            .find(|r| r.name == name && r.variant == variant)
+            .map(|r| r.median_s)
+            .unwrap_or(f64::NAN)
+    };
+    let host_threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+
+    let mut sections: Vec<(&str, String)> = vec![
+        ("bench", "\"parallel\"".into()),
+        ("quick", quick.to_string()),
+    ];
+    if host_threads == 1 {
+        sections.push((
+            "note",
+            "\"degenerate capture: 1 hardware thread, parallel speedups cannot exceed 1.0x — read the multi-core CI artifact for real scaling\"".into(),
+        ));
+    }
+    sections.push((
+        "config",
+        report::json_object(&[
+            ("join_n", join_n.to_string()),
+            ("dist_rows", dist_rows.to_string()),
+            ("dim", dim.to_string()),
+            ("reps", reps.to_string()),
+            ("host_threads", host_threads.to_string()),
+        ]),
+    ));
+    let rows: Vec<String> = records
+        .iter()
+        .map(|r| {
+            format!(
+                "{{\"name\": \"{}\", \"variant\": \"{}\", \"median_s\": {:.6}}}",
+                r.name, r.variant, r.median_s
+            )
+        })
+        .collect();
+    sections.push(("results", report::json_array(&rows)));
+    let pairs = [
+        (
+            "join_avx_vs_cpu",
+            lookup("threshold_join_64d", "CPU") / lookup("threshold_join_64d", "AVX"),
+        ),
+        (
+            "join_par_vs_avx",
+            lookup("threshold_join_64d", "AVX") / lookup("threshold_join_64d", "PAR"),
+        ),
+        (
+            "join_8t_vs_1t",
+            lookup("parallel_join_by_threads", "1t") / lookup("parallel_join_by_threads", "8t"),
+        ),
+        (
+            "dist_par_vs_avx",
+            lookup("distances_24d", "AVX") / lookup("distances_24d", "PAR"),
+        ),
+    ];
+    let speedups: Vec<(&str, String)> = pairs
+        .iter()
+        .map(|(k, v)| {
+            println!("bench parallel/speedup {k}: {v:.2}x");
+            (*k, format!("{v:.3}"))
+        })
+        .collect();
+    sections.push(("speedups", report::json_object(&speedups)));
+
+    report::record_artifact(
+        "BENCH_PARALLEL_OUT",
+        format!("{}/../../BENCH_parallel.json", env!("CARGO_MANIFEST_DIR")),
+        &report::bench_json(&sections),
+    );
+}

@@ -20,6 +20,7 @@ use crate::value::Value;
 use crate::{DlError, Result};
 
 /// A secondary index over one collection.
+#[derive(Clone)]
 pub enum SecondaryIndex {
     /// Exact-match index on a metadata key.
     Hash {
@@ -66,7 +67,11 @@ impl SecondaryIndex {
 }
 
 /// A named, materialized collection of patches with its indexes.
-#[derive(Debug, Default)]
+///
+/// `Clone` supports the shared catalog's copy-on-write protocol: a writer
+/// that must preserve reader snapshots clones the collection and mutates the
+/// copy (see [`crate::shared::SharedCatalog`]).
+#[derive(Debug, Default, Clone)]
 pub struct PatchCollection {
     /// The patches, addressed by position.
     pub patches: Vec<Patch>,
@@ -74,6 +79,14 @@ pub struct PatchCollection {
 }
 
 impl PatchCollection {
+    /// A collection over `patches` with no indexes yet.
+    pub fn from_patches(patches: Vec<Patch>) -> Self {
+        PatchCollection {
+            patches,
+            indexes: HashMap::new(),
+        }
+    }
+
     /// Number of patches.
     pub fn len(&self) -> usize {
         self.patches.len()
@@ -272,6 +285,16 @@ impl PatchIdRange {
         }
     }
 
+    /// A real reservation of `n` ids starting at `start` (the catalogs'
+    /// allocators construct these; see [`Catalog::reserve_patch_ids`]).
+    pub(crate) fn from_reservation(start: u64, n: u64) -> Self {
+        PatchIdRange {
+            start,
+            next: start,
+            end: start + n,
+        }
+    }
+
     /// The first id of the range.
     pub fn start(&self) -> u64 {
         self.start
@@ -316,24 +339,34 @@ impl Catalog {
     /// bulk form of [`Catalog::next_patch_id`]).
     pub fn reserve_patch_ids(&self, n: u64) -> PatchIdRange {
         let start = self.next_id.fetch_add(n, Ordering::Relaxed);
-        PatchIdRange {
-            start,
-            next: start,
-            end: start + n,
-        }
+        PatchIdRange::from_reservation(start, n)
     }
 
     /// Materialize `patches` under `name`, recording their lineage.
-    /// Replaces any existing collection of that name.
-    pub fn materialize(&mut self, name: &str, patches: Vec<Patch>) {
+    ///
+    /// Replaces any existing collection of that name and returns the
+    /// replaced collection (patches, indexes, and through them its recorded
+    /// lineage) so the caller can detect — and recover from — a clobber.
+    /// The historical signature returned nothing, which let two writers
+    /// overwrite each other invisibly; use [`Catalog::materialize_new`] to
+    /// make a name conflict a hard error instead.
+    pub fn materialize(&mut self, name: &str, patches: Vec<Patch>) -> Option<PatchCollection> {
         self.lineage.record_all(patches.iter());
-        self.collections.insert(
-            name.to_string(),
-            PatchCollection {
-                patches,
-                indexes: HashMap::new(),
-            },
-        );
+        self.collections
+            .insert(name.to_string(), PatchCollection::from_patches(patches))
+    }
+
+    /// [`Catalog::materialize`] that refuses to replace: errors with
+    /// [`DlError::Conflict`] if `name` already exists, leaving the existing
+    /// collection (and the lineage store) untouched.
+    pub fn materialize_new(&mut self, name: &str, patches: Vec<Patch>) -> Result<()> {
+        if self.collections.contains_key(name) {
+            return Err(DlError::Conflict(format!(
+                "collection '{name}' already exists"
+            )));
+        }
+        self.materialize(name, patches);
+        Ok(())
     }
 
     /// Borrow a collection.
@@ -549,5 +582,63 @@ mod tests {
         assert!(cat.drop_collection("dets"));
         assert!(!cat.drop_collection("dets"));
         assert!(cat.collection("dets").is_err());
+    }
+
+    #[test]
+    fn materialize_returns_replaced_collection() {
+        // Regression: materialize used to overwrite an existing collection
+        // silently, so concurrent writers clobbered each other invisibly.
+        let mut cat = Catalog::new();
+        let first = vec![Patch::empty(cat.next_patch_id(), ImgRef::frame("a", 0))];
+        let first_id = first[0].id;
+        assert!(cat.materialize("col", first).is_none(), "fresh name");
+        let second = vec![
+            Patch::empty(cat.next_patch_id(), ImgRef::frame("b", 1)),
+            Patch::empty(cat.next_patch_id(), ImgRef::frame("b", 2)),
+        ];
+        let replaced = cat.materialize("col", second).expect("clobber surfaced");
+        assert_eq!(replaced.len(), 1);
+        assert_eq!(
+            replaced.patches[0].id, first_id,
+            "the replaced patches come back"
+        );
+        assert_eq!(cat.collection("col").unwrap().len(), 2);
+    }
+
+    #[test]
+    fn materialize_new_errors_on_conflict() {
+        let mut cat = Catalog::new();
+        let p = vec![Patch::empty(cat.next_patch_id(), ImgRef::frame("a", 0))];
+        cat.materialize_new("col", p.clone()).unwrap();
+        let lineage_before = cat.lineage.len();
+        let err = cat.materialize_new("col", p).unwrap_err();
+        assert!(matches!(err, DlError::Conflict(_)), "got {err:?}");
+        assert_eq!(cat.collection("col").unwrap().len(), 1, "untouched");
+        assert_eq!(cat.lineage.len(), lineage_before, "no lineage side effect");
+    }
+
+    #[test]
+    fn collections_are_cloneable_with_indexes() {
+        // Clone backs the shared catalog's copy-on-write protocol: the copy
+        // must answer index lookups identically and independently.
+        let mut cat = make_catalog();
+        let col = cat.collection_mut("dets").unwrap();
+        col.build_hash_index("by_label", "label");
+        col.build_sorted_index("by_score", "score");
+        col.build_spatial_index("by_bbox");
+        col.build_ball_index("by_feat").unwrap();
+        let copy = col.clone();
+        assert_eq!(copy.len(), col.len());
+        assert_eq!(
+            copy.lookup_eq("by_label", &Value::from("car")).unwrap(),
+            col.lookup_eq("by_label", &Value::from("car")).unwrap()
+        );
+        assert_eq!(
+            copy.lookup_similar("by_feat", &[3.0, 1.0], 0.1).unwrap(),
+            col.lookup_similar("by_feat", &[3.0, 1.0], 0.1).unwrap()
+        );
+        let mut names = copy.index_names();
+        names.sort_unstable();
+        assert_eq!(names, vec!["by_bbox", "by_feat", "by_label", "by_score"]);
     }
 }

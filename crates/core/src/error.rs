@@ -23,6 +23,9 @@ pub enum DlError {
         /// What it got.
         actual: &'static str,
     },
+    /// A write collided with existing catalog state (e.g. materializing a
+    /// collection under a name that already exists via a no-clobber API).
+    Conflict(String),
 }
 
 impl fmt::Display for DlError {
@@ -36,6 +39,7 @@ impl fmt::Display for DlError {
             DlError::WrongIndex { expected, actual } => {
                 write!(f, "wrong index kind: expected {expected}, got {actual}")
             }
+            DlError::Conflict(msg) => write!(f, "conflict: {msg}"),
         }
     }
 }

@@ -20,6 +20,7 @@ use deeplens_exec::WorkerPool;
 
 use crate::catalog::{Catalog, PatchIdRange};
 use crate::patch::{ImgRef, Patch, PatchData, PatchId};
+use crate::shared::SharedCatalog;
 use crate::types::PatchSchema;
 use crate::{DlError, Result};
 
@@ -161,6 +162,19 @@ struct FrameOutput {
     ids_used: u64,
 }
 
+impl FrameOutput {
+    /// Rebase every frame-local id (and parent pointer) onto a real
+    /// reservation starting at `base`.
+    fn rebase(&mut self, base: u64) {
+        for p in self.intermediates.iter_mut().chain(self.finals.iter_mut()) {
+            p.id = PatchId(base + p.id.0);
+            for parent in p.parents.iter_mut() {
+                *parent = PatchId(base + parent.0);
+            }
+        }
+    }
+}
+
 /// A composed ETL pipeline: one generator, then transformers in order.
 pub struct Pipeline {
     generator: Box<dyn Generator>,
@@ -227,6 +241,34 @@ impl Pipeline {
         })
     }
 
+    /// The parallel phase shared by [`Pipeline::run`] and
+    /// [`Pipeline::run_shared`]: validate, then generate + transform each
+    /// frame as a pool morsel with frame-local speculative ids.
+    ///
+    /// Surfaces any stage error before the caller touches a catalog: a
+    /// mid-run failure must not leave orphan lineage records or consumed
+    /// ids behind (the historical serial code could not partially fail).
+    fn frame_outputs(
+        &self,
+        frames: &[(u64, &Image)],
+        source: &str,
+        pool: &WorkerPool,
+    ) -> Result<Vec<FrameOutput>> {
+        self.validate()?;
+        let morsel_results: Vec<Result<Vec<FrameOutput>>> =
+            pool.run_morsels(frames.len(), pool.morsel_size(frames.len()), |range| {
+                frames[range]
+                    .iter()
+                    .map(|&(frame_no, img)| self.run_frame(source, frame_no, img))
+                    .collect()
+            });
+        let mut frame_outputs: Vec<FrameOutput> = Vec::new();
+        for morsel in morsel_results {
+            frame_outputs.extend(morsel?);
+        }
+        Ok(frame_outputs)
+    }
+
     /// Run the pipeline over `(frame_no, image)` pairs from `source`,
     /// materializing the result into `catalog` under `output_name`. Frames
     /// execute as morsels on `pool`; results (ids included) are identical
@@ -241,25 +283,8 @@ impl Pipeline {
         output_name: &str,
         pool: &WorkerPool,
     ) -> Result<usize> {
-        self.validate()?;
         let frames: Vec<(u64, &Image)> = frames.collect();
-
-        // Parallel phase: generate + transform each frame with local ids.
-        let morsel_results: Vec<Result<Vec<FrameOutput>>> =
-            pool.run_morsels(frames.len(), pool.morsel_size(frames.len()), |range| {
-                frames[range]
-                    .iter()
-                    .map(|&(frame_no, img)| self.run_frame(source, frame_no, img))
-                    .collect()
-            });
-
-        // Surface any stage error before touching the catalog: a mid-run
-        // failure must not leave orphan lineage records or consumed ids
-        // behind (the historical serial code could not partially fail).
-        let mut frame_outputs: Vec<FrameOutput> = Vec::new();
-        for morsel in morsel_results {
-            frame_outputs.extend(morsel?);
-        }
+        let frame_outputs = self.frame_outputs(&frames, source, pool)?;
 
         // Sequential epilogue: rebase each frame onto a real id reservation
         // (in frame order, so ids are deterministic), record intermediate
@@ -267,16 +292,7 @@ impl Pipeline {
         let mut patches = Vec::new();
         for mut frame in frame_outputs {
             let base = catalog.reserve_patch_ids(frame.ids_used).start();
-            for p in frame
-                .intermediates
-                .iter_mut()
-                .chain(frame.finals.iter_mut())
-            {
-                p.id = PatchId(base + p.id.0);
-                for parent in p.parents.iter_mut() {
-                    *parent = PatchId(base + parent.0);
-                }
-            }
+            frame.rebase(base);
             // Intermediate patches are not materialized, but their
             // lineage records must exist so downstream backtraces can
             // walk through them to the source frames (§5.1).
@@ -285,6 +301,40 @@ impl Pipeline {
         }
         let n = patches.len();
         catalog.materialize(output_name, patches);
+        Ok(n)
+    }
+
+    /// [`Pipeline::run`] against a [`SharedCatalog`]: id reservation is the
+    /// catalog's lock-free atomic range, intermediate lineage goes through
+    /// the shared lineage store, and the output collection is published
+    /// with one atomic snapshot swap — concurrent readers never see it half
+    /// materialized. With no other session interleaving reservations, the
+    /// ids, payloads, and lineage are byte-identical to [`Pipeline::run`]
+    /// on a fresh [`Catalog`], for every thread count.
+    pub fn run_shared<'a>(
+        &self,
+        frames: impl Iterator<Item = (u64, &'a Image)>,
+        source: &str,
+        shared: &SharedCatalog,
+        output_name: &str,
+        pool: &WorkerPool,
+    ) -> Result<usize> {
+        let frames: Vec<(u64, &Image)> = frames.collect();
+        let frame_outputs = self.frame_outputs(&frames, source, pool)?;
+
+        let mut intermediates = Vec::new();
+        let mut patches = Vec::new();
+        for mut frame in frame_outputs {
+            let base = shared.reserve_patch_ids(frame.ids_used).start();
+            frame.rebase(base);
+            intermediates.extend(frame.intermediates);
+            patches.extend(frame.finals);
+        }
+        // One lineage-lock acquisition for all intermediate stages, released
+        // before the collection shard is touched (latch ordering rule 2).
+        shared.record_lineage(intermediates.iter());
+        let n = patches.len();
+        shared.materialize(output_name, patches);
         Ok(n)
     }
 }
@@ -515,6 +565,76 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn run_shared_matches_run_on_private_catalog() {
+        use crate::shared::SharedCatalog;
+        let imgs = frames(7);
+        let make_pipe = || {
+            Pipeline::new(Box::new(TileGenerator { tile: 16 })).then(Box::new(
+                FeaturizeTransformer {
+                    label: "mean-color".into(),
+                    dim: 3,
+                    f: Box::new(|img| img.mean_color().to_vec()),
+                },
+            ))
+        };
+        let mut catalog = Catalog::new();
+        let n_private = make_pipe()
+            .run(
+                imgs.iter().enumerate().map(|(i, f)| (i as u64, f)),
+                "vid",
+                &mut catalog,
+                "feats",
+                &serial(),
+            )
+            .unwrap();
+        for threads in [1usize, 4] {
+            let shared = SharedCatalog::with_shards(4);
+            let n_shared = make_pipe()
+                .run_shared(
+                    imgs.iter().enumerate().map(|(i, f)| (i as u64, f)),
+                    "vid",
+                    &shared,
+                    "feats",
+                    &WorkerPool::new(threads),
+                )
+                .unwrap();
+            assert_eq!(n_shared, n_private);
+            let snap = shared.snapshot("feats").unwrap();
+            assert_eq!(
+                snap.patches,
+                catalog.collection("feats").unwrap().patches,
+                "{threads} threads: ids, payloads, metadata identical"
+            );
+            for p in &snap.patches {
+                assert_eq!(
+                    shared.backtrace(p.id),
+                    catalog.lineage.backtrace(p.id),
+                    "lineage resolves identically"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn run_shared_stage_error_leaves_shared_catalog_untouched() {
+        use crate::shared::SharedCatalog;
+        let shared = SharedCatalog::new();
+        let pipe = Pipeline::new(Box::new(TileGenerator { tile: 0 }));
+        let imgs = frames(2);
+        let res = pipe.run_shared(
+            imgs.iter().map(|f| (0u64, f)),
+            "vid",
+            &shared,
+            "out",
+            &serial(),
+        );
+        assert!(matches!(res, Err(DlError::TypeError(_))));
+        assert!(shared.snapshot("out").is_err());
+        assert_eq!(shared.with_lineage(|l| l.len()), 0);
+        assert_eq!(shared.next_patch_id(), PatchId(0), "no ids consumed");
     }
 
     #[test]

@@ -24,6 +24,8 @@
 //!   similarity-based deduplication (§5).
 //! * [`catalog`] — materialized patch collections and their secondary
 //!   indexes (hash, sorted, Ball-Tree, R-Tree, lineage) (§3.2).
+//! * [`shared`] — the sharded, copy-on-write [`shared::SharedCatalog`]
+//!   multiple concurrent query sessions attach to.
 //! * [`optimizer`] — the cost model (non-linear join costs, §7.4.1), device
 //!   placement (§7.4.2), and accuracy-aware plan ordering (§7.4.3).
 //! * [`session`] — a facade tying catalog, devices and ETL together.
@@ -55,6 +57,7 @@ pub mod ops;
 pub mod optimizer;
 pub mod patch;
 pub mod session;
+pub mod shared;
 pub mod types;
 pub mod value;
 
@@ -73,6 +76,7 @@ pub mod prelude {
     pub use crate::optimizer::{AccuracyProfile, CostModel, DevicePlanner, JoinStrategy};
     pub use crate::patch::{ImgRef, Patch, PatchData, PatchId};
     pub use crate::session::Session;
+    pub use crate::shared::SharedCatalog;
     pub use crate::types::{DataKind, PatchSchema};
     pub use crate::value::Value;
     pub use deeplens_exec::{Device, Executor, WorkerPool};

@@ -136,6 +136,10 @@ pub struct DevicePlanner {
     /// work covers (the bridge between the abstract join cost model and the
     /// planner's wall-clock estimates).
     pub units_per_us: f64,
+    /// Concurrently active query sessions sharing this machine. The planner
+    /// divides `cpu_threads` across them instead of assuming the whole
+    /// machine belongs to one query (the multi-session catalog's model).
+    pub active_sessions: usize,
 }
 
 impl Default for DevicePlanner {
@@ -150,17 +154,33 @@ impl Default for DevicePlanner {
             parallel_efficiency: 0.85,
             spawn_overhead_us: 30.0,
             units_per_us: 100.0,
+            active_sessions: 1,
         }
     }
 }
 
 impl DevicePlanner {
+    /// This planner with its thread budget split across `sessions`
+    /// concurrent query sessions (minimum 1).
+    pub fn for_sessions(mut self, sessions: usize) -> Self {
+        self.active_sessions = sessions.max(1);
+        self
+    }
+
+    /// The per-session slice of the machine's worker threads: the full
+    /// budget under exclusive ownership, `cpu_threads / active_sessions`
+    /// (never below one) when sessions share the machine.
+    pub fn session_cpu_threads(&self) -> usize {
+        (self.cpu_threads / self.active_sessions.max(1)).max(1)
+    }
+
     /// The candidate devices the planner ranks, cheapest-overhead first.
+    /// The parallel-CPU candidate carries only this session's thread slice.
     pub fn candidates(&self) -> [Device; 4] {
         [
             Device::Cpu,
             Device::Avx,
-            Device::ParallelCpu(self.cpu_threads),
+            Device::ParallelCpu(self.session_cpu_threads()),
             Device::GpuSim,
         ]
     }
@@ -173,7 +193,7 @@ impl DevicePlanner {
             Device::Avx => cpu_estimate_us,
             Device::ParallelCpu(threads) => {
                 let threads = if threads == 0 {
-                    self.cpu_threads
+                    self.session_cpu_threads()
                 } else {
                     threads
                 } as f64;
@@ -432,6 +452,7 @@ mod tests {
             parallel_efficiency: 0.85,
             spawn_overhead_us: 30.0,
             units_per_us: 100.0,
+            active_sessions: 1,
         }
     }
 
@@ -493,6 +514,36 @@ mod tests {
         let c = planner_fixture().candidates();
         assert_eq!(c.len(), 4);
         assert!(matches!(c[2], Device::ParallelCpu(4)));
+    }
+
+    #[test]
+    fn planner_splits_thread_budget_across_sessions() {
+        // Exclusive ownership: the mid-size kernel fans out over all 4
+        // workers (the device_planner_picks_parallel_cpu_in_the_middle
+        // regime). With 4 concurrent sessions each owns a single worker, so
+        // the parallel backend degenerates to one vectorized core and the
+        // planner keeps the kernel there.
+        let exclusive = planner_fixture();
+        assert_eq!(exclusive.place(2_000.0, 64 << 20), Device::ParallelCpu(4));
+
+        let contended = planner_fixture().for_sessions(4);
+        assert_eq!(contended.session_cpu_threads(), 1);
+        assert!(matches!(contended.candidates()[2], Device::ParallelCpu(1)));
+        assert_eq!(
+            contended.place(2_000.0, 64 << 20),
+            Device::Avx,
+            "a 1-thread slice cannot beat the vectorized core"
+        );
+
+        let half = planner_fixture().for_sessions(2);
+        assert!(matches!(half.candidates()[2], Device::ParallelCpu(2)));
+        // The auto thread count (ParallelCpu(0)) resolves to the slice too.
+        assert_eq!(
+            half.estimate_us(Device::ParallelCpu(0), 1_000.0, 0),
+            half.estimate_us(Device::ParallelCpu(2), 1_000.0, 0)
+        );
+        // for_sessions(0) clamps to exclusive ownership.
+        assert_eq!(planner_fixture().for_sessions(0).session_cpu_threads(), 4);
     }
 
     #[test]

@@ -1,25 +1,32 @@
-//! Session facade: catalog + device + working directory.
+//! Session facade: shared catalog + device + working directory.
 //!
-//! A [`Session`] is the entry point applications use: it owns the catalog,
-//! picks the execution device, and manages the on-disk working directory for
-//! materialized storage (Frame/Encoded/Segmented files live under it).
+//! A [`Session`] is the entry point applications use: it attaches to a
+//! [`SharedCatalog`] (its own fresh one by default, or one shared with other
+//! sessions via [`Session::attach`]), picks the execution device, and
+//! manages the on-disk working directory for materialized storage
+//! (Frame/Encoded/Segmented files live under it).
 //!
 //! The device is a *thread budget* as well as a kernel choice: every join,
 //! dedup, index build, and pipeline run issued through the session executes
 //! on the worker pool the device implies — `Device::ParallelCpu(n)` fans
 //! operators out over `n` morsel workers, the single-core backends run them
-//! serially, and `Device::GpuSim` offloads the all-pairs join kernel.
+//! serially, and `Device::GpuSim` offloads the all-pairs join kernel. When
+//! several sessions share one catalog the budget is *divided* across them
+//! ([`Session::effective_threads`]): the machine no longer belongs to a
+//! single query, so each session gets `device_threads / active_sessions`
+//! workers (never below one).
 
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 use deeplens_codec::Image;
 use deeplens_exec::{Device, Executor, WorkerPool};
 
-use crate::catalog::Catalog;
 use crate::etl::Pipeline;
 use crate::ops;
 use crate::patch::Patch;
+use crate::shared::SharedCatalog;
 use crate::Result;
 
 /// Distinguishes ephemeral session directories created by this process.
@@ -28,19 +35,31 @@ static EPHEMERAL_SEQ: AtomicU64 = AtomicU64::new(0);
 /// A DeepLens session.
 #[derive(Debug)]
 pub struct Session {
-    /// The materialization catalog.
-    pub catalog: Catalog,
+    /// The shared materialization catalog this session is attached to.
+    pub catalog: Arc<SharedCatalog>,
     device: Device,
     dir: PathBuf,
 }
 
 impl Session {
     /// Open a session with its working directory at `dir` (created if
-    /// missing), executing on `device`.
+    /// missing), executing on `device`, attached to a fresh private catalog.
     pub fn open(dir: impl AsRef<Path>, device: Device) -> Result<Self> {
+        Self::attach(dir, device, Arc::new(SharedCatalog::new()))
+    }
+
+    /// Open a session attached to an existing shared catalog: concurrent
+    /// sessions over one `catalog` run queries, index builds, and pipelines
+    /// against the same collections.
+    pub fn attach(
+        dir: impl AsRef<Path>,
+        device: Device,
+        catalog: Arc<SharedCatalog>,
+    ) -> Result<Self> {
         std::fs::create_dir_all(dir.as_ref()).map_err(deeplens_storage::StorageError::from)?;
+        catalog.attach_session();
         Ok(Session {
-            catalog: Catalog::new(),
+            catalog,
             device,
             dir: dir.as_ref().to_path_buf(),
         })
@@ -53,6 +72,11 @@ impl Session {
     /// distinct directories, and a recycled pid cannot inherit stale state
     /// from an earlier run.
     pub fn ephemeral() -> Result<Self> {
+        Self::ephemeral_attached(Arc::new(SharedCatalog::new()))
+    }
+
+    /// [`Session::ephemeral`] attached to an existing shared catalog.
+    pub fn ephemeral_attached(catalog: Arc<SharedCatalog>) -> Result<Self> {
         let nanos = std::time::SystemTime::now()
             .duration_since(std::time::UNIX_EPOCH)
             .map(|d| d.as_nanos() as u64)
@@ -64,7 +88,7 @@ impl Session {
             nanos,
             seq
         ));
-        Self::open(dir, Device::Avx)
+        Self::attach(dir, Device::Avx, catalog)
     }
 
     /// The session's execution device.
@@ -82,10 +106,18 @@ impl Session {
         Executor::new(self.device)
     }
 
-    /// The worker pool the session's device implies: `n` morsel workers for
-    /// `Device::ParallelCpu(n)`, one (inline execution) otherwise.
+    /// The thread budget this session may actually use right now: the
+    /// device's worker count divided across every session attached to the
+    /// shared catalog, never below one.
+    pub fn effective_threads(&self) -> usize {
+        let budget = self.device.resolved_threads();
+        (budget / self.catalog.active_sessions().max(1)).max(1)
+    }
+
+    /// The worker pool the session's device implies: its share of the
+    /// machine's morsel workers ([`Session::effective_threads`]).
     pub fn pool(&self) -> WorkerPool {
-        WorkerPool::new(self.device.resolved_threads())
+        WorkerPool::new(self.effective_threads())
     }
 
     /// Similarity join on the session's device: `(left_idx, right_idx)`
@@ -126,6 +158,16 @@ impl Session {
         }
     }
 
+    /// [`Session::similarity_join`] over two materialized collections:
+    /// consistent snapshots of `left` and `right` are taken from the shared
+    /// catalog and joined on the session's device — concurrent writers
+    /// cannot perturb the scan.
+    pub fn join_collections(&self, left: &str, right: &str, tau: f32) -> Result<Vec<(u32, u32)>> {
+        let l = self.catalog.snapshot(left)?;
+        let r = self.catalog.snapshot(right)?;
+        self.similarity_join(&l.patches, &r.patches, tau)
+    }
+
     /// Similarity deduplication (§5 q4) on the session pool: clusters of
     /// patches within `tau` of each other, transitively.
     pub fn dedup(&self, patches: &[Patch], tau: f32) -> Vec<Vec<u32>> {
@@ -144,26 +186,23 @@ impl Session {
 
     /// Build a Ball-Tree index over `collection`'s features under
     /// `index_name`, with subtree construction on the session's thread
-    /// budget.
-    pub fn build_ball_index(&mut self, collection: &str, index_name: &str) -> Result<()> {
-        let threads = self.device.resolved_threads();
+    /// budget. Only `collection`'s catalog shard is write-latched.
+    pub fn build_ball_index(&self, collection: &str, index_name: &str) -> Result<()> {
         self.catalog
-            .collection_mut(collection)?
-            .build_ball_index_parallel(index_name, threads)
+            .build_ball_index(collection, index_name, self.effective_threads())
     }
 
     /// Run an ETL pipeline over `frames` on the session pool, materializing
-    /// into the session catalog under `output_name`. Returns the number of
+    /// into the shared catalog under `output_name`. Returns the number of
     /// patches materialized.
     pub fn run_pipeline<'a>(
-        &mut self,
+        &self,
         pipeline: &Pipeline,
         frames: impl Iterator<Item = (u64, &'a Image)>,
         source: &str,
         output_name: &str,
     ) -> Result<usize> {
-        let pool = self.pool();
-        pipeline.run(frames, source, &mut self.catalog, output_name, &pool)
+        pipeline.run_shared(frames, source, &self.catalog, output_name, &self.pool())
     }
 
     /// The working directory.
@@ -174,6 +213,12 @@ impl Session {
     /// Path for a named storage file inside the working directory.
     pub fn storage_path(&self, name: &str) -> PathBuf {
         self.dir.join(name)
+    }
+}
+
+impl Drop for Session {
+    fn drop(&mut self) {
+        self.catalog.detach_session();
     }
 }
 
@@ -211,11 +256,11 @@ mod tests {
 
     #[test]
     fn catalog_reachable_through_session() {
-        let mut s = Session::ephemeral().unwrap();
+        let s = Session::ephemeral().unwrap();
         let id = s.catalog.next_patch_id();
         s.catalog
             .materialize("x", vec![Patch::empty(id, ImgRef::frame("v", 0))]);
-        assert_eq!(s.catalog.collection("x").unwrap().len(), 1);
+        assert_eq!(s.catalog.snapshot("x").unwrap().len(), 1);
     }
 
     #[test]
@@ -224,6 +269,40 @@ mod tests {
         assert_eq!(s.pool().threads(), 1, "single-core device: serial pool");
         s.set_device(Device::ParallelCpu(3));
         assert_eq!(s.pool().threads(), 3);
+    }
+
+    #[test]
+    fn thread_budget_splits_across_attached_sessions() {
+        let shared = Arc::new(SharedCatalog::new());
+        let mut a = Session::ephemeral_attached(shared.clone()).unwrap();
+        a.set_device(Device::ParallelCpu(8));
+        assert_eq!(shared.active_sessions(), 1);
+        assert_eq!(a.pool().threads(), 8, "exclusive owner gets everything");
+        {
+            let mut b = Session::ephemeral_attached(shared.clone()).unwrap();
+            b.set_device(Device::ParallelCpu(8));
+            assert_eq!(shared.active_sessions(), 2);
+            assert_eq!(a.pool().threads(), 4, "budget halves with a peer");
+            assert_eq!(b.pool().threads(), 4);
+            let mut c = Session::ephemeral_attached(shared.clone()).unwrap();
+            c.set_device(Device::Avx);
+            assert_eq!(c.pool().threads(), 1, "never below one worker");
+        }
+        assert_eq!(shared.active_sessions(), 1, "drops detach");
+        assert_eq!(a.pool().threads(), 8, "budget restored");
+    }
+
+    #[test]
+    fn sessions_share_one_catalog() {
+        let shared = Arc::new(SharedCatalog::new());
+        let writer = Session::ephemeral_attached(shared.clone()).unwrap();
+        let reader = Session::ephemeral_attached(shared.clone()).unwrap();
+        let id = writer.catalog.next_patch_id();
+        writer
+            .catalog
+            .materialize("shared_col", vec![Patch::empty(id, ImgRef::frame("v", 0))]);
+        assert_eq!(reader.catalog.snapshot("shared_col").unwrap().len(), 1);
+        assert_ne!(writer.dir(), reader.dir(), "working dirs stay private");
     }
 
     fn feat_patches(n: u64) -> Vec<Patch> {
@@ -270,6 +349,20 @@ mod tests {
     }
 
     #[test]
+    fn join_collections_matches_slice_join() {
+        let s = Session::ephemeral().unwrap();
+        let left = feat_patches(30);
+        let right = feat_patches(20);
+        s.catalog.materialize("l", left.clone());
+        s.catalog.materialize("r", right.clone());
+        assert_eq!(
+            s.join_collections("l", "r", 1.5).unwrap(),
+            s.similarity_join(&left, &right, 1.5).unwrap()
+        );
+        assert!(s.join_collections("l", "missing", 1.5).is_err());
+    }
+
+    #[test]
     fn pipeline_and_index_build_flow_through_session() {
         let imgs: Vec<deeplens_codec::Image> = (0..6)
             .map(|t| deeplens_codec::Image::solid(16, 16, [t as u8 * 30, 80, 10]))
@@ -292,7 +385,7 @@ mod tests {
             .unwrap();
         assert_eq!(n, 6);
         s.build_ball_index("feats", "by_feat").unwrap();
-        let col = s.catalog.collection("feats").unwrap();
+        let col = s.catalog.snapshot("feats").unwrap();
         let probe = col.patches[0].data.features().unwrap().to_vec();
         let hits = col.lookup_similar("by_feat", &probe, 0.01).unwrap();
         assert!(hits.contains(&0));

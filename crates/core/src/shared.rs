@@ -1,0 +1,439 @@
+//! The shared, sharded catalog behind concurrent query sessions.
+//!
+//! A [`SharedCatalog`] is the multi-session form of [`Catalog`]: the
+//! collection map is split across N shards keyed by a hash of the collection
+//! name, each shard behind its own `parking_lot::RwLock`, and every
+//! collection is stored as an [`Arc`] snapshot with **copy-on-write**
+//! semantics. Readers obtain a consistent [`SharedCatalog::snapshot`] and
+//! scan it latch-free for as long as they like; a writer that materializes,
+//! drops, or re-indexes a collection mutates a private copy (or the shard's
+//! sole copy when no reader holds it) and publishes it with a single `Arc`
+//! swap under the shard's write latch. A reader therefore never observes a
+//! half-materialized or half-indexed collection — it sees the version that
+//! was current when it took its snapshot.
+//!
+//! **Latch ordering** (deadlock freedom):
+//!
+//! 1. at most one shard latch is held at a time — cross-shard operations
+//!    ([`SharedCatalog::names`]) visit shards sequentially, releasing each
+//!    latch before taking the next;
+//! 2. the lineage lock is never held while *acquiring* a shard latch —
+//!    [`SharedCatalog::materialize`] records lineage before it touches the
+//!    collection shard, and the one place that nests the two
+//!    ([`SharedCatalog::materialize_new`], which must publish lineage and
+//!    collection atomically) takes them in shard → lineage order;
+//! 3. patch-id reservation ([`SharedCatalog::reserve_patch_ids`]) is a
+//!    lock-free atomic fetch-add and participates in no ordering at all.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use crate::catalog::{PatchCollection, PatchIdRange};
+use crate::lineage::LineageStore;
+use crate::patch::{ImgRef, Patch, PatchId};
+use crate::{DlError, Result};
+
+/// Default number of collection shards.
+pub const DEFAULT_SHARDS: usize = 16;
+
+/// A catalog shared by concurrent query sessions: sharded collection map,
+/// copy-on-write collection snapshots, a locked lineage store, and a
+/// lock-free patch-id allocator.
+#[derive(Debug)]
+pub struct SharedCatalog {
+    shards: Vec<RwLock<HashMap<String, Arc<PatchCollection>>>>,
+    lineage: RwLock<LineageStore>,
+    next_id: AtomicU64,
+    sessions: AtomicUsize,
+}
+
+impl Default for SharedCatalog {
+    fn default() -> Self {
+        Self::with_shards(DEFAULT_SHARDS)
+    }
+}
+
+impl SharedCatalog {
+    /// An empty shared catalog with [`DEFAULT_SHARDS`] shards.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An empty shared catalog with an explicit shard count (minimum 1).
+    pub fn with_shards(shards: usize) -> Self {
+        SharedCatalog {
+            shards: (0..shards.max(1)).map(|_| RwLock::default()).collect(),
+            lineage: RwLock::new(LineageStore::new()),
+            next_id: AtomicU64::new(0),
+            sessions: AtomicUsize::new(0),
+        }
+    }
+
+    /// Number of shards the collection map is split across.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// FNV-1a over the collection name picks the shard; stable across runs
+    /// so shard-count experiments are reproducible.
+    fn shard_of(&self, name: &str) -> &RwLock<HashMap<String, Arc<PatchCollection>>> {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.as_bytes() {
+            h ^= u64::from(*b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        &self.shards[(h % self.shards.len() as u64) as usize]
+    }
+
+    // ---- patch ids (lock-free) -------------------------------------------
+
+    /// Allocate a fresh patch id.
+    pub fn next_patch_id(&self) -> PatchId {
+        PatchId(self.next_id.fetch_add(1, Ordering::Relaxed))
+    }
+
+    /// Reserve `n` consecutive patch ids in one atomic step. Concurrent
+    /// sessions get disjoint ranges without taking any latch.
+    pub fn reserve_patch_ids(&self, n: u64) -> PatchIdRange {
+        let start = self.next_id.fetch_add(n, Ordering::Relaxed);
+        PatchIdRange::from_reservation(start, n)
+    }
+
+    // ---- collections ------------------------------------------------------
+
+    /// Materialize `patches` under `name`, recording their lineage.
+    ///
+    /// The collection is fully constructed before the shard's write latch is
+    /// taken, so readers only ever see it complete. Returns the snapshot it
+    /// replaced (if any) so concurrent writers cannot clobber each other
+    /// invisibly; use [`SharedCatalog::materialize_new`] to make the
+    /// conflict a hard error instead.
+    pub fn materialize(&self, name: &str, patches: Vec<Patch>) -> Option<Arc<PatchCollection>> {
+        self.lineage.write().record_all(patches.iter());
+        let collection = Arc::new(PatchCollection::from_patches(patches));
+        self.shard_of(name)
+            .write()
+            .insert(name.to_string(), collection)
+    }
+
+    /// [`SharedCatalog::materialize`] that refuses to replace: errors with
+    /// [`DlError::Conflict`] if `name` already exists (checked under the
+    /// shard's write latch, so two racing `materialize_new` calls cannot
+    /// both succeed), leaving existing state and lineage untouched.
+    pub fn materialize_new(&self, name: &str, patches: Vec<Patch>) -> Result<()> {
+        // Construct outside the latch; the occupancy check, lineage record,
+        // and insert all happen inside it, so a loser has zero side effects
+        // and a reader can never snapshot the collection before its lineage
+        // exists. Taking the lineage lock *inside* the shard latch is the
+        // one sanctioned shard→lineage nesting (ordering rule 2): it cannot
+        // deadlock because no code path acquires a shard latch while
+        // holding the lineage lock.
+        let collection = Arc::new(PatchCollection::from_patches(patches));
+        let mut shard = self.shard_of(name).write();
+        if shard.contains_key(name) {
+            return Err(DlError::Conflict(format!(
+                "collection '{name}' already exists"
+            )));
+        }
+        self.lineage.write().record_all(collection.patches.iter());
+        shard.insert(name.to_string(), collection);
+        Ok(())
+    }
+
+    /// A consistent snapshot of collection `name`. The returned [`Arc`] is
+    /// immutable and latch-free: concurrent writers publish *new* versions
+    /// instead of mutating this one.
+    pub fn snapshot(&self, name: &str) -> Result<Arc<PatchCollection>> {
+        self.shard_of(name)
+            .read()
+            .get(name)
+            .cloned()
+            .ok_or_else(|| DlError::NotFound(format!("collection '{name}'")))
+    }
+
+    /// Drop a collection, returning its final snapshot if it existed.
+    pub fn drop_collection(&self, name: &str) -> Option<Arc<PatchCollection>> {
+        self.shard_of(name).write().remove(name)
+    }
+
+    /// Names of all materialized collections, sorted. Shards are visited
+    /// sequentially (one latch at a time), so the listing is consistent per
+    /// shard but not a global atomic snapshot — the same guarantee a
+    /// directory listing gives.
+    pub fn names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self
+            .shards
+            .iter()
+            .flat_map(|s| s.read().keys().cloned().collect::<Vec<_>>())
+            .collect();
+        names.sort_unstable();
+        names
+    }
+
+    /// Run a copy-on-write mutation against collection `name` under its
+    /// shard's write latch. If readers hold snapshots of the current
+    /// version, the collection is cloned and the clone mutated — their
+    /// snapshots stay consistent; otherwise the sole copy is mutated in
+    /// place.
+    fn update_collection<T>(
+        &self,
+        name: &str,
+        f: impl FnOnce(&mut PatchCollection) -> T,
+    ) -> Result<T> {
+        let mut shard = self.shard_of(name).write();
+        let slot = shard
+            .get_mut(name)
+            .ok_or_else(|| DlError::NotFound(format!("collection '{name}'")))?;
+        Ok(f(Arc::make_mut(slot)))
+    }
+
+    /// Build (or rebuild) a hash index on metadata `key` of collection
+    /// `collection` under `index_name`.
+    pub fn build_hash_index(&self, collection: &str, index_name: &str, key: &str) -> Result<()> {
+        self.update_collection(collection, |c| c.build_hash_index(index_name, key))
+    }
+
+    /// Build a sorted-run index on numeric metadata `key`.
+    pub fn build_sorted_index(&self, collection: &str, index_name: &str, key: &str) -> Result<()> {
+        self.update_collection(collection, |c| c.build_sorted_index(index_name, key))
+    }
+
+    /// Build an R-Tree over bounding-box metadata.
+    pub fn build_spatial_index(&self, collection: &str, index_name: &str) -> Result<()> {
+        self.update_collection(collection, |c| c.build_spatial_index(index_name))
+    }
+
+    /// Build a Ball-Tree over feature payloads with up to `threads` build
+    /// workers.
+    ///
+    /// Unlike the cheap O(n) index builds above, Ball-Tree construction is
+    /// O(n log n) and must not stall the shard: the build runs **off-latch**
+    /// against a private clone of the current snapshot, and the shard's
+    /// write latch is taken only for the final pointer swap. If another
+    /// writer replaced the collection mid-build, the build retries against
+    /// the new version (so the index always describes the patches it is
+    /// published with); after a few lost races it falls back to building
+    /// under the shard's write latch, so a sustained republisher can delay
+    /// the build but never livelock it.
+    pub fn build_ball_index(
+        &self,
+        collection: &str,
+        index_name: &str,
+        threads: usize,
+    ) -> Result<()> {
+        const OPTIMISTIC_TRIES: usize = 3;
+        for _ in 0..OPTIMISTIC_TRIES {
+            let before = self.snapshot(collection)?;
+            let mut copy = (*before).clone();
+            copy.build_ball_index_parallel(index_name, threads)?;
+            let mut shard = self.shard_of(collection).write();
+            let slot = shard
+                .get_mut(collection)
+                .ok_or_else(|| DlError::NotFound(format!("collection '{collection}'")))?;
+            if Arc::ptr_eq(slot, &before) {
+                *slot = Arc::new(copy);
+                return Ok(());
+            }
+            // Lost a race with materialize/drop+re-materialize: the index
+            // we built describes a superseded version. Rebuild over the
+            // current one.
+        }
+        // Pessimistic fallback: build while holding the write latch. Readers
+        // of this shard stall for the build, but the operation terminates.
+        self.update_collection(collection, |c| {
+            c.build_ball_index_parallel(index_name, threads)
+        })?
+    }
+
+    // ---- lineage ----------------------------------------------------------
+
+    /// Record lineage for `patches` (used by ETL epilogues for intermediate
+    /// stages that are not materialized).
+    pub fn record_lineage<'a>(&self, patches: impl IntoIterator<Item = &'a Patch>) {
+        self.lineage.write().record_all(patches);
+    }
+
+    /// Backtrace `id` to its root image references (§5.1).
+    pub fn backtrace(&self, id: PatchId) -> Vec<ImgRef> {
+        self.lineage.read().backtrace(id)
+    }
+
+    /// Read access to the lineage store.
+    ///
+    /// The closure runs with the lineage lock held: it must not call
+    /// collection operations on this catalog (ordering rule 2 — nothing may
+    /// acquire a shard latch while holding the lineage lock).
+    pub fn with_lineage<T>(&self, f: impl FnOnce(&LineageStore) -> T) -> T {
+        f(&self.lineage.read())
+    }
+
+    /// Write access to the lineage store (index builds, bulk maintenance).
+    /// The same closure restriction as [`SharedCatalog::with_lineage`]
+    /// applies.
+    pub fn with_lineage_mut<T>(&self, f: impl FnOnce(&mut LineageStore) -> T) -> T {
+        f(&mut self.lineage.write())
+    }
+
+    // ---- session tracking -------------------------------------------------
+
+    /// Number of sessions currently attached (drives per-session thread
+    /// budgets; see `Session::pool`).
+    pub fn active_sessions(&self) -> usize {
+        self.sessions.load(Ordering::Relaxed)
+    }
+
+    pub(crate) fn attach_session(&self) {
+        self.sessions.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn detach_session(&self) {
+        self.sessions.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::Value;
+
+    fn feat_patches(cat: &SharedCatalog, n: u64, tag: i64) -> Vec<Patch> {
+        (0..n)
+            .map(|i| {
+                Patch::features(
+                    cat.next_patch_id(),
+                    ImgRef::frame("cam", i),
+                    vec![i as f32, 1.0],
+                )
+                .with_meta("tag", tag)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn materialize_snapshot_drop_roundtrip() {
+        let cat = SharedCatalog::with_shards(4);
+        assert!(cat.materialize("a", feat_patches(&cat, 5, 0)).is_none());
+        assert_eq!(cat.snapshot("a").unwrap().len(), 5);
+        assert!(cat.snapshot("missing").is_err());
+        assert_eq!(cat.names(), vec!["a".to_string()]);
+        let dropped = cat.drop_collection("a").unwrap();
+        assert_eq!(dropped.len(), 5);
+        assert!(cat.drop_collection("a").is_none());
+        assert!(cat.names().is_empty());
+    }
+
+    #[test]
+    fn replaced_collection_is_returned() {
+        let cat = SharedCatalog::new();
+        cat.materialize("c", feat_patches(&cat, 3, 1));
+        let replaced = cat.materialize("c", feat_patches(&cat, 7, 2)).unwrap();
+        assert_eq!(replaced.len(), 3, "the clobbered version comes back");
+        assert_eq!(cat.snapshot("c").unwrap().len(), 7);
+    }
+
+    #[test]
+    fn materialize_new_conflicts() {
+        let cat = SharedCatalog::new();
+        cat.materialize_new("c", feat_patches(&cat, 2, 0)).unwrap();
+        let err = cat
+            .materialize_new("c", feat_patches(&cat, 2, 1))
+            .unwrap_err();
+        assert!(matches!(err, DlError::Conflict(_)), "got {err:?}");
+        let snap = cat.snapshot("c").unwrap();
+        assert_eq!(
+            snap.patches[0].get_int("tag"),
+            Some(0),
+            "loser changed nothing"
+        );
+    }
+
+    #[test]
+    fn snapshots_survive_replacement_and_reindex() {
+        // Copy-on-write: a reader's snapshot is immutable even while a
+        // writer replaces the collection and builds indexes on it.
+        let cat = SharedCatalog::new();
+        cat.materialize("c", feat_patches(&cat, 10, 1));
+        let before = cat.snapshot("c").unwrap();
+        cat.build_hash_index("c", "by_tag", "tag").unwrap();
+        assert!(
+            before.index_names().is_empty(),
+            "pre-index snapshot cannot grow an index"
+        );
+        let indexed = cat.snapshot("c").unwrap();
+        assert_eq!(
+            indexed
+                .lookup_eq("by_tag", &Value::from(1i64))
+                .unwrap()
+                .len(),
+            10
+        );
+        cat.materialize("c", feat_patches(&cat, 4, 2));
+        assert_eq!(before.len(), 10, "old snapshot still consistent");
+        assert_eq!(cat.snapshot("c").unwrap().len(), 4);
+    }
+
+    #[test]
+    fn index_builds_route_through_cow() {
+        let cat = SharedCatalog::with_shards(2);
+        cat.materialize("c", feat_patches(&cat, 20, 3));
+        cat.build_hash_index("c", "by_tag", "tag").unwrap();
+        cat.build_sorted_index("c", "by_tag_num", "tag").unwrap();
+        cat.build_ball_index("c", "by_feat", 2).unwrap();
+        let snap = cat.snapshot("c").unwrap();
+        let mut names = snap.index_names();
+        names.sort_unstable();
+        assert_eq!(names, vec!["by_feat", "by_tag", "by_tag_num"]);
+        assert!(cat.build_hash_index("missing", "i", "k").is_err());
+        assert!(!snap
+            .lookup_similar("by_feat", &[0.0, 1.0], 0.5)
+            .unwrap()
+            .is_empty());
+    }
+
+    #[test]
+    fn id_ranges_disjoint_across_threads() {
+        let cat = SharedCatalog::new();
+        let ranges: Vec<(u64, u64)> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..8)
+                .map(|_| {
+                    s.spawn(|| {
+                        let r = cat.reserve_patch_ids(100);
+                        (r.start(), r.start() + 100)
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        let mut sorted = ranges.clone();
+        sorted.sort_unstable();
+        for w in sorted.windows(2) {
+            assert!(w[0].1 <= w[1].0, "ranges overlap: {w:?}");
+        }
+        assert_eq!(sorted.last().unwrap().1, 800, "ids stay dense");
+    }
+
+    #[test]
+    fn lineage_shared_across_collections() {
+        let cat = SharedCatalog::new();
+        let patches = feat_patches(&cat, 3, 0);
+        let id = patches[0].id;
+        cat.materialize("c", patches);
+        assert_eq!(cat.with_lineage(|l| l.len()), 3);
+        assert_eq!(cat.backtrace(id), vec![ImgRef::frame("cam", 0)]);
+    }
+
+    #[test]
+    fn shard_count_bounds() {
+        assert_eq!(SharedCatalog::with_shards(0).shard_count(), 1);
+        assert_eq!(SharedCatalog::new().shard_count(), DEFAULT_SHARDS);
+        // Names spread across shards still list completely and sorted.
+        let cat = SharedCatalog::with_shards(3);
+        for name in ["zz", "aa", "mm", "bb"] {
+            cat.materialize(name, vec![]);
+        }
+        assert_eq!(cat.names(), vec!["aa", "bb", "mm", "zz"]);
+    }
+}

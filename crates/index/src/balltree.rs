@@ -24,14 +24,14 @@ pub const LEAF_SIZE: usize = 16;
 /// Minimum subtree size worth spawning a scoped build thread for.
 pub const PARALLEL_BUILD_CUTOFF: usize = 2048;
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct TreeNode {
     centroid: Vec<f32>,
     radius: f32,
     kind: NodeKind,
 }
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 enum NodeKind {
     /// Indices into the point set.
     Leaf(Vec<u32>),
@@ -52,6 +52,20 @@ pub struct BallTree {
     /// the paper's Fig. 7 non-linearity study. Atomic so a shared tree can
     /// serve concurrent probe morsels.
     distance_evals: AtomicU64,
+}
+
+impl Clone for BallTree {
+    /// Clones share no state: the copy starts with the original's current
+    /// distance-evaluation count (the counter is a metric, not an identity).
+    fn clone(&self) -> Self {
+        BallTree {
+            dim: self.dim,
+            n: self.n,
+            points: self.points.clone(),
+            root: self.root.clone(),
+            distance_evals: AtomicU64::new(self.distance_evals.load(Ordering::Relaxed)),
+        }
+    }
 }
 
 impl BallTree {

@@ -114,7 +114,7 @@ impl Node {
 }
 
 /// An in-memory R-Tree mapping rectangles to `u64` payload ids.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub struct RTree {
     root: Option<Node>,
     count: usize,

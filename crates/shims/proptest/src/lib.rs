@@ -303,7 +303,9 @@ macro_rules! prop_assert {
     };
 }
 
-/// Assert two expressions are equal inside a proptest body.
+/// Assert two expressions are equal inside a proptest body. An optional
+/// trailing format string + args is appended to the failure report, matching
+/// the real crate's API.
 #[macro_export]
 macro_rules! prop_assert_eq {
     ($left:expr, $right:expr $(,)?) => {{
@@ -313,6 +315,18 @@ macro_rules! prop_assert_eq {
             "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
             stringify!($left),
             stringify!($right),
+            l,
+            r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: {} == {} ({})\n  left: {:?}\n right: {:?}",
+            stringify!($left),
+            stringify!($right),
+            format!($($fmt)+),
             l,
             r
         );

@@ -27,7 +27,7 @@ fn main() {
     );
 
     // 2. Physical layout: encoded clips of 24 frames in a B+Tree.
-    let mut session = Session::ephemeral().expect("session");
+    let session = Session::ephemeral().expect("session");
     let mut store = SegmentedFile::ingest(
         session.storage_path("traffic.dlb"),
         &frames,
@@ -65,11 +65,11 @@ fn main() {
 
     // 4. Materialize, index, query: count frames with at least one vehicle.
     session.catalog.materialize("dets", patches);
-    let col = session
+    session
         .catalog
-        .collection_mut("dets")
+        .build_hash_index("dets", "by_label", "label")
         .expect("materialized");
-    col.build_hash_index("by_label", "label");
+    let col = session.catalog.snapshot("dets").expect("materialized");
     let mut vehicle_frames = std::collections::HashSet::new();
     for label in ["car", "truck"] {
         for pos in col

@@ -33,7 +33,7 @@ fn ingest_detect_query_roundtrip() {
     // Decode everything back through the layout and run the detector.
     let decoded = store.scan_range(0, store.frame_count()).unwrap();
     let detector = ObjectDetector::default_on(Device::Avx);
-    let mut session = Session::open(&dir, Device::Avx).unwrap();
+    let session = Session::open(&dir, Device::Avx).unwrap();
     let mut patches = Vec::new();
     for (t, frame) in &decoded {
         for det in detector.detect(&ds.scene, *t, frame) {
@@ -52,9 +52,12 @@ fn ingest_detect_query_roundtrip() {
     assert!(!patches.is_empty(), "detector must fire on decoded frames");
     session.catalog.materialize("dets", patches);
 
-    // Index and query: q2 via the hash index.
-    let col = session.catalog.collection_mut("dets").unwrap();
-    col.build_hash_index("by_label", "label");
+    // Index and query: q2 via the hash index, against a consistent snapshot.
+    session
+        .catalog
+        .build_hash_index("dets", "by_label", "label")
+        .unwrap();
+    let col = session.catalog.snapshot("dets").unwrap();
     let mut vehicle_frames = std::collections::HashSet::new();
     for label in ["car", "truck"] {
         for pos in col.lookup_eq("by_label", &Value::from(label)).unwrap() {

@@ -176,16 +176,12 @@ fn session_device_routes_thread_budget_end_to_end() {
             .unwrap();
         assert_eq!(n, 8);
         s.build_ball_index("feats", "by_feat").unwrap();
-        let patches = s.catalog.collection("feats").unwrap().patches.clone();
+        let snap = s.catalog.snapshot("feats").unwrap();
+        let patches = snap.patches.clone();
         let joined = s.similarity_join(&patches, &patches, 40.0).unwrap();
         let clusters = s.dedup(&patches, 40.0);
         let probe = patches[0].data.features().unwrap().to_vec();
-        let hits = s
-            .catalog
-            .collection("feats")
-            .unwrap()
-            .lookup_similar("by_feat", &probe, 35.0)
-            .unwrap();
+        let hits = snap.lookup_similar("by_feat", &probe, 35.0).unwrap();
         (patches, joined, clusters, hits)
     };
     let serial = run(Device::Avx);

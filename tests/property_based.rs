@@ -11,6 +11,7 @@ use deeplens::codec::{decode_image, encode_image, psnr, Image, Quality};
 use deeplens::exec::{kernels, Matrix};
 use deeplens::index::lsh::{LshIndex, LshParams};
 use deeplens::index::{bruteforce, BallTree, KdTree, RTree, Rect};
+use deeplens::prelude::{Catalog, ImgRef, Patch, SharedCatalog};
 use deeplens::storage::btree::{keys, BTree};
 
 fn unique_tmp(tag: &str) -> std::path::PathBuf {
@@ -303,6 +304,93 @@ proptest! {
         let got_core: Vec<_> = got.iter().filter(|p| !boundary(p)).collect();
         let want_core: Vec<_> = want.iter().filter(|p| !boundary(p)).collect();
         prop_assert_eq!(got_core, want_core);
+    }
+}
+
+/// Build `n` deterministic feature patches with ids from `alloc` (each
+/// catalog under test allocates in the same order, so ids agree).
+fn catalog_patches(
+    alloc: impl Fn() -> deeplens::prelude::PatchId,
+    n: usize,
+    tag: u64,
+) -> Vec<Patch> {
+    (0..n)
+        .map(|i| {
+            Patch::features(
+                alloc(),
+                ImgRef::frame("src", tag),
+                vec![i as f32, tag as f32],
+            )
+            .with_meta("tag", tag as i64)
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    /// The sharded `SharedCatalog` behaves exactly like the single-threaded
+    /// `Catalog` model under an arbitrary interleaving of materialize, drop
+    /// and query operations — and its behaviour is independent of the shard
+    /// count (1, 2, and 4 shards all converge to the same end state).
+    #[test]
+    fn shared_catalog_matches_reference_model_across_shard_counts(
+        ops in prop::collection::vec((0u8..4, 0usize..5, 1usize..12), 1..40),
+    ) {
+        let names = ["alpha", "beta", "gamma", "delta", "epsilon"];
+        let mut reference = Catalog::new();
+        let shared: Vec<SharedCatalog> =
+            [1usize, 2, 4].iter().map(|&s| SharedCatalog::with_shards(s)).collect();
+
+        for (op, name_i, size) in &ops {
+            let name = names[*name_i];
+            match op {
+                0 | 3 => {
+                    // Materialize (twice as likely as the others): identical
+                    // patches built against each catalog's own allocator.
+                    let tag = (*name_i * 1000 + *size) as u64;
+                    let ref_patches = catalog_patches(|| reference.next_patch_id(), *size, tag);
+                    let replaced_ref = reference.materialize(name, ref_patches).is_some();
+                    for sc in &shared {
+                        let replaced = sc
+                            .materialize(name, catalog_patches(|| sc.next_patch_id(), *size, tag))
+                            .is_some();
+                        prop_assert_eq!(replaced, replaced_ref, "clobber visibility diverged");
+                    }
+                }
+                1 => {
+                    let dropped_ref = reference.drop_collection(name);
+                    for sc in &shared {
+                        prop_assert_eq!(sc.drop_collection(name).is_some(), dropped_ref);
+                    }
+                }
+                _ => {
+                    let want = reference.collection(name).ok().map(|c| c.patches.clone());
+                    for sc in &shared {
+                        let got = sc.snapshot(name).ok().map(|c| c.patches.clone());
+                        prop_assert_eq!(&got, &want, "query diverged on '{}'", name);
+                    }
+                }
+            }
+        }
+
+        // Equivalent end states across every shard count.
+        let want_names: Vec<String> =
+            reference.names().iter().map(|s| s.to_string()).collect();
+        // Sampling the allocator consumes an id, so take the reference's
+        // reading exactly once.
+        let want_next = reference.next_patch_id();
+        for sc in &shared {
+            prop_assert_eq!(sc.names(), want_names.clone(), "{} shards", sc.shard_count());
+            for name in reference.names() {
+                prop_assert_eq!(
+                    &sc.snapshot(name).unwrap().patches,
+                    &reference.collection(name).unwrap().patches
+                );
+            }
+            prop_assert_eq!(sc.with_lineage(|l| l.len()), reference.lineage.len());
+            prop_assert_eq!(sc.next_patch_id(), want_next, "id allocators agree");
+        }
     }
 }
 
