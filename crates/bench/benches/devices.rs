@@ -89,6 +89,14 @@ fn main() {
         ("bench", "\"devices\"".into()),
         ("quick", quick.to_string()),
         (
+            "host",
+            // Device-kernel benches: no catalog, one implicit session.
+            report::host_json(&[
+                ("catalog_shards", "0".to_string()),
+                ("sessions", "1".to_string()),
+            ]),
+        ),
+        (
             "config",
             report::json_object(&[
                 ("join_n", join_n.to_string()),

@@ -171,6 +171,70 @@ fn main() {
         });
     }
 
+    // Batched-query sweep: K compatible similarity joins over one snapshot
+    // pair, issued one at a time vs as one `QueryBatch`. Serial issuance
+    // pays K tree builds and K probe passes; the batch pays one build and
+    // one shared pass demultiplexed across members — the figure of merit is
+    // aggregate throughput (K × work / wall-clock). The session is
+    // single-core on purpose: the gain is algorithmic sharing, not thread
+    // count, so it survives on any host shape.
+    let batch_catalog = Arc::new(SharedCatalog::new());
+    batch_catalog.materialize("indexed", indexed.clone());
+    batch_catalog.materialize("probes", probes.clone());
+    let batch_session = Session::ephemeral_attached(batch_catalog).unwrap();
+    let batch_taus = |k: usize| -> Vec<f32> { (0..k).map(|i| 1.2 + 0.35 * i as f32).collect() };
+    for k in [1usize, 2, 4, 8] {
+        let taus = batch_taus(k);
+        // Byte-identity guard: the batch must answer exactly what serial
+        // issuance answers before its timing means anything.
+        let mut b = batch_session.batch();
+        for &t in &taus {
+            b.similarity_join("indexed", "probes", t);
+        }
+        let got = b.run().unwrap();
+        let mut b = batch_session.batch();
+        for &t in &taus {
+            b.similarity_join("indexed", "probes", t);
+        }
+        assert_eq!(
+            got,
+            b.run_serial().unwrap(),
+            "batch answers diverged at K={k}"
+        );
+
+        let serial_s = median_secs(sweep_reps, || {
+            taus.iter()
+                .map(|&t| {
+                    batch_session
+                        .join_collections("indexed", "probes", t)
+                        .unwrap()
+                        .len()
+                })
+                .sum::<usize>()
+        });
+        let batched_s = median_secs(sweep_reps, || {
+            let mut b = batch_session.batch();
+            for &t in &taus {
+                b.similarity_join("indexed", "probes", t);
+            }
+            b.run()
+                .unwrap()
+                .iter()
+                .map(|r| r.pairs().unwrap().len())
+                .sum::<usize>()
+        });
+        records.push(Record {
+            name: "batched_join_serial_issue",
+            threads: k,
+            median_s: serial_s,
+        });
+        records.push(Record {
+            name: "batched_join_one_batch",
+            threads: k,
+            median_s: batched_s,
+        });
+    }
+
     for r in &records {
         println!(
             "bench ops/{:<28} threads {:>2}   median {:>9.3} ms",
@@ -201,6 +265,16 @@ fn main() {
         .unwrap_or(1);
     let mut sections: Vec<(&str, String)> =
         vec![("bench", "\"ops\"".into()), ("quick", quick.to_string())];
+    sections.push((
+        "host",
+        report::host_json(&[
+            (
+                "catalog_shards",
+                deeplens_core::shared::DEFAULT_SHARDS.to_string(),
+            ),
+            ("max_concurrent_sessions", "4".to_string()),
+        ]),
+    ));
     if host_threads == 1 {
         sections.push((
             "note",
@@ -253,6 +327,18 @@ fn main() {
         "multi_session_throughput_scaling_4s",
         format!("{scaling:.3}"),
     ));
+    // Aggregate-throughput gain of batching K compatible joins: both sides
+    // complete the same K queries, so the ratio of wall-clocks is the
+    // speedup directly. The 4-member point is the acceptance figure.
+    for k in [4usize, 8] {
+        let speedup = lookup("batched_join_serial_issue", k) / lookup("batched_join_one_batch", k);
+        println!("bench ops/batched_vs_serial speedup K={k}: {speedup:.2}x");
+        sections.push(if k == 4 {
+            ("batched_vs_serial_speedup_4q", format!("{speedup:.3}"))
+        } else {
+            ("batched_vs_serial_speedup_8q", format!("{speedup:.3}"))
+        });
+    }
 
     report::record_artifact(
         "BENCH_OPS_OUT",

@@ -109,6 +109,14 @@ fn main() {
     let mut sections: Vec<(&str, String)> = vec![
         ("bench", "\"parallel\"".into()),
         ("quick", quick.to_string()),
+        (
+            "host",
+            // Raw kernel benches: no catalog, one implicit session.
+            report::host_json(&[
+                ("catalog_shards", "0".to_string()),
+                ("sessions", "1".to_string()),
+            ]),
+        ),
     ];
     if host_threads == 1 {
         sections.push((

@@ -1,0 +1,151 @@
+//! CI bench-regression gate.
+//!
+//! Usage: `bench_gate <baseline-dir> <fresh-dir> [artifact-names...]`
+//!
+//! Compares each `BENCH_*.json` artifact in `<fresh-dir>` against the copy
+//! in `<baseline-dir>` (the committed baselines, stashed before the bench
+//! smokes overwrite them) and exits non-zero if any result row regressed
+//! beyond the allowance. Artifact names default to the three recording
+//! benches: `BENCH_ops.json`, `BENCH_parallel.json`, `BENCH_devices.json`.
+//!
+//! The comparison is noise-threshold aware, `CRITERION_QUICK` aware, and
+//! relaxes across hosts with different parallelism — see
+//! `deeplens_bench::gate` for the exact rules. Environment overrides:
+//!
+//! * `BENCH_GATE_MAX_REGRESSION` — allowed `fresh/baseline` ratio for full
+//!   runs (default 1.25, i.e. fail on >25% throughput regression);
+//! * `BENCH_GATE_QUICK_MAX_REGRESSION` — allowance for smoke runs
+//!   (default 1.75);
+//! * `BENCH_GATE_MIN_MEDIAN_S` — noise floor in seconds (default 0.002).
+
+use std::path::Path;
+use std::process::ExitCode;
+
+use deeplens_bench::gate::{gate_file, GateConfig, RowStatus};
+
+const DEFAULT_ARTIFACTS: [&str; 3] = [
+    "BENCH_ops.json",
+    "BENCH_parallel.json",
+    "BENCH_devices.json",
+];
+
+fn env_f64(name: &str, default: f64) -> f64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse::<f64>().ok())
+        .filter(|v| *v > 0.0)
+        .unwrap_or(default)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.len() < 2 {
+        eprintln!("usage: bench_gate <baseline-dir> <fresh-dir> [artifact-names...]");
+        return ExitCode::from(2);
+    }
+    let baseline_dir = Path::new(&args[0]);
+    let fresh_dir = Path::new(&args[1]);
+    let artifacts: Vec<&str> = if args.len() > 2 {
+        args[2..].iter().map(String::as_str).collect()
+    } else {
+        DEFAULT_ARTIFACTS.to_vec()
+    };
+
+    let defaults = GateConfig::default();
+    let cfg = GateConfig {
+        max_regression: env_f64("BENCH_GATE_MAX_REGRESSION", defaults.max_regression),
+        quick_max_regression: env_f64(
+            "BENCH_GATE_QUICK_MAX_REGRESSION",
+            defaults.quick_max_regression,
+        ),
+        min_median_s: env_f64("BENCH_GATE_MIN_MEDIAN_S", defaults.min_median_s),
+        host_mismatch_factor: defaults.host_mismatch_factor,
+    };
+
+    let mut total_failures = 0usize;
+    let mut total_compared = 0usize;
+    for name in &artifacts {
+        let base_path = baseline_dir.join(name);
+        let fresh_path = fresh_dir.join(name);
+        let fresh = match std::fs::read_to_string(&fresh_path) {
+            Ok(s) => s,
+            Err(e) => {
+                // A bench that stopped producing its artifact is a CI wiring
+                // bug, not a perf question: fail loudly.
+                eprintln!("bench_gate: FAIL {name}: fresh artifact unreadable: {e}");
+                total_failures += 1;
+                continue;
+            }
+        };
+        let base = match std::fs::read_to_string(&base_path) {
+            Ok(s) => s,
+            Err(_) => {
+                println!("bench_gate: {name}: no committed baseline — skipping (first run?)");
+                continue;
+            }
+        };
+        match gate_file(&base, &fresh, &cfg) {
+            Err(e) => {
+                eprintln!("bench_gate: FAIL {name}: {e}");
+                total_failures += 1;
+            }
+            Ok(report) => {
+                total_compared += report.compared();
+                println!(
+                    "bench_gate: {name} (bench \"{}\"): allowance {:.2}x{}{}",
+                    report.bench,
+                    report.allowed,
+                    if report.quick { " [quick]" } else { "" },
+                    if report.host_mismatch {
+                        " [host mismatch: relaxed]"
+                    } else {
+                        ""
+                    },
+                );
+                for row in &report.rows {
+                    let verdict = match row.status {
+                        RowStatus::Pass => "ok",
+                        RowStatus::Fail => "REGRESSED",
+                        RowStatus::SkippedNoise => "skipped (noise floor)",
+                        RowStatus::New => "new",
+                    };
+                    match (row.baseline_s, row.ratio) {
+                        (Some(b), Some(r)) => println!(
+                            "  {:<55} {:>9.3}ms -> {:>9.3}ms  ({:>5.2}x)  {verdict}",
+                            row.key,
+                            b * 1e3,
+                            row.fresh_s * 1e3,
+                            r
+                        ),
+                        _ => println!("  {:<55} {:>24.3}ms  {verdict}", row.key, row.fresh_s * 1e3),
+                    }
+                }
+                for key in &report.missing_in_fresh {
+                    println!("  {key:<55} (baseline row vanished — not failing)");
+                }
+                if report.compared() == 0 {
+                    println!(
+                        "bench_gate: WARNING {name}: 0 rows compared (all below the noise \
+                         floor or new) — this artifact was not gated"
+                    );
+                }
+                total_failures += report.failures();
+            }
+        }
+    }
+
+    if total_failures > 0 {
+        eprintln!("bench_gate: {total_failures} regression(s) beyond the allowance");
+        ExitCode::FAILURE
+    } else {
+        if total_compared > 0 {
+            println!("bench_gate: {total_compared} compared row(s) within the allowance");
+        } else {
+            println!(
+                "bench_gate: WARNING nothing compared (no baselines, or every row below \
+                 the noise floor) — no regression protection this run"
+            );
+        }
+        ExitCode::SUCCESS
+    }
+}

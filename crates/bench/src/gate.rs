@@ -1,0 +1,621 @@
+//! Bench-regression gate: compare freshly recorded `BENCH_*.json` artifacts
+//! against committed baselines and fail on significant throughput
+//! regressions.
+//!
+//! The recording benches (`benches/{ops,parallel,devices}.rs`) write their
+//! medians into `BENCH_*.json` at the workspace root; CI commits those files
+//! as baselines and re-records them on every run. This module diffs the two
+//! and flags rows whose median slowed down by more than the allowed factor.
+//!
+//! The comparison is deliberately noise-aware:
+//!
+//! * rows whose median (on either side) sits below
+//!   [`GateConfig::min_median_s`] are **skipped** — sub-millisecond smoke
+//!   medians are scheduler noise, not signal;
+//! * when either artifact was recorded under `CRITERION_QUICK` (the
+//!   `"quick": true` marker) the looser
+//!   [`GateConfig::quick_max_regression`] applies — smoke-sized runs jitter
+//!   far more than full runs;
+//! * when the two artifacts were recorded on hosts with different
+//!   parallelism (the `host` section every bench records), the allowance is
+//!   multiplied by [`GateConfig::host_mismatch_factor`] — a 1-core dev
+//!   container and a multi-core CI runner are not comparable at 25%.
+//!
+//! There is no serde in the offline workspace, so a ~100-line JSON reader
+//! lives here; it handles exactly (and only) the JSON subset the bench
+//! writers emit.
+
+use std::collections::HashMap;
+
+// --------------------------------------------------------------------------
+// Minimal JSON reader
+// --------------------------------------------------------------------------
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// Object as insertion-ordered pairs.
+    Obj(Vec<(String, Json)>),
+    /// Array.
+    Arr(Vec<Json>),
+    /// String.
+    Str(String),
+    /// Number (everything is f64, as in JSON itself).
+    Num(f64),
+    /// Boolean.
+    Bool(bool),
+    /// Null.
+    Null,
+}
+
+impl Json {
+    /// Object field lookup.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Numeric value, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// Bool value, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// String value, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Array items, if this is an array.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(a) => Some(a),
+            _ => None,
+        }
+    }
+}
+
+/// Parse a JSON document (the subset the bench writers emit).
+pub fn parse_json(text: &str) -> Result<Json, String> {
+    let bytes = text.as_bytes();
+    let mut pos = 0usize;
+    let value = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing content at byte {pos}"));
+    }
+    Ok(value)
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && (b[*pos] as char).is_ascii_whitespace() {
+        *pos += 1;
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        None => Err("unexpected end of input".into()),
+        Some(b'{') => {
+            *pos += 1;
+            let mut pairs = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Json::Obj(pairs));
+            }
+            loop {
+                skip_ws(b, pos);
+                let key = match parse_value(b, pos)? {
+                    Json::Str(s) => s,
+                    other => return Err(format!("object key must be a string, got {other:?}")),
+                };
+                skip_ws(b, pos);
+                if b.get(*pos) != Some(&b':') {
+                    return Err(format!("expected ':' at byte {pos}"));
+                }
+                *pos += 1;
+                pairs.push((key, parse_value(b, pos)?));
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Json::Obj(pairs));
+                    }
+                    _ => return Err(format!("expected ',' or '}}' at byte {pos}")),
+                }
+            }
+        }
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            loop {
+                items.push(parse_value(b, pos)?);
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Json::Arr(items));
+                    }
+                    _ => return Err(format!("expected ',' or ']' at byte {pos}")),
+                }
+            }
+        }
+        Some(b'"') => {
+            *pos += 1;
+            // Accumulate raw bytes and decode as UTF-8 once at the closing
+            // quote — pushing bytes as chars would Latin-1-mojibake any
+            // multi-byte sequence (the artifacts contain em-dashes).
+            let mut out: Vec<u8> = Vec::new();
+            loop {
+                match b.get(*pos) {
+                    None => return Err("unterminated string".into()),
+                    Some(b'"') => {
+                        *pos += 1;
+                        return String::from_utf8(out)
+                            .map(Json::Str)
+                            .map_err(|e| format!("invalid UTF-8 in string: {e}"));
+                    }
+                    Some(b'\\') => {
+                        *pos += 1;
+                        match b.get(*pos) {
+                            Some(b'"') => out.push(b'"'),
+                            Some(b'\\') => out.push(b'\\'),
+                            Some(b'n') => out.push(b'\n'),
+                            Some(b't') => out.push(b'\t'),
+                            Some(c) => return Err(format!("unsupported escape \\{}", *c as char)),
+                            None => return Err("unterminated escape".into()),
+                        }
+                        *pos += 1;
+                    }
+                    Some(&c) => {
+                        out.push(c);
+                        *pos += 1;
+                    }
+                }
+            }
+        }
+        Some(b't') if b[*pos..].starts_with(b"true") => {
+            *pos += 4;
+            Ok(Json::Bool(true))
+        }
+        Some(b'f') if b[*pos..].starts_with(b"false") => {
+            *pos += 5;
+            Ok(Json::Bool(false))
+        }
+        Some(b'n') if b[*pos..].starts_with(b"null") => {
+            *pos += 4;
+            Ok(Json::Null)
+        }
+        Some(_) => {
+            let start = *pos;
+            while *pos < b.len()
+                && matches!(b[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+            {
+                *pos += 1;
+            }
+            std::str::from_utf8(&b[start..*pos])
+                .ok()
+                .and_then(|s| s.parse::<f64>().ok())
+                .map(Json::Num)
+                .ok_or_else(|| format!("invalid number at byte {start}"))
+        }
+    }
+}
+
+// --------------------------------------------------------------------------
+// Gate comparison
+// --------------------------------------------------------------------------
+
+/// Tolerances of the regression gate.
+#[derive(Debug, Clone, Copy)]
+pub struct GateConfig {
+    /// Maximum allowed `fresh / baseline` median ratio for full bench runs.
+    pub max_regression: f64,
+    /// Maximum allowed ratio when either artifact is a `CRITERION_QUICK`
+    /// smoke run (far noisier).
+    pub quick_max_regression: f64,
+    /// Rows whose median is below this (seconds) on either side are skipped
+    /// as noise.
+    pub min_median_s: f64,
+    /// Allowance multiplier when baseline and fresh artifacts were recorded
+    /// on hosts with different available parallelism.
+    pub host_mismatch_factor: f64,
+}
+
+impl Default for GateConfig {
+    fn default() -> Self {
+        GateConfig {
+            // The ISSUE's contract: fail on >25% throughput regression.
+            max_regression: 1.25,
+            quick_max_regression: 1.75,
+            min_median_s: 0.002,
+            host_mismatch_factor: 2.0,
+        }
+    }
+}
+
+/// Verdict for one result row.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RowStatus {
+    /// Within the allowed regression envelope.
+    Pass,
+    /// Slower than the allowance: the gate fails.
+    Fail,
+    /// Median below the noise floor on either side; not compared.
+    SkippedNoise,
+    /// No baseline row with this key (new benchmark): passes.
+    New,
+}
+
+/// Comparison of one result row across the two artifacts.
+#[derive(Debug, Clone)]
+pub struct RowReport {
+    /// Stable row key: the result name plus its discriminator fields.
+    pub key: String,
+    /// Baseline median (seconds), if the row existed in the baseline.
+    pub baseline_s: Option<f64>,
+    /// Freshly recorded median (seconds).
+    pub fresh_s: f64,
+    /// `fresh / baseline`, when both sides exist.
+    pub ratio: Option<f64>,
+    /// The verdict.
+    pub status: RowStatus,
+}
+
+/// Gate outcome for one `BENCH_*.json` pair.
+#[derive(Debug, Clone)]
+pub struct FileReport {
+    /// The artifact's `bench` field.
+    pub bench: String,
+    /// The ratio allowance actually applied.
+    pub allowed: f64,
+    /// Whether quick-mode tolerance was in effect.
+    pub quick: bool,
+    /// Whether the two artifacts came from hosts with different
+    /// parallelism (comparison relaxed).
+    pub host_mismatch: bool,
+    /// Per-row verdicts, in the fresh artifact's order.
+    pub rows: Vec<RowReport>,
+    /// Baseline rows that vanished from the fresh artifact (warned, not
+    /// failed: renames and retired benchmarks are legitimate).
+    pub missing_in_fresh: Vec<String>,
+}
+
+impl FileReport {
+    /// Number of failed rows.
+    pub fn failures(&self) -> usize {
+        self.rows
+            .iter()
+            .filter(|r| r.status == RowStatus::Fail)
+            .count()
+    }
+
+    /// Number of rows actually compared against a baseline (pass or fail) —
+    /// when this is zero the gate enforced nothing for this artifact, and
+    /// callers should say so instead of reporting success.
+    pub fn compared(&self) -> usize {
+        self.rows
+            .iter()
+            .filter(|r| matches!(r.status, RowStatus::Pass | RowStatus::Fail))
+            .count()
+    }
+}
+
+/// Stable key for a result row: its `name` plus every other scalar
+/// discriminator (`threads`, `variant`, `device`, …), order-normalized.
+fn row_key(row: &Json) -> String {
+    let name = row
+        .get("name")
+        .and_then(Json::as_str)
+        .unwrap_or("<unnamed>");
+    let mut extras: Vec<String> = match row {
+        Json::Obj(pairs) => pairs
+            .iter()
+            .filter(|(k, _)| k != "name" && k != "median_s")
+            .map(|(k, v)| {
+                let v = match v {
+                    Json::Str(s) => s.clone(),
+                    Json::Num(n) => format!("{n}"),
+                    Json::Bool(b) => format!("{b}"),
+                    other => format!("{other:?}"),
+                };
+                format!("{k}={v}")
+            })
+            .collect(),
+        _ => vec![],
+    };
+    extras.sort_unstable();
+    if extras.is_empty() {
+        name.to_string()
+    } else {
+        format!("{name} [{}]", extras.join(", "))
+    }
+}
+
+/// The host parallelism an artifact records ([`crate::report::host_json`]'s
+/// `available_parallelism`, with the legacy `config.host_threads` as a
+/// fallback for artifacts recorded before the host section existed).
+fn host_parallelism(doc: &Json) -> Option<f64> {
+    doc.get("host")
+        .and_then(|h| h.get("available_parallelism"))
+        .and_then(Json::as_f64)
+        .or_else(|| {
+            doc.get("config")
+                .and_then(|c| c.get("host_threads"))
+                .and_then(Json::as_f64)
+        })
+}
+
+/// Compare one baseline/fresh artifact pair under `cfg`.
+pub fn gate_file(baseline: &str, fresh: &str, cfg: &GateConfig) -> Result<FileReport, String> {
+    let base_doc = parse_json(baseline).map_err(|e| format!("baseline: {e}"))?;
+    let fresh_doc = parse_json(fresh).map_err(|e| format!("fresh: {e}"))?;
+
+    let bench = fresh_doc
+        .get("bench")
+        .and_then(Json::as_str)
+        .unwrap_or("<unknown>")
+        .to_string();
+    let quick = [&base_doc, &fresh_doc]
+        .iter()
+        .any(|d| d.get("quick").and_then(Json::as_bool).unwrap_or(false));
+    let host_mismatch = match (host_parallelism(&base_doc), host_parallelism(&fresh_doc)) {
+        (Some(a), Some(b)) => a != b,
+        // One side predates host recording: treat as mismatched (relaxed).
+        _ => true,
+    };
+
+    let mut allowed = if quick {
+        cfg.quick_max_regression
+    } else {
+        cfg.max_regression
+    };
+    if host_mismatch {
+        allowed *= cfg.host_mismatch_factor;
+    }
+
+    let rows_of = |doc: &Json| -> Vec<(String, f64)> {
+        doc.get("results")
+            .and_then(Json::as_arr)
+            .map(|rows| {
+                rows.iter()
+                    .filter_map(|r| {
+                        r.get("median_s")
+                            .and_then(Json::as_f64)
+                            .map(|m| (row_key(r), m))
+                    })
+                    .collect()
+            })
+            .unwrap_or_default()
+    };
+    let base_rows: HashMap<String, f64> = rows_of(&base_doc).into_iter().collect();
+    let fresh_rows = rows_of(&fresh_doc);
+
+    let mut rows = Vec::with_capacity(fresh_rows.len());
+    for (key, fresh_s) in &fresh_rows {
+        let report = match base_rows.get(key) {
+            None => RowReport {
+                key: key.clone(),
+                baseline_s: None,
+                fresh_s: *fresh_s,
+                ratio: None,
+                status: RowStatus::New,
+            },
+            Some(&base_s) => {
+                let ratio = if base_s > 0.0 {
+                    fresh_s / base_s
+                } else {
+                    f64::INFINITY
+                };
+                // A fresh median below the floor cannot meaningfully regress
+                // — skip it. A fresh median *above* the floor is always
+                // compared, even against a sub-floor baseline: the decision
+                // ratio clamps the baseline up to the floor, so sub-floor
+                // jitter can't fail the gate but a row that ballooned across
+                // the floor (a real regression) still does.
+                let status = if *fresh_s < cfg.min_median_s {
+                    RowStatus::SkippedNoise
+                } else if fresh_s / base_s.max(cfg.min_median_s) > allowed {
+                    RowStatus::Fail
+                } else {
+                    RowStatus::Pass
+                };
+                RowReport {
+                    key: key.clone(),
+                    baseline_s: Some(base_s),
+                    fresh_s: *fresh_s,
+                    ratio: Some(ratio),
+                    status,
+                }
+            }
+        };
+        rows.push(report);
+    }
+
+    let fresh_keys: std::collections::HashSet<&str> =
+        fresh_rows.iter().map(|(k, _)| k.as_str()).collect();
+    let mut missing_in_fresh: Vec<String> = base_rows
+        .keys()
+        .filter(|k| !fresh_keys.contains(k.as_str()))
+        .cloned()
+        .collect();
+    missing_in_fresh.sort_unstable();
+
+    Ok(FileReport {
+        bench,
+        allowed,
+        quick,
+        host_mismatch,
+        rows,
+        missing_in_fresh,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn doc(quick: bool, host: usize, medians: &[(&str, usize, f64)]) -> String {
+        let rows: Vec<String> = medians
+            .iter()
+            .map(|(n, t, m)| {
+                format!("{{\"name\": \"{n}\", \"threads\": {t}, \"median_s\": {m:.6}}}")
+            })
+            .collect();
+        format!(
+            "{{\n  \"bench\": \"ops\",\n  \"quick\": {quick},\n  \"host\": {{\"available_parallelism\": {host}}},\n  \"results\": [\n    {}\n  ]\n}}\n",
+            rows.join(",\n    ")
+        )
+    }
+
+    #[test]
+    fn parser_handles_real_artifact_shapes() {
+        let text = doc(true, 4, &[("join", 1, 0.0123), ("join", 8, 0.004)]);
+        let j = parse_json(&text).unwrap();
+        assert_eq!(j.get("bench").and_then(Json::as_str), Some("ops"));
+        assert_eq!(j.get("quick").and_then(Json::as_bool), Some(true));
+        let rows = j.get("results").and_then(Json::as_arr).unwrap();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].get("median_s").and_then(Json::as_f64), Some(0.0123));
+        // Nested objects, negative/exponent numbers, escapes, null.
+        let j = parse_json("{\"a\": [-1.5e-3, null, {\"b\\\"c\": false}]}").unwrap();
+        let arr = j.get("a").and_then(Json::as_arr).unwrap();
+        assert_eq!(arr[0].as_f64(), Some(-1.5e-3));
+        assert_eq!(arr[1], Json::Null);
+        assert_eq!(arr[2].get("b\"c").and_then(Json::as_bool), Some(false));
+        assert!(parse_json("{\"a\": }").is_err());
+        assert!(parse_json("[1, 2] trailing").is_err());
+    }
+
+    #[test]
+    fn parser_preserves_multibyte_utf8() {
+        // The artifacts' note fields contain em-dashes; byte-at-a-time char
+        // pushing would mojibake them.
+        let j = parse_json("{\"note\": \"1 thread — degenerate\"}").unwrap();
+        assert_eq!(
+            j.get("note").and_then(Json::as_str),
+            Some("1 thread — degenerate")
+        );
+    }
+
+    #[test]
+    fn gate_passes_identical_artifacts() {
+        let text = doc(false, 4, &[("join", 1, 0.020), ("dedup", 4, 0.010)]);
+        let report = gate_file(&text, &text, &GateConfig::default()).unwrap();
+        assert_eq!(report.failures(), 0);
+        assert!(!report.quick);
+        assert!(!report.host_mismatch);
+        assert!(report.rows.iter().all(|r| r.status == RowStatus::Pass));
+    }
+
+    #[test]
+    fn gate_fails_seeded_regression() {
+        let base = doc(false, 4, &[("join", 1, 0.020), ("dedup", 4, 0.010)]);
+        // join got 2x slower; dedup is fine.
+        let fresh = doc(false, 4, &[("join", 1, 0.040), ("dedup", 4, 0.0101)]);
+        let report = gate_file(&base, &fresh, &GateConfig::default()).unwrap();
+        assert_eq!(report.failures(), 1);
+        let bad = report
+            .rows
+            .iter()
+            .find(|r| r.status == RowStatus::Fail)
+            .unwrap();
+        assert!(bad.key.starts_with("join"));
+        assert!((bad.ratio.unwrap() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sub_floor_medians_are_noise_not_signal() {
+        let base = doc(false, 4, &[("tiny", 1, 0.0002)]);
+        let fresh = doc(false, 4, &[("tiny", 1, 0.0019)]); // 9.5x "slower"
+        let report = gate_file(&base, &fresh, &GateConfig::default()).unwrap();
+        assert_eq!(report.failures(), 0);
+        assert_eq!(report.rows[0].status, RowStatus::SkippedNoise);
+        assert_eq!(report.compared(), 0, "nothing enforced: caller must warn");
+    }
+
+    #[test]
+    fn regression_crossing_the_noise_floor_still_fails() {
+        // A sub-floor baseline does not blind the gate: a fresh median that
+        // balloons far above the floor is a real regression (the decision
+        // ratio clamps the baseline up to the floor).
+        let base = doc(false, 4, &[("tiny", 1, 0.0002)]);
+        let fresh = doc(false, 4, &[("tiny", 1, 0.5)]);
+        let report = gate_file(&base, &fresh, &GateConfig::default()).unwrap();
+        assert_eq!(report.failures(), 1);
+        // But a modest hop just across the floor stays within the clamped
+        // allowance (0.0024 / max(0.0002, 0.002) = 1.2x).
+        let fresh = doc(false, 4, &[("tiny", 1, 0.0024)]);
+        let report = gate_file(&base, &fresh, &GateConfig::default()).unwrap();
+        assert_eq!(report.failures(), 0);
+        assert_eq!(report.rows[0].status, RowStatus::Pass);
+    }
+
+    #[test]
+    fn quick_mode_relaxes_the_allowance() {
+        let base = doc(true, 4, &[("join", 1, 0.020)]);
+        let fresh_ok = doc(true, 4, &[("join", 1, 0.030)]); // 1.5x: quick tolerates
+        let report = gate_file(&base, &fresh_ok, &GateConfig::default()).unwrap();
+        assert_eq!(report.failures(), 0);
+        assert!(report.quick);
+        let fresh_bad = doc(true, 4, &[("join", 1, 0.040)]); // 2.0x: still fails
+        let report = gate_file(&base, &fresh_bad, &GateConfig::default()).unwrap();
+        assert_eq!(report.failures(), 1);
+    }
+
+    #[test]
+    fn host_mismatch_relaxes_but_does_not_blind() {
+        let base = doc(false, 1, &[("join", 1, 0.020)]);
+        let fresh = doc(false, 8, &[("join", 1, 0.040)]); // 2.0x across hosts
+        let report = gate_file(&base, &fresh, &GateConfig::default()).unwrap();
+        assert!(report.host_mismatch);
+        assert_eq!(report.failures(), 0, "2x within the relaxed envelope");
+        let fresh = doc(false, 8, &[("join", 1, 0.080)]); // 4.0x: fails anyway
+        let report = gate_file(&base, &fresh, &GateConfig::default()).unwrap();
+        assert_eq!(report.failures(), 1);
+    }
+
+    #[test]
+    fn new_and_vanished_rows_pass_with_warnings() {
+        let base = doc(false, 4, &[("old", 1, 0.020)]);
+        let fresh = doc(false, 4, &[("new", 1, 0.020)]);
+        let report = gate_file(&base, &fresh, &GateConfig::default()).unwrap();
+        assert_eq!(report.failures(), 0);
+        assert_eq!(report.rows[0].status, RowStatus::New);
+        assert_eq!(report.missing_in_fresh, vec!["old [threads=1]".to_string()]);
+    }
+
+    #[test]
+    fn row_keys_discriminate_on_every_scalar_field() {
+        let a = parse_json("{\"name\": \"x\", \"threads\": 2, \"median_s\": 1}").unwrap();
+        let b = parse_json("{\"name\": \"x\", \"threads\": 4, \"median_s\": 1}").unwrap();
+        let c = parse_json("{\"name\": \"x\", \"variant\": \"AVX\", \"median_s\": 1}").unwrap();
+        assert_ne!(row_key(&a), row_key(&b));
+        assert_ne!(row_key(&a), row_key(&c));
+        assert_eq!(row_key(&a), "x [threads=2]");
+    }
+}

@@ -24,11 +24,17 @@
 //! | `table1_accuracy` | Table 1 — accuracy vs. runtime of q4 plan orders |
 //! | `run_all` | everything above in sequence |
 //!
+//! `bench_gate` is not a figure harness: it diffs freshly recorded
+//! `BENCH_*.json` artifacts against committed baselines and fails on
+//! significant regressions (see [`gate`]); CI runs it after the bench
+//! smokes.
+//!
 //! The workload scale defaults to a laptop-friendly fraction of the paper's
 //! corpus sizes and can be raised with the `DEEPLENS_SCALE` environment
 //! variable (`1.0` = paper scale).
 
 pub mod etl;
+pub mod gate;
 pub mod queries;
 pub mod report;
 

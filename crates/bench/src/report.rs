@@ -59,6 +59,32 @@ pub fn json_object(pairs: &[(&str, String)]) -> String {
     format!("{{{}}}", body.join(", "))
 }
 
+/// The `host` section every recorded `BENCH_*.json` carries: the machine's
+/// available parallelism and the `DEEPLENS_THREADS` override (JSON `null`
+/// when unset), plus bench-specific extras (catalog shard counts, session
+/// counts). Artifact numbers from a 1-core dev container and a multi-core
+/// CI runner are meaningless to compare without this — the regression gate
+/// reads `available_parallelism` to decide whether two artifacts come from
+/// comparable hosts.
+pub fn host_json(extra: &[(&str, String)]) -> String {
+    let parallelism = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let over = std::env::var("DEEPLENS_THREADS")
+        .ok()
+        .as_deref()
+        .and_then(deeplens_exec::device::parse_thread_override);
+    let mut pairs: Vec<(&str, String)> = vec![
+        ("available_parallelism", parallelism.to_string()),
+        (
+            "threads_override",
+            over.map_or("null".to_string(), |n| n.to_string()),
+        ),
+    ];
+    pairs.extend(extra.iter().map(|(k, v)| (*k, v.clone())));
+    json_object(&pairs)
+}
+
 /// Write a recorded bench artifact: `env_var` overrides `default_path`.
 /// Echoes where the file landed.
 pub fn record_artifact(env_var: &str, default_path: String, json: &str) {
@@ -207,6 +233,15 @@ mod tests {
     fn row_width_checked() {
         let mut t = Table::new("test", &["a", "b"]);
         t.row(&["only-one"]);
+    }
+
+    #[test]
+    fn host_json_is_valid_and_extensible() {
+        let h = host_json(&[("catalog_shards", "16".to_string())]);
+        assert!(h.starts_with('{') && h.ends_with('}'));
+        assert!(h.contains("\"available_parallelism\": "));
+        assert!(h.contains("\"threads_override\": "));
+        assert!(h.contains("\"catalog_shards\": 16"));
     }
 
     #[test]

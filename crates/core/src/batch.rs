@@ -1,0 +1,718 @@
+//! Batched query execution inside a session (multi-query optimization).
+//!
+//! The paper's optimizer amortizes expensive work — scans, featurization,
+//! index probes — *across* queries instead of re-running it per request. A
+//! [`QueryBatch`] is that story at the session level: an application hands
+//! the session K declarative queries at once, and the batch planner groups
+//! the compatible ones so they share physical work:
+//!
+//! * **similarity joins and dedups** over the same collection snapshots
+//!   share one on-the-fly Ball-Tree build and one morsel-sharded probe pass
+//!   per distinct probe relation — the pass probes at the group's outer
+//!   radius and demultiplexes candidates against each member's own
+//!   threshold and predicate ([`ops::similarity_join_balltree_multi`]);
+//! * on a [`Device::GpuSim`] session, joins over the same snapshot pair
+//!   share one all-pairs kernel dispatch: the distance matrix is computed
+//!   once and the launch + transfer overhead is paid once for the whole
+//!   group ([`Executor::threshold_join_multi`]);
+//! * **index probes** against the same prebuilt Ball-Tree index share the
+//!   snapshot and the index, with the K probes sharded over the session's
+//!   morsel pool.
+//!
+//! **Compatibility** is decided by snapshot identity, not by name: every
+//! collection a batch mentions is resolved to one consistent snapshot up
+//! front ([`SharedCatalog::snapshot_many`]), and queries group when they
+//! agree on the snapshot the shared pass scans (for tree joins, the side
+//! the tree is built over — the smaller relation, exactly the side the
+//! serial path would index). Incompatible queries still execute correctly;
+//! they simply share nothing.
+//!
+//! **Determinism**: results come back in query order, and each member's
+//! result is byte-identical to issuing that query alone through the
+//! session's serial methods against the same snapshots
+//! ([`QueryBatch::run_serial`] is that reference path, verbatim).
+//!
+//! **Admission**: a batch is *one* admission unit. However many members it
+//! carries, it executes on the session's single thread slice
+//! (`Session::pool`), so batching composes with the multi-session budget
+//! split instead of multiplying it.
+
+use std::sync::Arc;
+
+use deeplens_exec::Device;
+
+use crate::catalog::PatchCollection;
+use crate::ops::{self, BatchJoinMember};
+use crate::patch::Patch;
+use crate::session::Session;
+use crate::Result;
+
+/// A θ-predicate attached to a batched similarity join, called as
+/// `pred(left_patch, right_patch)` in the query's own orientation.
+pub type JoinPredicate = Arc<dyn Fn(&Patch, &Patch) -> bool + Send + Sync>;
+
+/// The batch's resolved scan sources: one snapshot per distinct collection
+/// (first-use order) and, per query, the positions of its collections in
+/// that list.
+type ResolvedSnapshots = (Vec<Arc<PatchCollection>>, Vec<Vec<usize>>);
+
+/// One declarative query inside a [`QueryBatch`].
+#[derive(Clone)]
+pub enum BatchQuery {
+    /// Similarity join of two materialized collections: all `(left_idx,
+    /// right_idx)` pairs within `tau`, sorted — with an optional θ-predicate
+    /// applied to the joined pairs.
+    SimilarityJoin {
+        /// Left collection name.
+        left: String,
+        /// Right collection name.
+        right: String,
+        /// Similarity threshold.
+        tau: f32,
+        /// Optional pair filter.
+        predicate: Option<JoinPredicate>,
+    },
+    /// Similarity deduplication of one collection: transitive clusters of
+    /// patches within `tau`.
+    Dedup {
+        /// Collection name.
+        collection: String,
+        /// Similarity threshold.
+        tau: f32,
+    },
+    /// Range probe of a prebuilt Ball-Tree index: positions within `tau` of
+    /// `probe`, in index traversal order.
+    IndexProbe {
+        /// Collection name.
+        collection: String,
+        /// Ball-Tree index name on that collection.
+        index: String,
+        /// Probe feature vector.
+        probe: Vec<f32>,
+        /// Similarity threshold.
+        tau: f32,
+    },
+}
+
+impl std::fmt::Debug for BatchQuery {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BatchQuery::SimilarityJoin {
+                left,
+                right,
+                tau,
+                predicate,
+            } => f
+                .debug_struct("SimilarityJoin")
+                .field("left", left)
+                .field("right", right)
+                .field("tau", tau)
+                .field("filtered", &predicate.is_some())
+                .finish(),
+            BatchQuery::Dedup { collection, tau } => f
+                .debug_struct("Dedup")
+                .field("collection", collection)
+                .field("tau", tau)
+                .finish(),
+            BatchQuery::IndexProbe {
+                collection,
+                index,
+                tau,
+                ..
+            } => f
+                .debug_struct("IndexProbe")
+                .field("collection", collection)
+                .field("index", index)
+                .field("tau", tau)
+                .finish(),
+        }
+    }
+}
+
+/// The result of one batch member, in query order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BatchResult {
+    /// Sorted `(left_idx, right_idx)` join pairs.
+    Pairs(Vec<(u32, u32)>),
+    /// Dedup clusters (sorted members, ordered by smallest member).
+    Clusters(Vec<Vec<u32>>),
+    /// Index-probe hits in traversal order.
+    Hits(Vec<u32>),
+}
+
+impl BatchResult {
+    /// The join pairs, if this member was a similarity join.
+    pub fn pairs(&self) -> Option<&[(u32, u32)]> {
+        match self {
+            BatchResult::Pairs(p) => Some(p),
+            _ => None,
+        }
+    }
+
+    /// The clusters, if this member was a dedup.
+    pub fn clusters(&self) -> Option<&[Vec<u32>]> {
+        match self {
+            BatchResult::Clusters(c) => Some(c),
+            _ => None,
+        }
+    }
+
+    /// The probe hits, if this member was an index probe.
+    pub fn hits(&self) -> Option<&[u32]> {
+        match self {
+            BatchResult::Hits(h) => Some(h),
+            _ => None,
+        }
+    }
+}
+
+/// A batch of declarative queries accepted by one [`Session`]
+/// ([`Session::batch`]). Enqueue members, then [`QueryBatch::run`].
+#[derive(Debug)]
+pub struct QueryBatch<'s> {
+    session: &'s Session,
+    queries: Vec<BatchQuery>,
+}
+
+/// How one tree-join member maps back onto the shared pass.
+struct BallMember {
+    query: usize,
+    /// Index into the resolved snapshot list for the probe side.
+    probes: usize,
+    tau: f32,
+    probe_is_left: bool,
+    predicate: Option<JoinPredicate>,
+    /// `Some(n)` when the member is a dedup over `n` patches: pairs are
+    /// clustered after the pass.
+    cluster_n: Option<usize>,
+}
+
+/// One shared Ball-Tree pass: every member joins against the same indexed
+/// snapshot.
+struct BallGroup {
+    /// Index into the resolved snapshot list for the indexed side.
+    indexed: usize,
+    members: Vec<BallMember>,
+}
+
+/// One shared GPU all-pairs dispatch: members agree on the `(left, right)`
+/// snapshot pair and differ only in threshold / predicate.
+struct GpuGroup {
+    left: usize,
+    right: usize,
+    members: Vec<(usize, f32, Option<JoinPredicate>)>,
+}
+
+/// One shared prebuilt-index probe pass.
+struct ProbeGroup {
+    collection: usize,
+    index: String,
+    /// `(query_idx, probe, tau)` members.
+    members: Vec<(usize, Vec<f32>, f32)>,
+}
+
+impl<'s> QueryBatch<'s> {
+    pub(crate) fn new(session: &'s Session) -> Self {
+        QueryBatch {
+            session,
+            queries: Vec::new(),
+        }
+    }
+
+    /// Number of enqueued queries.
+    pub fn len(&self) -> usize {
+        self.queries.len()
+    }
+
+    /// Whether the batch is empty.
+    pub fn is_empty(&self) -> bool {
+        self.queries.is_empty()
+    }
+
+    /// The enqueued queries, in order.
+    pub fn queries(&self) -> &[BatchQuery] {
+        &self.queries
+    }
+
+    /// Enqueue a similarity join of collections `left × right` within
+    /// `tau`. Returns the query's position in the batch (its result index).
+    pub fn similarity_join(&mut self, left: &str, right: &str, tau: f32) -> usize {
+        self.push(BatchQuery::SimilarityJoin {
+            left: left.to_string(),
+            right: right.to_string(),
+            tau,
+            predicate: None,
+        })
+    }
+
+    /// [`QueryBatch::similarity_join`] with a θ-predicate over the joined
+    /// pairs: the result is the join filtered to pairs satisfying
+    /// `pred(left_patch, right_patch)` — applied per morsel during the
+    /// shared pass, never as a separate scan.
+    pub fn similarity_join_filtered(
+        &mut self,
+        left: &str,
+        right: &str,
+        tau: f32,
+        pred: JoinPredicate,
+    ) -> usize {
+        self.push(BatchQuery::SimilarityJoin {
+            left: left.to_string(),
+            right: right.to_string(),
+            tau,
+            predicate: Some(pred),
+        })
+    }
+
+    /// Enqueue a similarity dedup of `collection` within `tau`.
+    pub fn dedup(&mut self, collection: &str, tau: f32) -> usize {
+        self.push(BatchQuery::Dedup {
+            collection: collection.to_string(),
+            tau,
+        })
+    }
+
+    /// Enqueue a range probe of the prebuilt Ball-Tree `index` on
+    /// `collection`.
+    pub fn index_probe(
+        &mut self,
+        collection: &str,
+        index: &str,
+        probe: Vec<f32>,
+        tau: f32,
+    ) -> usize {
+        self.push(BatchQuery::IndexProbe {
+            collection: collection.to_string(),
+            index: index.to_string(),
+            probe,
+            tau,
+        })
+    }
+
+    /// Enqueue an already-built [`BatchQuery`].
+    pub fn push(&mut self, query: BatchQuery) -> usize {
+        self.queries.push(query);
+        self.queries.len() - 1
+    }
+
+    /// Resolve every collection the batch mentions to one consistent
+    /// snapshot (first-use order). Returns the snapshot list and, per
+    /// query, the positions of its collections in that list.
+    fn resolve_snapshots(&self) -> Result<ResolvedSnapshots> {
+        let mut names: Vec<&str> = Vec::new();
+        let mut per_query: Vec<Vec<usize>> = Vec::with_capacity(self.queries.len());
+        for q in &self.queries {
+            let qnames: Vec<&str> = match q {
+                BatchQuery::SimilarityJoin { left, right, .. } => vec![left, right],
+                BatchQuery::Dedup { collection, .. }
+                | BatchQuery::IndexProbe { collection, .. } => vec![collection],
+            };
+            let mut slots = Vec::with_capacity(qnames.len());
+            for name in qnames {
+                let i = match names.iter().position(|n| *n == name) {
+                    Some(i) => i,
+                    None => {
+                        names.push(name);
+                        names.len() - 1
+                    }
+                };
+                slots.push(i);
+            }
+            per_query.push(slots);
+        }
+        let snaps = self.session.catalog.snapshot_many(&names)?;
+        Ok((snaps, per_query))
+    }
+
+    /// Execute the batch: one shared pass per compatible group, results
+    /// demultiplexed into query order. Each member's result is
+    /// byte-identical to issuing that query alone against the same
+    /// snapshots ([`QueryBatch::run_serial`]).
+    ///
+    /// The whole batch runs as **one admission unit** on the session's
+    /// thread slice, and every snapshot is taken once up front — concurrent
+    /// writers publishing new versions mid-batch cannot tear the scan.
+    pub fn run(self) -> Result<Vec<BatchResult>> {
+        let (snaps, per_query) = self.resolve_snapshots()?;
+        let pool = self.session.pool();
+        let gpu = self.session.device() == Device::GpuSim;
+
+        let mut ball_groups: Vec<BallGroup> = Vec::new();
+        let mut gpu_groups: Vec<GpuGroup> = Vec::new();
+        let mut probe_groups: Vec<ProbeGroup> = Vec::new();
+
+        for (qi, q) in self.queries.iter().enumerate() {
+            match q {
+                BatchQuery::SimilarityJoin { tau, predicate, .. } => {
+                    let (l, r) = (per_query[qi][0], per_query[qi][1]);
+                    if gpu {
+                        // The GPU path joins (left × right) as-is: group by
+                        // the exact snapshot pair.
+                        match gpu_groups.iter_mut().find(|g| g.left == l && g.right == r) {
+                            Some(g) => g.members.push((qi, *tau, predicate.clone())),
+                            None => gpu_groups.push(GpuGroup {
+                                left: l,
+                                right: r,
+                                members: vec![(qi, *tau, predicate.clone())],
+                            }),
+                        }
+                    } else {
+                        // The serial path indexes the smaller side (ties go
+                        // left): members group on that indexed snapshot.
+                        let index_left = snaps[l].len() <= snaps[r].len();
+                        let (indexed, probes) = if index_left { (l, r) } else { (r, l) };
+                        let member = BallMember {
+                            query: qi,
+                            probes,
+                            tau: *tau,
+                            probe_is_left: !index_left,
+                            predicate: predicate.clone(),
+                            cluster_n: None,
+                        };
+                        Self::insert_ball(&mut ball_groups, indexed, member);
+                    }
+                }
+                BatchQuery::Dedup { tau, .. } => {
+                    let c = per_query[qi][0];
+                    let member = BallMember {
+                        query: qi,
+                        probes: c,
+                        tau: *tau,
+                        probe_is_left: false,
+                        predicate: None,
+                        cluster_n: Some(snaps[c].len()),
+                    };
+                    Self::insert_ball(&mut ball_groups, c, member);
+                }
+                BatchQuery::IndexProbe {
+                    index, probe, tau, ..
+                } => {
+                    let c = per_query[qi][0];
+                    match probe_groups
+                        .iter_mut()
+                        .find(|g| g.collection == c && g.index == *index)
+                    {
+                        Some(g) => g.members.push((qi, probe.clone(), *tau)),
+                        None => probe_groups.push(ProbeGroup {
+                            collection: c,
+                            index: index.clone(),
+                            members: vec![(qi, probe.clone(), *tau)],
+                        }),
+                    }
+                }
+            }
+        }
+
+        let mut results: Vec<Option<BatchResult>> = (0..self.queries.len()).map(|_| None).collect();
+
+        // Shared Ball-Tree passes (CPU joins + dedups).
+        for group in &ball_groups {
+            let indexed = &snaps[group.indexed].patches;
+            let members: Vec<BatchJoinMember> = group
+                .members
+                .iter()
+                .map(|m| BatchJoinMember {
+                    probes: &snaps[m.probes].patches,
+                    tau: m.tau,
+                    probe_is_left: m.probe_is_left,
+                    predicate: m
+                        .predicate
+                        .as_deref()
+                        .map(|p| p as &(dyn Fn(&Patch, &Patch) -> bool + Sync)),
+                })
+                .collect();
+            let outs = ops::similarity_join_balltree_multi(indexed, &members, &pool);
+            for (m, pairs) in group.members.iter().zip(outs) {
+                results[m.query] = Some(match m.cluster_n {
+                    Some(n) => BatchResult::Clusters(ops::cluster_from_pairs(n, &pairs)),
+                    None => BatchResult::Pairs(pairs),
+                });
+            }
+        }
+
+        // Shared GPU all-pairs dispatches.
+        for group in &gpu_groups {
+            let left = &snaps[group.left].patches;
+            let right = &snaps[group.right].patches;
+            if left
+                .iter()
+                .chain(right)
+                .any(|p| p.data.features().is_none())
+            {
+                // Ragged feature matrix: the serial GPU path falls back to
+                // the nested kernel per query; so does the batch.
+                for (qi, tau, pred) in &group.members {
+                    let pairs = ops::similarity_join_nested(left, right, *tau);
+                    results[*qi] = Some(BatchResult::Pairs(Self::filter_pairs(
+                        pairs, left, right, pred,
+                    )));
+                }
+                continue;
+            }
+            let a = ops::feature_matrix(left)?;
+            let b = ops::feature_matrix(right)?;
+            let taus: Vec<f32> = group.members.iter().map(|(_, t, _)| *t).collect();
+            let outs = self.session.executor().threshold_join_multi(&a, &b, &taus);
+            for ((qi, _, pred), mut pairs) in group.members.iter().zip(outs) {
+                pairs.sort_unstable();
+                results[*qi] = Some(BatchResult::Pairs(Self::filter_pairs(
+                    pairs, left, right, pred,
+                )));
+            }
+        }
+
+        // Shared prebuilt-index probe passes: the K probes shard over the
+        // session pool, each performing the identical lookup the serial
+        // path would.
+        for group in &probe_groups {
+            let col = &snaps[group.collection];
+            let hits: Vec<Result<Vec<u32>>> = pool
+                .run_morsels(group.members.len(), 1, |range| {
+                    range
+                        .map(|i| {
+                            let (_, probe, tau) = &group.members[i];
+                            col.lookup_similar(&group.index, probe, *tau)
+                        })
+                        .collect::<Vec<_>>()
+                })
+                .into_iter()
+                .flatten()
+                .collect();
+            for ((qi, _, _), hit) in group.members.iter().zip(hits) {
+                results[*qi] = Some(BatchResult::Hits(hit?));
+            }
+        }
+
+        Ok(results
+            .into_iter()
+            .map(|r| r.expect("member executed"))
+            .collect())
+    }
+
+    /// The serial reference path: issue every query one at a time through
+    /// the session's own methods, in order. [`QueryBatch::run`] is
+    /// byte-identical to this when no concurrent writer republishes a
+    /// mentioned collection mid-batch.
+    pub fn run_serial(self) -> Result<Vec<BatchResult>> {
+        let mut out = Vec::with_capacity(self.queries.len());
+        for q in &self.queries {
+            out.push(match q {
+                BatchQuery::SimilarityJoin {
+                    left,
+                    right,
+                    tau,
+                    predicate,
+                } => {
+                    let pairs = self.session.join_collections(left, right, *tau)?;
+                    let l = self.session.catalog.snapshot(left)?;
+                    let r = self.session.catalog.snapshot(right)?;
+                    BatchResult::Pairs(Self::filter_pairs(pairs, &l.patches, &r.patches, predicate))
+                }
+                BatchQuery::Dedup { collection, tau } => {
+                    let col = self.session.catalog.snapshot(collection)?;
+                    BatchResult::Clusters(self.session.dedup(&col.patches, *tau))
+                }
+                BatchQuery::IndexProbe {
+                    collection,
+                    index,
+                    probe,
+                    tau,
+                } => {
+                    let col = self.session.catalog.snapshot(collection)?;
+                    BatchResult::Hits(col.lookup_similar(index, probe, *tau)?)
+                }
+            });
+        }
+        Ok(out)
+    }
+
+    fn insert_ball(groups: &mut Vec<BallGroup>, indexed: usize, member: BallMember) {
+        match groups.iter_mut().find(|g| g.indexed == indexed) {
+            Some(g) => g.members.push(member),
+            None => groups.push(BallGroup {
+                indexed,
+                members: vec![member],
+            }),
+        }
+    }
+
+    fn filter_pairs(
+        pairs: Vec<(u32, u32)>,
+        left: &[Patch],
+        right: &[Patch],
+        pred: &Option<JoinPredicate>,
+    ) -> Vec<(u32, u32)> {
+        match pred {
+            None => pairs,
+            Some(p) => pairs
+                .into_iter()
+                .filter(|&(l, r)| p(&left[l as usize], &right[r as usize]))
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::patch::{ImgRef, PatchId};
+    use crate::shared::SharedCatalog;
+    use crate::DlError;
+
+    fn feat_patches(n: u64, dim: usize, seed: u64) -> Vec<Patch> {
+        let mut s = seed;
+        (0..n)
+            .map(|i| {
+                let f: Vec<f32> = (0..dim)
+                    .map(|_| {
+                        s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+                        (s >> 33) as f32 / (1u64 << 31) as f32 * 10.0
+                    })
+                    .collect();
+                Patch::features(PatchId(i), ImgRef::frame("b", i), f)
+            })
+            .collect()
+    }
+
+    fn seeded_session(device: Device) -> Session {
+        let mut s = Session::ephemeral().unwrap();
+        s.set_device(device);
+        s.catalog.materialize("small", feat_patches(60, 6, 1));
+        s.catalog.materialize("large", feat_patches(220, 6, 2));
+        s.catalog.materialize("other", feat_patches(90, 6, 3));
+        s.build_ball_index("large", "by_feat").unwrap();
+        s
+    }
+
+    fn mixed_batch(s: &Session) -> QueryBatch<'_> {
+        let mut b = s.batch();
+        b.similarity_join("small", "large", 2.0);
+        b.similarity_join("small", "large", 4.5);
+        b.similarity_join("large", "small", 3.0); // flipped orientation
+        b.similarity_join("small", "other", 2.5); // different probe relation
+        b.dedup("small", 3.0);
+        b.index_probe("large", "by_feat", vec![5.0; 6], 2.0);
+        b.index_probe("large", "by_feat", vec![1.0; 6], 4.0);
+        b
+    }
+
+    #[test]
+    fn batch_matches_serial_issuance() {
+        for device in [Device::Avx, Device::ParallelCpu(4)] {
+            let s = seeded_session(device);
+            let got = mixed_batch(&s).run().unwrap();
+            let want = mixed_batch(&s).run_serial().unwrap();
+            assert_eq!(got.len(), 7);
+            assert_eq!(got, want, "device {device:?}");
+            assert!(!got[0].pairs().unwrap().is_empty());
+            assert!(!got[4].clusters().unwrap().is_empty());
+        }
+    }
+
+    #[test]
+    fn gpu_batch_matches_serial_issuance() {
+        let s = seeded_session(Device::GpuSim);
+        let got = mixed_batch(&s).run().unwrap();
+        let want = mixed_batch(&s).run_serial().unwrap();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn filtered_join_applies_predicate_per_pair() {
+        let s = seeded_session(Device::Avx);
+        let pred: JoinPredicate =
+            Arc::new(|l: &Patch, r: &Patch| (l.id.0 + r.id.0).is_multiple_of(2));
+        let mut b = s.batch();
+        b.similarity_join_filtered("small", "large", 3.0, pred.clone());
+        b.similarity_join("small", "large", 3.0);
+        let got = b.run().unwrap();
+        let unfiltered = got[1].pairs().unwrap();
+        let l = s.catalog.snapshot("small").unwrap();
+        let r = s.catalog.snapshot("large").unwrap();
+        let want: Vec<(u32, u32)> = unfiltered
+            .iter()
+            .copied()
+            .filter(|&(a, c)| pred(&l.patches[a as usize], &r.patches[c as usize]))
+            .collect();
+        assert!(want.len() < unfiltered.len(), "predicate must drop pairs");
+        assert_eq!(got[0].pairs().unwrap(), &want[..]);
+    }
+
+    #[test]
+    fn missing_collection_fails_whole_batch() {
+        let s = seeded_session(Device::Avx);
+        let mut b = s.batch();
+        b.similarity_join("small", "missing", 1.0);
+        assert!(matches!(b.run(), Err(DlError::NotFound(_))));
+        let mut b = s.batch();
+        b.index_probe("small", "no_such_index", vec![0.0; 6], 1.0);
+        assert!(b.run().is_err(), "missing index surfaces");
+    }
+
+    #[test]
+    fn empty_batch_returns_no_results() {
+        let s = seeded_session(Device::Avx);
+        let b = s.batch();
+        assert!(b.is_empty());
+        assert!(b.run().unwrap().is_empty());
+    }
+
+    #[test]
+    fn batch_is_one_admission_unit() {
+        // A second attached session halves the thread budget; a batch of
+        // many members must still execute on the (single) session slice and
+        // leave the admission count untouched.
+        let shared = Arc::new(SharedCatalog::new());
+        let mut a = Session::ephemeral_attached(shared.clone()).unwrap();
+        a.set_device(Device::ParallelCpu(8));
+        a.catalog.materialize("small", feat_patches(50, 4, 7));
+        a.catalog.materialize("large", feat_patches(150, 4, 8));
+        let _b = Session::ephemeral_attached(shared.clone()).unwrap();
+        assert_eq!(shared.active_sessions(), 2);
+        assert_eq!(a.effective_threads(), 4);
+        let mut batch = a.batch();
+        for k in 0..6 {
+            batch.similarity_join("small", "large", 1.0 + k as f32 * 0.5);
+        }
+        let got = batch.run().unwrap();
+        assert_eq!(got.len(), 6);
+        assert_eq!(
+            shared.active_sessions(),
+            2,
+            "a 6-member batch admits as one session's work, not six"
+        );
+        let want = {
+            let mut batch = a.batch();
+            for k in 0..6 {
+                batch.similarity_join("small", "large", 1.0 + k as f32 * 0.5);
+            }
+            batch.run_serial().unwrap()
+        };
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn batch_runs_against_resolved_snapshots() {
+        // The batch resolves snapshots once: a writer republishing the
+        // collection after run() starts (simulated here by mutating between
+        // building and running two identical batches) cannot make members
+        // disagree — each run is internally consistent.
+        let s = seeded_session(Device::Avx);
+        let mut b1 = s.batch();
+        b1.similarity_join("small", "large", 2.0);
+        b1.dedup("small", 3.0);
+        let r1 = b1.run().unwrap();
+        s.catalog.materialize("small", feat_patches(10, 6, 99));
+        let mut b2 = s.batch();
+        b2.similarity_join("small", "large", 2.0);
+        b2.dedup("small", 3.0);
+        let r2 = b2.run().unwrap();
+        assert_ne!(r1, r2, "new version visible to a new batch");
+        assert_eq!(r2, {
+            let mut b = s.batch();
+            b.similarity_join("small", "large", 2.0);
+            b.dedup("small", 3.0);
+            b.run_serial().unwrap()
+        });
+    }
+}

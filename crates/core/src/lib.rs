@@ -49,6 +49,7 @@
 //! assert!(pairs.len() > 10); // each point matches itself and its neighbours
 //! ```
 
+pub mod batch;
 pub mod catalog;
 pub mod error;
 pub mod etl;
@@ -68,6 +69,7 @@ pub type Result<T> = std::result::Result<T, DlError>;
 
 /// Common imports for DeepLens applications.
 pub mod prelude {
+    pub use crate::batch::{BatchQuery, BatchResult, JoinPredicate, QueryBatch};
     pub use crate::catalog::{Catalog, PatchCollection, PatchIdRange, SecondaryIndex};
     pub use crate::error::DlError;
     pub use crate::etl::{Generator, Pipeline, Transformer};

@@ -231,6 +231,170 @@ pub fn similarity_join_balltree(
     out
 }
 
+// --------------------------------------------------------------------------
+// Batched joins (multi-query optimization: one shared scan/probe pass)
+// --------------------------------------------------------------------------
+
+/// One member of a batched Ball-Tree join pass
+/// ([`similarity_join_balltree_multi`]).
+///
+/// Every member shares the *indexed* relation (the side the tree is built
+/// over); each carries its own probe relation, threshold, pair orientation,
+/// and optional θ-predicate. `probe_is_left` records which side of the
+/// original query the probe relation was: `true` emits `(probe_idx, hit)`
+/// pairs, `false` emits `(hit, probe_idx)` — mirroring how
+/// [`similarity_join_balltree`] orients pairs after indexing the smaller
+/// side.
+pub struct BatchJoinMember<'a> {
+    /// The probe relation (scanned side) of this member.
+    pub probes: &'a [Patch],
+    /// Similarity threshold.
+    pub tau: f32,
+    /// Pair orientation: `true` → `(probe_idx, hit)`, `false` →
+    /// `(hit, probe_idx)`.
+    pub probe_is_left: bool,
+    /// Optional θ-predicate applied per candidate pair, called as
+    /// `pred(left_patch, right_patch)` in the original query's orientation.
+    #[allow(clippy::type_complexity)]
+    pub predicate: Option<&'a (dyn Fn(&Patch, &Patch) -> bool + Sync)>,
+}
+
+impl<'a> BatchJoinMember<'a> {
+    /// A plain (unfiltered) member.
+    pub fn new(probes: &'a [Patch], tau: f32, probe_is_left: bool) -> Self {
+        BatchJoinMember {
+            probes,
+            tau,
+            probe_is_left,
+            predicate: None,
+        }
+    }
+}
+
+/// Batched on-the-fly Ball-Tree similarity join: **one** tree build over
+/// `indexed` and **one** morsel-sharded probe pass per distinct probe
+/// relation serve every member, instead of each member building and
+/// scanning on its own (the paper's multi-query amortization).
+///
+/// The shared pass probes at the members' maximum threshold and
+/// demultiplexes every candidate against each member's own `tau` (and
+/// predicate) using the traversal's exact leaf distances
+/// ([`BallTree::range_query_sq`]), so member `k`'s output is byte-identical
+/// to running [`similarity_join_balltree`] for that query alone — the same
+/// sorted pair vector, with predicate members matching join-then-filter.
+///
+/// If any `indexed` patch lacks features, every member falls back to the
+/// nested variant exactly as the serial path does.
+pub fn similarity_join_balltree_multi(
+    indexed: &[Patch],
+    members: &[BatchJoinMember],
+    pool: &WorkerPool,
+) -> Vec<Vec<(u32, u32)>> {
+    let orient = |m: &BatchJoinMember, probe_idx: u32, hit: u32| {
+        if m.probe_is_left {
+            (probe_idx, hit)
+        } else {
+            (hit, probe_idx)
+        }
+    };
+    let passes_pred = |m: &BatchJoinMember, probe: &Patch, hit: &Patch| {
+        m.predicate.is_none_or(|pred| {
+            if m.probe_is_left {
+                pred(probe, hit)
+            } else {
+                pred(hit, probe)
+            }
+        })
+    };
+
+    let vectors: Vec<Vec<f32>> = indexed
+        .iter()
+        .filter_map(|p| p.data.features().map(<[f32]>::to_vec))
+        .collect();
+    if vectors.len() != indexed.len() {
+        // Featureless patches in the indexed relation: the serial path falls
+        // back to the nested variant (which skips them pair-wise), so every
+        // member does the same here.
+        return members
+            .iter()
+            .map(|m| {
+                let pairs = if m.probe_is_left {
+                    similarity_join_nested(m.probes, indexed, m.tau)
+                } else {
+                    similarity_join_nested(indexed, m.probes, m.tau)
+                };
+                pairs
+                    .into_iter()
+                    .filter(|&(l, r)| {
+                        let (pi, hit) = if m.probe_is_left { (l, r) } else { (r, l) };
+                        passes_pred(m, &m.probes[pi as usize], &indexed[hit as usize])
+                    })
+                    .collect()
+            })
+            .collect();
+    }
+
+    let tree = BallTree::from_vectors_parallel(&vectors, pool.threads());
+    let mut out: Vec<Vec<(u32, u32)>> = (0..members.len()).map(|_| Vec::new()).collect();
+    if indexed.is_empty() {
+        return out;
+    }
+
+    // Members sharing a probe relation share one morsel pass: group by the
+    // probe slice's identity (data pointer + length).
+    let mut passes: Vec<((*const Patch, usize), Vec<usize>)> = Vec::new();
+    for (k, m) in members.iter().enumerate() {
+        let key = (m.probes.as_ptr(), m.probes.len());
+        match passes.iter_mut().find(|(pk, _)| *pk == key) {
+            Some((_, ks)) => ks.push(k),
+            None => passes.push((key, vec![k])),
+        }
+    }
+
+    for (_, member_ids) in passes {
+        let probes = members[member_ids[0]].probes;
+        if probes.is_empty() {
+            continue;
+        }
+        let tau_max = member_ids
+            .iter()
+            .map(|&k| members[k].tau)
+            .fold(f32::NEG_INFINITY, f32::max);
+        let tau_sqs: Vec<f32> = member_ids.iter().map(|&k| members[k].tau.powi(2)).collect();
+        // One shared probe pass: per probe, one range query at the outer
+        // radius; candidates demux against each member's threshold and
+        // predicate inside the morsel.
+        let parts = pool.run_morsels(probes.len(), pool.morsel_size(probes.len()), |range| {
+            let mut local: Vec<Vec<(u32, u32)>> =
+                (0..member_ids.len()).map(|_| Vec::new()).collect();
+            for j in range {
+                let Some(f) = probes[j].data.features() else {
+                    continue;
+                };
+                for (hit, d2) in tree.range_query_sq(f, tau_max) {
+                    for (slot, &k) in member_ids.iter().enumerate() {
+                        let m = &members[k];
+                        if d2 <= tau_sqs[slot] && passes_pred(m, &probes[j], &indexed[hit as usize])
+                        {
+                            local[slot].push(orient(m, j as u32, hit));
+                        }
+                    }
+                }
+            }
+            local
+        });
+        for part in parts {
+            for (slot, pairs) in part.into_iter().enumerate() {
+                out[member_ids[slot]].extend(pairs);
+            }
+        }
+    }
+    for pairs in out.iter_mut() {
+        pairs.sort_unstable();
+    }
+    out
+}
+
 /// Device-offloaded all-pairs similarity join (the Fig. 8 query-time
 /// kernel): runs on whatever device `exec` wraps.
 pub fn similarity_join_executor(
@@ -441,6 +605,120 @@ mod tests {
         let mut d = similarity_join_nested(&large, &small, 0.5);
         d.sort_unstable();
         assert_eq!(c, d);
+    }
+
+    #[test]
+    fn multi_join_members_match_serial_issuance() {
+        let indexed: Vec<Patch> = (0..40)
+            .map(|i| feat_patch(i, vec![i as f32 * 0.3, (i % 7) as f32, 1.0]))
+            .collect();
+        let probes_a: Vec<Patch> = (0..90)
+            .map(|i| feat_patch(100 + i, vec![i as f32 * 0.15, 2.0, 1.0]))
+            .collect();
+        let probes_b: Vec<Patch> = (0..55)
+            .map(|i| feat_patch(300 + i, vec![i as f32 * 0.2, (i % 3) as f32, 0.5]))
+            .collect();
+        for threads in [1usize, 2, 4] {
+            let pool = WorkerPool::new(threads);
+            let members = vec![
+                BatchJoinMember::new(&probes_a, 1.5, false),
+                BatchJoinMember::new(&probes_a, 3.0, false),
+                BatchJoinMember::new(&probes_b, 2.0, true),
+                BatchJoinMember::new(&probes_a, 0.4, true),
+            ];
+            let got = similarity_join_balltree_multi(&indexed, &members, &pool);
+            assert_eq!(got.len(), 4);
+            // Members 0/1: indexed is the left relation (pairs (hit, probe)).
+            assert_eq!(
+                got[0],
+                similarity_join_balltree(&indexed, &probes_a, 1.5, &pool)
+            );
+            assert_eq!(
+                got[1],
+                similarity_join_balltree(&indexed, &probes_a, 3.0, &pool)
+            );
+            // Members 2/3: probe relation is the left side.
+            assert_eq!(
+                got[2],
+                similarity_join_balltree(&probes_b, &indexed, 2.0, &pool)
+            );
+            assert_eq!(
+                got[3],
+                similarity_join_balltree(&probes_a, &indexed, 0.4, &pool)
+            );
+        }
+    }
+
+    #[test]
+    fn multi_join_predicate_matches_join_then_filter() {
+        let indexed: Vec<Patch> = (0..30)
+            .map(|i| feat_patch(i, vec![i as f32 * 0.4, 0.0]))
+            .collect();
+        let probes: Vec<Patch> = (0..60)
+            .map(|i| feat_patch(100 + i, vec![i as f32 * 0.2, 0.0]))
+            .collect();
+        let pool = WorkerPool::new(2);
+        let pred = |l: &Patch, r: &Patch| l.id.0.is_multiple_of(2) && r.id.0.is_multiple_of(3);
+        let members = vec![BatchJoinMember {
+            probes: &probes,
+            tau: 1.0,
+            probe_is_left: false,
+            predicate: Some(&pred),
+        }];
+        let got = similarity_join_balltree_multi(&indexed, &members, &pool);
+        let expect: Vec<(u32, u32)> = similarity_join_balltree(&indexed, &probes, 1.0, &pool)
+            .into_iter()
+            .filter(|&(l, r)| pred(&indexed[l as usize], &probes[r as usize]))
+            .collect();
+        assert!(!expect.is_empty(), "predicate must keep some pairs");
+        assert_eq!(got[0], expect);
+    }
+
+    #[test]
+    fn multi_join_featureless_indexed_falls_back_like_serial() {
+        let mut indexed: Vec<Patch> = (0..10)
+            .map(|i| feat_patch(i, vec![i as f32, 0.0]))
+            .collect();
+        indexed.push(Patch::empty(PatchId(99), ImgRef::frame("t", 99)));
+        let probes: Vec<Patch> = (0..20)
+            .map(|i| feat_patch(50 + i, vec![i as f32 * 0.5, 0.0]))
+            .collect();
+        let pool = WorkerPool::new(2);
+        let members = vec![
+            BatchJoinMember::new(&probes, 1.0, false),
+            BatchJoinMember::new(&probes, 2.0, true),
+        ];
+        let got = similarity_join_balltree_multi(&indexed, &members, &pool);
+        assert_eq!(
+            got[0],
+            similarity_join_balltree(&indexed, &probes, 1.0, &pool)
+        );
+        assert_eq!(
+            got[1],
+            similarity_join_balltree(&probes, &indexed, 2.0, &pool)
+        );
+    }
+
+    #[test]
+    fn multi_join_empty_shapes() {
+        let pool = WorkerPool::new(2);
+        let probes: Vec<Patch> = (0..5).map(|i| feat_patch(i, vec![i as f32])).collect();
+        // Empty indexed relation.
+        let got = similarity_join_balltree_multi(
+            &[],
+            &[BatchJoinMember::new(&probes, 1.0, false)],
+            &pool,
+        );
+        assert_eq!(got, vec![Vec::new()]);
+        // Empty probe relation and empty member list.
+        let indexed: Vec<Patch> = (0..5).map(|i| feat_patch(i, vec![i as f32])).collect();
+        let got = similarity_join_balltree_multi(
+            &indexed,
+            &[BatchJoinMember::new(&[], 1.0, false)],
+            &pool,
+        );
+        assert_eq!(got, vec![Vec::new()]);
+        assert!(similarity_join_balltree_multi(&indexed, &[], &pool).is_empty());
     }
 
     #[test]

@@ -92,6 +92,29 @@ impl CostModel {
         self.build_cost(n_idx, dim) + n_probe as f64 * self.probe_cost(n_idx, dim)
     }
 
+    /// Estimated total cost of a **batched** on-the-fly index join: `k`
+    /// compatible queries share one Ball-Tree build over `n_idx` and one
+    /// probe pass of `n_probe` at the batch's outer radius; each additional
+    /// member costs only the demultiplex residual
+    /// ([`BATCH_RESIDUAL_FRACTION`] of a probe pass) instead of a full
+    /// build + probe of its own. `k == 0` costs nothing; `k == 1`
+    /// degenerates to [`CostModel::index_join_cost`].
+    pub fn batched_index_join_cost(
+        &self,
+        n_idx: usize,
+        n_probe: usize,
+        dim: usize,
+        k: usize,
+    ) -> f64 {
+        if k == 0 {
+            return 0.0;
+        }
+        let probe_pass = n_probe as f64 * self.probe_cost(n_idx, dim);
+        self.build_cost(n_idx, dim)
+            + probe_pass
+            + (k - 1) as f64 * BATCH_RESIDUAL_FRACTION * probe_pass
+    }
+
     /// Recommend a strategy for joining `n_left × n_right` in `dim`-d.
     pub fn recommend(&self, n_left: usize, n_right: usize, dim: usize) -> JoinStrategy {
         let nested = self.nested_loop_cost(n_left, n_right, dim);
@@ -106,6 +129,12 @@ impl CostModel {
         }
     }
 }
+
+/// Fraction of a full probe pass each additional member of a batched join
+/// costs: candidates surfaced by the shared outer-radius pass are
+/// demultiplexed against the member's own threshold and predicate (a
+/// per-candidate comparison) instead of re-descending the tree per query.
+pub const BATCH_RESIDUAL_FRACTION: f64 = 0.15;
 
 /// Device placement advisor over all four backends: scalar CPU, vectorized
 /// CPU, multi-core parallel CPU, and GPU offload.
@@ -148,9 +177,8 @@ impl Default for DevicePlanner {
             gpu: GpuProfile::default(),
             speedup: 8.0,
             vector_speedup: 4.0,
-            cpu_threads: std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(1),
+            // Auto-detected hardware threads, honoring DEEPLENS_THREADS.
+            cpu_threads: deeplens_exec::configured_threads(),
             parallel_efficiency: 0.85,
             spawn_overhead_us: 30.0,
             units_per_us: 100.0,
@@ -289,6 +317,106 @@ impl DevicePlanner {
             }
         }
         best
+    }
+}
+
+/// The planner's verdict on a batch of `k` compatible similarity joins:
+/// the device the batch should run on, the estimated wall-clock of the
+/// batched (shared-pass) execution, and the estimated wall-clock of issuing
+/// the same `k` queries serially at their individually best placement.
+#[derive(Debug, Clone, Copy)]
+pub struct BatchPlacement {
+    /// Device the batched pass should execute on.
+    pub device: Device,
+    /// Estimated wall-clock (µs) of the batch as one shared pass.
+    pub batched_us: f64,
+    /// Estimated wall-clock (µs) of `k` serial issuances at their best
+    /// individual placement.
+    pub serial_us: f64,
+}
+
+impl BatchPlacement {
+    /// Estimated aggregate-throughput gain of batching (`>= 1` means the
+    /// shared pass wins).
+    pub fn speedup(&self) -> f64 {
+        if self.batched_us <= 0.0 {
+            return 1.0;
+        }
+        self.serial_us / self.batched_us
+    }
+
+    /// Whether the batched execution is estimated to beat serial issuance.
+    pub fn worthwhile(&self) -> bool {
+        self.batched_us <= self.serial_us
+    }
+}
+
+impl DevicePlanner {
+    /// Estimated wall-clock (µs) of a batch of `k` compatible similarity
+    /// joins (`n_idx` indexed side, `n_probe` probe side, `dim`-d) executed
+    /// as **one unit** on `device`.
+    ///
+    /// CPU backends run the shared Ball-Tree pass
+    /// ([`CostModel::batched_index_join_cost`]); the simulated GPU runs the
+    /// all-pairs kernel once — its distance matrix already serves every
+    /// member, so extra members cost only the demux residual — and pays
+    /// launch + transfer **once** for the whole batch (that single payment
+    /// is the GPU's multi-query amortization).
+    pub fn batched_join_estimate_us(
+        &self,
+        model: &CostModel,
+        n_idx: usize,
+        n_probe: usize,
+        dim: usize,
+        k: usize,
+        device: Device,
+    ) -> f64 {
+        if k == 0 {
+            return 0.0;
+        }
+        let units = match device {
+            Device::GpuSim => {
+                let scan = model.nested_loop_cost(n_idx, n_probe, dim);
+                scan * (1.0 + (k - 1) as f64 * BATCH_RESIDUAL_FRACTION)
+            }
+            _ => model.batched_index_join_cost(n_idx, n_probe, dim, k),
+        };
+        let bytes = (n_idx + n_probe) * dim * 4;
+        self.estimate_us(device, units / self.units_per_us, bytes)
+    }
+
+    /// Cost a batch of `k` compatible similarity joins as **one admission
+    /// unit** against `k` independent placements.
+    ///
+    /// The batched side ranks the [`DevicePlanner::candidates`] — which
+    /// already carry only this session's thread slice, so a batch never
+    /// claims more of the machine than the single query it replaces (the
+    /// multi-session composition rule). The serial side is `k` times the
+    /// best single-query plan from [`DevicePlanner::place_join`].
+    pub fn place_batched_join(
+        &self,
+        model: &CostModel,
+        n_idx: usize,
+        n_probe: usize,
+        dim: usize,
+        k: usize,
+    ) -> BatchPlacement {
+        let mut best = Device::Cpu;
+        let mut best_us = f64::INFINITY;
+        for device in self.candidates() {
+            let us = self.batched_join_estimate_us(model, n_idx, n_probe, dim, k, device);
+            if us < best_us {
+                best = device;
+                best_us = us;
+            }
+        }
+        let (strategy, single_device) = self.place_join(model, n_idx, n_probe, dim);
+        let single_us = self.join_estimate_us(model, strategy, n_idx, n_probe, dim, single_device);
+        BatchPlacement {
+            device: best,
+            batched_us: best_us,
+            serial_us: k as f64 * single_us,
+        }
     }
 }
 
@@ -599,6 +727,94 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn batched_cost_degenerates_and_grows_sublinearly() {
+        let m = CostModel::default();
+        assert_eq!(m.batched_index_join_cost(2_000, 50_000, 12, 0), 0.0);
+        assert!(
+            (m.batched_index_join_cost(2_000, 50_000, 12, 1)
+                - m.index_join_cost(2_000, 50_000, 12))
+            .abs()
+                < 1e-9,
+            "a batch of one is just the query"
+        );
+        // Each extra member adds only the demux residual: far cheaper than
+        // another full build + probe, but never free.
+        let c1 = m.batched_index_join_cost(2_000, 50_000, 12, 1);
+        let c4 = m.batched_index_join_cost(2_000, 50_000, 12, 4);
+        let c8 = m.batched_index_join_cost(2_000, 50_000, 12, 8);
+        assert!(c4 > c1 && c8 > c4, "members are not free");
+        assert!(
+            c4 < 4.0 * c1 * 0.5,
+            "4 members must cost well under 4 serial joins"
+        );
+        assert!(c8 < 8.0 * c1 * 0.5);
+    }
+
+    #[test]
+    fn batch_placement_beats_serial_issuance() {
+        let planner = planner_fixture();
+        let model = CostModel::default();
+        for k in [2usize, 4, 8] {
+            let p = planner.place_batched_join(&model, 2_000, 200_000, 8, k);
+            assert!(p.worthwhile(), "a compatible batch of {k} must win");
+            assert!(
+                p.speedup() > 1.5,
+                "k={k}: expected >1.5x aggregate speedup, got {:.2}",
+                p.speedup()
+            );
+        }
+        // A batch of one is exactly one query: no phantom gain.
+        let p1 = planner.place_batched_join(&model, 2_000, 200_000, 8, 1);
+        assert!((p1.speedup() - 1.0).abs() < 0.35, "got {:.3}", p1.speedup());
+    }
+
+    #[test]
+    fn batch_is_one_admission_unit_under_contention() {
+        // With 4 sessions sharing the machine the candidates carry a
+        // 1-thread slice; a batch must be costed on that slice, not on the
+        // whole machine — same admission rule as a single query.
+        let contended = planner_fixture().for_sessions(4);
+        let model = CostModel::default();
+        let p = contended.place_batched_join(&model, 1_000, 50_000, 8, 4);
+        if let Device::ParallelCpu(t) = p.device {
+            assert_eq!(
+                t,
+                contended.session_cpu_threads(),
+                "batch exceeded its slice"
+            );
+        }
+        // Batching still wins under contention (the sharing is algorithmic,
+        // not a thread-count trick).
+        assert!(p.worthwhile());
+    }
+
+    #[test]
+    fn gpu_batch_amortizes_one_transfer() {
+        let planner = planner_fixture();
+        let model = CostModel::default();
+        // High dimension: the single-query winner is the GPU all-pairs
+        // kernel (see join_placement_routes_large_probes_to_parallel_cpu).
+        // Batched, the GPU pays its launch + transfer once for all members,
+        // so the batched estimate is far below k single offloads.
+        let k = 6;
+        let batched =
+            planner.batched_join_estimate_us(&model, 2_000, 500_000, 64, k, Device::GpuSim);
+        let single = planner.join_estimate_us(
+            &model,
+            JoinStrategy::NestedLoop,
+            2_000,
+            500_000,
+            64,
+            Device::GpuSim,
+        );
+        assert!(batched < k as f64 * single * 0.5);
+        assert_eq!(
+            planner.batched_join_estimate_us(&model, 2_000, 500_000, 64, 0, Device::GpuSim),
+            0.0
+        );
     }
 
     #[test]

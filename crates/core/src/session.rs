@@ -23,6 +23,7 @@ use std::sync::Arc;
 use deeplens_codec::Image;
 use deeplens_exec::{Device, Executor, WorkerPool};
 
+use crate::batch::QueryBatch;
 use crate::etl::Pipeline;
 use crate::ops;
 use crate::patch::Patch;
@@ -118,6 +119,17 @@ impl Session {
     /// machine's morsel workers ([`Session::effective_threads`]).
     pub fn pool(&self) -> WorkerPool {
         WorkerPool::new(self.effective_threads())
+    }
+
+    /// Start a batch of declarative queries against this session
+    /// ([`crate::batch::QueryBatch`]): enqueue K compatible similarity
+    /// joins, dedups, and index probes, then run them as shared scan/probe
+    /// passes. The whole batch executes as **one admission unit** on this
+    /// session's thread slice ([`Session::effective_threads`]), so batching
+    /// composes with the multi-session budget split instead of multiplying
+    /// it, and every result is byte-identical to serial issuance.
+    pub fn batch(&self) -> QueryBatch<'_> {
+        QueryBatch::new(self)
     }
 
     /// Similarity join on the session's device: `(left_idx, right_idx)`

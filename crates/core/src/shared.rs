@@ -154,6 +154,18 @@ impl SharedCatalog {
             .ok_or_else(|| DlError::NotFound(format!("collection '{name}'")))
     }
 
+    /// Consistent snapshots of several collections, in input order.
+    ///
+    /// Each name's shard latch is taken (and released) independently — one
+    /// latch at a time, per ordering rule 1 — so the result is per-name
+    /// consistent rather than a global atomic cut, the same guarantee a
+    /// sequence of [`SharedCatalog::snapshot`] calls gives. Fails with the
+    /// first missing name in input order. Batched query execution resolves
+    /// its scan sources through this.
+    pub fn snapshot_many(&self, names: &[&str]) -> Result<Vec<Arc<PatchCollection>>> {
+        names.iter().map(|n| self.snapshot(n)).collect()
+    }
+
     /// Drop a collection, returning its final snapshot if it existed.
     pub fn drop_collection(&self, name: &str) -> Option<Arc<PatchCollection>> {
         self.shard_of(name).write().remove(name)
@@ -413,6 +425,22 @@ mod tests {
             assert!(w[0].1 <= w[1].0, "ranges overlap: {w:?}");
         }
         assert_eq!(sorted.last().unwrap().1, 800, "ids stay dense");
+    }
+
+    #[test]
+    fn snapshot_many_resolves_in_order() {
+        let cat = SharedCatalog::with_shards(4);
+        cat.materialize("a", feat_patches(&cat, 2, 0));
+        cat.materialize("b", feat_patches(&cat, 5, 1));
+        let snaps = cat.snapshot_many(&["b", "a", "b"]).unwrap();
+        assert_eq!(snaps.len(), 3);
+        assert_eq!(snaps[0].len(), 5);
+        assert_eq!(snaps[1].len(), 2);
+        assert!(Arc::ptr_eq(&snaps[0], &snaps[2]), "same version resolves");
+        assert!(matches!(
+            cat.snapshot_many(&["a", "missing", "b"]),
+            Err(DlError::NotFound(_))
+        ));
     }
 
     #[test]

@@ -2,6 +2,39 @@
 
 use std::time::Duration;
 
+/// Hardware threads this process should assume, honoring the
+/// `DEEPLENS_THREADS` environment variable.
+///
+/// Containers and CI runners frequently advertise a core count that has
+/// nothing to do with the quota the process actually gets, and the test
+/// suite needs to run under pinned thread shapes (the CI matrix exercises a
+/// 1-thread and a many-thread configuration). `DEEPLENS_THREADS=<n>` (n ≥ 1)
+/// overrides auto-detection everywhere a zero/auto thread count resolves:
+/// [`Device::resolved_threads`], `WorkerPool::new(0)`, and the simulated
+/// GPU's default worker count. Unset, empty, or unparsable values fall back
+/// to [`std::thread::available_parallelism`].
+pub fn configured_threads() -> usize {
+    match std::env::var("DEEPLENS_THREADS") {
+        Ok(raw) => parse_thread_override(&raw).unwrap_or_else(available_threads),
+        Err(_) => available_threads(),
+    }
+}
+
+/// Parse a `DEEPLENS_THREADS` value: a positive integer, or `None` to fall
+/// back to auto-detection.
+pub fn parse_thread_override(raw: &str) -> Option<usize> {
+    match raw.trim().parse::<usize>() {
+        Ok(n) if n >= 1 => Some(n),
+        _ => None,
+    }
+}
+
+fn available_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
 /// An execution backend for DeepLens kernels.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Device {
@@ -46,13 +79,11 @@ impl Device {
     }
 
     /// The worker count a [`Device::ParallelCpu`] resolves to on this host
-    /// (`0` → hardware threads); `1` for the single-core backends and the
-    /// simulated GPU's host side.
+    /// (`0` → hardware threads, see [`configured_threads`]); `1` for the
+    /// single-core backends and the simulated GPU's host side.
     pub fn resolved_threads(&self) -> usize {
         match self {
-            Device::ParallelCpu(0) => std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(1),
+            Device::ParallelCpu(0) => configured_threads(),
             Device::ParallelCpu(t) => *t,
             _ => 1,
         }
@@ -82,9 +113,7 @@ impl Default for GpuProfile {
         GpuProfile {
             launch_overhead: Duration::from_micros(250),
             bandwidth_gib_s: 8.0,
-            workers: std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(4),
+            workers: configured_threads(),
         }
     }
 }
@@ -132,6 +161,21 @@ mod tests {
         assert!(Device::ParallelCpu(0).resolved_threads() >= 1);
         assert_eq!(Device::Cpu.resolved_threads(), 1);
         assert_eq!(Device::GpuSim.resolved_threads(), 1);
+    }
+
+    #[test]
+    fn thread_override_parsing() {
+        // The pure parser behind DEEPLENS_THREADS (the env read itself is
+        // not exercised here: the test harness runs tests concurrently and
+        // process-global env mutation would race).
+        assert_eq!(parse_thread_override("4"), Some(4));
+        assert_eq!(parse_thread_override(" 16 "), Some(16));
+        assert_eq!(parse_thread_override("1"), Some(1));
+        assert_eq!(parse_thread_override("0"), None, "zero means auto");
+        assert_eq!(parse_thread_override(""), None);
+        assert_eq!(parse_thread_override("lots"), None);
+        assert_eq!(parse_thread_override("-2"), None);
+        assert!(configured_threads() >= 1);
     }
 
     #[test]

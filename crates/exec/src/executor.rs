@@ -52,6 +52,35 @@ impl Executor {
         }
     }
 
+    /// Batched all-pairs threshold join: one distance pass over `a × b`
+    /// serves every threshold in `taus`, returning one pair vector per
+    /// entry (the multi-query-optimization kernel behind `QueryBatch`).
+    ///
+    /// Each member's result is bit-identical to [`Executor::threshold_join`]
+    /// at that threshold alone — the distance expression is shared, only the
+    /// comparison fans out. On the simulated GPU the launch + transfer
+    /// overhead is paid **once for the whole batch**, which is exactly the
+    /// amortization that makes offloaded batches win where single queries
+    /// lose to the overhead (paper §7.4.2).
+    pub fn threshold_join_multi(
+        &self,
+        a: &Matrix,
+        b: &Matrix,
+        taus: &[f32],
+    ) -> Vec<Vec<(u32, u32)>> {
+        match self.device {
+            Device::Cpu => kernels::threshold_join_multi_scalar(a, b, taus),
+            Device::Avx => kernels::threshold_join_multi_vectorized(a, b, taus),
+            Device::ParallelCpu(_) => {
+                kernels::threshold_join_multi_parallel(a, b, taus, self.device.resolved_threads())
+            }
+            Device::GpuSim => {
+                self.gpu.pay_overhead(a.byte_size() + b.byte_size());
+                kernels::threshold_join_multi_parallel(a, b, taus, self.gpu.workers)
+            }
+        }
+    }
+
     /// Euclidean distances from `query` to every row of `m` (the kNN /
     /// feature-scoring batch kernel).
     pub fn distances(&self, m: &Matrix, query: &[f32]) -> Vec<f32> {
@@ -189,6 +218,77 @@ mod tests {
             got.sort_unstable();
             assert_eq!(base, got, "device {dev:?} result mismatch");
         }
+    }
+
+    #[test]
+    fn multi_join_matches_single_join_per_tau_on_every_device() {
+        let a = mat(35, 12, 11);
+        let b = mat(45, 12, 12);
+        let taus = [2.0f32, 8.0, 5.0, 8.0]; // duplicates and out-of-order on purpose
+        for dev in [
+            Device::Cpu,
+            Device::Avx,
+            Device::ParallelCpu(1),
+            Device::ParallelCpu(4),
+            Device::GpuSim,
+        ] {
+            let exec = Executor::new(dev);
+            let multi = exec.threshold_join_multi(&a, &b, &taus);
+            assert_eq!(multi.len(), taus.len());
+            for (q, &tau) in taus.iter().enumerate() {
+                assert_eq!(
+                    multi[q],
+                    exec.threshold_join(&a, &b, tau),
+                    "device {dev:?} member {q} (tau {tau}) diverged from single issuance"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn multi_join_empty_batch_and_empty_inputs() {
+        let a = mat(5, 4, 1);
+        let b = mat(0, 4, 2);
+        let exec = Executor::new(Device::Avx);
+        assert!(exec.threshold_join_multi(&a, &a, &[]).is_empty());
+        let res = exec.threshold_join_multi(&a, &b, &[1.0, 2.0]);
+        assert_eq!(res, vec![Vec::new(), Vec::new()]);
+    }
+
+    #[test]
+    fn gpu_batch_pays_one_overhead_for_k_members() {
+        // K queries batched through the simulated GPU pay the launch +
+        // transfer cost once; issued one at a time they pay it K times.
+        let profile = GpuProfile {
+            launch_overhead: Duration::from_millis(2),
+            bandwidth_gib_s: 8.0,
+            workers: 2,
+        };
+        let a = mat(16, 8, 3);
+        let b = mat(16, 8, 4);
+        let gpu = Executor::with_gpu_profile(Device::GpuSim, profile);
+        let taus = [1.0f32, 2.0, 3.0, 4.0];
+
+        let t0 = Instant::now();
+        let batched = gpu.threshold_join_multi(&a, &b, &taus);
+        let batch_time = t0.elapsed();
+
+        let t1 = Instant::now();
+        let serial: Vec<_> = taus
+            .iter()
+            .map(|&t| gpu.threshold_join(&a, &b, t))
+            .collect();
+        let serial_time = t1.elapsed();
+
+        assert_eq!(batched, serial);
+        assert!(
+            batch_time < serial_time,
+            "batch must amortize the offload overhead ({batch_time:?} vs {serial_time:?})"
+        );
+        assert!(
+            serial_time >= Duration::from_millis(8),
+            "4 launches at 2ms each"
+        );
     }
 
     #[test]

@@ -125,6 +125,118 @@ pub fn threshold_join_parallel(
 }
 
 // --------------------------------------------------------------------------
+// Multi-query threshold join (batched queries sharing one distance pass)
+// --------------------------------------------------------------------------
+
+/// Batched scalar threshold join: one all-pairs distance pass serves every
+/// threshold in `taus` (the shared-scan form of multi-query optimization).
+/// Returns one pair vector per entry of `taus`, each bit-identical to what
+/// [`threshold_join_scalar`] at that threshold alone would compute — the
+/// distance expression is the same, only the comparison fans out.
+pub fn threshold_join_multi_scalar(a: &Matrix, b: &Matrix, taus: &[f32]) -> Vec<Vec<(u32, u32)>> {
+    assert_eq!(a.cols(), b.cols(), "feature dimensions must match");
+    let tau_sqs: Vec<f32> = taus.iter().map(|t| t * t).collect();
+    let tau_max_sq = tau_sqs.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    let mut out: Vec<Vec<(u32, u32)>> = vec![Vec::new(); taus.len()];
+    for i in 0..a.rows() {
+        let ra = a.row(i);
+        for j in 0..b.rows() {
+            let rb = b.row(j);
+            let mut acc = 0f32;
+            for k in 0..ra.len() {
+                let d = ra[k] - rb[k];
+                acc += d * d;
+            }
+            if acc <= tau_max_sq {
+                for (q, &tau_sq) in tau_sqs.iter().enumerate() {
+                    if acc <= tau_sq {
+                        out[q].push((i as u32, j as u32));
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Batched vectorized threshold join: the norm + dot-product distance is
+/// evaluated once per pair and demultiplexed across `taus`. Each member's
+/// output is bit-identical to [`threshold_join_vectorized`] at that
+/// threshold (identical float expression, identical pair order).
+pub fn threshold_join_multi_vectorized(
+    a: &Matrix,
+    b: &Matrix,
+    taus: &[f32],
+) -> Vec<Vec<(u32, u32)>> {
+    assert_eq!(a.cols(), b.cols(), "feature dimensions must match");
+    let tau_sqs: Vec<f32> = taus.iter().map(|t| t * t).collect();
+    let tau_max_sq = tau_sqs.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    let na = row_norms(a);
+    let nb = row_norms(b);
+    let mut out: Vec<Vec<(u32, u32)>> = vec![Vec::new(); taus.len()];
+    for (i, &nai) in na.iter().enumerate() {
+        let ra = a.row(i);
+        for (j, &nbj) in nb.iter().enumerate() {
+            let d2 = nai + nbj - 2.0 * dot8(ra, b.row(j));
+            if d2 <= tau_max_sq {
+                for (q, &tau_sq) in tau_sqs.iter().enumerate() {
+                    if d2 <= tau_sq {
+                        out[q].push((i as u32, j as u32));
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Batched parallel threshold join: morsels of `a`'s rows claimed by
+/// `workers` scoped threads, each demultiplexing the shared distance pass
+/// across every threshold. Per-member output is identical to
+/// [`threshold_join_multi_vectorized`] (morsels reassemble in row order).
+pub fn threshold_join_multi_parallel(
+    a: &Matrix,
+    b: &Matrix,
+    taus: &[f32],
+    workers: usize,
+) -> Vec<Vec<(u32, u32)>> {
+    assert_eq!(a.cols(), b.cols(), "feature dimensions must match");
+    if a.rows() == 0 || b.rows() == 0 || taus.is_empty() {
+        return vec![Vec::new(); taus.len()];
+    }
+    let tau_sqs: Vec<f32> = taus.iter().map(|t| t * t).collect();
+    let tau_max_sq = tau_sqs.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    let na = row_norms(a);
+    let nb = row_norms(b);
+    let pool = WorkerPool::new(workers);
+    let morsels = pool.run_morsels(a.rows(), pool.morsel_size(a.rows()), |rows| {
+        let mut local: Vec<Vec<(u32, u32)>> = vec![Vec::new(); taus.len()];
+        for i in rows {
+            let ra = a.row(i);
+            let nai = na[i];
+            for (j, &nbj) in nb.iter().enumerate() {
+                let d2 = nai + nbj - 2.0 * dot8(ra, b.row(j));
+                if d2 <= tau_max_sq {
+                    for (q, &tau_sq) in tau_sqs.iter().enumerate() {
+                        if d2 <= tau_sq {
+                            local[q].push((i as u32, j as u32));
+                        }
+                    }
+                }
+            }
+        }
+        local
+    });
+    let mut out: Vec<Vec<(u32, u32)>> = vec![Vec::new(); taus.len()];
+    for morsel in morsels {
+        for (q, pairs) in morsel.into_iter().enumerate() {
+            out[q].extend(pairs);
+        }
+    }
+    out
+}
+
+// --------------------------------------------------------------------------
 // Convolution stack (neural-network-inference stand-in)
 // --------------------------------------------------------------------------
 

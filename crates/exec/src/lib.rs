@@ -37,7 +37,7 @@ pub mod kernels;
 pub mod matrix;
 pub mod pool;
 
-pub use device::{Device, GpuProfile};
+pub use device::{configured_threads, Device, GpuProfile};
 pub use executor::Executor;
 pub use matrix::Matrix;
 pub use pool::WorkerPool;

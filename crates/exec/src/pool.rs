@@ -26,12 +26,11 @@ pub struct WorkerPool {
 
 impl WorkerPool {
     /// Pool with `threads` workers; `0` means one worker per available
-    /// hardware thread.
+    /// hardware thread (honoring the `DEEPLENS_THREADS` override — see
+    /// [`crate::device::configured_threads`]).
     pub fn new(threads: usize) -> Self {
         let threads = if threads == 0 {
-            std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(1)
+            crate::device::configured_threads()
         } else {
             threads
         };

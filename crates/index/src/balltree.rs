@@ -248,12 +248,27 @@ impl BallTree {
         assert_eq!(query.len(), self.dim, "query dimension mismatch");
         let mut out = Vec::new();
         if let Some(root) = &self.root {
-            self.range_rec(root, query, tau, &mut out);
+            self.range_rec(root, query, tau, &mut |id, _| out.push(id));
         }
         out
     }
 
-    fn range_rec(&self, node: &TreeNode, query: &[f32], tau: f32, out: &mut Vec<u32>) {
+    /// [`BallTree::range_query`] returning `(id, squared_distance)` pairs.
+    ///
+    /// The distances are the very leaf-level `sq_euclidean` evaluations the
+    /// traversal performs — exposed so batched callers probing at a shared
+    /// outer radius can demultiplex members by their own tighter thresholds
+    /// against bit-identical values instead of re-evaluating distances.
+    pub fn range_query_sq(&self, query: &[f32], tau: f32) -> Vec<(u32, f32)> {
+        assert_eq!(query.len(), self.dim, "query dimension mismatch");
+        let mut out = Vec::new();
+        if let Some(root) = &self.root {
+            self.range_rec(root, query, tau, &mut |id, d2| out.push((id, d2)));
+        }
+        out
+    }
+
+    fn range_rec(&self, node: &TreeNode, query: &[f32], tau: f32, emit: &mut impl FnMut(u32, f32)) {
         self.count_dist(1);
         let d_centroid = euclidean(query, &node.centroid);
         if d_centroid > node.radius + tau {
@@ -264,14 +279,15 @@ impl BallTree {
                 let tau_sq = tau * tau;
                 self.count_dist(ids.len() as u64);
                 for &id in ids {
-                    if sq_euclidean(query, self.point(id)) <= tau_sq {
-                        out.push(id);
+                    let d2 = sq_euclidean(query, self.point(id));
+                    if d2 <= tau_sq {
+                        emit(id, d2);
                     }
                 }
             }
             NodeKind::Branch(left, right) => {
-                self.range_rec(left, query, tau, out);
-                self.range_rec(right, query, tau, out);
+                self.range_rec(left, query, tau, emit);
+                self.range_rec(right, query, tau, emit);
             }
         }
     }
@@ -422,6 +438,29 @@ mod tests {
             assert_eq!(got[0].0 as usize, qi);
             for (g, e) in got.iter().zip(&expect) {
                 assert!((g.1 - e.1).abs() < 1e-4, "distance order must agree");
+            }
+        }
+    }
+
+    #[test]
+    fn range_query_sq_carries_exact_leaf_distances() {
+        let pts = grid_points(800, 6);
+        let tree = BallTree::from_vectors(&pts);
+        for qi in [0usize, 99, 421] {
+            for tau in [0.8f32, 2.5] {
+                let with_d = tree.range_query_sq(&pts[qi], tau);
+                let ids: Vec<u32> = with_d.iter().map(|&(id, _)| id).collect();
+                assert_eq!(
+                    ids,
+                    tree.range_query(&pts[qi], tau),
+                    "id sequence must match"
+                );
+                for &(id, d2) in &with_d {
+                    // Bit-identical to an independent evaluation of the same
+                    // expression (this is the demux guarantee).
+                    assert_eq!(d2, sq_euclidean(&pts[qi], tree.point(id)));
+                    assert!(d2 <= tau * tau);
+                }
             }
         }
     }

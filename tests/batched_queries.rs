@@ -1,0 +1,196 @@
+//! Integration: batched query execution (`Session::batch`) is byte-identical
+//! to serial issuance for every thread count, shard count, and device — the
+//! multi-query sharing is a pure optimization, never a semantic change.
+
+use std::sync::Arc;
+
+use deeplens::prelude::*;
+use proptest::prelude::*;
+
+fn feature_patches(n: u64, dim: usize, seed: u64) -> Vec<Patch> {
+    let mut s = seed;
+    (0..n)
+        .map(|i| {
+            let f: Vec<f32> = (0..dim)
+                .map(|_| {
+                    s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+                    (s >> 33) as f32 / (1u64 << 31) as f32 * 10.0
+                })
+                .collect();
+            Patch::features(PatchId(i), ImgRef::frame("t", i), f)
+        })
+        .collect()
+}
+
+/// A session over a fresh shared catalog with the standard test corpus:
+/// three collections of distinct sizes plus a Ball-Tree index on the
+/// largest.
+fn corpus_session(threads: usize, shards: usize) -> Session {
+    let catalog = Arc::new(SharedCatalog::with_shards(shards));
+    let mut s = Session::ephemeral_attached(catalog).unwrap();
+    s.set_device(Device::ParallelCpu(threads));
+    s.catalog.materialize("tiny", feature_patches(40, 5, 11));
+    s.catalog.materialize("mid", feature_patches(130, 5, 22));
+    s.catalog.materialize("big", feature_patches(400, 5, 33));
+    s.build_ball_index("big", "by_feat").unwrap();
+    s
+}
+
+const TAUS: [f32; 5] = [0.8, 1.5, 2.5, 4.0, 6.5];
+const COLS: [&str; 3] = ["tiny", "mid", "big"];
+
+/// Decode a generated query spec into a batch member.
+fn push_query(batch: &mut QueryBatch<'_>, spec: (u8, usize, usize, usize)) {
+    let (kind, a, b, t) = spec;
+    let tau = TAUS[t % TAUS.len()];
+    match kind % 4 {
+        0 | 1 => {
+            batch.similarity_join(COLS[a % 3], COLS[b % 3], tau);
+        }
+        2 => {
+            batch.dedup(COLS[a % 3], tau);
+        }
+        _ => {
+            let probe: Vec<f32> = (0..5).map(|i| ((a + b + i) % 9) as f32).collect();
+            batch.index_probe("big", "by_feat", probe, tau);
+        }
+    }
+}
+
+#[test]
+fn k4_compatible_batch_matches_serial_across_threads_and_shards() {
+    // The acceptance shape: K >= 4 similarity queries compatible on one
+    // snapshot pair (one shared tree build + probe pass), checked
+    // byte-identical to serial issuance under every thread/shard shape.
+    let mut reference: Option<Vec<BatchResult>> = None;
+    for shards in [1usize, 16] {
+        for threads in [1usize, 2, 4] {
+            let s = corpus_session(threads, shards);
+            let mut batch = s.batch();
+            for tau in [1.0f32, 2.0, 3.5, 5.0] {
+                batch.similarity_join("tiny", "big", tau);
+            }
+            batch.dedup("tiny", 2.0); // shares the very same probe relation
+            let got = batch.run().unwrap();
+
+            let mut serial = s.batch();
+            for tau in [1.0f32, 2.0, 3.5, 5.0] {
+                serial.similarity_join("tiny", "big", tau);
+            }
+            serial.dedup("tiny", 2.0);
+            let want = serial.run_serial().unwrap();
+
+            assert_eq!(got, want, "{threads} threads / {shards} shards");
+            match &reference {
+                None => reference = Some(got),
+                Some(r) => assert_eq!(
+                    r, &got,
+                    "results must be identical across {threads} threads / {shards} shards"
+                ),
+            }
+        }
+    }
+    let r = reference.unwrap();
+    assert!(
+        !r[0].pairs().unwrap().is_empty(),
+        "corpus must produce matches"
+    );
+}
+
+#[test]
+fn batch_matches_serial_on_gpu_device() {
+    let mut s = corpus_session(1, 4);
+    s.set_device(Device::GpuSim);
+    let mut batch = s.batch();
+    for tau in [1.0f32, 2.5, 4.0, 6.0] {
+        batch.similarity_join("mid", "big", tau);
+    }
+    batch.similarity_join("big", "mid", 2.0);
+    let got = batch.run().unwrap();
+    let mut serial = s.batch();
+    for tau in [1.0f32, 2.5, 4.0, 6.0] {
+        serial.similarity_join("mid", "big", tau);
+    }
+    serial.similarity_join("big", "mid", 2.0);
+    assert_eq!(got, serial.run_serial().unwrap());
+}
+
+#[test]
+fn batch_and_concurrent_sessions_compose() {
+    // Batches issued from two concurrent sessions over one catalog: each
+    // is one admission unit on its own thread slice, and both see the same
+    // consistent snapshots.
+    let catalog = Arc::new(SharedCatalog::new());
+    let seed = corpus_session(4, 16);
+    // Reuse the corpus by re-materializing into the shared catalog.
+    for name in COLS {
+        let snap = seed.catalog.snapshot(name).unwrap();
+        catalog.materialize(name, snap.patches.clone());
+    }
+    let expected = {
+        let s = Session::ephemeral_attached(catalog.clone()).unwrap();
+        let mut b = s.batch();
+        b.similarity_join("tiny", "big", 2.0);
+        b.dedup("mid", 1.5);
+        b.run_serial().unwrap()
+    };
+    let results: Vec<Vec<BatchResult>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..2)
+            .map(|_| {
+                let catalog = catalog.clone();
+                scope.spawn(move || {
+                    let mut s = Session::ephemeral_attached(catalog).unwrap();
+                    s.set_device(Device::ParallelCpu(4));
+                    let mut b = s.batch();
+                    b.similarity_join("tiny", "big", 2.0);
+                    b.dedup("mid", 1.5);
+                    b.run().unwrap()
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    for r in &results {
+        assert_eq!(r, &expected, "concurrent batches agree with serial");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+
+    /// A `QueryBatch` of K random compatible queries (joins, dedups, index
+    /// probes over a shared corpus) returns byte-identical results to
+    /// serial issuance — across 1/2/4 worker threads and 1/16 catalog
+    /// shards, with every configuration agreeing on the bytes.
+    #[test]
+    fn random_batches_byte_identical_to_serial(
+        specs in prop::collection::vec((0u8..4, 0usize..3, 0usize..3, 0usize..5), 4..9),
+    ) {
+        let mut reference: Option<Vec<BatchResult>> = None;
+        for shards in [1usize, 16] {
+            for threads in [1usize, 2, 4] {
+                let s = corpus_session(threads, shards);
+                let mut batch = s.batch();
+                for &spec in &specs {
+                    push_query(&mut batch, spec);
+                }
+                let got = batch.run().unwrap();
+
+                let mut serial = s.batch();
+                for &spec in &specs {
+                    push_query(&mut serial, spec);
+                }
+                let want = serial.run_serial().unwrap();
+
+                prop_assert_eq!(&got, &want, "{} threads / {} shards", threads, shards);
+                match &reference {
+                    None => reference = Some(got),
+                    Some(r) => prop_assert_eq!(
+                        r, &got,
+                        "{} threads / {} shards diverged from reference", threads, shards
+                    ),
+                }
+            }
+        }
+    }
+}
