@@ -5,8 +5,11 @@
 //! Compares each `BENCH_*.json` artifact in `<fresh-dir>` against the copy
 //! in `<baseline-dir>` (the committed baselines, stashed before the bench
 //! smokes overwrite them) and exits non-zero if any result row regressed
-//! beyond the allowance. Artifact names default to the three recording
-//! benches: `BENCH_ops.json`, `BENCH_parallel.json`, `BENCH_devices.json`.
+//! beyond the allowance. Artifact names default to the four recording
+//! benches: `BENCH_ops.json`, `BENCH_parallel.json`, `BENCH_devices.json`,
+//! `BENCH_etl.json`. A fresh row with no baseline counterpart (a newly
+//! added benchmark) is reported as **"new, skipped"** — it neither fails
+//! the gate nor silently counts as enforced.
 //!
 //! The comparison is noise-threshold aware, `CRITERION_QUICK` aware, and
 //! relaxes across hosts with different parallelism — see
@@ -23,10 +26,11 @@ use std::process::ExitCode;
 
 use deeplens_bench::gate::{gate_file, GateConfig, RowStatus};
 
-const DEFAULT_ARTIFACTS: [&str; 3] = [
+const DEFAULT_ARTIFACTS: [&str; 4] = [
     "BENCH_ops.json",
     "BENCH_parallel.json",
     "BENCH_devices.json",
+    "BENCH_etl.json",
 ];
 
 fn env_f64(name: &str, default: f64) -> f64 {
@@ -107,7 +111,7 @@ fn main() -> ExitCode {
                         RowStatus::Pass => "ok",
                         RowStatus::Fail => "REGRESSED",
                         RowStatus::SkippedNoise => "skipped (noise floor)",
-                        RowStatus::New => "new",
+                        RowStatus::New => "new, skipped (no baseline row)",
                     };
                     match (row.baseline_s, row.ratio) {
                         (Some(b), Some(r)) => println!(
@@ -122,6 +126,13 @@ fn main() -> ExitCode {
                 }
                 for key in &report.missing_in_fresh {
                     println!("  {key:<55} (baseline row vanished — not failing)");
+                }
+                if report.new_rows() > 0 {
+                    println!(
+                        "bench_gate: {name}: {} new row(s) skipped (no committed baseline — \
+                         they gate from the next baseline refresh)",
+                        report.new_rows()
+                    );
                 }
                 if report.compared() == 0 {
                     println!(

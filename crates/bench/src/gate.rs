@@ -267,7 +267,10 @@ pub enum RowStatus {
     Fail,
     /// Median below the noise floor on either side; not compared.
     SkippedNoise,
-    /// No baseline row with this key (new benchmark): passes.
+    /// No baseline row with this key (a newly added benchmark): reported
+    /// as "new, skipped" — it cannot regress against nothing, but it must
+    /// not count as a compared (enforced) row either, and callers surface
+    /// it explicitly so a rename that orphaned its baseline is visible.
     New,
 }
 
@@ -321,6 +324,17 @@ impl FileReport {
         self.rows
             .iter()
             .filter(|r| matches!(r.status, RowStatus::Pass | RowStatus::Fail))
+            .count()
+    }
+
+    /// Number of fresh rows with no baseline counterpart ("new, skipped"):
+    /// benchmarks added since the committed baseline. They pass — nothing
+    /// exists to regress against — but callers report them so the skip is
+    /// visible rather than silent.
+    pub fn new_rows(&self) -> usize {
+        self.rows
+            .iter()
+            .filter(|r| r.status == RowStatus::New)
             .count()
     }
 }
@@ -607,6 +621,38 @@ mod tests {
         assert_eq!(report.failures(), 0);
         assert_eq!(report.rows[0].status, RowStatus::New);
         assert_eq!(report.missing_in_fresh, vec!["old [threads=1]".to_string()]);
+    }
+
+    #[test]
+    fn new_rows_are_skipped_not_enforced_and_not_silent() {
+        // A benchmark present in the fresh run but absent from the
+        // committed baseline (e.g. a newly added sweep): it must neither
+        // fail the gate nor count as a compared row — and the report must
+        // expose it so callers print "new, skipped" instead of nothing.
+        let base = doc(false, 4, &[("join", 1, 0.020)]);
+        let fresh = doc(
+            false,
+            4,
+            &[("join", 1, 0.021), ("etl_shared_scan", 4, 0.050)],
+        );
+        let report = gate_file(&base, &fresh, &GateConfig::default()).unwrap();
+        assert_eq!(report.failures(), 0);
+        assert_eq!(report.compared(), 1, "only the baselined row is enforced");
+        assert_eq!(report.new_rows(), 1);
+        let new = report
+            .rows
+            .iter()
+            .find(|r| r.status == RowStatus::New)
+            .unwrap();
+        assert!(new.key.starts_with("etl_shared_scan"));
+        assert_eq!(new.baseline_s, None);
+        assert_eq!(new.ratio, None, "nothing to compare against");
+        // An artifact that is entirely new is all skips: compared() == 0,
+        // which the caller reports as "not gated" rather than success.
+        let all_new = doc(false, 4, &[("etl_shared_scan", 4, 0.050)]);
+        let report = gate_file(&base, &all_new, &GateConfig::default()).unwrap();
+        assert_eq!(report.compared(), 0);
+        assert_eq!(report.new_rows(), 1);
     }
 
     #[test]

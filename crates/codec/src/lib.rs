@@ -55,6 +55,7 @@ pub use image::{Image, Plane};
 pub use intra::{decode_image, encode_image};
 pub use metrics::{mse, psnr};
 pub use quant::Quality;
+pub use video::{frames_decoded, stream_fingerprint, FrameCache};
 
 /// Result alias used throughout the codec crate.
 pub type Result<T> = std::result::Result<T, CodecError>;

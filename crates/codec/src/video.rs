@@ -8,6 +8,11 @@
 //! boundaries, and the "Encoded File" layout (one I-frame at the start)
 //! forces a full sequential scan.
 
+use std::collections::HashMap;
+use std::ops::Range;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
 use crate::bitstream::{BitReader, BitWriter};
 use crate::error::CodecError;
 use crate::image::{Image, Plane};
@@ -17,6 +22,20 @@ use crate::quant::{Quality, QuantTables};
 
 /// Magic number prefixing encoded video streams ("DLV1").
 pub const VIDEO_MAGIC: u32 = 0x444C_5631;
+
+/// Process-wide count of frame packets reconstructed by [`VideoDecoder`]
+/// (the encoder's own reconstruction loop is not counted — it is encode
+/// work, not scan work). Monotonic; read it before and after an operation
+/// to measure how much decode work the operation actually paid.
+static FRAMES_DECODED: AtomicU64 = AtomicU64::new(0);
+
+/// Total frames decoded by every [`VideoDecoder`] in this process so far.
+///
+/// The shared-scan ETL tests assert "each frame window is decoded exactly
+/// once per batch" against deltas of this counter.
+pub fn frames_decoded() -> u64 {
+    FRAMES_DECODED.load(Ordering::Relaxed)
+}
 
 /// Frame packet kind.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -415,6 +434,7 @@ impl<'a> VideoDecoder<'a> {
         let img = planes_to_image(&planes, self.header.width, self.header.height);
         self.reference = Some(planes);
         self.decoded += 1;
+        FRAMES_DECODED.fetch_add(1, Ordering::Relaxed);
         Ok(img)
     }
 }
@@ -457,6 +477,247 @@ pub fn segment_video(
         .chunks(clip_len)
         .map(|chunk| encode_video(chunk, cfg))
         .collect()
+}
+
+/// Stable content fingerprint of an encoded stream: FNV-1a over the
+/// stream's length followed by its bytes. The decoded-frame cache keys
+/// entries on this rather than on a caller-supplied name, so two sources
+/// that happen to share a name but carry different bytes do not alias each
+/// other's frames. (A 64-bit content hash, not a cryptographic digest —
+/// length mixing rules out same-prefix truncations, but callers needing
+/// adversarial collision resistance should key on identity themselves.)
+pub fn stream_fingerprint(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in (bytes.len() as u64)
+        .to_le_bytes()
+        .iter()
+        .chain(bytes.iter())
+    {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+struct CacheEntry {
+    img: Arc<Image>,
+    last_used: u64,
+}
+
+/// A bounded cache of decoded frames, keyed by
+/// `(stream fingerprint, frame number)`.
+///
+/// Inter-coded streams force sequential decoding — reconstructing frame `n`
+/// requires frames `0..n` — so decode cost is the dominant, *repeated* cost
+/// of running several featurization passes over one video. The cache lets a
+/// shared-scan engine pay that cost once: [`FrameCache::scan_window`]
+/// returns every frame of a window as shared [`Arc<Image>`] handles,
+/// serving them from the cache when a previous scan already decoded them
+/// and decoding (then caching) otherwise.
+///
+/// The cache is **bounded** at `capacity` frames with LRU eviction; a
+/// window longer than the capacity still scans correctly — the returned
+/// handles are complete — but only its most recent `capacity` frames stay
+/// resident for later scans. `capacity == 0` disables retention entirely
+/// (every scan decodes).
+///
+/// Not internally synchronized: callers that share one cache across
+/// threads wrap it in a lock (the session layer does).
+pub struct FrameCache {
+    capacity: usize,
+    entries: HashMap<(u64, u64), CacheEntry>,
+    clock: u64,
+    hits: u64,
+    misses: u64,
+    decoded: u64,
+}
+
+impl std::fmt::Debug for FrameCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "FrameCache({}/{} frames, {} hits, {} misses)",
+            self.entries.len(),
+            self.capacity,
+            self.hits,
+            self.misses
+        )
+    }
+}
+
+impl FrameCache {
+    /// An empty cache retaining at most `capacity` decoded frames.
+    pub fn new(capacity: usize) -> Self {
+        FrameCache {
+            capacity,
+            entries: HashMap::new(),
+            clock: 0,
+            hits: 0,
+            misses: 0,
+            decoded: 0,
+        }
+    }
+
+    /// Maximum number of resident frames.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of frames currently resident.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache holds no frames.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Lookups served from the cache so far.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Lookups that missed so far.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Frames this cache has decoded across every
+    /// [`FrameCache::scan_window`] call — the decode work its scans
+    /// actually paid (unlike the process-global [`frames_decoded`], this
+    /// counter is unperturbed by unrelated decoders).
+    pub fn decoded(&self) -> u64 {
+        self.decoded
+    }
+
+    /// Fetch one cached frame, refreshing its recency.
+    pub fn get(&mut self, stream: u64, frame_no: u64) -> Option<Arc<Image>> {
+        self.clock += 1;
+        match self.entries.get_mut(&(stream, frame_no)) {
+            Some(e) => {
+                e.last_used = self.clock;
+                self.hits += 1;
+                Some(e.img.clone())
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Insert a decoded frame, evicting the least-recently-used entry when
+    /// the cache is full. A zero-capacity cache stores nothing.
+    pub fn insert(&mut self, stream: u64, frame_no: u64, img: Arc<Image>) {
+        if self.capacity == 0 {
+            return;
+        }
+        self.clock += 1;
+        if self.entries.len() >= self.capacity && !self.entries.contains_key(&(stream, frame_no)) {
+            // Linear victim scan on purpose: at sane capacities (hundreds of
+            // frames) one pass over the keys costs ~0.01% of decoding the
+            // frame being inserted, which an ordered side-index would spend
+            // its own upkeep to save.
+            if let Some(victim) = self
+                .entries
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| *k)
+            {
+                self.entries.remove(&victim);
+            }
+        }
+        self.entries.insert(
+            (stream, frame_no),
+            CacheEntry {
+                img,
+                last_used: self.clock,
+            },
+        );
+    }
+
+    /// Decode (or fetch) every frame of `range` from the encoded stream
+    /// `bytes`, returning `(frame_no, frame)` pairs in frame order. A
+    /// window reaching past the end of the stream is an error — even an
+    /// empty one, so callers validating a window learn about the overrun
+    /// instead of silently receiving nothing.
+    pub fn scan_window(
+        &mut self,
+        bytes: &[u8],
+        range: Range<u64>,
+    ) -> crate::Result<Vec<(u64, Arc<Image>)>> {
+        if range.start >= range.end {
+            let available = u64::from(VideoDecoder::new(bytes)?.header().frame_count);
+            if range.end > available {
+                return Err(CodecError::InvalidHeader(format!(
+                    "frame window {}..{} exceeds stream length {available}",
+                    range.start, range.end
+                )));
+            }
+            return Ok(Vec::new());
+        }
+        let needed: Vec<u64> = range.collect();
+        self.scan_frames(bytes, &needed)
+    }
+
+    /// Decode (or fetch) exactly the frames in `needed` (sorted ascending,
+    /// unique) from the encoded stream `bytes`, returning `(frame_no,
+    /// frame)` pairs in that order.
+    ///
+    /// When every needed frame is resident the scan costs zero decodes.
+    /// Otherwise the stream is decoded sequentially from its start through
+    /// the last needed frame — inter-coded frames need their full reference
+    /// chain, so a partial hit still pays one full prefix scan — but only
+    /// the needed frames are retained and (re-)inserted: gap frames between
+    /// sparse windows are dropped as the decoder moves past them instead of
+    /// accumulating in memory. Either way the stream is decoded **at most
+    /// once** per call.
+    pub fn scan_frames(
+        &mut self,
+        bytes: &[u8],
+        needed: &[u64],
+    ) -> crate::Result<Vec<(u64, Arc<Image>)>> {
+        debug_assert!(needed.windows(2).all(|w| w[0] < w[1]), "sorted + unique");
+        if needed.is_empty() {
+            return Ok(Vec::new());
+        }
+        let stream = stream_fingerprint(bytes);
+        // Serve entirely from cache when possible.
+        let cached: Vec<Option<Arc<Image>>> = needed.iter().map(|&t| self.get(stream, t)).collect();
+        if cached.iter().all(Option::is_some) {
+            return Ok(needed
+                .iter()
+                .copied()
+                .zip(cached.into_iter().flatten())
+                .collect());
+        }
+        let mut decoder = VideoDecoder::new(bytes)?;
+        let available = u64::from(decoder.header().frame_count);
+        let last = *needed.last().expect("non-empty");
+        if last >= available {
+            return Err(CodecError::InvalidHeader(format!(
+                "frame {last} exceeds stream length {available}"
+            )));
+        }
+        let mut out = Vec::with_capacity(needed.len());
+        let mut want = needed.iter().copied().peekable();
+        for t in 0..=last {
+            let img = match decoder.next_frame() {
+                Some(frame) => Arc::new(frame?),
+                None => {
+                    return Err(CodecError::UnexpectedEof);
+                }
+            };
+            self.decoded += 1;
+            if want.peek() == Some(&t) {
+                want.next();
+                self.insert(stream, t, img.clone());
+                out.push((t, img));
+            }
+        }
+        Ok(out)
+    }
 }
 
 #[cfg(test)]
@@ -628,5 +889,105 @@ mod tests {
             VideoDecoder::new(&bytes),
             Err(CodecError::BadMagic(_))
         ));
+    }
+
+    #[test]
+    fn decode_counter_tracks_decoded_frames() {
+        let frames = moving_square(5, 32, 32);
+        let bytes = encode_video(&frames, VideoConfig::default()).unwrap();
+        let before = frames_decoded();
+        decode_video(&bytes).unwrap();
+        // Other tests in this process may decode concurrently, so the
+        // global counter can only be bounded from below here; exact
+        // decode-once assertions go through `FrameCache::decoded`.
+        assert!(frames_decoded() - before >= 5);
+    }
+
+    #[test]
+    fn frame_cache_scans_a_stream_at_most_once() {
+        let frames = moving_square(8, 32, 32);
+        let bytes = encode_video(&frames, VideoConfig::sequential(Quality::High)).unwrap();
+        let mut cache = FrameCache::new(32);
+
+        let window = cache.scan_window(&bytes, 2..7).unwrap();
+        assert_eq!(
+            window.iter().map(|(t, _)| *t).collect::<Vec<_>>(),
+            vec![2, 3, 4, 5, 6]
+        );
+        // Sequential stream: the reference chain forces a prefix decode,
+        // but exactly one.
+        assert_eq!(cache.decoded(), 7);
+
+        // A second overlapping scan inside the window is pure cache.
+        let again = cache.scan_window(&bytes, 3..6).unwrap();
+        assert_eq!(cache.decoded(), 7, "no further decode work");
+        for ((t, img), (t2, img2)) in window[1..4].iter().zip(&again) {
+            assert_eq!(t, t2);
+            assert!(Arc::ptr_eq(img, img2), "same decoded frame is shared");
+        }
+        assert!(cache.hits() > 0);
+    }
+
+    #[test]
+    fn frame_cache_is_bounded_with_lru_eviction() {
+        let frames = moving_square(6, 16, 16);
+        let bytes = encode_video(&frames, VideoConfig::default()).unwrap();
+        let mut cache = FrameCache::new(3);
+        cache.scan_window(&bytes, 0..6).unwrap();
+        assert_eq!(cache.len(), 3, "capacity bounds residency");
+        let stream = stream_fingerprint(&bytes);
+        // The most recent frames survive; the oldest were evicted.
+        assert!(cache.get(stream, 5).is_some());
+        assert!(cache.get(stream, 0).is_none());
+        // Zero capacity stores nothing but still scans correctly.
+        let mut none = FrameCache::new(0);
+        assert_eq!(none.scan_window(&bytes, 0..6).unwrap().len(), 6);
+        assert_eq!(none.len(), 0);
+    }
+
+    #[test]
+    fn frame_cache_keys_on_stream_bytes_not_names() {
+        let a = encode_video(&moving_square(4, 16, 16), VideoConfig::default()).unwrap();
+        let mut other_frames = moving_square(4, 16, 16);
+        other_frames[2].fill_rect(1, 1, 4, 4, [0, 255, 0]);
+        let b = encode_video(&other_frames, VideoConfig::default()).unwrap();
+        assert_ne!(stream_fingerprint(&a), stream_fingerprint(&b));
+        let mut cache = FrameCache::new(16);
+        let fa = cache.scan_window(&a, 2..3).unwrap();
+        let fb = cache.scan_window(&b, 2..3).unwrap();
+        assert!(!Arc::ptr_eq(&fa[0].1, &fb[0].1), "streams never alias");
+    }
+
+    #[test]
+    fn frame_cache_window_bounds_checked() {
+        let frames = moving_square(4, 16, 16);
+        let bytes = encode_video(&frames, VideoConfig::default()).unwrap();
+        let mut cache = FrameCache::new(8);
+        assert!(cache.scan_window(&bytes, 2..9).is_err());
+        assert!(cache.scan_window(&bytes, 3..3).unwrap().is_empty());
+        // An empty window is still validated against the stream: a caller
+        // probing 9..9 of a 4-frame stream gets the overrun, not Ok(vec![]).
+        assert!(cache.scan_window(&bytes, 9..9).is_err());
+        assert!(cache.scan_window(&[1, 2, 3], 0..1).is_err());
+        assert!(cache.scan_window(&[1, 2, 3], 0..0).is_err());
+    }
+
+    #[test]
+    fn frame_cache_scan_frames_retains_only_needed() {
+        let frames = moving_square(8, 16, 16);
+        let bytes = encode_video(&frames, VideoConfig::sequential(Quality::High)).unwrap();
+        let mut cache = FrameCache::new(32);
+        // Sparse needed set: the reference chain forces decoding 0..=6, but
+        // only the two needed frames are retained or returned.
+        let got = cache.scan_frames(&bytes, &[1, 6]).unwrap();
+        assert_eq!(got.iter().map(|(t, _)| *t).collect::<Vec<_>>(), vec![1, 6]);
+        assert_eq!(cache.decoded(), 7, "prefix decoded once");
+        assert_eq!(cache.len(), 2, "gap frames are not retained");
+        // Fully resident: zero further decodes.
+        cache.scan_frames(&bytes, &[1, 6]).unwrap();
+        assert_eq!(cache.decoded(), 7);
+        // Out-of-range needed frame errors; empty set is a no-op.
+        assert!(cache.scan_frames(&bytes, &[3, 11]).is_err());
+        assert!(cache.scan_frames(&bytes, &[]).unwrap().is_empty());
     }
 }

@@ -15,11 +15,16 @@
 //! identical across thread counts — and identical to what the historical
 //! serial implementation produced.
 
+use std::ops::Range;
+use std::sync::Arc;
+
+use deeplens_codec::video::VideoDecoder;
 use deeplens_codec::Image;
 use deeplens_exec::WorkerPool;
 
 use crate::catalog::{Catalog, PatchIdRange};
 use crate::patch::{ImgRef, Patch, PatchData, PatchId};
+use crate::session::Session;
 use crate::shared::SharedCatalog;
 use crate::types::PatchSchema;
 use crate::{DlError, Result};
@@ -175,6 +180,73 @@ impl FrameOutput {
     }
 }
 
+/// The catalog a pipeline epilogue materializes into: the session-private
+/// [`Catalog`] or the multi-session [`SharedCatalog`]. Both targets expose
+/// the same three epilogue steps (reserve ids, record lineage, publish the
+/// output collection), so every run variant shares one engine instead of
+/// duplicating the sequencing rules per catalog kind.
+enum CatalogTarget<'a> {
+    Private(&'a mut Catalog),
+    Shared(&'a SharedCatalog),
+}
+
+impl CatalogTarget<'_> {
+    fn reserve_patch_ids(&mut self, n: u64) -> PatchIdRange {
+        match self {
+            CatalogTarget::Private(c) => c.reserve_patch_ids(n),
+            CatalogTarget::Shared(c) => c.reserve_patch_ids(n),
+        }
+    }
+
+    fn record_lineage<'p>(&mut self, patches: impl IntoIterator<Item = &'p Patch>) {
+        match self {
+            CatalogTarget::Private(c) => c.lineage.record_all(patches),
+            CatalogTarget::Shared(c) => c.record_lineage(patches),
+        }
+    }
+
+    fn materialize(&mut self, name: &str, patches: Vec<Patch>) {
+        match self {
+            CatalogTarget::Private(c) => {
+                c.materialize(name, patches);
+            }
+            CatalogTarget::Shared(c) => {
+                c.materialize(name, patches);
+            }
+        }
+    }
+}
+
+/// The sequential epilogue every run variant shares: rebase each frame onto
+/// a real id reservation **in frame order** (so ids are deterministic and
+/// identical to serial issuance), record intermediate-stage lineage with
+/// one lineage-store acquisition, and publish the final stage under
+/// `output_name` with one materialize (for the shared catalog, one atomic
+/// snapshot swap — concurrent readers never see it half materialized).
+///
+/// Returns the number of patches materialized.
+fn issue_frames(
+    frame_outputs: Vec<FrameOutput>,
+    target: &mut CatalogTarget<'_>,
+    output_name: &str,
+) -> usize {
+    let mut intermediates = Vec::new();
+    let mut patches = Vec::new();
+    for mut frame in frame_outputs {
+        let base = target.reserve_patch_ids(frame.ids_used).start();
+        frame.rebase(base);
+        // Intermediate patches are not materialized, but their lineage
+        // records must exist so downstream backtraces can walk through
+        // them to the source frames (§5.1).
+        intermediates.extend(frame.intermediates);
+        patches.extend(frame.finals);
+    }
+    target.record_lineage(intermediates.iter());
+    let n = patches.len();
+    target.materialize(output_name, patches);
+    n
+}
+
 /// A composed ETL pipeline: one generator, then transformers in order.
 pub struct Pipeline {
     generator: Box<dyn Generator>,
@@ -285,32 +357,22 @@ impl Pipeline {
     ) -> Result<usize> {
         let frames: Vec<(u64, &Image)> = frames.collect();
         let frame_outputs = self.frame_outputs(&frames, source, pool)?;
-
-        // Sequential epilogue: rebase each frame onto a real id reservation
-        // (in frame order, so ids are deterministic), record intermediate
-        // lineage, and materialize the final stage.
-        let mut patches = Vec::new();
-        for mut frame in frame_outputs {
-            let base = catalog.reserve_patch_ids(frame.ids_used).start();
-            frame.rebase(base);
-            // Intermediate patches are not materialized, but their
-            // lineage records must exist so downstream backtraces can
-            // walk through them to the source frames (§5.1).
-            catalog.lineage.record_all(frame.intermediates.iter());
-            patches.extend(frame.finals);
-        }
-        let n = patches.len();
-        catalog.materialize(output_name, patches);
-        Ok(n)
+        Ok(issue_frames(
+            frame_outputs,
+            &mut CatalogTarget::Private(catalog),
+            output_name,
+        ))
     }
 
     /// [`Pipeline::run`] against a [`SharedCatalog`]: id reservation is the
     /// catalog's lock-free atomic range, intermediate lineage goes through
-    /// the shared lineage store, and the output collection is published
-    /// with one atomic snapshot swap — concurrent readers never see it half
-    /// materialized. With no other session interleaving reservations, the
-    /// ids, payloads, and lineage are byte-identical to [`Pipeline::run`]
-    /// on a fresh [`Catalog`], for every thread count.
+    /// the shared lineage store (one lineage-lock acquisition, released
+    /// before the collection shard is touched — latch ordering rule 2), and
+    /// the output collection is published with one atomic snapshot swap —
+    /// concurrent readers never see it half materialized. With no other
+    /// session interleaving reservations, the ids, payloads, and lineage
+    /// are byte-identical to [`Pipeline::run`] on a fresh [`Catalog`], for
+    /// every thread count.
     pub fn run_shared<'a>(
         &self,
         frames: impl Iterator<Item = (u64, &'a Image)>,
@@ -321,21 +383,11 @@ impl Pipeline {
     ) -> Result<usize> {
         let frames: Vec<(u64, &Image)> = frames.collect();
         let frame_outputs = self.frame_outputs(&frames, source, pool)?;
-
-        let mut intermediates = Vec::new();
-        let mut patches = Vec::new();
-        for mut frame in frame_outputs {
-            let base = shared.reserve_patch_ids(frame.ids_used).start();
-            frame.rebase(base);
-            intermediates.extend(frame.intermediates);
-            patches.extend(frame.finals);
-        }
-        // One lineage-lock acquisition for all intermediate stages, released
-        // before the collection shard is touched (latch ordering rule 2).
-        shared.record_lineage(intermediates.iter());
-        let n = patches.len();
-        shared.materialize(output_name, patches);
-        Ok(n)
+        Ok(issue_frames(
+            frame_outputs,
+            &mut CatalogTarget::Shared(shared),
+            output_name,
+        ))
     }
 }
 
@@ -346,6 +398,368 @@ impl std::fmt::Debug for Pipeline {
             write!(f, " -> {}", t.name())?;
         }
         write!(f, ")")
+    }
+}
+
+// --------------------------------------------------------------------------
+// Batched ingestion: decode once, featurize many
+// --------------------------------------------------------------------------
+
+/// Frames a batch source can supply: an encoded DLV1 stream (decoded on
+/// demand through the session's bounded frame cache) or frames already in
+/// memory (no decode cost, but the scan is still shared).
+enum FrameStore {
+    Encoded(Vec<u8>),
+    Raw(Vec<Arc<Image>>),
+}
+
+impl FrameStore {
+    fn kind(&self) -> &'static str {
+        match self {
+            FrameStore::Encoded(_) => "encoded",
+            FrameStore::Raw(_) => "raw",
+        }
+    }
+}
+
+/// A named frame source registered with a [`PipelineBatch`].
+struct IngestSource {
+    name: String,
+    store: FrameStore,
+}
+
+/// One source's shared scan: the needed frames of its job windows, keyed
+/// by frame number.
+type ScannedFrames = std::collections::HashMap<u64, Arc<Image>>;
+
+/// One enqueued ingestion: a pipeline over a frame window of a source,
+/// materializing into the shared catalog under `output`.
+struct IngestJob {
+    pipeline: Pipeline,
+    source: usize,
+    window: Range<u64>,
+    output: String,
+}
+
+/// A batch of ETL pipelines accepted by one [`Session`]
+/// ([`Session::ingest_batch`]) — the ETL-side analogue of
+/// [`crate::batch::QueryBatch`].
+///
+/// The paper's central ETL observation is that decoding and scanning raw
+/// frames dominates ingestion, so a visual data system should amortize that
+/// scan across every featurization pass that wants the same frames. A
+/// `PipelineBatch` is that story at the session level: register sources,
+/// enqueue K `(pipeline, source, frame window, output)` jobs, and
+/// [`PipelineBatch::run`] plans them into **shared-scan groups** — jobs
+/// over one source share a single sequential decode of the union of their
+/// frame windows (through the session's bounded decoded-frame cache,
+/// [`deeplens_codec::FrameCache`]), and all K generator + transformer
+/// chains fan out over the shared frames as one interleaved morsel set on
+/// the session's worker pool.
+///
+/// **Determinism**: every job's ids, payloads, and lineage are
+/// byte-identical to issuing the jobs one at a time through
+/// [`Pipeline::run_shared`] ([`PipelineBatch::run_serial`] is that
+/// reference path, verbatim) — the speculative per-frame id ranges are
+/// rebased job-major in frame order, exactly the serial reservation order.
+///
+/// **Atomicity**: any stage error surfaces before the batch touches the
+/// catalog — no ids are consumed, no lineage is recorded, and no output
+/// collection (of *any* job) is published.
+///
+/// **Admission**: the whole batch is one admission unit on the session's
+/// thread slice (`Session::pool`), composing with the multi-session budget
+/// split instead of multiplying it.
+pub struct PipelineBatch<'s> {
+    session: &'s Session,
+    sources: Vec<IngestSource>,
+    jobs: Vec<IngestJob>,
+}
+
+impl std::fmt::Debug for PipelineBatch<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut d = f.debug_struct("PipelineBatch");
+        for s in &self.sources {
+            d.field(&s.name, &s.store.kind());
+        }
+        d.field("jobs", &self.jobs.len()).finish()
+    }
+}
+
+impl<'s> PipelineBatch<'s> {
+    pub(crate) fn new(session: &'s Session) -> Self {
+        PipelineBatch {
+            session,
+            sources: Vec::new(),
+            jobs: Vec::new(),
+        }
+    }
+
+    /// Register an encoded video stream under `name`. Frames are decoded
+    /// on demand — once per batch per shared window, and not at all when
+    /// the session's frame cache still holds them from an earlier batch.
+    pub fn add_encoded_source(&mut self, name: &str, bytes: Vec<u8>) -> Result<()> {
+        self.push_source(name, FrameStore::Encoded(bytes))
+    }
+
+    /// Register already-decoded frames under `name` (raw footage, test
+    /// fixtures). No decode cost, but jobs over it still share one scan.
+    pub fn add_frames_source(&mut self, name: &str, frames: Vec<Image>) -> Result<()> {
+        self.push_source(
+            name,
+            FrameStore::Raw(frames.into_iter().map(Arc::new).collect()),
+        )
+    }
+
+    fn push_source(&mut self, name: &str, store: FrameStore) -> Result<()> {
+        if self.sources.iter().any(|s| s.name == name) {
+            return Err(DlError::Conflict(format!(
+                "source '{name}' already registered with this batch"
+            )));
+        }
+        self.sources.push(IngestSource {
+            name: name.to_string(),
+            store,
+        });
+        Ok(())
+    }
+
+    /// Enqueue `pipeline` over `window` of `source`, materializing into the
+    /// shared catalog under `output`. Returns the job's position in the
+    /// batch (its result index). The pipeline is validated up front so a
+    /// misconfigured stage is rejected before anything runs.
+    pub fn ingest(
+        &mut self,
+        pipeline: Pipeline,
+        source: &str,
+        window: Range<u64>,
+        output: &str,
+    ) -> Result<usize> {
+        pipeline.validate()?;
+        let source = self
+            .sources
+            .iter()
+            .position(|s| s.name == source)
+            .ok_or_else(|| DlError::NotFound(format!("batch source '{source}'")))?;
+        self.jobs.push(IngestJob {
+            pipeline,
+            source,
+            window,
+            output: output.to_string(),
+        });
+        Ok(self.jobs.len() - 1)
+    }
+
+    /// Number of enqueued jobs.
+    pub fn len(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// Whether the batch has no jobs.
+    pub fn is_empty(&self) -> bool {
+        self.jobs.is_empty()
+    }
+
+    /// The number of frames `store` can supply (for encoded streams, a
+    /// header parse — no decode).
+    fn source_len(store: &FrameStore) -> Result<u64> {
+        Ok(match store {
+            FrameStore::Encoded(bytes) => u64::from(VideoDecoder::new(bytes)?.header().frame_count),
+            FrameStore::Raw(frames) => frames.len() as u64,
+        })
+    }
+
+    /// The out-of-range error [`PipelineBatch::run_serial`] surfaces for a
+    /// job window past the end of its source — `run` reports the identical
+    /// condition identically, empty windows included.
+    fn window_overrun(source: &IngestSource, window: &Range<u64>, available: u64) -> DlError {
+        match &source.store {
+            FrameStore::Encoded(_) => {
+                DlError::Codec(deeplens_codec::CodecError::InvalidHeader(format!(
+                    "frame window {}..{} exceeds stream length {available}",
+                    window.start, window.end
+                )))
+            }
+            FrameStore::Raw(_) => DlError::NotFound(format!(
+                "frame window {}..{} exceeds source '{}' ({} frames)",
+                window.start, window.end, source.name, available
+            )),
+        }
+    }
+
+    /// Resolve every source a job mentions to its frames, decoding each
+    /// source's needed frames exactly once (shared scan). Returns, per
+    /// source index, a `frame_no -> frame` map covering the union of that
+    /// source's job windows (empty for sources no job touches). Every job
+    /// window — empty ones included — is validated against its source
+    /// first, so `run` rejects exactly the batches `run_serial` rejects.
+    fn shared_scans(&self) -> Result<Vec<ScannedFrames>> {
+        let lengths: Vec<u64> = self
+            .sources
+            .iter()
+            .map(|s| Self::source_len(&s.store))
+            .collect::<Result<_>>()?;
+        for job in &self.jobs {
+            let available = lengths[job.source];
+            if job.window.end > available {
+                return Err(Self::window_overrun(
+                    &self.sources[job.source],
+                    &job.window,
+                    available,
+                ));
+            }
+        }
+        // The needed-frame set per source: the union of its job windows,
+        // sorted — gaps between disjoint windows are never retained (the
+        // codec still decodes through them; an inter-coded stream's
+        // reference chain admits no seeking).
+        let mut needed: Vec<std::collections::BTreeSet<u64>> =
+            vec![Default::default(); self.sources.len()];
+        for job in &self.jobs {
+            needed[job.source].extend(job.window.clone());
+        }
+        let mut scans = Vec::with_capacity(self.sources.len());
+        for (source, needed) in self.sources.iter().zip(needed) {
+            let frames: Vec<u64> = needed.into_iter().collect();
+            scans.push(match &source.store {
+                FrameStore::Encoded(bytes) => {
+                    // One sequential decode for every job over this source,
+                    // served through the session's bounded frame cache so a
+                    // later batch over the same stream can skip it too.
+                    let mut cache = self.session.frame_cache().lock().expect("frame cache");
+                    cache.scan_frames(bytes, &frames)?.into_iter().collect()
+                }
+                FrameStore::Raw(all) => frames
+                    .into_iter()
+                    .map(|t| (t, all[t as usize].clone()))
+                    .collect(),
+            });
+        }
+        Ok(scans)
+    }
+
+    /// Execute the batch: one shared scan per source, all jobs' stages
+    /// fanned over the shared frames as interleaved morsels, then the
+    /// job-major sequential epilogue. Results are patch counts in job
+    /// order, byte-identical to [`PipelineBatch::run_serial`].
+    pub fn run(self) -> Result<Vec<usize>> {
+        let pool = self.session.pool();
+        let scans = self.shared_scans()?;
+
+        // The interleaved multi-pipeline work list: every (job, frame) cell
+        // in job-major frame order — the order the epilogue rebases in.
+        struct WorkItem<'a> {
+            job: usize,
+            frame_no: u64,
+            img: &'a Image,
+        }
+        let mut items: Vec<WorkItem<'_>> = Vec::new();
+        for (ji, job) in self.jobs.iter().enumerate() {
+            let scan = &scans[job.source];
+            for t in job.window.clone() {
+                items.push(WorkItem {
+                    job: ji,
+                    frame_no: t,
+                    img: &scan[&t],
+                });
+            }
+        }
+
+        // Fan every cell out as pool morsels: cells are independent (each
+        // runs with its own speculative zero-based id range), so pipelines
+        // from different jobs interleave freely inside one morsel set.
+        let morsel_results: Vec<Result<Vec<(usize, FrameOutput)>>> =
+            pool.run_morsels(items.len(), pool.morsel_size(items.len()), |range| {
+                items[range]
+                    .iter()
+                    .map(|item| {
+                        let job = &self.jobs[item.job];
+                        job.pipeline
+                            .run_frame(&self.sources[job.source].name, item.frame_no, item.img)
+                            .map(|out| (item.job, out))
+                    })
+                    .collect()
+            });
+        // Surface any stage error before the epilogue touches the catalog:
+        // a mid-batch failure must leave every output collection, lineage
+        // record, and id reservation of the whole batch unmade.
+        let mut per_job: Vec<Vec<FrameOutput>> = (0..self.jobs.len()).map(|_| Vec::new()).collect();
+        for morsel in morsel_results {
+            for (ji, out) in morsel? {
+                per_job[ji].push(out);
+            }
+        }
+
+        // Job-major sequential epilogue: exactly the reservation order (and
+        // therefore exactly the bytes) of issuing each job serially.
+        let mut counts = Vec::with_capacity(self.jobs.len());
+        for (job, frame_outputs) in self.jobs.iter().zip(per_job) {
+            counts.push(issue_frames(
+                frame_outputs,
+                &mut CatalogTarget::Shared(&self.session.catalog),
+                &job.output,
+            ));
+        }
+        Ok(counts)
+    }
+
+    /// The serial reference path: decode every job's frame window privately
+    /// (paying the codec cost per job, never touching the shared cache) and
+    /// issue each job one at a time through [`Pipeline::run_shared`], in
+    /// order. [`PipelineBatch::run`] is byte-identical to this when no
+    /// concurrent session interleaves id reservations.
+    pub fn run_serial(self) -> Result<Vec<usize>> {
+        let pool = self.session.pool();
+        let mut counts = Vec::with_capacity(self.jobs.len());
+        for job in &self.jobs {
+            let source = &self.sources[job.source];
+            let frames: Vec<(u64, Arc<Image>)> = match &source.store {
+                FrameStore::Encoded(bytes) => {
+                    let mut decoder = VideoDecoder::new(bytes)?;
+                    let available = u64::from(decoder.header().frame_count);
+                    if job.window.end > available {
+                        return Err(deeplens_codec::CodecError::InvalidHeader(format!(
+                            "frame window {}..{} exceeds stream length {available}",
+                            job.window.start, job.window.end
+                        ))
+                        .into());
+                    }
+                    let mut frames = Vec::new();
+                    for t in 0..job.window.end {
+                        let img = decoder
+                            .next_frame()
+                            .ok_or(DlError::Codec(deeplens_codec::CodecError::UnexpectedEof))??;
+                        if job.window.contains(&t) {
+                            frames.push((t, Arc::new(img)));
+                        }
+                    }
+                    frames
+                }
+                FrameStore::Raw(all) => {
+                    if job.window.end > all.len() as u64 {
+                        return Err(DlError::NotFound(format!(
+                            "frame window {}..{} exceeds source '{}' ({} frames)",
+                            job.window.start,
+                            job.window.end,
+                            source.name,
+                            all.len()
+                        )));
+                    }
+                    job.window
+                        .clone()
+                        .map(|t| (t, all[t as usize].clone()))
+                        .collect()
+                }
+            };
+            counts.push(job.pipeline.run_shared(
+                frames.iter().map(|(t, img)| (*t, &**img)),
+                &source.name,
+                &self.session.catalog,
+                &job.output,
+                &pool,
+            )?);
+        }
+        Ok(counts)
     }
 }
 
@@ -708,5 +1122,275 @@ mod tests {
                 f: Box::new(|_| vec![0.0; 4]),
             }));
         assert_eq!(format!("{pipe:?}"), "Pipeline(whole-image -> hist)");
+    }
+
+    fn tile_featurize(tile: u32) -> Pipeline {
+        Pipeline::new(Box::new(TileGenerator { tile })).then(Box::new(FeaturizeTransformer {
+            label: "mean-color".into(),
+            dim: 3,
+            f: Box::new(|img| img.mean_color().to_vec()),
+        }))
+    }
+
+    /// Serializes every test in this crate that decodes video:
+    /// `ingest_batch_matches_serial_issuance_with_one_decode` asserts
+    /// **exact** deltas of the process-global `frames_decoded` counter, so
+    /// any concurrently decoding test would perturb it.
+    static DECODE_COUNTER_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+    #[test]
+    fn ingest_batch_matches_serial_issuance_with_one_decode() {
+        use deeplens_codec::video::{encode_video, frames_decoded, VideoConfig};
+        let _serialize = DECODE_COUNTER_LOCK
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
+        let clip = frames(10);
+        let bytes = encode_video(&clip, VideoConfig::default()).unwrap();
+
+        let want = {
+            let s = crate::session::Session::ephemeral().unwrap();
+            let mut b = s.ingest_batch();
+            b.add_encoded_source("cam", bytes.clone()).unwrap();
+            b.ingest(tile_featurize(16), "cam", 0..10, "a").unwrap();
+            b.ingest(tile_featurize(8), "cam", 2..9, "b").unwrap();
+            b.ingest(
+                Pipeline::new(Box::new(WholeImageGenerator)),
+                "cam",
+                4..10,
+                "c",
+            )
+            .unwrap();
+            let before = frames_decoded();
+            let counts = b.run_serial().unwrap();
+            assert_eq!(
+                frames_decoded() - before,
+                10 + 9 + 10,
+                "serial issuance pays a prefix decode per job"
+            );
+            (counts, s)
+        };
+
+        let got = {
+            let s = crate::session::Session::ephemeral().unwrap();
+            let mut b = s.ingest_batch();
+            b.add_encoded_source("cam", bytes).unwrap();
+            b.ingest(tile_featurize(16), "cam", 0..10, "a").unwrap();
+            b.ingest(tile_featurize(8), "cam", 2..9, "b").unwrap();
+            b.ingest(
+                Pipeline::new(Box::new(WholeImageGenerator)),
+                "cam",
+                4..10,
+                "c",
+            )
+            .unwrap();
+            let counts = b.run().unwrap();
+            assert_eq!(
+                s.frame_cache().lock().unwrap().decoded(),
+                10,
+                "the shared scan decodes the union window exactly once"
+            );
+            (counts, s)
+        };
+
+        assert_eq!(got.0, want.0);
+        for name in ["a", "b", "c"] {
+            let g = got.1.catalog.snapshot(name).unwrap();
+            let w = want.1.catalog.snapshot(name).unwrap();
+            assert_eq!(g.patches, w.patches, "collection '{name}'");
+            for p in &g.patches {
+                assert_eq!(
+                    got.1.catalog.backtrace(p.id),
+                    want.1.catalog.backtrace(p.id)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn ingest_batch_raw_sources_share_the_scan() {
+        let imgs = frames(6);
+        let s = crate::session::Session::ephemeral().unwrap();
+        let mut b = s.ingest_batch();
+        b.add_frames_source("raw", imgs.clone()).unwrap();
+        b.ingest(tile_featurize(16), "raw", 0..6, "x").unwrap();
+        b.ingest(tile_featurize(16), "raw", 3..6, "y").unwrap();
+        let counts = b.run().unwrap();
+        assert_eq!(counts, vec![24, 12]);
+        // Reference: the plain session pipeline path over the same frames.
+        let s2 = crate::session::Session::ephemeral().unwrap();
+        s2.run_pipeline(
+            &tile_featurize(16),
+            imgs.iter().enumerate().map(|(i, f)| (i as u64, f)),
+            "raw",
+            "x",
+        )
+        .unwrap();
+        s2.run_pipeline(
+            &tile_featurize(16),
+            imgs[3..].iter().enumerate().map(|(i, f)| (3 + i as u64, f)),
+            "raw",
+            "y",
+        )
+        .unwrap();
+        for name in ["x", "y"] {
+            assert_eq!(
+                s.catalog.snapshot(name).unwrap().patches,
+                s2.catalog.snapshot(name).unwrap().patches
+            );
+        }
+    }
+
+    #[test]
+    fn ingest_batch_rejects_bad_configuration_up_front() {
+        let s = crate::session::Session::ephemeral().unwrap();
+        let mut b = s.ingest_batch();
+        b.add_frames_source("raw", frames(2)).unwrap();
+        // Duplicate source name.
+        assert!(matches!(
+            b.add_frames_source("raw", frames(2)),
+            Err(DlError::Conflict(_))
+        ));
+        // Unknown source.
+        assert!(matches!(
+            b.ingest(tile_featurize(16), "missing", 0..2, "o"),
+            Err(DlError::NotFound(_))
+        ));
+        // Invalid pipeline is rejected at enqueue, not at run.
+        assert!(matches!(
+            b.ingest(
+                Pipeline::new(Box::new(TileGenerator { tile: 0 })),
+                "raw",
+                0..2,
+                "o"
+            ),
+            Err(DlError::TypeError(_))
+        ));
+        // A window past the end of a raw source fails the run, catalog
+        // untouched.
+        b.ingest(tile_featurize(16), "raw", 0..5, "o").unwrap();
+        assert!(matches!(b.run(), Err(DlError::NotFound(_))));
+        assert!(s.catalog.snapshot("o").is_err());
+        assert_eq!(s.catalog.next_patch_id(), PatchId(0));
+        // Empty batches and empty windows are fine.
+        let b = s.ingest_batch();
+        assert!(b.is_empty());
+        assert!(b.run().unwrap().is_empty());
+        let mut b = s.ingest_batch();
+        b.add_frames_source("raw", frames(2)).unwrap();
+        b.ingest(tile_featurize(16), "raw", 1..1, "empty").unwrap();
+        assert_eq!(b.run().unwrap(), vec![0]);
+        assert_eq!(s.catalog.snapshot("empty").unwrap().len(), 0);
+    }
+
+    #[test]
+    fn ingest_batch_run_and_serial_agree_on_window_overruns() {
+        // An empty window past the end of the source is still an overrun:
+        // `run` must reject exactly the batches `run_serial` rejects, for
+        // both source kinds (regression: `run` once answered Ok(vec![0])
+        // for an encoded 9..9 window over a 2-frame stream).
+        use deeplens_codec::video::{encode_video, VideoConfig};
+        let bytes = encode_video(&frames(2), VideoConfig::default()).unwrap();
+        let s = crate::session::Session::ephemeral().unwrap();
+        let build = |serial: bool| {
+            let mut b = s.ingest_batch();
+            b.add_encoded_source("cam", bytes.clone()).unwrap();
+            b.add_frames_source("raw", frames(2)).unwrap();
+            b.ingest(tile_featurize(16), "cam", 9..9, "o").unwrap();
+            if serial {
+                b.run_serial()
+            } else {
+                b.run()
+            }
+        };
+        assert!(matches!(build(false), Err(DlError::Codec(_))));
+        assert!(matches!(build(true), Err(DlError::Codec(_))));
+        let raw_overrun = |serial: bool| {
+            let mut b = s.ingest_batch();
+            b.add_frames_source("raw", frames(2)).unwrap();
+            b.ingest(tile_featurize(16), "raw", 5..5, "o").unwrap();
+            if serial {
+                b.run_serial()
+            } else {
+                b.run()
+            }
+        };
+        assert!(matches!(raw_overrun(false), Err(DlError::NotFound(_))));
+        assert!(matches!(raw_overrun(true), Err(DlError::NotFound(_))));
+        assert!(s.catalog.snapshot("o").is_err(), "nothing published");
+    }
+
+    #[test]
+    fn ingest_batch_stage_error_leaves_catalog_untouched() {
+        // Job 0 is healthy, job 1 fails mid-stream: the whole batch must
+        // surface the error with no collection (of either job) published,
+        // no lineage recorded, and no ids consumed.
+        struct FailOnFrame {
+            frame: i64,
+        }
+        impl Transformer for FailOnFrame {
+            fn name(&self) -> &str {
+                "fail-on-frame"
+            }
+            fn input_schema(&self) -> PatchSchema {
+                PatchSchema::pixels()
+            }
+            fn output_schema(&self) -> PatchSchema {
+                PatchSchema::features(1)
+            }
+            fn transform(&self, patch: &Patch, ids: &mut PatchIdRange) -> Result<Patch> {
+                if patch.get_int("frameno") == Some(self.frame) {
+                    return Err(DlError::TypeError("injected mid-batch failure".into()));
+                }
+                Ok(patch.derive(ids.alloc(), PatchData::Features(vec![1.0])))
+            }
+        }
+        let s = crate::session::Session::ephemeral().unwrap();
+        let mut b = s.ingest_batch();
+        b.add_frames_source("raw", frames(6)).unwrap();
+        b.ingest(tile_featurize(16), "raw", 0..6, "good").unwrap();
+        b.ingest(
+            Pipeline::new(Box::new(WholeImageGenerator)).then(Box::new(FailOnFrame { frame: 4 })),
+            "raw",
+            0..6,
+            "bad",
+        )
+        .unwrap();
+        let res = b.run();
+        assert!(matches!(res, Err(DlError::TypeError(_))));
+        assert!(s.catalog.snapshot("good").is_err(), "batch is atomic");
+        assert!(s.catalog.snapshot("bad").is_err());
+        assert_eq!(s.catalog.with_lineage(|l| l.len()), 0);
+        assert_eq!(s.catalog.next_patch_id(), PatchId(0), "no ids consumed");
+    }
+
+    #[test]
+    fn session_frame_cache_spans_batches_and_is_boundable() {
+        use deeplens_codec::video::{encode_video, VideoConfig};
+        let _serialize = DECODE_COUNTER_LOCK
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
+        let clip = frames(8);
+        let bytes = encode_video(&clip, VideoConfig::default()).unwrap();
+        let mut s = crate::session::Session::ephemeral().unwrap();
+        let run_once = |s: &crate::session::Session, out: &str| {
+            let mut b = s.ingest_batch();
+            b.add_encoded_source("cam", bytes.clone()).unwrap();
+            b.ingest(tile_featurize(16), "cam", 0..8, out).unwrap();
+            b.run().unwrap()
+        };
+        let decoded = |s: &crate::session::Session| s.frame_cache().lock().unwrap().decoded();
+        run_once(&s, "first");
+        assert_eq!(decoded(&s), 8);
+        // Second batch over the same stream: served from the session cache.
+        run_once(&s, "second");
+        assert_eq!(decoded(&s), 8, "cache spans batches: no further decode");
+        assert_eq!(
+            s.catalog.snapshot("second").unwrap().len(),
+            s.catalog.snapshot("first").unwrap().len()
+        );
+        // Disabling retention forces a re-decode.
+        s.set_frame_cache_capacity(0);
+        run_once(&s, "third");
+        assert_eq!(decoded(&s), 8, "capacity 0 retains nothing: full rescan");
     }
 }

@@ -72,7 +72,7 @@ pub mod prelude {
     pub use crate::batch::{BatchQuery, BatchResult, JoinPredicate, QueryBatch};
     pub use crate::catalog::{Catalog, PatchCollection, PatchIdRange, SecondaryIndex};
     pub use crate::error::DlError;
-    pub use crate::etl::{Generator, Pipeline, Transformer};
+    pub use crate::etl::{Generator, Pipeline, PipelineBatch, Transformer};
     pub use crate::lineage::LineageStore;
     pub use crate::ops;
     pub use crate::optimizer::{AccuracyProfile, CostModel, DevicePlanner, JoinStrategy};

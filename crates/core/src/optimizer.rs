@@ -115,6 +115,26 @@ impl CostModel {
             + (k - 1) as f64 * BATCH_RESIDUAL_FRACTION * probe_pass
     }
 
+    /// Estimated total cost of a **batched** ETL ingestion: `k` pipelines
+    /// over one shared frame window of `frames` frames pay the sequential
+    /// decode (`decode_units` per frame) **once** and the featurization
+    /// (`featurize_units` per frame per pipeline) `k` times. `k == 0` costs
+    /// nothing; `k == 1` degenerates to one independent run
+    /// (`frames · (decode + featurize)`), so serial issuance of `k` runs is
+    /// exactly `k` times the `k == 1` cost.
+    pub fn batched_etl_cost(
+        &self,
+        frames: usize,
+        decode_units: f64,
+        featurize_units: f64,
+        k: usize,
+    ) -> f64 {
+        if k == 0 {
+            return 0.0;
+        }
+        frames as f64 * (decode_units + k as f64 * featurize_units)
+    }
+
     /// Recommend a strategy for joining `n_left × n_right` in `dim`-d.
     pub fn recommend(&self, n_left: usize, n_right: usize, dim: usize) -> JoinStrategy {
         let nested = self.nested_loop_cost(n_left, n_right, dim);
@@ -188,6 +208,86 @@ impl Default for DevicePlanner {
 }
 
 impl DevicePlanner {
+    /// A planner whose `units_per_us` and `spawn_overhead_us` were measured
+    /// on the running host by a slim startup microbenchmark (a few
+    /// milliseconds) instead of assuming the hardcoded defaults.
+    ///
+    /// * `units_per_us` — timed off the vectorized distance kernel
+    ///   ([`deeplens_exec::kernels::distances_vectorized`], the same kernel
+    ///   the device benches sweep): the [`CostModel`]'s cost unit is one
+    ///   dim-8 distance evaluation, so evaluations/µs *is* the bridge
+    ///   constant.
+    /// * `spawn_overhead_us` — the measured per-thread cost of spawning and
+    ///   joining a scoped [`deeplens_exec::WorkerPool`] morsel pass over a
+    ///   trivial kernel.
+    ///
+    /// Under `CRITERION_QUICK` (smoke benches) or in the library's own test
+    /// builds the microbenchmark is skipped and the defaults are returned
+    /// unchanged — calibration noise must not perturb smoke timings or make
+    /// placement tests host-dependent.
+    pub fn calibrated() -> Self {
+        let quick = std::env::var("CRITERION_QUICK").is_ok_and(|v| v != "0");
+        Self::calibrated_inner(quick || cfg!(test))
+    }
+
+    fn calibrated_inner(skip: bool) -> Self {
+        let mut planner = Self::default();
+        if skip {
+            return planner;
+        }
+        if let Some(units) = Self::measure_units_per_us() {
+            planner.units_per_us = units;
+        }
+        if let Some(spawn) = Self::measure_spawn_overhead_us() {
+            planner.spawn_overhead_us = spawn;
+        }
+        planner
+    }
+
+    /// Cost-model units (dim-8 distance evaluations) one microsecond of
+    /// vectorized single-core work covers on this host. `None` if the
+    /// measurement degenerates (zero elapsed on a coarse clock).
+    fn measure_units_per_us() -> Option<f64> {
+        use std::time::Instant;
+        const DIM: usize = 8;
+        const ROWS: usize = 2_048;
+        const REPS: usize = 8;
+        let data: Vec<f32> = (0..ROWS * DIM).map(|i| (i % 97) as f32 * 0.1).collect();
+        let matrix = deeplens_exec::Matrix::from_vec(ROWS, DIM, data);
+        let query = [0.5f32; DIM];
+        // Warm caches, then take the best of REPS passes: calibration wants
+        // the machine's attainable rate, not its scheduling jitter.
+        std::hint::black_box(deeplens_exec::kernels::distances_vectorized(
+            &matrix, &query,
+        ));
+        let mut best_us = f64::INFINITY;
+        for _ in 0..REPS {
+            let t0 = Instant::now();
+            std::hint::black_box(deeplens_exec::kernels::distances_vectorized(
+                &matrix, &query,
+            ));
+            best_us = best_us.min(t0.elapsed().as_secs_f64() * 1e6);
+        }
+        (best_us > 0.0).then(|| (ROWS as f64 / best_us).clamp(1.0, 1e6))
+    }
+
+    /// Measured per-thread spawn + join cost (µs) of one scoped morsel pass.
+    fn measure_spawn_overhead_us() -> Option<f64> {
+        use std::time::Instant;
+        const THREADS: usize = 2;
+        const REPS: usize = 16;
+        let pool = deeplens_exec::WorkerPool::new(THREADS);
+        let mut best_us = f64::INFINITY;
+        for _ in 0..REPS {
+            let t0 = Instant::now();
+            // Two one-item morsels force a real scoped spawn (a single
+            // morsel runs inline and would measure nothing).
+            std::hint::black_box(pool.run_morsels(THREADS, 1, |r| r.len()));
+            best_us = best_us.min(t0.elapsed().as_secs_f64() * 1e6);
+        }
+        (best_us > 0.0).then(|| (best_us / THREADS as f64).clamp(1.0, 500.0))
+    }
+
     /// This planner with its thread budget split across `sessions`
     /// concurrent query sessions (minimum 1).
     pub fn for_sessions(mut self, sessions: usize) -> Self {
@@ -416,6 +516,89 @@ impl DevicePlanner {
             device: best,
             batched_us: best_us,
             serial_us: k as f64 * single_us,
+        }
+    }
+
+    /// Estimated wall-clock (µs) of a batch of `k` ETL pipelines sharing
+    /// one scan of `frames` frames on `device`.
+    ///
+    /// The decode phase is strictly sequential — an inter-coded stream's
+    /// reference chain admits no intra-scan parallelism — so it is always
+    /// charged at one vectorized core, whatever `device` says; only the
+    /// featurization work (`k` passes over the shared frames, fanned out as
+    /// morsels) routes through the device's scaling model.
+    pub fn batched_etl_estimate_us(
+        &self,
+        model: &CostModel,
+        frames: usize,
+        decode_units: f64,
+        featurize_units: f64,
+        k: usize,
+        device: Device,
+    ) -> f64 {
+        if k == 0 {
+            return 0.0;
+        }
+        let decode_us = frames as f64 * decode_units / self.units_per_us;
+        let feat_units = model.batched_etl_cost(frames, 0.0, featurize_units, k);
+        // Featurize input is the decoded rasters the morsels read.
+        let bytes = frames * 4096;
+        decode_us + self.estimate_us(device, feat_units / self.units_per_us, bytes)
+    }
+
+    /// Cost a batch of `k` ETL pipelines over one shared frame window as
+    /// **one admission unit** against `k` independent runs.
+    ///
+    /// Candidates are the CPU lattice only: generators and transformers
+    /// are host closures, and the decode phase cannot offload at all. The
+    /// batched side pays one decode + `k` featurize passes on its best
+    /// device; the serial side pays `k · (decode + featurize)` with each
+    /// run's featurize pass at its own best placement — the paper's
+    /// ETL-side amortization, quantified.
+    pub fn place_batched_etl(
+        &self,
+        model: &CostModel,
+        frames: usize,
+        decode_units: f64,
+        featurize_units: f64,
+        k: usize,
+    ) -> BatchPlacement {
+        let cpu_candidates = self
+            .candidates()
+            .into_iter()
+            .filter(|d| *d != Device::GpuSim);
+        let mut best = Device::Cpu;
+        let mut best_us = f64::INFINITY;
+        let mut single_feat_us = f64::INFINITY;
+        for device in cpu_candidates {
+            let us = self.batched_etl_estimate_us(
+                model,
+                frames,
+                decode_units,
+                featurize_units,
+                k,
+                device,
+            );
+            if us < best_us {
+                best = device;
+                best_us = us;
+            }
+            let one = self.batched_etl_estimate_us(
+                model,
+                frames,
+                decode_units,
+                featurize_units,
+                1,
+                device,
+            );
+            if one < single_feat_us {
+                single_feat_us = one;
+            }
+        }
+        BatchPlacement {
+            device: best,
+            batched_us: best_us,
+            serial_us: k as f64 * single_feat_us,
         }
     }
 }
@@ -789,6 +972,99 @@ mod tests {
         // Batching still wins under contention (the sharing is algorithmic,
         // not a thread-count trick).
         assert!(p.worthwhile());
+    }
+
+    #[test]
+    fn batched_etl_cost_degenerates_and_amortizes_decode() {
+        let m = CostModel::default();
+        assert_eq!(m.batched_etl_cost(100, 50.0, 5.0, 0), 0.0);
+        let one = m.batched_etl_cost(100, 50.0, 5.0, 1);
+        assert!((one - 100.0 * 55.0).abs() < 1e-9, "k=1 is one full run");
+        // Decode dominates (the paper's regime): 4 pipelines sharing one
+        // scan cost far less than 4 independent runs, but never less than
+        // the featurize work they add.
+        let four = m.batched_etl_cost(100, 50.0, 5.0, 4);
+        assert!(four < 4.0 * one * 0.5, "shared scan must amortize");
+        assert!(four > one, "extra pipelines are not free");
+    }
+
+    #[test]
+    fn etl_batch_placement_beats_serial_and_stays_on_cpu() {
+        let planner = planner_fixture();
+        let model = CostModel::default();
+        // A decode-heavy clip: decoding a frame costs 10x featurizing it.
+        for k in [2usize, 4, 8] {
+            let p = planner.place_batched_etl(&model, 500, 2_000.0, 200.0, k);
+            assert_ne!(p.device, Device::GpuSim, "host closures cannot offload");
+            assert!(p.worthwhile(), "sharing the scan must win at k={k}");
+            assert!(
+                p.speedup() > 1.5,
+                "k={k}: expected >1.5x from decode amortization, got {:.2}",
+                p.speedup()
+            );
+        }
+        // A batch of one is one run: no phantom gain.
+        let p1 = planner.place_batched_etl(&model, 500, 2_000.0, 200.0, 1);
+        assert!((p1.speedup() - 1.0).abs() < 0.05, "got {:.3}", p1.speedup());
+        // Featurize-heavy batches still amortize, just less.
+        let cheap_decode = planner.place_batched_etl(&model, 500, 10.0, 200.0, 4);
+        assert!(cheap_decode.speedup() < p1.speedup().max(1.0) + 4.0);
+    }
+
+    #[test]
+    fn etl_batch_respects_the_session_thread_slice() {
+        // Under 4-way contention the parallel candidate carries a 1-thread
+        // slice, so the featurize fan-out cannot claim the whole machine.
+        let contended = planner_fixture().for_sessions(4);
+        let model = CostModel::default();
+        let p = contended.place_batched_etl(&model, 2_000, 1_000.0, 500.0, 4);
+        if let Device::ParallelCpu(t) = p.device {
+            assert_eq!(t, contended.session_cpu_threads(), "batch exceeded slice");
+        }
+        // The amortization is algorithmic — it survives contention.
+        assert!(p.worthwhile());
+    }
+
+    #[test]
+    fn decode_phase_never_parallelizes() {
+        let planner = planner_fixture();
+        let model = CostModel::default();
+        // Pure-decode batch (no featurize work): every CPU device estimate
+        // collapses to the same sequential decode time.
+        let avx = planner.batched_etl_estimate_us(&model, 300, 500.0, 0.0, 3, Device::Avx);
+        let par =
+            planner.batched_etl_estimate_us(&model, 300, 500.0, 0.0, 3, Device::ParallelCpu(4));
+        assert!((avx - 300.0 * 500.0 / planner.units_per_us).abs() < 1e-6);
+        // The parallel device can only add spawn overhead on top of the
+        // same sequential decode — never speed the decode itself up.
+        assert!(
+            (par - avx - planner.spawn_overhead_us * 4.0).abs() < 1e-6,
+            "decode must not route through the fan-out model"
+        );
+        assert_eq!(
+            planner.batched_etl_estimate_us(&model, 300, 500.0, 10.0, 0, Device::Avx),
+            0.0
+        );
+    }
+
+    #[test]
+    fn calibration_skips_under_quick_and_measures_otherwise() {
+        // The skip path is exactly the defaults (what CRITERION_QUICK and
+        // test builds get).
+        let skipped = DevicePlanner::calibrated_inner(true);
+        let defaults = DevicePlanner::default();
+        assert_eq!(skipped.units_per_us, defaults.units_per_us);
+        assert_eq!(skipped.spawn_overhead_us, defaults.spawn_overhead_us);
+        // The measuring path stays inside the sanity clamps.
+        let measured = DevicePlanner::calibrated_inner(false);
+        assert!(measured.units_per_us >= 1.0 && measured.units_per_us <= 1e6);
+        assert!(measured.spawn_overhead_us >= 1.0 && measured.spawn_overhead_us <= 500.0);
+        // And the public entry point resolves (cfg!(test) forces the skip
+        // here, keeping placement tests host-independent).
+        assert_eq!(
+            DevicePlanner::calibrated().units_per_us,
+            defaults.units_per_us
+        );
     }
 
     #[test]

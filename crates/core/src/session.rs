@@ -18,13 +18,13 @@
 
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
-use deeplens_codec::Image;
+use deeplens_codec::{FrameCache, Image};
 use deeplens_exec::{Device, Executor, WorkerPool};
 
 use crate::batch::QueryBatch;
-use crate::etl::Pipeline;
+use crate::etl::{Pipeline, PipelineBatch};
 use crate::ops;
 use crate::patch::Patch;
 use crate::shared::SharedCatalog;
@@ -33,6 +33,12 @@ use crate::Result;
 /// Distinguishes ephemeral session directories created by this process.
 static EPHEMERAL_SEQ: AtomicU64 = AtomicU64::new(0);
 
+/// Decoded frames a session's frame cache retains by default. Sized for a
+/// few seconds of footage: enough that back-to-back ingest batches over one
+/// clip skip the second decode, small enough that a session never pins more
+/// than a bounded number of rasters.
+pub const DEFAULT_FRAME_CACHE_FRAMES: usize = 256;
+
 /// A DeepLens session.
 #[derive(Debug)]
 pub struct Session {
@@ -40,6 +46,9 @@ pub struct Session {
     pub catalog: Arc<SharedCatalog>,
     device: Device,
     dir: PathBuf,
+    /// Bounded cache of decoded video frames serving this session's
+    /// shared-scan ingest batches ([`Session::ingest_batch`]).
+    frame_cache: Mutex<FrameCache>,
 }
 
 impl Session {
@@ -63,6 +72,7 @@ impl Session {
             catalog,
             device,
             dir: dir.as_ref().to_path_buf(),
+            frame_cache: Mutex::new(FrameCache::new(DEFAULT_FRAME_CACHE_FRAMES)),
         })
     }
 
@@ -130,6 +140,32 @@ impl Session {
     /// it, and every result is byte-identical to serial issuance.
     pub fn batch(&self) -> QueryBatch<'_> {
         QueryBatch::new(self)
+    }
+
+    /// Start a batch of ETL ingestions against this session
+    /// ([`crate::etl::PipelineBatch`]): register frame sources, enqueue K
+    /// `(pipeline, source, frame window, output)` jobs, then run them with
+    /// **shared scans** — each source's frame window is decoded exactly
+    /// once per batch (through the session's bounded frame cache) and all K
+    /// generator + transformer chains fan out over the shared frames as one
+    /// interleaved morsel set on this session's thread slice. Results are
+    /// byte-identical to issuing each job serially through
+    /// [`Session::run_pipeline`].
+    pub fn ingest_batch(&self) -> PipelineBatch<'_> {
+        PipelineBatch::new(self)
+    }
+
+    /// The session's decoded-frame cache (shared-scan ingest reads and
+    /// fills it).
+    pub(crate) fn frame_cache(&self) -> &Mutex<FrameCache> {
+        &self.frame_cache
+    }
+
+    /// Re-bound the decoded-frame cache to at most `frames` resident
+    /// frames (0 disables retention: every ingest batch re-decodes). The
+    /// existing contents are dropped.
+    pub fn set_frame_cache_capacity(&mut self, frames: usize) {
+        *self.frame_cache.get_mut().expect("frame cache") = FrameCache::new(frames);
     }
 
     /// Similarity join on the session's device: `(left_idx, right_idx)`
