@@ -1,0 +1,334 @@
+//! Serving load-generator bench: N concurrent TCP connections driving the
+//! `deeplens-serve` front end over a shared catalog.
+//!
+//! Two scenarios are measured against one in-process server:
+//!
+//! * **Load waves** (`serve_wave` rows): for each connection count the
+//!   generator opens that many clients, each issuing a fixed run of mixed
+//!   batches (join + dedup + index probe), and times the whole wave. The
+//!   wave medians land in the gated `results` section; the volatile
+//!   per-request percentiles (p50/p99 latency, QPS) go into the
+//!   ungated `latency` section — they churn run to run and would otherwise
+//!   thrash the regression gate's row keys.
+//! * **Overload storm**: a second server with a deliberately tiny
+//!   admission budget and short queue is flooded; the shed rate and the
+//!   admitted/shed counter agreement are recorded in the `overload`
+//!   section.
+//!
+//! Like the other recording benches this harness writes
+//! `BENCH_serve.json` at the workspace root (override with
+//! `BENCH_SERVE_OUT`; `CRITERION_QUICK=1` for a smoke-sized run), and the
+//! byte-identity guard — served replies must equal direct `Session`
+//! execution — runs before any timing.
+
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use deeplens_bench::report::{self, median_secs};
+use deeplens_core::batch::{BatchQuery, BatchResult};
+use deeplens_core::patch::{ImgRef, Patch};
+use deeplens_core::prelude::Session;
+use deeplens_core::shared::SharedCatalog;
+use deeplens_serve::{serve, AdmissionConfig, Client, ClientError, ServerConfig, ServerHandle};
+
+/// Connection counts of the sweep (identical in quick and full runs so the
+/// regression gate's row keys line up across both).
+const CONNECTIONS: [usize; 4] = [1, 2, 4, 8];
+
+/// Deterministic feature patches (the LCG the core test corpora use).
+fn feat_patches(catalog: &SharedCatalog, n: u64, dim: usize, seed: u64) -> Vec<Patch> {
+    let mut ids = catalog.reserve_patch_ids(n);
+    let mut s = seed;
+    (0..n)
+        .map(|i| {
+            let f: Vec<f32> = (0..dim)
+                .map(|_| {
+                    s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+                    (s >> 33) as f32 / (1u64 << 31) as f32 * 10.0
+                })
+                .collect();
+            Patch::features(ids.alloc(), ImgRef::frame("bench", i), f)
+        })
+        .collect()
+}
+
+/// The mixed batch every generator request issues.
+fn request_queries() -> Vec<BatchQuery> {
+    vec![
+        BatchQuery::SimilarityJoin {
+            left: "small".into(),
+            right: "large".into(),
+            tau: 1.1,
+            predicate: None,
+        },
+        BatchQuery::Dedup {
+            collection: "small".into(),
+            tau: 0.4,
+        },
+        BatchQuery::IndexProbe {
+            collection: "large".into(),
+            index: "by_feat".into(),
+            probe: vec![5.0; 6],
+            tau: 2.0,
+        },
+    ]
+}
+
+/// Seeded catalog + server under a given admission config.
+fn spawn_server(
+    n_small: u64,
+    n_large: u64,
+    admission: AdmissionConfig,
+) -> (Arc<SharedCatalog>, ServerHandle) {
+    let catalog = Arc::new(SharedCatalog::new());
+    catalog.materialize("small", feat_patches(&catalog, n_small, 6, 1));
+    catalog.materialize("large", feat_patches(&catalog, n_large, 6, 2));
+    catalog
+        .build_ball_index("large", "by_feat", 1)
+        .expect("bench index");
+    let server = serve(
+        catalog.clone(),
+        ServerConfig {
+            admission,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind serve bench server");
+    (catalog, server)
+}
+
+/// Drive one wave: every pre-connected client issues `reqs` mixed batches
+/// concurrently. Connection setup stays outside the wave — the accept
+/// loop's poll latency is not what this bench measures. Appends every
+/// per-request latency (seconds) to `latencies` and returns the total
+/// number of requests completed.
+fn wave(clients: &mut [Client], reqs: usize, latencies: &Mutex<Vec<f64>>) -> usize {
+    let done: Vec<usize> = std::thread::scope(|scope| {
+        let handles: Vec<_> = clients
+            .iter_mut()
+            .map(|client| {
+                scope.spawn(move || {
+                    let queries = request_queries();
+                    let mut local = Vec::with_capacity(reqs);
+                    for _ in 0..reqs {
+                        let t0 = Instant::now();
+                        client.batch(queries.clone()).expect("serve wave batch");
+                        local.push(t0.elapsed().as_secs_f64());
+                    }
+                    latencies.lock().unwrap().extend_from_slice(&local);
+                    local.len()
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    done.iter().sum()
+}
+
+/// Percentile over a sorted slice (nearest-rank).
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return f64::NAN;
+    }
+    let idx = ((sorted.len() as f64 * p).ceil() as usize).clamp(1, sorted.len()) - 1;
+    sorted[idx]
+}
+
+struct WaveStats {
+    connections: usize,
+    median_s: f64,
+    p50_ms: f64,
+    p99_ms: f64,
+    qps: f64,
+}
+
+fn main() {
+    let quick = std::env::var("CRITERION_QUICK").is_ok_and(|v| v != "0");
+    // Sizing keeps every wave row above the gate's 2 ms noise floor even in
+    // quick mode — a row under the floor is skipped as noise and enforces
+    // nothing.
+    let (n_small, n_large, reqs_per_conn, reps) = if quick {
+        (90u64, 320u64, 12usize, 3usize)
+    } else {
+        (140, 480, 24, 5)
+    };
+
+    // Generous budget: the load waves measure serving throughput, not
+    // shedding, so nothing may be shed while timing.
+    let (catalog, mut server) = spawn_server(
+        n_small,
+        n_large,
+        AdmissionConfig {
+            max_inflight_cost_us: 1e12,
+            max_queue_depth: 64,
+        },
+    );
+    let addr = server.local_addr().to_string();
+
+    // Byte-identity guard: served replies must equal direct in-process
+    // execution before any timing means anything.
+    {
+        let session = Session::ephemeral_attached(catalog.clone()).expect("session");
+        let mut batch = session.batch();
+        for q in request_queries() {
+            batch.push(q);
+        }
+        let direct: Vec<BatchResult> = batch.run().expect("direct batch");
+        let mut client = Client::connect(&addr).expect("connect");
+        let served = client.batch(request_queries()).expect("served batch");
+        assert_eq!(
+            served, direct,
+            "served replies diverged from direct execution"
+        );
+    }
+
+    let mut stats: Vec<WaveStats> = Vec::new();
+    for &conns in &CONNECTIONS {
+        let mut clients: Vec<Client> = (0..conns)
+            .map(|_| Client::connect(&addr).expect("connect"))
+            .collect();
+        // One untimed warm-up wave absorbs each connection's cold first
+        // request (session attach, lazy allocation) before measurement.
+        wave(&mut clients, 1, &Mutex::new(Vec::new()));
+        let latencies = Mutex::new(Vec::new());
+        let median_s = median_secs(reps, || wave(&mut clients, reqs_per_conn, &latencies));
+        let mut lat: Vec<f64> = latencies.into_inner().unwrap();
+        lat.sort_by(f64::total_cmp);
+        stats.push(WaveStats {
+            connections: conns,
+            median_s,
+            p50_ms: percentile(&lat, 0.50) * 1e3,
+            p99_ms: percentile(&lat, 0.99) * 1e3,
+            qps: (conns * reqs_per_conn) as f64 / median_s,
+        });
+    }
+    assert_eq!(
+        server.shed(),
+        0,
+        "load waves must not shed under the generous budget"
+    );
+
+    for s in &stats {
+        println!(
+            "bench serve/wave connections {:>2}   median {:>9.3} ms   p50 {:>8.3} ms   p99 {:>8.3} ms   {:>8.1} qps",
+            s.connections,
+            s.median_s * 1e3,
+            s.p50_ms,
+            s.p99_ms,
+            s.qps
+        );
+    }
+
+    // Overload storm against a near-zero budget and a short queue: most of
+    // the flood must be shed with an explicit Overloaded reply instead of
+    // stalling, and client-observed counts must agree with the server's.
+    let storm_conns = 8;
+    let storm_reqs = if quick { 4 } else { 8 };
+    let (_storm_catalog, mut storm_server) = spawn_server(
+        n_small,
+        n_large,
+        AdmissionConfig {
+            max_inflight_cost_us: 1.5,
+            max_queue_depth: 2,
+        },
+    );
+    let storm_addr = storm_server.local_addr().to_string();
+    let (ok, shed): (u64, u64) = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..storm_conns)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut client = Client::connect(&storm_addr).expect("connect");
+                    let (mut ok, mut shed) = (0u64, 0u64);
+                    for _ in 0..storm_reqs {
+                        match client.batch(request_queries()) {
+                            Ok(_) => ok += 1,
+                            Err(ClientError::Overloaded) => shed += 1,
+                            Err(e) => panic!("storm request failed: {e}"),
+                        }
+                    }
+                    (ok, shed)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().unwrap())
+            .fold((0, 0), |(a, b), (c, d)| (a + c, b + d))
+    });
+    let total = (storm_conns * storm_reqs) as u64;
+    assert_eq!(
+        ok + shed,
+        total,
+        "every storm request must get a definite answer"
+    );
+    assert_eq!(
+        storm_server.admitted(),
+        ok,
+        "client/server admitted counts diverged"
+    );
+    assert_eq!(
+        storm_server.shed(),
+        shed,
+        "client/server shed counts diverged"
+    );
+    let shed_rate = shed as f64 / total as f64;
+    println!(
+        "bench serve/overload storm: {ok} admitted, {shed} shed of {total} ({:.0}% shed rate)",
+        shed_rate * 100.0
+    );
+
+    let mut sections: Vec<(&str, String)> =
+        vec![("bench", "\"serve\"".into()), ("quick", quick.to_string())];
+    sections.push(("host", report::host_json(&[])));
+    sections.push((
+        "config",
+        report::json_object(&[
+            ("n_small", n_small.to_string()),
+            ("n_large", n_large.to_string()),
+            ("requests_per_conn", reqs_per_conn.to_string()),
+            ("reps", reps.to_string()),
+        ]),
+    ));
+    // Gated rows: wave medians only. Per-request percentiles and QPS are
+    // run-to-run volatile and live in the separate `latency` section the
+    // gate ignores — putting them in `results` would churn every row key.
+    let rows: Vec<String> = stats
+        .iter()
+        .map(|s| {
+            format!(
+                "{{\"name\": \"serve_wave\", \"connections\": {}, \"median_s\": {:.6}}}",
+                s.connections, s.median_s
+            )
+        })
+        .collect();
+    sections.push(("results", report::json_array(&rows)));
+    let latency_rows: Vec<String> = stats
+        .iter()
+        .map(|s| {
+            format!(
+                "{{\"connections\": {}, \"p50_ms\": {:.3}, \"p99_ms\": {:.3}, \"qps\": {:.1}}}",
+                s.connections, s.p50_ms, s.p99_ms, s.qps
+            )
+        })
+        .collect();
+    sections.push(("latency", report::json_array(&latency_rows)));
+    sections.push((
+        "overload",
+        report::json_object(&[
+            ("storm_connections", storm_conns.to_string()),
+            ("storm_requests", total.to_string()),
+            ("admitted", ok.to_string()),
+            ("shed", shed.to_string()),
+            ("shed_rate", format!("{shed_rate:.3}")),
+        ]),
+    ));
+
+    report::record_artifact(
+        "BENCH_SERVE_OUT",
+        format!("{}/../../BENCH_serve.json", env!("CARGO_MANIFEST_DIR")),
+        &report::bench_json(&sections),
+    );
+
+    storm_server.stop();
+    server.stop();
+}

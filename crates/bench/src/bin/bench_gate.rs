@@ -7,9 +7,12 @@
 //! smokes overwrite them) and exits non-zero if any result row regressed
 //! beyond the allowance. Artifact names default to the four recording
 //! benches: `BENCH_ops.json`, `BENCH_parallel.json`, `BENCH_devices.json`,
-//! `BENCH_etl.json`. A fresh row with no baseline counterpart (a newly
-//! added benchmark) is reported as **"new, skipped"** — it neither fails
-//! the gate nor silently counts as enforced.
+//! `BENCH_etl.json`, `BENCH_serve.json`. A fresh row with no baseline
+//! counterpart (a newly added benchmark) is reported as **"new, skipped"**
+//! — it neither fails the gate nor silently counts as enforced. But when an
+//! artifact shares **zero** rows with its baseline (everything vanished,
+//! everything new — a renamed suite), the gate fails loudly instead of
+//! passing vacuously.
 //!
 //! The comparison is noise-threshold aware, `CRITERION_QUICK` aware, and
 //! relaxes across hosts with different parallelism — see
@@ -26,11 +29,12 @@ use std::process::ExitCode;
 
 use deeplens_bench::gate::{gate_file, GateConfig, RowStatus};
 
-const DEFAULT_ARTIFACTS: [&str; 4] = [
+const DEFAULT_ARTIFACTS: [&str; 5] = [
     "BENCH_ops.json",
     "BENCH_parallel.json",
     "BENCH_devices.json",
     "BENCH_etl.json",
+    "BENCH_serve.json",
 ];
 
 fn env_f64(name: &str, default: f64) -> f64 {
@@ -134,7 +138,21 @@ fn main() -> ExitCode {
                         report.new_rows()
                     );
                 }
-                if report.compared() == 0 {
+                if report.zero_overlap {
+                    // All-vanished + all-new: the artifact shares zero rows
+                    // with its committed baseline, so nothing was enforced.
+                    // A renamed suite must refresh its baseline in the same
+                    // change — silently passing here would let it dodge the
+                    // gate entirely.
+                    eprintln!(
+                        "bench_gate: FAIL {name}: zero row overlap with the committed \
+                         baseline ({} baseline row(s) vanished, {} fresh row(s) all new) \
+                         — refresh the committed baseline alongside the rename",
+                        report.missing_in_fresh.len(),
+                        report.new_rows(),
+                    );
+                    total_failures += 1;
+                } else if report.compared() == 0 {
                     println!(
                         "bench_gate: WARNING {name}: 0 rows compared (all below the noise \
                          floor or new) — this artifact was not gated"

@@ -304,8 +304,16 @@ pub struct FileReport {
     /// Per-row verdicts, in the fresh artifact's order.
     pub rows: Vec<RowReport>,
     /// Baseline rows that vanished from the fresh artifact (warned, not
-    /// failed: renames and retired benchmarks are legitimate).
+    /// failed: renames and retired benchmarks are legitimate — unless
+    /// *every* row vanished, which sets [`FileReport::zero_overlap`]).
     pub missing_in_fresh: Vec<String>,
+    /// True when the baseline had rows but **none** of them survived into
+    /// the fresh artifact: every baseline row vanished and every fresh row
+    /// is new. Individually those are benign warnings, but together they
+    /// mean the gate compared nothing at all — the signature of a renamed
+    /// bench suite dodging its own history — so callers must treat this as
+    /// a failure, not a pass.
+    pub zero_overlap: bool,
 }
 
 impl FileReport {
@@ -479,6 +487,11 @@ pub fn gate_file(baseline: &str, fresh: &str, cfg: &GateConfig) -> Result<FileRe
         .collect();
     missing_in_fresh.sort_unstable();
 
+    // Zero overlap: the baseline had rows, yet not one fresh row matched a
+    // baseline key. (All-new fresh rows against an *empty* baseline are a
+    // legitimate first recording, not zero overlap.)
+    let zero_overlap = !base_rows.is_empty() && rows.iter().all(|r| r.status == RowStatus::New);
+
     Ok(FileReport {
         bench,
         allowed,
@@ -486,6 +499,7 @@ pub fn gate_file(baseline: &str, fresh: &str, cfg: &GateConfig) -> Result<FileRe
         host_mismatch,
         rows,
         missing_in_fresh,
+        zero_overlap,
     })
 }
 
@@ -615,12 +629,16 @@ mod tests {
 
     #[test]
     fn new_and_vanished_rows_pass_with_warnings() {
-        let base = doc(false, 4, &[("old", 1, 0.020)]);
-        let fresh = doc(false, 4, &[("new", 1, 0.020)]);
+        let base = doc(false, 4, &[("old", 1, 0.020), ("kept", 1, 0.020)]);
+        let fresh = doc(false, 4, &[("kept", 1, 0.020), ("new", 1, 0.020)]);
         let report = gate_file(&base, &fresh, &GateConfig::default()).unwrap();
         assert_eq!(report.failures(), 0);
-        assert_eq!(report.rows[0].status, RowStatus::New);
+        assert_eq!(report.rows[1].status, RowStatus::New);
         assert_eq!(report.missing_in_fresh, vec!["old [threads=1]".to_string()]);
+        assert!(
+            !report.zero_overlap,
+            "one surviving key keeps the gate live"
+        );
     }
 
     #[test]
@@ -653,6 +671,44 @@ mod tests {
         let report = gate_file(&base, &all_new, &GateConfig::default()).unwrap();
         assert_eq!(report.compared(), 0);
         assert_eq!(report.new_rows(), 1);
+    }
+
+    #[test]
+    fn zero_overlap_is_flagged_not_silently_passed() {
+        // A wholesale rename: every baseline row vanished, every fresh row
+        // is new. Row-level verdicts all "pass", but the report must flag
+        // the artifact so the caller can fail instead of rubber-stamping.
+        let base = doc(false, 4, &[("join", 1, 0.020), ("dedup", 4, 0.010)]);
+        let fresh = doc(false, 4, &[("join_v2", 1, 0.020), ("dedup_v2", 4, 0.010)]);
+        let report = gate_file(&base, &fresh, &GateConfig::default()).unwrap();
+        assert!(report.zero_overlap);
+        assert_eq!(report.failures(), 0, "no row-level failure to hide behind");
+        assert_eq!(report.compared(), 0);
+        assert_eq!(report.missing_in_fresh.len(), 2);
+
+        // A fresh artifact that lost its results entirely is also zero
+        // overlap — all-vanished with nothing new is the same dodge.
+        let empty = doc(false, 4, &[]);
+        let report = gate_file(&base, &empty, &GateConfig::default()).unwrap();
+        assert!(report.zero_overlap);
+
+        // Partial overlap is not flagged: one surviving key keeps the gate
+        // engaged, and the rest stay ordinary new/vanished warnings.
+        let partial = doc(false, 4, &[("join", 1, 0.021), ("dedup_v2", 4, 0.010)]);
+        let report = gate_file(&base, &partial, &GateConfig::default()).unwrap();
+        assert!(!report.zero_overlap);
+        assert_eq!(report.compared(), 1);
+
+        // A noise-skipped match still counts as overlap: the keys met, the
+        // row was just below the floor.
+        let base_tiny = doc(false, 4, &[("tiny", 1, 0.0002)]);
+        let fresh_tiny = doc(false, 4, &[("tiny", 1, 0.0003)]);
+        let report = gate_file(&base_tiny, &fresh_tiny, &GateConfig::default()).unwrap();
+        assert!(!report.zero_overlap);
+
+        // An empty committed baseline is a first recording, not a dodge.
+        let report = gate_file(&empty, &fresh, &GateConfig::default()).unwrap();
+        assert!(!report.zero_overlap);
     }
 
     #[test]

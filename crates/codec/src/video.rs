@@ -667,12 +667,14 @@ impl FrameCache {
     ///
     /// When every needed frame is resident the scan costs zero decodes.
     /// Otherwise the stream is decoded sequentially from its start through
-    /// the last needed frame — inter-coded frames need their full reference
-    /// chain, so a partial hit still pays one full prefix scan — but only
-    /// the needed frames are retained and (re-)inserted: gap frames between
-    /// sparse windows are dropped as the decoder moves past them instead of
-    /// accumulating in memory. Either way the stream is decoded **at most
-    /// once** per call.
+    /// the last **missing** frame — inter-coded frames need their full
+    /// reference chain, so a partial hit still pays one prefix scan, but a
+    /// resident suffix is served straight from cache without re-decoding.
+    /// Only missing needed frames touch the LRU: gap frames between sparse
+    /// windows are dropped as the decoder moves past them, and frames that
+    /// are already resident keep their original entries (and `Arc`s), so a
+    /// scan can never displace the residents it is about to return. Either
+    /// way the stream is decoded **at most once** per call.
     pub fn scan_frames(
         &mut self,
         bytes: &[u8],
@@ -700,9 +702,16 @@ impl FrameCache {
                 "frame {last} exceeds stream length {available}"
             )));
         }
-        let mut out = Vec::with_capacity(needed.len());
-        let mut want = needed.iter().copied().peekable();
-        for t in 0..=last {
+        let missing: Vec<u64> = needed
+            .iter()
+            .zip(&cached)
+            .filter(|(_, hit)| hit.is_none())
+            .map(|(&t, _)| t)
+            .collect();
+        let last_missing = *missing.last().expect("not fully cached");
+        let mut fresh = Vec::with_capacity(missing.len());
+        let mut want = missing.iter().copied().peekable();
+        for t in 0..=last_missing {
             let img = match decoder.next_frame() {
                 Some(frame) => Arc::new(frame?),
                 None => {
@@ -713,10 +722,19 @@ impl FrameCache {
             if want.peek() == Some(&t) {
                 want.next();
                 self.insert(stream, t, img.clone());
-                out.push((t, img));
+                fresh.push(img);
             }
         }
-        Ok(out)
+        let mut fresh = fresh.into_iter();
+        Ok(needed
+            .iter()
+            .copied()
+            .zip(cached)
+            .map(|(t, hit)| {
+                let img = hit.unwrap_or_else(|| fresh.next().expect("decoded every missing frame"));
+                (t, img)
+            })
+            .collect())
     }
 }
 
@@ -989,5 +1007,54 @@ mod tests {
         // Out-of-range needed frame errors; empty set is a no-op.
         assert!(cache.scan_frames(&bytes, &[3, 11]).is_err());
         assert!(cache.scan_frames(&bytes, &[]).unwrap().is_empty());
+    }
+
+    #[test]
+    fn frame_cache_disjoint_windows_never_displace_requested_residents() {
+        let frames = moving_square(12, 16, 16);
+        let bytes = encode_video(&frames, VideoConfig::sequential(Quality::High)).unwrap();
+        // Capacity holds exactly the two requested windows and nothing
+        // more: if the gap frames 4..8 touched the LRU, the first window
+        // would be evicted before the second scan returned.
+        let mut cache = FrameCache::new(8);
+        cache.scan_window(&bytes, 0..4).unwrap();
+        assert_eq!(cache.decoded(), 4);
+        cache.scan_window(&bytes, 8..12).unwrap();
+        assert_eq!(cache.decoded(), 16, "reference chain re-decoded once");
+        let stream = stream_fingerprint(&bytes);
+        for t in (0..4).chain(8..12) {
+            assert!(
+                cache.get(stream, t).is_some(),
+                "requested frame {t} was displaced"
+            );
+        }
+        assert_eq!(cache.len(), 8, "gap frames never entered the cache");
+        // Decode-counter regression: re-scanning the two disjoint windows
+        // together is pure cache.
+        let union: Vec<u64> = (0..4).chain(8..12).collect();
+        let got = cache.scan_frames(&bytes, &union).unwrap();
+        assert_eq!(got.iter().map(|(t, _)| *t).collect::<Vec<_>>(), union);
+        assert_eq!(cache.decoded(), 16, "disjoint-window rescan costs zero");
+    }
+
+    #[test]
+    fn frame_cache_partial_hit_stops_at_last_missing_frame() {
+        let frames = moving_square(8, 16, 16);
+        let bytes = encode_video(&frames, VideoConfig::sequential(Quality::High)).unwrap();
+        let mut cache = FrameCache::new(32);
+        let first = cache.scan_frames(&bytes, &[1, 6]).unwrap();
+        assert_eq!(cache.decoded(), 7);
+        // Frame 0 is the only miss, so the prefix decode stops right
+        // after it instead of re-decoding through the resident frame 6.
+        let second = cache.scan_frames(&bytes, &[0, 1, 6]).unwrap();
+        assert_eq!(
+            second.iter().map(|(t, _)| *t).collect::<Vec<_>>(),
+            vec![0, 1, 6]
+        );
+        assert_eq!(cache.decoded(), 8, "resident suffix served from cache");
+        // Resident frames keep their original entries: the rescan hands
+        // back the very same decoded rasters, not fresh duplicates.
+        assert!(Arc::ptr_eq(&first[0].1, &second[1].1));
+        assert!(Arc::ptr_eq(&first[1].1, &second[2].1));
     }
 }

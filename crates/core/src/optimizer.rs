@@ -380,6 +380,22 @@ impl DevicePlanner {
         self.estimate_us(device, units / self.units_per_us, bytes)
     }
 
+    /// Estimated wall-clock (µs) of one prebuilt Ball-Tree range probe over
+    /// an `n`-patch collection in `dim` dimensions on `device`. The probe is
+    /// a pointer-chasing traversal, so it is modeled at the single probe's
+    /// [`CostModel::probe_cost`] with only the query vector moving — the
+    /// serving front end weighs admission of probe requests with this.
+    pub fn probe_estimate_us(
+        &self,
+        model: &CostModel,
+        n: usize,
+        dim: usize,
+        device: Device,
+    ) -> f64 {
+        let bytes = dim * 4;
+        self.estimate_us(device, model.probe_cost(n, dim) / self.units_per_us, bytes)
+    }
+
     /// Jointly choose a join strategy and a device for an `n_left × n_right`
     /// similarity join in `dim` dimensions.
     ///

@@ -13,8 +13,10 @@
 //! serially, and `Device::GpuSim` offloads the all-pairs join kernel. When
 //! several sessions share one catalog the budget is *divided* across them
 //! ([`Session::effective_threads`]): the machine no longer belongs to a
-//! single query, so each session gets `device_threads / active_sessions`
-//! workers (never below one).
+//! single query, so each session gets its exact share of
+//! `device_threads` — the even split plus, for the sessions of lowest
+//! slot rank, one of the `device_threads % active_sessions` remainder
+//! threads — never below one worker, and never stranding a core.
 
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -45,6 +47,10 @@ pub struct Session {
     /// The shared materialization catalog this session is attached to.
     pub catalog: Arc<SharedCatalog>,
     device: Device,
+    /// The catalog slot this session occupies while attached; its rank
+    /// among the active slots decides whether this session receives one of
+    /// the remainder threads of an uneven budget split.
+    slot: usize,
     dir: PathBuf,
     /// Bounded cache of decoded video frames serving this session's
     /// shared-scan ingest batches ([`Session::ingest_batch`]).
@@ -67,10 +73,11 @@ impl Session {
         catalog: Arc<SharedCatalog>,
     ) -> Result<Self> {
         std::fs::create_dir_all(dir.as_ref()).map_err(deeplens_storage::StorageError::from)?;
-        catalog.attach_session();
+        let slot = catalog.attach_session();
         Ok(Session {
             catalog,
             device,
+            slot,
             dir: dir.as_ref().to_path_buf(),
             frame_cache: Mutex::new(FrameCache::new(DEFAULT_FRAME_CACHE_FRAMES)),
         })
@@ -120,9 +127,16 @@ impl Session {
     /// The thread budget this session may actually use right now: the
     /// device's worker count divided across every session attached to the
     /// shared catalog, never below one.
+    ///
+    /// The division is exact, not a floor: the `budget % sessions`
+    /// remainder threads are granted one-each to the sessions of lowest
+    /// slot rank ([`SharedCatalog::session_thread_share`]), so the shares
+    /// sum to the whole budget. (The old floor division stranded the
+    /// remainder — budget 8 across 3 sessions used 6 threads and idled 2
+    /// forever.)
     pub fn effective_threads(&self) -> usize {
-        let budget = self.device.resolved_threads();
-        (budget / self.catalog.active_sessions().max(1)).max(1)
+        self.catalog
+            .session_thread_share(self.slot, self.device.resolved_threads())
     }
 
     /// The worker pool the session's device implies: its share of the
@@ -266,7 +280,7 @@ impl Session {
 
 impl Drop for Session {
     fn drop(&mut self) {
-        self.catalog.detach_session();
+        self.catalog.detach_session(self.slot);
     }
 }
 
@@ -338,6 +352,82 @@ mod tests {
         }
         assert_eq!(shared.active_sessions(), 1, "drops detach");
         assert_eq!(a.pool().threads(), 8, "budget restored");
+    }
+
+    #[test]
+    fn uneven_split_distributes_the_remainder() {
+        // Regression: floor division stranded `budget % sessions` threads —
+        // a budget of 8 across 3 sessions handed out 2+2+2 and idled two
+        // cores forever. The shares must sum to the whole budget.
+        let shared = Arc::new(SharedCatalog::new());
+        let mut sessions: Vec<Session> = (0..3)
+            .map(|_| Session::ephemeral_attached(shared.clone()).unwrap())
+            .collect();
+        for s in &mut sessions {
+            s.set_device(Device::ParallelCpu(8));
+        }
+        let shares: Vec<usize> = sessions.iter().map(Session::effective_threads).collect();
+        assert_eq!(shares.iter().sum::<usize>(), 8, "no stranded threads");
+        assert_eq!(shares, vec![3, 3, 2], "remainder goes to lowest ranks");
+
+        // Five sessions, budget 8: 2+2+1+1+1? No — 8/5=1 rem 3: 2+2+2+1+1.
+        let mut more: Vec<Session> = (0..2)
+            .map(|_| Session::ephemeral_attached(shared.clone()).unwrap())
+            .collect();
+        for s in &mut more {
+            s.set_device(Device::ParallelCpu(8));
+        }
+        let shares: Vec<usize> = sessions
+            .iter()
+            .chain(&more)
+            .map(Session::effective_threads)
+            .collect();
+        assert_eq!(shares, vec![2, 2, 2, 1, 1]);
+        assert_eq!(shares.iter().sum::<usize>(), 8);
+
+        // Oversubscribed (more sessions than threads): everyone still gets
+        // one worker — the floor guarantee is unchanged.
+        let mut crowd: Vec<Session> = (0..10)
+            .map(|_| Session::ephemeral_attached(shared.clone()).unwrap())
+            .collect();
+        for s in &mut crowd {
+            s.set_device(Device::ParallelCpu(4));
+        }
+        assert!(crowd.iter().all(|s| s.effective_threads() == 1));
+    }
+
+    #[test]
+    fn remainder_shares_are_stable_across_detach() {
+        // Slots recycle: when the lowest-ranked session leaves, the
+        // remainder moves deterministically to the next ranks, and a new
+        // session takes the freed (lowest) slot.
+        let shared = Arc::new(SharedCatalog::new());
+        let mut a = Session::ephemeral_attached(shared.clone()).unwrap();
+        let mut b = Session::ephemeral_attached(shared.clone()).unwrap();
+        let mut c = Session::ephemeral_attached(shared.clone()).unwrap();
+        for s in [&mut a, &mut b, &mut c] {
+            s.set_device(Device::ParallelCpu(7));
+        }
+        // 7 / 3 = 2 rem 1: the lowest slot gets the extra.
+        assert_eq!(
+            [&a, &b, &c].map(|s| s.effective_threads()),
+            [3, 2, 2],
+            "7 across 3"
+        );
+        drop(a);
+        // 7 / 2 = 3 rem 1.
+        assert_eq!([&b, &c].map(|s| s.effective_threads()), [4, 3]);
+        let mut d = Session::ephemeral_attached(shared.clone()).unwrap();
+        d.set_device(Device::ParallelCpu(7));
+        // d recycled slot 0, so it now holds the lowest rank.
+        assert_eq!([&d, &b, &c].map(|s| s.effective_threads()), [3, 2, 2]);
+        assert_eq!(
+            [&d, &b, &c]
+                .iter()
+                .map(|s| s.effective_threads())
+                .sum::<usize>(),
+            7
+        );
     }
 
     #[test]

@@ -25,11 +25,11 @@
 //! 3. patch-id reservation ([`SharedCatalog::reserve_patch_ids`]) is a
 //!    lock-free atomic fetch-add and participates in no ordering at all.
 
-use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::collections::{BTreeSet, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use parking_lot::RwLock;
+use parking_lot::{Mutex, RwLock};
 
 use crate::catalog::{PatchCollection, PatchIdRange};
 use crate::lineage::LineageStore;
@@ -47,7 +47,12 @@ pub struct SharedCatalog {
     shards: Vec<RwLock<HashMap<String, Arc<PatchCollection>>>>,
     lineage: RwLock<LineageStore>,
     next_id: AtomicU64,
-    sessions: AtomicUsize,
+    /// Slot numbers of the currently attached sessions. Each session holds
+    /// the lowest slot that was free when it attached; the *rank* of a
+    /// session's slot within this set decides which sessions receive the
+    /// remainder threads of an uneven budget split
+    /// ([`SharedCatalog::session_thread_share`]).
+    session_slots: Mutex<BTreeSet<usize>>,
 }
 
 impl Default for SharedCatalog {
@@ -68,7 +73,7 @@ impl SharedCatalog {
             shards: (0..shards.max(1)).map(|_| RwLock::default()).collect(),
             lineage: RwLock::new(LineageStore::new()),
             next_id: AtomicU64::new(0),
-            sessions: AtomicUsize::new(0),
+            session_slots: Mutex::new(BTreeSet::new()),
         }
     }
 
@@ -294,15 +299,41 @@ impl SharedCatalog {
     /// Number of sessions currently attached (drives per-session thread
     /// budgets; see `Session::pool`).
     pub fn active_sessions(&self) -> usize {
-        self.sessions.load(Ordering::Relaxed)
+        self.session_slots.lock().len()
     }
 
-    pub(crate) fn attach_session(&self) {
-        self.sessions.fetch_add(1, Ordering::Relaxed);
+    /// Attach a session, returning the slot it occupies: the lowest slot
+    /// number not currently held. Slots are recycled on detach, so a
+    /// long-lived catalog serving churning sessions keeps its slot numbers
+    /// dense.
+    pub(crate) fn attach_session(&self) -> usize {
+        let mut slots = self.session_slots.lock();
+        let slot = (0..).find(|s| !slots.contains(s)).expect("free slot");
+        slots.insert(slot);
+        slot
     }
 
-    pub(crate) fn detach_session(&self) {
-        self.sessions.fetch_sub(1, Ordering::Relaxed);
+    pub(crate) fn detach_session(&self, slot: usize) {
+        self.session_slots.lock().remove(&slot);
+    }
+
+    /// The share of a `budget`-thread device the session holding `slot` may
+    /// use right now: `budget / n` for each of the `n` attached sessions,
+    /// with the `budget % n` remainder threads granted one-each to the
+    /// sessions of lowest slot rank — so the shares always sum to exactly
+    /// `budget` (when `n <= budget`) instead of stranding the remainder.
+    /// Never below one thread; a detached caller (slot not present) gets
+    /// the even share with no remainder claim.
+    pub fn session_thread_share(&self, slot: usize, budget: usize) -> usize {
+        let slots = self.session_slots.lock();
+        let n = slots.len().max(1);
+        let base = budget / n;
+        let rank = slots.iter().position(|s| *s == slot);
+        let extra = match rank {
+            Some(r) if r < budget % n => 1,
+            _ => 0,
+        };
+        (base + extra).max(1)
     }
 }
 
@@ -451,6 +482,33 @@ mod tests {
         cat.materialize("c", patches);
         assert_eq!(cat.with_lineage(|l| l.len()), 3);
         assert_eq!(cat.backtrace(id), vec![ImgRef::frame("cam", 0)]);
+    }
+
+    #[test]
+    fn thread_shares_sum_to_the_budget() {
+        let cat = SharedCatalog::new();
+        let slots: Vec<usize> = (0..3).map(|_| cat.attach_session()).collect();
+        assert_eq!(slots, vec![0, 1, 2], "lowest free slot first");
+        for budget in [1usize, 3, 7, 8, 16] {
+            let shares: Vec<usize> = slots
+                .iter()
+                .map(|s| cat.session_thread_share(*s, budget))
+                .collect();
+            assert_eq!(
+                shares.iter().sum::<usize>(),
+                budget.max(slots.len()),
+                "budget {budget}: shares {shares:?}"
+            );
+            // Deterministic: remainder goes to the lowest ranks, so shares
+            // are non-increasing in rank.
+            assert!(shares.windows(2).all(|w| w[0] >= w[1]));
+        }
+        // Slots recycle on detach.
+        cat.detach_session(1);
+        assert_eq!(cat.attach_session(), 1);
+        // A detached (unknown) slot gets the even share, no remainder claim.
+        assert_eq!(cat.session_thread_share(99, 8), 2);
+        assert_eq!(cat.session_thread_share(99, 1), 1, "never zero");
     }
 
     #[test]

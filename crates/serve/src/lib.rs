@@ -1,0 +1,47 @@
+//! # deeplens-serve — the query-serving front end
+//!
+//! The paper frames DeepLens as a visual data *management system* serving
+//! many concurrent analytical clients; this crate is that front door. A
+//! server ([`serve`]) fronts an [`Arc<SharedCatalog>`] over TCP:
+//!
+//! * **connection → session**: every accepted connection runs its own
+//!   [`Session`] attached to the shared catalog, so remote clients get the
+//!   same snapshot isolation and enter the same multi-session thread-budget
+//!   split as in-process sessions;
+//! * **wire protocol** ([`protocol`]): length-prefixed frames with a
+//!   compact binary encoding mirroring [`BatchQuery`]/[`BatchResult`]
+//!   losslessly — served results are byte-identical to direct
+//!   [`Session::batch`] execution;
+//! * **cost-weighted admission** ([`admission`]): each executing request is
+//!   costed in estimated microseconds via the
+//!   [`DevicePlanner`](deeplens_core::optimizer::DevicePlanner), admitted
+//!   against a global in-flight budget, queued FIFO to a bounded depth, and
+//!   shed with an explicit `Overloaded` reply past it — backpressure
+//!   instead of unbounded latency.
+//!
+//! ```no_run
+//! use std::sync::Arc;
+//! use deeplens_core::shared::SharedCatalog;
+//! use deeplens_serve::{serve, Client, ServerConfig};
+//!
+//! let catalog = Arc::new(SharedCatalog::new());
+//! let server = serve(catalog, ServerConfig::default()).unwrap();
+//! let mut client = Client::connect(server.local_addr()).unwrap();
+//! client.ping().unwrap();
+//! ```
+//!
+//! [`Session`]: deeplens_core::session::Session
+//! [`Session::batch`]: deeplens_core::session::Session::batch
+//! [`BatchQuery`]: deeplens_core::batch::BatchQuery
+//! [`BatchResult`]: deeplens_core::batch::BatchResult
+//! [`Arc<SharedCatalog>`]: deeplens_core::shared::SharedCatalog
+
+pub mod admission;
+pub mod client;
+pub mod protocol;
+pub mod server;
+
+pub use admission::{AdmissionConfig, AdmissionController, Overloaded, Permit};
+pub use client::{Client, ClientError};
+pub use protocol::{Request, Response, ServeStats, WireError};
+pub use server::{serve, ServerConfig, ServerHandle};

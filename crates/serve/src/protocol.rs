@@ -1,0 +1,706 @@
+//! The `deeplens-serve` wire protocol: length-prefixed frames carrying a
+//! compact binary encoding of requests and responses.
+//!
+//! # Framing
+//!
+//! Every message is one **frame**: a 4-byte little-endian payload length
+//! followed by that many payload bytes. A reader that sees a length above
+//! its configured maximum rejects the frame without allocating — an
+//! adversarial or corrupt peer cannot make the server reserve gigabytes.
+//!
+//! # Payloads
+//!
+//! The first payload byte is an opcode; the rest is the body. Scalars are
+//! little-endian; strings are a `u16` byte length plus UTF-8 bytes; vectors
+//! are a `u32` element count plus elements. Requests mirror
+//! [`BatchQuery`] (θ-predicates are a host-language feature and do not
+//! cross the wire); responses carry [`BatchResult`] losslessly, so a client
+//! can compare served results byte-for-byte against direct [`Session`]
+//! execution.
+//!
+//! [`Session`]: deeplens_core::session::Session
+
+use std::io::{Read, Write};
+
+use deeplens_core::batch::{BatchQuery, BatchResult};
+
+/// Default cap on a single frame's payload size (1 MiB): large enough for
+/// any realistic batch or result set, small enough that a hostile length
+/// prefix cannot balloon server memory.
+pub const DEFAULT_MAX_FRAME_BYTES: usize = 1 << 20;
+
+/// A protocol-level failure.
+#[derive(Debug)]
+pub enum WireError {
+    /// The underlying transport failed (including a peer disconnecting
+    /// mid-frame).
+    Io(std::io::Error),
+    /// A frame announced a payload larger than the configured maximum.
+    FrameTooLarge {
+        /// The announced payload length.
+        len: usize,
+        /// The reader's configured cap.
+        max: usize,
+    },
+    /// The payload bytes do not decode as a valid message.
+    Malformed(String),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Io(e) => write!(f, "io: {e}"),
+            WireError::FrameTooLarge { len, max } => {
+                write!(f, "frame of {len} bytes exceeds the {max}-byte limit")
+            }
+            WireError::Malformed(msg) => write!(f, "malformed message: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl From<std::io::Error> for WireError {
+    fn from(e: std::io::Error) -> Self {
+        WireError::Io(e)
+    }
+}
+
+/// Serving counters reported by [`Request::Stats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServeStats {
+    /// Sessions currently attached to the served catalog (one per live
+    /// connection, plus any in-process sessions).
+    pub active_sessions: u32,
+    /// Materialized collections in the catalog.
+    pub collections: u32,
+    /// Requests admitted (executed) since the server started.
+    pub admitted: u64,
+    /// Requests shed with [`Response::Overloaded`] since the server started.
+    pub shed: u64,
+}
+
+/// A client request.
+#[derive(Debug, Clone)]
+pub enum Request {
+    /// Liveness probe; answered with [`Response::Pong`] and never admitted
+    /// against the cost budget.
+    Ping,
+    /// Execute a batch of declarative queries on the connection's session
+    /// ([`deeplens_core::session::Session::batch`]). One admission unit.
+    Batch(Vec<BatchQuery>),
+    /// Materialize a collection of feature patches under `name`.
+    Materialize {
+        /// Collection name to publish.
+        name: String,
+        /// One feature vector per patch.
+        rows: Vec<Vec<f32>>,
+    },
+    /// Build a Ball-Tree index named `index` on `collection`.
+    BuildIndex {
+        /// Collection to index.
+        collection: String,
+        /// Name the index is registered under.
+        index: String,
+    },
+    /// Fetch serving counters; never admitted against the cost budget.
+    Stats,
+}
+
+/// A server reply.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// Reply to [`Request::Ping`].
+    Pong,
+    /// Batch results, in query order, lossless.
+    Results(Vec<BatchResult>),
+    /// A write request ([`Request::Materialize`], [`Request::BuildIndex`])
+    /// completed.
+    Ack,
+    /// Reply to [`Request::Stats`].
+    Stats(ServeStats),
+    /// The request was **shed**: the in-flight cost budget is exhausted and
+    /// the wait queue is at its configured depth. The request was not
+    /// executed; the client may retry later.
+    Overloaded,
+    /// The request was admitted (or rejected before admission) and failed;
+    /// the message is the error's display form.
+    Error(String),
+}
+
+// Request opcodes.
+const OP_PING: u8 = 0x01;
+const OP_BATCH: u8 = 0x02;
+const OP_MATERIALIZE: u8 = 0x03;
+const OP_BUILD_INDEX: u8 = 0x04;
+const OP_STATS: u8 = 0x05;
+
+// Batch-member tags.
+const Q_JOIN: u8 = 0x01;
+const Q_DEDUP: u8 = 0x02;
+const Q_PROBE: u8 = 0x03;
+
+// Response tags.
+const R_PONG: u8 = 0x01;
+const R_RESULTS: u8 = 0x02;
+const R_ACK: u8 = 0x03;
+const R_STATS: u8 = 0x04;
+const R_OVERLOADED: u8 = 0xFE;
+const R_ERROR: u8 = 0xFF;
+
+// Batch-result tags.
+const B_PAIRS: u8 = 0x01;
+const B_CLUSTERS: u8 = 0x02;
+const B_HITS: u8 = 0x03;
+
+/// Write one frame: 4-byte little-endian payload length, then the payload.
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> std::io::Result<()> {
+    w.write_all(&(payload.len() as u32).to_le_bytes())?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
+/// Read one frame, rejecting payloads longer than `max_bytes` before
+/// allocating. `Ok(None)` on a clean EOF at a frame boundary (the peer hung
+/// up between requests); an EOF *inside* a frame is an error.
+pub fn read_frame(r: &mut impl Read, max_bytes: usize) -> Result<Option<Vec<u8>>, WireError> {
+    let mut len_buf = [0u8; 4];
+    match r.read(&mut len_buf) {
+        Ok(0) => return Ok(None),
+        Ok(n) => r.read_exact(&mut len_buf[n..])?,
+        Err(e) => return Err(e.into()),
+    }
+    let len = u32::from_le_bytes(len_buf) as usize;
+    if len > max_bytes {
+        return Err(WireError::FrameTooLarge {
+            len,
+            max: max_bytes,
+        });
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)?;
+    Ok(Some(payload))
+}
+
+// ---------------------------------------------------------------------------
+// Encoding
+// ---------------------------------------------------------------------------
+
+fn put_str(out: &mut Vec<u8>, s: &str) -> Result<(), WireError> {
+    let len = u16::try_from(s.len())
+        .map_err(|_| WireError::Malformed(format!("string of {} bytes too long", s.len())))?;
+    out.extend_from_slice(&len.to_le_bytes());
+    out.extend_from_slice(s.as_bytes());
+    Ok(())
+}
+
+fn put_f32s(out: &mut Vec<u8>, v: &[f32]) {
+    out.extend_from_slice(&(v.len() as u32).to_le_bytes());
+    for x in v {
+        out.extend_from_slice(&x.to_le_bytes());
+    }
+}
+
+impl Request {
+    /// Encode into a frame payload. Fails on a
+    /// [`BatchQuery::SimilarityJoin`] carrying a θ-predicate — closures are
+    /// host-language objects and do not cross the wire.
+    pub fn encode(&self) -> Result<Vec<u8>, WireError> {
+        let mut out = Vec::new();
+        match self {
+            Request::Ping => out.push(OP_PING),
+            Request::Batch(queries) => {
+                out.push(OP_BATCH);
+                let n = u16::try_from(queries.len()).map_err(|_| {
+                    WireError::Malformed(format!("batch of {} queries too large", queries.len()))
+                })?;
+                out.extend_from_slice(&n.to_le_bytes());
+                for q in queries {
+                    match q {
+                        BatchQuery::SimilarityJoin {
+                            left,
+                            right,
+                            tau,
+                            predicate,
+                        } => {
+                            if predicate.is_some() {
+                                return Err(WireError::Malformed(
+                                    "θ-predicates are not wire-encodable".into(),
+                                ));
+                            }
+                            out.push(Q_JOIN);
+                            put_str(&mut out, left)?;
+                            put_str(&mut out, right)?;
+                            out.extend_from_slice(&tau.to_le_bytes());
+                        }
+                        BatchQuery::Dedup { collection, tau } => {
+                            out.push(Q_DEDUP);
+                            put_str(&mut out, collection)?;
+                            out.extend_from_slice(&tau.to_le_bytes());
+                        }
+                        BatchQuery::IndexProbe {
+                            collection,
+                            index,
+                            probe,
+                            tau,
+                        } => {
+                            out.push(Q_PROBE);
+                            put_str(&mut out, collection)?;
+                            put_str(&mut out, index)?;
+                            out.extend_from_slice(&tau.to_le_bytes());
+                            put_f32s(&mut out, probe);
+                        }
+                    }
+                }
+            }
+            Request::Materialize { name, rows } => {
+                out.push(OP_MATERIALIZE);
+                put_str(&mut out, name)?;
+                out.extend_from_slice(&(rows.len() as u32).to_le_bytes());
+                for row in rows {
+                    put_f32s(&mut out, row);
+                }
+            }
+            Request::BuildIndex { collection, index } => {
+                out.push(OP_BUILD_INDEX);
+                put_str(&mut out, collection)?;
+                put_str(&mut out, index)?;
+            }
+            Request::Stats => out.push(OP_STATS),
+        }
+        Ok(out)
+    }
+}
+
+impl Response {
+    /// Encode into a frame payload.
+    pub fn encode(&self) -> Result<Vec<u8>, WireError> {
+        let mut out = Vec::new();
+        match self {
+            Response::Pong => out.push(R_PONG),
+            Response::Results(results) => {
+                out.push(R_RESULTS);
+                let n = u16::try_from(results.len()).map_err(|_| {
+                    WireError::Malformed(format!("{} results too many", results.len()))
+                })?;
+                out.extend_from_slice(&n.to_le_bytes());
+                for r in results {
+                    match r {
+                        BatchResult::Pairs(pairs) => {
+                            out.push(B_PAIRS);
+                            out.extend_from_slice(&(pairs.len() as u32).to_le_bytes());
+                            for (l, r) in pairs {
+                                out.extend_from_slice(&l.to_le_bytes());
+                                out.extend_from_slice(&r.to_le_bytes());
+                            }
+                        }
+                        BatchResult::Clusters(clusters) => {
+                            out.push(B_CLUSTERS);
+                            out.extend_from_slice(&(clusters.len() as u32).to_le_bytes());
+                            for c in clusters {
+                                out.extend_from_slice(&(c.len() as u32).to_le_bytes());
+                                for m in c {
+                                    out.extend_from_slice(&m.to_le_bytes());
+                                }
+                            }
+                        }
+                        BatchResult::Hits(hits) => {
+                            out.push(B_HITS);
+                            out.extend_from_slice(&(hits.len() as u32).to_le_bytes());
+                            for h in hits {
+                                out.extend_from_slice(&h.to_le_bytes());
+                            }
+                        }
+                    }
+                }
+            }
+            Response::Ack => out.push(R_ACK),
+            Response::Stats(s) => {
+                out.push(R_STATS);
+                out.extend_from_slice(&s.active_sessions.to_le_bytes());
+                out.extend_from_slice(&s.collections.to_le_bytes());
+                out.extend_from_slice(&s.admitted.to_le_bytes());
+                out.extend_from_slice(&s.shed.to_le_bytes());
+            }
+            Response::Overloaded => out.push(R_OVERLOADED),
+            Response::Error(msg) => {
+                out.push(R_ERROR);
+                let truncated: String = msg.chars().take(4096).collect();
+                put_str(&mut out, &truncated)?;
+            }
+        }
+        Ok(out)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Decoding
+// ---------------------------------------------------------------------------
+
+/// Byte cursor over one frame payload.
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Cursor { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.buf.len())
+            .ok_or_else(|| {
+                WireError::Malformed(format!(
+                    "truncated: needed {n} bytes at offset {}, frame has {}",
+                    self.pos,
+                    self.buf.len()
+                ))
+            })?;
+        let slice = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(slice)
+    }
+
+    fn u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, WireError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    fn u32(&mut self) -> Result<u32, WireError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, WireError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn f32(&mut self) -> Result<f32, WireError> {
+        Ok(f32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn string(&mut self) -> Result<String, WireError> {
+        let len = self.u16()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|e| WireError::Malformed(format!("invalid UTF-8 string: {e}")))
+    }
+
+    fn f32s(&mut self) -> Result<Vec<f32>, WireError> {
+        let n = self.u32()? as usize;
+        // The count must be consistent with the remaining frame before
+        // allocating: a lying header cannot reserve more than the frame.
+        if n.checked_mul(4)
+            .is_none_or(|b| b > self.buf.len() - self.pos)
+        {
+            return Err(WireError::Malformed(format!(
+                "vector of {n} floats exceeds the frame"
+            )));
+        }
+        (0..n).map(|_| self.f32()).collect()
+    }
+
+    fn finish(self) -> Result<(), WireError> {
+        if self.pos != self.buf.len() {
+            return Err(WireError::Malformed(format!(
+                "{} trailing bytes after message",
+                self.buf.len() - self.pos
+            )));
+        }
+        Ok(())
+    }
+}
+
+impl Request {
+    /// Decode a frame payload.
+    pub fn decode(payload: &[u8]) -> Result<Request, WireError> {
+        let mut c = Cursor::new(payload);
+        let req = match c.u8()? {
+            OP_PING => Request::Ping,
+            OP_BATCH => {
+                let n = c.u16()? as usize;
+                let mut queries = Vec::with_capacity(n.min(1024));
+                for _ in 0..n {
+                    queries.push(match c.u8()? {
+                        Q_JOIN => BatchQuery::SimilarityJoin {
+                            left: c.string()?,
+                            right: c.string()?,
+                            tau: c.f32()?,
+                            predicate: None,
+                        },
+                        Q_DEDUP => BatchQuery::Dedup {
+                            collection: c.string()?,
+                            tau: c.f32()?,
+                        },
+                        Q_PROBE => {
+                            let collection = c.string()?;
+                            let index = c.string()?;
+                            let tau = c.f32()?;
+                            let probe = c.f32s()?;
+                            BatchQuery::IndexProbe {
+                                collection,
+                                index,
+                                probe,
+                                tau,
+                            }
+                        }
+                        tag => {
+                            return Err(WireError::Malformed(format!("unknown query tag {tag:#x}")))
+                        }
+                    });
+                }
+                Request::Batch(queries)
+            }
+            OP_MATERIALIZE => {
+                let name = c.string()?;
+                let n = c.u32()? as usize;
+                let mut rows = Vec::with_capacity(n.min(1024));
+                for _ in 0..n {
+                    rows.push(c.f32s()?);
+                }
+                Request::Materialize { name, rows }
+            }
+            OP_BUILD_INDEX => Request::BuildIndex {
+                collection: c.string()?,
+                index: c.string()?,
+            },
+            OP_STATS => Request::Stats,
+            op => return Err(WireError::Malformed(format!("unknown request op {op:#x}"))),
+        };
+        c.finish()?;
+        Ok(req)
+    }
+}
+
+impl Response {
+    /// Decode a frame payload.
+    pub fn decode(payload: &[u8]) -> Result<Response, WireError> {
+        let mut c = Cursor::new(payload);
+        let resp = match c.u8()? {
+            R_PONG => Response::Pong,
+            R_RESULTS => {
+                let n = c.u16()? as usize;
+                let mut results = Vec::with_capacity(n.min(1024));
+                for _ in 0..n {
+                    results.push(match c.u8()? {
+                        B_PAIRS => {
+                            let n = c.u32()? as usize;
+                            let mut pairs = Vec::with_capacity(n.min(1 << 16));
+                            for _ in 0..n {
+                                pairs.push((c.u32()?, c.u32()?));
+                            }
+                            BatchResult::Pairs(pairs)
+                        }
+                        B_CLUSTERS => {
+                            let n = c.u32()? as usize;
+                            let mut clusters = Vec::with_capacity(n.min(1 << 16));
+                            for _ in 0..n {
+                                let m = c.u32()? as usize;
+                                let mut members = Vec::with_capacity(m.min(1 << 16));
+                                for _ in 0..m {
+                                    members.push(c.u32()?);
+                                }
+                                clusters.push(members);
+                            }
+                            BatchResult::Clusters(clusters)
+                        }
+                        B_HITS => {
+                            let n = c.u32()? as usize;
+                            let mut hits = Vec::with_capacity(n.min(1 << 16));
+                            for _ in 0..n {
+                                hits.push(c.u32()?);
+                            }
+                            BatchResult::Hits(hits)
+                        }
+                        tag => {
+                            return Err(WireError::Malformed(format!(
+                                "unknown result tag {tag:#x}"
+                            )))
+                        }
+                    });
+                }
+                Response::Results(results)
+            }
+            R_ACK => Response::Ack,
+            R_STATS => Response::Stats(ServeStats {
+                active_sessions: c.u32()?,
+                collections: c.u32()?,
+                admitted: c.u64()?,
+                shed: c.u64()?,
+            }),
+            R_OVERLOADED => Response::Overloaded,
+            R_ERROR => Response::Error(c.string()?),
+            tag => {
+                return Err(WireError::Malformed(format!(
+                    "unknown response tag {tag:#x}"
+                )))
+            }
+        };
+        c.finish()?;
+        Ok(resp)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip_request(req: &Request) -> Request {
+        Request::decode(&req.encode().unwrap()).unwrap()
+    }
+
+    #[test]
+    fn requests_roundtrip() {
+        let batch = Request::Batch(vec![
+            BatchQuery::SimilarityJoin {
+                left: "a".into(),
+                right: "b".into(),
+                tau: 1.5,
+                predicate: None,
+            },
+            BatchQuery::Dedup {
+                collection: "a".into(),
+                tau: 0.25,
+            },
+            BatchQuery::IndexProbe {
+                collection: "a".into(),
+                index: "by_feat".into(),
+                probe: vec![1.0, -2.5, 3.0],
+                tau: 2.0,
+            },
+        ]);
+        match roundtrip_request(&batch) {
+            Request::Batch(qs) => {
+                assert_eq!(qs.len(), 3);
+                match &qs[2] {
+                    BatchQuery::IndexProbe { probe, tau, .. } => {
+                        assert_eq!(probe, &vec![1.0, -2.5, 3.0]);
+                        assert_eq!(*tau, 2.0);
+                    }
+                    other => panic!("wrong member: {other:?}"),
+                }
+            }
+            other => panic!("wrong request: {other:?}"),
+        }
+        assert!(matches!(roundtrip_request(&Request::Ping), Request::Ping));
+        assert!(matches!(roundtrip_request(&Request::Stats), Request::Stats));
+        let mat = Request::Materialize {
+            name: "col".into(),
+            rows: vec![vec![1.0, 2.0], vec![3.0, 4.0]],
+        };
+        match roundtrip_request(&mat) {
+            Request::Materialize { name, rows } => {
+                assert_eq!(name, "col");
+                assert_eq!(rows, vec![vec![1.0, 2.0], vec![3.0, 4.0]]);
+            }
+            other => panic!("wrong request: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn responses_roundtrip_losslessly() {
+        let resp = Response::Results(vec![
+            BatchResult::Pairs(vec![(0, 1), (2, 3)]),
+            BatchResult::Clusters(vec![vec![0, 1], vec![2]]),
+            BatchResult::Hits(vec![7, 8, 9]),
+        ]);
+        assert_eq!(Response::decode(&resp.encode().unwrap()).unwrap(), resp);
+        let stats = Response::Stats(ServeStats {
+            active_sessions: 3,
+            collections: 2,
+            admitted: 100,
+            shed: 7,
+        });
+        assert_eq!(Response::decode(&stats.encode().unwrap()).unwrap(), stats);
+        for r in [
+            Response::Pong,
+            Response::Ack,
+            Response::Overloaded,
+            Response::Error("boom".into()),
+        ] {
+            assert_eq!(Response::decode(&r.encode().unwrap()).unwrap(), r);
+        }
+    }
+
+    #[test]
+    fn predicates_do_not_cross_the_wire() {
+        let pred: deeplens_core::batch::JoinPredicate = std::sync::Arc::new(|_, _| true);
+        let req = Request::Batch(vec![BatchQuery::SimilarityJoin {
+            left: "a".into(),
+            right: "b".into(),
+            tau: 1.0,
+            predicate: Some(pred),
+        }]);
+        assert!(matches!(req.encode(), Err(WireError::Malformed(_))));
+    }
+
+    #[test]
+    fn truncated_and_malformed_payloads_are_rejected() {
+        let good = Request::Batch(vec![BatchQuery::Dedup {
+            collection: "abc".into(),
+            tau: 1.0,
+        }])
+        .encode()
+        .unwrap();
+        // Every strict prefix is a truncation error, never a panic.
+        for cut in 0..good.len() {
+            assert!(
+                Request::decode(&good[..cut]).is_err(),
+                "prefix of {cut} bytes decoded"
+            );
+        }
+        // Trailing garbage is rejected too.
+        let mut padded = good.clone();
+        padded.push(0xAB);
+        assert!(Request::decode(&padded).is_err());
+        // Unknown opcodes and tags.
+        assert!(Request::decode(&[0x77]).is_err());
+        assert!(Response::decode(&[0x42]).is_err());
+        // A lying vector count cannot over-allocate: rejected up front.
+        let mut lying = Vec::new();
+        lying.push(super::OP_BATCH);
+        lying.extend_from_slice(&1u16.to_le_bytes());
+        lying.push(super::Q_PROBE);
+        lying.extend_from_slice(&1u16.to_le_bytes());
+        lying.push(b'c');
+        lying.extend_from_slice(&1u16.to_le_bytes());
+        lying.push(b'i');
+        lying.extend_from_slice(&1.0f32.to_le_bytes());
+        lying.extend_from_slice(&u32::MAX.to_le_bytes()); // "4 billion floats"
+        assert!(matches!(
+            Request::decode(&lying),
+            Err(WireError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn frames_roundtrip_and_oversize_is_rejected_before_allocating() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello").unwrap();
+        write_frame(&mut buf, b"").unwrap();
+        let mut r = &buf[..];
+        assert_eq!(read_frame(&mut r, 64).unwrap().unwrap(), b"hello");
+        assert_eq!(read_frame(&mut r, 64).unwrap().unwrap(), b"");
+        assert!(read_frame(&mut r, 64).unwrap().is_none(), "clean EOF");
+        // An announced length beyond the cap fails without reading further.
+        let huge = (u32::MAX).to_le_bytes();
+        assert!(matches!(
+            read_frame(&mut &huge[..], 64),
+            Err(WireError::FrameTooLarge { .. })
+        ));
+        // EOF inside a frame is an error, not a silent None.
+        let mut partial = Vec::new();
+        partial.extend_from_slice(&10u32.to_le_bytes());
+        partial.extend_from_slice(b"abc");
+        assert!(matches!(
+            read_frame(&mut &partial[..], 64),
+            Err(WireError::Io(_))
+        ));
+    }
+}

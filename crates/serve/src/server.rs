@@ -1,0 +1,437 @@
+//! The serving loop: TCP accept → connection threads → session dispatch.
+//!
+//! [`serve`] binds a listener over an [`Arc<SharedCatalog>`] and returns a
+//! [`ServerHandle`]. Each accepted connection gets its **own**
+//! [`Session`] attached to the shared catalog — the connection *is* the
+//! session, so the multi-session thread-budget split
+//! ([`Session::effective_threads`]) and snapshot isolation apply to remote
+//! clients exactly as they do to in-process ones.
+//!
+//! Every executing request passes **cost-weighted admission**
+//! ([`crate::admission`]): its wall-clock is estimated with the
+//! [`DevicePlanner`] (joins via [`DevicePlanner::place_join`], dedups as
+//! self-joins, probes via [`DevicePlanner::probe_estimate_us`], writes by
+//! data volume), weighted against the global in-flight budget, queued to a
+//! bounded depth, and shed with [`Response::Overloaded`] past it.
+//! Admitted requests execute through [`Session::batch`] and reply with
+//! results byte-identical to direct in-process execution.
+
+use std::io::Read;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use deeplens_core::batch::BatchQuery;
+use deeplens_core::optimizer::{CostModel, DevicePlanner};
+use deeplens_core::patch::{ImgRef, Patch};
+use deeplens_core::session::Session;
+use deeplens_core::shared::SharedCatalog;
+use deeplens_exec::Device;
+
+use crate::admission::{AdmissionConfig, AdmissionController};
+use crate::protocol::{
+    write_frame, Request, Response, ServeStats, WireError, DEFAULT_MAX_FRAME_BYTES,
+};
+
+/// Poll interval of the accept loop and the per-connection read timeout:
+/// the granularity at which threads notice a shutdown request.
+const POLL_INTERVAL: Duration = Duration::from_millis(25);
+
+/// Server configuration.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address; port 0 picks a free port (see
+    /// [`ServerHandle::local_addr`]).
+    pub addr: String,
+    /// Execution device of every connection's session.
+    pub device: Device,
+    /// Per-frame payload cap; larger announced frames are rejected without
+    /// allocating and the connection is closed.
+    pub max_frame_bytes: usize,
+    /// Admission knobs (in-flight cost budget, queue depth).
+    pub admission: AdmissionConfig,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            device: Device::Avx,
+            max_frame_bytes: DEFAULT_MAX_FRAME_BYTES,
+            admission: AdmissionConfig::default(),
+        }
+    }
+}
+
+/// Handle to a running server: address, counters, shutdown.
+#[derive(Debug)]
+pub struct ServerHandle {
+    local_addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+    connections: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    admission: Arc<AdmissionController>,
+}
+
+impl ServerHandle {
+    /// The bound address (resolves port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Requests admitted (executed) so far.
+    pub fn admitted(&self) -> u64 {
+        self.admission.admitted()
+    }
+
+    /// Requests shed with [`Response::Overloaded`] so far.
+    pub fn shed(&self) -> u64 {
+        self.admission.shed()
+    }
+
+    /// Stop accepting, wake every connection thread, and join them all.
+    /// Idempotent; also runs on drop.
+    pub fn stop(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+        let drained: Vec<JoinHandle<()>> =
+            std::mem::take(&mut *self.connections.lock().expect("connection registry"));
+        for t in drained {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+/// Start serving `catalog` per `config`. Returns once the listener is
+/// bound; the accept loop and every connection run on background threads
+/// until [`ServerHandle::stop`].
+pub fn serve(catalog: Arc<SharedCatalog>, config: ServerConfig) -> std::io::Result<ServerHandle> {
+    let listener = TcpListener::bind(&config.addr)?;
+    let local_addr = listener.local_addr()?;
+    listener.set_nonblocking(true)?;
+
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let admission = Arc::new(AdmissionController::new(config.admission));
+    let connections: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+    // One calibration per server, not per request: the planner constants
+    // are host properties.
+    let planner = DevicePlanner::calibrated();
+
+    let accept_thread = {
+        let shutdown = shutdown.clone();
+        let connections = connections.clone();
+        let admission = admission.clone();
+        std::thread::spawn(move || {
+            while !shutdown.load(Ordering::SeqCst) {
+                match listener.accept() {
+                    Ok((stream, _peer)) => {
+                        let conn = Connection {
+                            catalog: catalog.clone(),
+                            admission: admission.clone(),
+                            shutdown: shutdown.clone(),
+                            planner,
+                            model: CostModel::default(),
+                            device: config.device,
+                            max_frame_bytes: config.max_frame_bytes,
+                        };
+                        let handle = std::thread::spawn(move || conn.run(stream));
+                        connections
+                            .lock()
+                            .expect("connection registry")
+                            .push(handle);
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(POLL_INTERVAL);
+                    }
+                    Err(_) => std::thread::sleep(POLL_INTERVAL),
+                }
+            }
+        })
+    };
+
+    Ok(ServerHandle {
+        local_addr,
+        shutdown,
+        accept_thread: Some(accept_thread),
+        connections,
+        admission,
+    })
+}
+
+/// Per-connection state and dispatch.
+struct Connection {
+    catalog: Arc<SharedCatalog>,
+    admission: Arc<AdmissionController>,
+    shutdown: Arc<AtomicBool>,
+    planner: DevicePlanner,
+    model: CostModel,
+    device: Device,
+    max_frame_bytes: usize,
+}
+
+impl Connection {
+    fn run(self, mut stream: TcpStream) {
+        let _ = stream.set_nodelay(true);
+        let _ = stream.set_read_timeout(Some(POLL_INTERVAL));
+        // The connection IS a session: remote clients enter the same
+        // thread-budget split and snapshot isolation as in-process ones.
+        let mut session = match Session::ephemeral_attached(self.catalog.clone()) {
+            Ok(s) => s,
+            Err(_) => return,
+        };
+        session.set_device(self.device);
+
+        loop {
+            let payload = match self.read_frame_interruptible(&mut stream) {
+                Ok(Some(p)) => p,
+                // Clean EOF or shutdown.
+                Ok(None) => return,
+                Err(WireError::FrameTooLarge { len, max }) => {
+                    // Reject without allocating — and without consuming the
+                    // oversized payload, so the stream cannot be resynced:
+                    // reply, then close.
+                    let _ = self.reply(
+                        &mut stream,
+                        &Response::Error(format!(
+                            "frame of {len} bytes exceeds the {max}-byte limit"
+                        )),
+                    );
+                    return;
+                }
+                // Disconnect mid-frame, or a transport error.
+                Err(WireError::Io(_)) => return,
+                Err(WireError::Malformed(msg)) => {
+                    let _ = self.reply(&mut stream, &Response::Error(msg));
+                    return;
+                }
+            };
+            let request = match Request::decode(&payload) {
+                Ok(r) => r,
+                Err(e) => {
+                    // The frame boundary is intact, so a malformed payload
+                    // is answerable — report and keep serving.
+                    if self
+                        .reply(&mut stream, &Response::Error(e.to_string()))
+                        .is_err()
+                    {
+                        return;
+                    }
+                    continue;
+                }
+            };
+            let response = self.handle(&session, &request);
+            if self.reply(&mut stream, &response).is_err() {
+                return;
+            }
+        }
+    }
+
+    fn reply(&self, stream: &mut TcpStream, response: &Response) -> Result<(), WireError> {
+        let payload = response.encode().unwrap_or_else(|_| {
+            Response::Error("unencodable response".into())
+                .encode()
+                .expect("static response")
+        });
+        write_frame(stream, &payload)?;
+        Ok(())
+    }
+
+    /// Dispatch one request. Executing requests pass admission first; the
+    /// permit spans execution so the in-flight budget reflects running
+    /// work.
+    fn handle(&self, session: &Session, request: &Request) -> Response {
+        match request {
+            Request::Ping => Response::Pong,
+            Request::Stats => Response::Stats(ServeStats {
+                active_sessions: self.catalog.active_sessions() as u32,
+                collections: self.catalog.names().len() as u32,
+                admitted: self.admission.admitted(),
+                shed: self.admission.shed(),
+            }),
+            executing => {
+                let cost_us = self.request_cost_us(executing);
+                let permit = match self.admission.admit(cost_us) {
+                    Ok(p) => p,
+                    Err(_) => return Response::Overloaded,
+                };
+                let response = self.execute(session, executing);
+                drop(permit);
+                response
+            }
+        }
+    }
+
+    fn execute(&self, session: &Session, request: &Request) -> Response {
+        match request {
+            Request::Batch(queries) => {
+                let mut batch = session.batch();
+                for q in queries {
+                    batch.push(q.clone());
+                }
+                match batch.run() {
+                    Ok(results) => Response::Results(results),
+                    Err(e) => Response::Error(e.to_string()),
+                }
+            }
+            Request::Materialize { name, rows } => {
+                let mut ids = self.catalog.reserve_patch_ids(rows.len() as u64);
+                let patches: Vec<Patch> = rows
+                    .iter()
+                    .enumerate()
+                    .map(|(i, row)| {
+                        Patch::features(ids.alloc(), ImgRef::frame("wire", i as u64), row.clone())
+                    })
+                    .collect();
+                self.catalog.materialize(name, patches);
+                Response::Ack
+            }
+            Request::BuildIndex { collection, index } => {
+                match session.build_ball_index(collection, index) {
+                    Ok(()) => Response::Ack,
+                    Err(e) => Response::Error(e.to_string()),
+                }
+            }
+            Request::Ping | Request::Stats => unreachable!("handled without admission"),
+        }
+    }
+
+    /// Estimated cost (µs of single-core vectorized work) of one request —
+    /// the weight admission charges against the in-flight budget. The
+    /// planner divides the machine across the currently active sessions,
+    /// so the same query costs more on a crowded server.
+    fn request_cost_us(&self, request: &Request) -> f64 {
+        let planner = self
+            .planner
+            .for_sessions(self.catalog.active_sessions().max(1));
+        let cost = match request {
+            Request::Ping | Request::Stats => 0.0,
+            Request::Batch(queries) => queries
+                .iter()
+                .map(|q| self.query_cost_us(&planner, q))
+                .sum(),
+            Request::Materialize { rows, .. } => {
+                // A write is a copy: charge the float volume at the
+                // vectorized throughput bridge.
+                let floats: usize = rows.iter().map(Vec::len).sum();
+                floats as f64 / planner.units_per_us
+            }
+            Request::BuildIndex { collection, .. } => {
+                let (n, dim) = self.collection_shape(collection);
+                self.model.build_cost(n, dim) / planner.units_per_us
+            }
+        };
+        cost.max(1.0)
+    }
+
+    fn query_cost_us(&self, planner: &DevicePlanner, query: &BatchQuery) -> f64 {
+        match query {
+            BatchQuery::SimilarityJoin { left, right, .. } => {
+                let (nl, dim) = self.collection_shape(left);
+                let (nr, _) = self.collection_shape(right);
+                let (strategy, device) = planner.place_join(&self.model, nl, nr, dim);
+                planner.join_estimate_us(&self.model, strategy, nl, nr, dim, device)
+            }
+            BatchQuery::Dedup { collection, .. } => {
+                // A dedup is a self-join plus linear clustering; the join
+                // dominates.
+                let (n, dim) = self.collection_shape(collection);
+                let (strategy, device) = planner.place_join(&self.model, n, n, dim);
+                planner.join_estimate_us(&self.model, strategy, n, n, dim, device)
+            }
+            BatchQuery::IndexProbe { collection, .. } => {
+                let (n, dim) = self.collection_shape(collection);
+                planner.probe_estimate_us(&self.model, n, dim, Device::Avx)
+            }
+        }
+    }
+
+    /// `(len, feature dim)` of a collection for costing; unknown names cost
+    /// as empty (execution will answer `NotFound` after a cheap admission).
+    fn collection_shape(&self, name: &str) -> (usize, usize) {
+        match self.catalog.snapshot(name) {
+            Ok(col) => {
+                let dim = col
+                    .patches
+                    .first()
+                    .and_then(|p| p.data.features())
+                    .map_or(8, <[f32]>::len);
+                (col.len(), dim)
+            }
+            Err(_) => (0, 8),
+        }
+    }
+
+    /// [`crate::protocol::read_frame`] semantics, tolerant of read
+    /// timeouts — the shutdown flag is re-checked between attempts — while
+    /// still treating EOF inside a frame as the error it is.
+    fn read_frame_interruptible(
+        &self,
+        stream: &mut TcpStream,
+    ) -> Result<Option<Vec<u8>>, WireError> {
+        let mut header = [0u8; 4];
+        let mut got = 0usize;
+        while got < 4 {
+            if self.shutdown.load(Ordering::SeqCst) {
+                return Ok(None);
+            }
+            match stream.read(&mut header[got..]) {
+                Ok(0) if got == 0 => return Ok(None),
+                Ok(0) => {
+                    return Err(WireError::Io(std::io::Error::new(
+                        std::io::ErrorKind::UnexpectedEof,
+                        "disconnect inside a frame header",
+                    )))
+                }
+                Ok(n) => got += n,
+                Err(e) if retryable(&e) => continue,
+                Err(e) => return Err(e.into()),
+            }
+        }
+        let len = u32::from_le_bytes(header) as usize;
+        if len > self.max_frame_bytes {
+            return Err(WireError::FrameTooLarge {
+                len,
+                max: self.max_frame_bytes,
+            });
+        }
+        let mut payload = vec![0u8; len];
+        let mut got = 0usize;
+        while got < len {
+            if self.shutdown.load(Ordering::SeqCst) {
+                return Ok(None);
+            }
+            match stream.read(&mut payload[got..]) {
+                Ok(0) => {
+                    return Err(WireError::Io(std::io::Error::new(
+                        std::io::ErrorKind::UnexpectedEof,
+                        "disconnect inside a frame payload",
+                    )))
+                }
+                Ok(n) => got += n,
+                Err(e) if retryable(&e) => continue,
+                Err(e) => return Err(e.into()),
+            }
+        }
+        Ok(Some(payload))
+    }
+}
+
+/// Read errors that mean "try again" rather than "connection failed".
+fn retryable(e: &std::io::Error) -> bool {
+    matches!(
+        e.kind(),
+        std::io::ErrorKind::WouldBlock
+            | std::io::ErrorKind::TimedOut
+            | std::io::ErrorKind::Interrupted
+    )
+}

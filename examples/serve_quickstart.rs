@@ -1,0 +1,114 @@
+//! Serving quickstart: stand up the TCP query front end in-process, drive
+//! it over loopback with the wire client, and check every reply — the
+//! release smoke CI runs against the `deeplens-serve` crate.
+//!
+//! ```text
+//! cargo run --release --example serve_quickstart
+//! ```
+
+use std::sync::Arc;
+
+use deeplens::core::batch::{BatchQuery, BatchResult};
+use deeplens::core::patch::{ImgRef, Patch};
+use deeplens::core::shared::SharedCatalog;
+use deeplens::serve::{serve, Client, ServerConfig};
+
+/// Deterministic feature patches over the shared catalog's id allocator.
+fn feat_patches(catalog: &SharedCatalog, n: u64, dim: usize, seed: u64) -> Vec<Patch> {
+    let mut ids = catalog.reserve_patch_ids(n);
+    let mut s = seed;
+    (0..n)
+        .map(|i| {
+            let f: Vec<f32> = (0..dim)
+                .map(|_| {
+                    s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+                    (s >> 33) as f32 / (1u64 << 31) as f32 * 10.0
+                })
+                .collect();
+            Patch::features(ids.alloc(), ImgRef::frame("cam", i), f)
+        })
+        .collect()
+}
+
+fn main() {
+    // A shared catalog with two feature collections, served on an ephemeral
+    // loopback port with the default admission knobs.
+    let catalog = Arc::new(SharedCatalog::new());
+    catalog.materialize("dashcams", feat_patches(&catalog, 80, 6, 7));
+    catalog.materialize("fleet", feat_patches(&catalog, 240, 6, 11));
+    let mut server = serve(catalog, ServerConfig::default()).expect("bind server");
+    println!("serving on {}", server.local_addr());
+
+    let mut client = Client::connect(server.local_addr().to_string()).expect("connect");
+    client.ping().expect("ping");
+
+    // Remote DDL: build a Ball-Tree index on the served catalog…
+    client.build_index("fleet", "by_feat").expect("build index");
+
+    // …then a mixed batch: similarity join, dedup, and a probe through the
+    // index just built.
+    let results = client
+        .batch(vec![
+            BatchQuery::SimilarityJoin {
+                left: "dashcams".into(),
+                right: "fleet".into(),
+                tau: 5.0,
+                predicate: None,
+            },
+            BatchQuery::Dedup {
+                collection: "dashcams".into(),
+                tau: 3.0,
+            },
+            BatchQuery::IndexProbe {
+                collection: "fleet".into(),
+                index: "by_feat".into(),
+                probe: vec![5.0; 6],
+                tau: 2.5,
+            },
+        ])
+        .expect("batch");
+    assert_eq!(results.len(), 3, "one result per query");
+    let (pairs, clusters, hits) = match &results[..] {
+        [BatchResult::Pairs(p), BatchResult::Clusters(c), BatchResult::Hits(h)] => (p, c, h),
+        other => panic!("unexpected result shapes: {other:?}"),
+    };
+    assert!(!pairs.is_empty(), "tau 5 must match across the corpora");
+    assert!(!hits.is_empty(), "probe near the feature centroid must hit");
+    println!(
+        "join pairs {}, dedup clusters {}, probe hits {}",
+        pairs.len(),
+        clusters.len(),
+        hits.len()
+    );
+
+    // Remote writes publish through the shared catalog and are immediately
+    // queryable on the same connection.
+    client
+        .materialize(
+            "alerts",
+            vec![
+                vec![1.0, 0.0, 0.0, 0.0, 0.0, 0.0],
+                vec![0.9, 0.1, 0.0, 0.0, 0.0, 0.0],
+            ],
+        )
+        .expect("materialize");
+    let dedup = client
+        .batch(vec![BatchQuery::Dedup {
+            collection: "alerts".into(),
+            tau: 0.5,
+        }])
+        .expect("dedup alerts");
+    assert_eq!(dedup, vec![BatchResult::Clusters(vec![vec![0, 1]])]);
+
+    let stats = client.stats().expect("stats");
+    assert_eq!(stats.collections, 3);
+    assert_eq!(stats.shed, 0);
+    println!(
+        "server stats: {} collections, {} admitted, {} shed",
+        stats.collections, stats.admitted, stats.shed
+    );
+
+    drop(client);
+    server.stop();
+    println!("serve quickstart OK");
+}

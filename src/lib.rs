@@ -21,6 +21,9 @@
 //!   sorted runs.
 //! * [`exec`] ([`deeplens_exec`]) — CPU / vectorized / simulated-GPU
 //!   execution backends.
+//! * [`serve`] ([`deeplens_serve`]) — TCP query-serving front end:
+//!   connection-per-session dispatch over a shared catalog with
+//!   cost-weighted admission control.
 //! * [`vision`] ([`deeplens_vision`]) — synthetic scenes, the three
 //!   benchmark corpora, and simulated detector / OCR / depth models.
 //!
@@ -42,6 +45,7 @@ pub use deeplens_codec as codec;
 pub use deeplens_core as core;
 pub use deeplens_exec as exec;
 pub use deeplens_index as index;
+pub use deeplens_serve as serve;
 pub use deeplens_storage as storage;
 pub use deeplens_vision as vision;
 
