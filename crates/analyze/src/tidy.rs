@@ -1,0 +1,607 @@
+//! The tidy workspace lint: a hand-rolled line/token scanner over
+//! `crates/**/src/**/*.rs` enforcing the DeepLens hygiene rules.
+//!
+//! Rules (each one unit-tested against fixture snippets below):
+//!
+//! 1. **raw-lock** — no raw `parking_lot::{Mutex, RwLock}` or
+//!    `std::sync::{Mutex, Condvar}` outside the [`crate::sync`] module and
+//!    the explicit [`RAW_LOCK_WHITELIST`]; all engine locking goes through
+//!    the ranked wrappers so the lockdep checker sees it.
+//! 2. **serve-panic** — no `.unwrap()` / `.expect(` / `panic!` /
+//!    `unreachable!` in non-test `crates/serve` request-handling code; a
+//!    malformed request must produce an `Error` wire reply, never a dead
+//!    connection thread.
+//! 3. **no-debug-macro** — no `todo!` / `unimplemented!` / `dbg!` anywhere
+//!    (test code included).
+//! 4. **allow-justification** — every `#[allow(...)]` in non-test code
+//!    carries a justification: a trailing `//` comment on the same line or a
+//!    `//` comment on the line directly above.
+//! 5. **bench-artifacts** — the `DEFAULT_ARTIFACTS` list in the bench gate
+//!    binary names exactly the `BENCH_*.json` files committed at the
+//!    workspace root, in both directions.
+//!
+//! The scanner is deliberately line-based, not a Rust parser: it strips
+//! `//` comments (with a string-literal heuristic so `"https://..."`
+//! survives), and treats everything after a line reading `#[cfg(test)]` as
+//! test code (the workspace convention keeps test modules trailing).
+//! Violations carry `file:line` so they print as clickable diagnostics.
+
+use std::fmt;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Files (workspace-relative, `/`-separated) exempt from the **raw-lock**
+/// rule: the ranked wrappers themselves and the offline `parking_lot` shim
+/// they replaced.
+pub const RAW_LOCK_WHITELIST: &[&str] = &[
+    "crates/analyze/src/sync.rs",
+    "crates/shims/parking_lot/src/lib.rs",
+];
+
+/// One rule violation at a specific source location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Workspace-relative path of the offending file.
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// Short rule identifier (e.g. `raw-lock`).
+    pub rule: &'static str,
+    /// Human-readable description of the problem.
+    pub msg: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file, self.line, self.rule, self.msg
+        )
+    }
+}
+
+// Banned-pattern strings are assembled with `concat!` so this file does not
+// trip its own rules when tidy scans the workspace it lives in.
+const TODO_MACRO: &str = concat!("to", "do!");
+const UNIMPLEMENTED_MACRO: &str = concat!("unimpl", "emented!");
+const DBG_MACRO: &str = concat!("db", "g!");
+const UNWRAP_CALL: &str = concat!(".unw", "rap()");
+const EXPECT_CALL: &str = concat!(".exp", "ect(");
+const PANIC_MACRO: &str = concat!("pan", "ic!");
+const UNREACHABLE_MACRO: &str = concat!("unreach", "able!");
+const ALLOW_OUTER: &str = concat!("#[", "allow(");
+const ALLOW_INNER: &str = concat!("#![", "allow(");
+const CFG_TEST: &str = concat!("#[", "cfg(te", "st)]");
+const PARKING_LOT_CRATE: &str = concat!("parking", "_lot");
+const STD_SYNC_PATH: &str = concat!("std::", "sync");
+const MUTEX_TYPE: &str = concat!("Mu", "tex");
+const RWLOCK_TYPE: &str = concat!("Rw", "Lock");
+const CONDVAR_TYPE: &str = concat!("Cond", "var");
+
+/// One preprocessed source line.
+struct Line<'a> {
+    /// 1-based line number.
+    number: usize,
+    /// The raw text, untouched.
+    raw: &'a str,
+    /// The text with `//` comments stripped.
+    code: String,
+    /// Whether this line sits at or below the file's first `#[cfg(test)]`.
+    in_test: bool,
+}
+
+/// Strip a trailing `//` comment, leaving string literals intact.
+///
+/// Walks the line tracking double-quoted string state (with `\` escapes) and
+/// skipping `'"'` char literals, so `let url = "a://b"; // note` keeps the
+/// URL and drops the note. Raw strings spanning lines are out of scope for a
+/// line lint; none of the enforced patterns can hide in one without also
+/// appearing on a single line.
+fn strip_comment(line: &str) -> String {
+    let bytes = line.as_bytes();
+    let mut in_string = false;
+    let mut i = 0;
+    while i < bytes.len() {
+        let b = bytes[i];
+        if in_string {
+            match b {
+                b'\\' => i += 1, // skip the escaped byte
+                b'"' => in_string = false,
+                _ => {}
+            }
+        } else {
+            match b {
+                // A char literal that would confuse the quote tracker.
+                b'\'' if i + 2 < bytes.len() && bytes[i + 1] == b'"' && bytes[i + 2] == b'\'' => {
+                    i += 2;
+                }
+                b'"' => in_string = true,
+                b'/' if i + 1 < bytes.len() && bytes[i + 1] == b'/' => {
+                    return line[..i].to_string();
+                }
+                _ => {}
+            }
+        }
+        i += 1;
+    }
+    line.to_string()
+}
+
+/// True when `needle` occurs in `haystack` not preceded by an identifier
+/// character — so `Mutex` matches `std::sync::Mutex` but not `OrderedMutex`.
+fn has_word(haystack: &str, needle: &str) -> bool {
+    let mut start = 0;
+    while let Some(pos) = haystack[start..].find(needle) {
+        let abs = start + pos;
+        let preceded = haystack[..abs]
+            .chars()
+            .next_back()
+            .is_some_and(|c| c.is_alphanumeric() || c == '_');
+        if !preceded {
+            return true;
+        }
+        start = abs + needle.len();
+    }
+    false
+}
+
+/// Preprocess a file into lines: strip comments, mark the trailing test
+/// section.
+fn preprocess(text: &str) -> Vec<Line<'_>> {
+    let mut in_test = false;
+    text.lines()
+        .enumerate()
+        .map(|(idx, raw)| {
+            if raw.trim() == CFG_TEST {
+                in_test = true;
+            }
+            Line {
+                number: idx + 1,
+                raw,
+                code: strip_comment(raw),
+                in_test,
+            }
+        })
+        .collect()
+}
+
+/// Run the per-file rules (1–4) against one source file.
+///
+/// `rel_path` is the workspace-relative, `/`-separated path; it decides rule
+/// applicability (whitelists, the serve-only panic rule).
+pub fn check_source(rel_path: &str, text: &str) -> Vec<Violation> {
+    let lines = preprocess(text);
+    let mut out = Vec::new();
+    check_raw_locks(rel_path, &lines, &mut out);
+    check_serve_panics(rel_path, &lines, &mut out);
+    check_debug_macros(rel_path, &lines, &mut out);
+    check_allow_justifications(rel_path, &lines, &mut out);
+    out
+}
+
+/// Rule 1: raw lock types outside the sync module and whitelist.
+fn check_raw_locks(rel_path: &str, lines: &[Line<'_>], out: &mut Vec<Violation>) {
+    if RAW_LOCK_WHITELIST.contains(&rel_path) {
+        return;
+    }
+    for line in lines {
+        if line.in_test {
+            continue;
+        }
+        let code = &line.code;
+        let parking = code.contains(PARKING_LOT_CRATE)
+            && (has_word(code, MUTEX_TYPE) || has_word(code, RWLOCK_TYPE));
+        let std_sync = code.contains(STD_SYNC_PATH)
+            && (has_word(code, MUTEX_TYPE) || has_word(code, CONDVAR_TYPE));
+        if parking || std_sync {
+            out.push(Violation {
+                file: rel_path.to_string(),
+                line: line.number,
+                rule: "raw-lock",
+                msg: format!(
+                    "raw lock primitive outside the sync module; use \
+                     deeplens_analyze::sync::{{OrderedMutex, OrderedRwLock, \
+                     OrderedCondvar}} (or extend RAW_LOCK_WHITELIST): `{}`",
+                    line.raw.trim()
+                ),
+            });
+        }
+    }
+}
+
+/// Rule 2: panicking calls in non-test serve request paths.
+fn check_serve_panics(rel_path: &str, lines: &[Line<'_>], out: &mut Vec<Violation>) {
+    if !rel_path.starts_with("crates/serve/src/") || rel_path.contains("/bin/") {
+        return;
+    }
+    for line in lines {
+        if line.in_test {
+            continue;
+        }
+        let code = &line.code;
+        for (pat, what) in [
+            (UNWRAP_CALL, "unwrap"),
+            (EXPECT_CALL, "expect"),
+            (PANIC_MACRO, "panic"),
+            (UNREACHABLE_MACRO, "unreachable"),
+        ] {
+            if code.contains(pat) {
+                out.push(Violation {
+                    file: rel_path.to_string(),
+                    line: line.number,
+                    rule: "serve-panic",
+                    msg: format!(
+                        "`{what}` in serve request-handling code; reply with \
+                         Response::Error or propagate a Result instead: `{}`",
+                        line.raw.trim()
+                    ),
+                });
+            }
+        }
+    }
+}
+
+/// Rule 3: leftover debug macros, anywhere (tests included).
+fn check_debug_macros(rel_path: &str, lines: &[Line<'_>], out: &mut Vec<Violation>) {
+    for line in lines {
+        let code = &line.code;
+        for (pat, what) in [
+            (TODO_MACRO, TODO_MACRO),
+            (UNIMPLEMENTED_MACRO, UNIMPLEMENTED_MACRO),
+            (DBG_MACRO, DBG_MACRO),
+        ] {
+            if has_word(code, pat) {
+                out.push(Violation {
+                    file: rel_path.to_string(),
+                    line: line.number,
+                    rule: "no-debug-macro",
+                    msg: format!("`{what}` must not be committed: `{}`", line.raw.trim()),
+                });
+            }
+        }
+    }
+}
+
+/// Rule 4: `#[allow(...)]` without a justification comment.
+fn check_allow_justifications(rel_path: &str, lines: &[Line<'_>], out: &mut Vec<Violation>) {
+    for (idx, line) in lines.iter().enumerate() {
+        if line.in_test {
+            continue;
+        }
+        let code = &line.code;
+        if !(code.contains(ALLOW_OUTER) || code.contains(ALLOW_INNER)) {
+            continue;
+        }
+        // Justified if the raw line carries a trailing comment (strip_comment
+        // shortened it), or the previous line is a comment.
+        let trailing = line.raw.len() > line.code.len();
+        let above = idx
+            .checked_sub(1)
+            .map(|i| lines[i].raw.trim_start().starts_with("//"))
+            .unwrap_or(false);
+        if !(trailing || above) {
+            out.push(Violation {
+                file: rel_path.to_string(),
+                line: line.number,
+                rule: "allow-justification",
+                msg: format!(
+                    "`{ALLOW_OUTER}...)]` needs a justification comment on the \
+                     same line or the line above: `{}`",
+                    line.raw.trim()
+                ),
+            });
+        }
+    }
+}
+
+/// Rule 5: `DEFAULT_ARTIFACTS` in the bench gate binary must name exactly
+/// the `BENCH_*.json` files committed at the workspace root.
+pub fn check_bench_artifacts(root: &Path) -> Vec<Violation> {
+    let gate_rel = "crates/bench/src/bin/bench_gate.rs";
+    let gate_path = root.join(gate_rel);
+    let mut out = Vec::new();
+    let text = match fs::read_to_string(&gate_path) {
+        Ok(t) => t,
+        Err(e) => {
+            out.push(Violation {
+                file: gate_rel.to_string(),
+                line: 1,
+                rule: "bench-artifacts",
+                msg: format!("cannot read bench gate source: {e}"),
+            });
+            return out;
+        }
+    };
+    // Collect "BENCH_*.json" string literals between DEFAULT_ARTIFACTS and
+    // the closing `];`.
+    let mut listed: Vec<(String, usize)> = Vec::new();
+    let mut decl_line = 1;
+    let mut in_decl = false;
+    for (idx, raw) in text.lines().enumerate() {
+        let code = strip_comment(raw);
+        if !in_decl {
+            if code.contains("DEFAULT_ARTIFACTS") && code.contains('[') {
+                in_decl = true;
+                decl_line = idx + 1;
+            } else {
+                continue;
+            }
+        }
+        let mut rest = code.as_str();
+        while let Some(open) = rest.find('"') {
+            let tail = &rest[open + 1..];
+            match tail.find('"') {
+                Some(close) => {
+                    let lit = &tail[..close];
+                    if lit.starts_with("BENCH_") && lit.ends_with(".json") {
+                        listed.push((lit.to_string(), idx + 1));
+                    }
+                    rest = &tail[close + 1..];
+                }
+                None => break,
+            }
+        }
+        if code.contains("];") {
+            break;
+        }
+    }
+    if listed.is_empty() {
+        out.push(Violation {
+            file: gate_rel.to_string(),
+            line: decl_line,
+            rule: "bench-artifacts",
+            msg: "could not locate the DEFAULT_ARTIFACTS list".to_string(),
+        });
+        return out;
+    }
+    // The committed artifacts at the workspace root.
+    let mut committed: Vec<String> = Vec::new();
+    if let Ok(entries) = fs::read_dir(root) {
+        for entry in entries.flatten() {
+            let name = entry.file_name().to_string_lossy().into_owned();
+            if name.starts_with("BENCH_") && name.ends_with(".json") {
+                committed.push(name);
+            }
+        }
+    }
+    for (name, line) in &listed {
+        if !committed.iter().any(|c| c == name) {
+            out.push(Violation {
+                file: gate_rel.to_string(),
+                line: *line,
+                rule: "bench-artifacts",
+                msg: format!("DEFAULT_ARTIFACTS lists `{name}` but it is not committed at the workspace root"),
+            });
+        }
+    }
+    for name in &committed {
+        if !listed.iter().any(|(l, _)| l == name) {
+            out.push(Violation {
+                file: gate_rel.to_string(),
+                line: decl_line,
+                rule: "bench-artifacts",
+                msg: format!("committed artifact `{name}` is missing from DEFAULT_ARTIFACTS"),
+            });
+        }
+    }
+    out
+}
+
+/// Recursively collect `.rs` files under `dir`, appending to `acc`.
+fn collect_rs(dir: &Path, acc: &mut Vec<PathBuf>) {
+    let Ok(entries) = fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.is_dir() {
+            collect_rs(&path, acc);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            acc.push(path);
+        }
+    }
+}
+
+/// Run every rule over the workspace rooted at `root`. Returns all
+/// violations, sorted by file then line.
+pub fn check_workspace(root: &Path) -> Vec<Violation> {
+    let mut files = Vec::new();
+    let crates_dir = root.join("crates");
+    let Ok(entries) = fs::read_dir(&crates_dir) else {
+        return vec![Violation {
+            file: "crates".to_string(),
+            line: 1,
+            rule: "workspace",
+            msg: format!("cannot read {}", crates_dir.display()),
+        }];
+    };
+    // Scan `crates/**/src/**/*.rs` (including `crates/shims/*/src`).
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if !path.is_dir() {
+            continue;
+        }
+        let src = path.join("src");
+        if src.is_dir() {
+            collect_rs(&src, &mut files);
+        } else {
+            // One level deeper: crates/shims/<name>/src.
+            if let Ok(subs) = fs::read_dir(&path) {
+                for sub in subs.flatten() {
+                    let nested = sub.path().join("src");
+                    if nested.is_dir() {
+                        collect_rs(&nested, &mut files);
+                    }
+                }
+            }
+        }
+    }
+    files.sort();
+    let mut out = Vec::new();
+    for path in &files {
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        match fs::read_to_string(path) {
+            Ok(text) => out.extend(check_source(&rel, &text)),
+            Err(e) => out.push(Violation {
+                file: rel,
+                line: 1,
+                rule: "workspace",
+                msg: format!("cannot read file: {e}"),
+            }),
+        }
+    }
+    out.extend(check_bench_artifacts(root));
+    out.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Fixtures build banned tokens with `format!`/concat so scanning THIS
+    // file (rule 3 applies to test code too) stays clean.
+
+    fn rules_hit(rel: &str, text: &str) -> Vec<&'static str> {
+        check_source(rel, text)
+            .into_iter()
+            .map(|v| v.rule)
+            .collect()
+    }
+
+    #[test]
+    fn raw_lock_flags_parking_lot_import() {
+        let src = "use parking_lot::{Mutex, RwLock};\n";
+        assert_eq!(rules_hit("crates/core/src/shared.rs", src), ["raw-lock"]);
+    }
+
+    #[test]
+    fn raw_lock_flags_std_sync_mutex_and_condvar() {
+        let src = "use std::sync::{Condvar, Mutex};\n";
+        assert_eq!(
+            rules_hit("crates/serve/src/admission.rs", src),
+            ["raw-lock"]
+        );
+    }
+
+    #[test]
+    fn raw_lock_ignores_ordered_wrappers_and_arc() {
+        let src = "use std::sync::Arc;\nuse deeplens_analyze::sync::OrderedMutex;\nstruct S { m: OrderedMutex<u32> }\n";
+        assert!(rules_hit("crates/core/src/shared.rs", src).is_empty());
+    }
+
+    #[test]
+    fn raw_lock_respects_whitelist_and_tests() {
+        let src = "use std::sync::Mutex;\n";
+        assert!(rules_hit("crates/analyze/src/sync.rs", src).is_empty());
+        let test_src = format!("{CFG_TEST}\nuse std::sync::Mutex;\n");
+        assert!(rules_hit("crates/core/src/shared.rs", &test_src).is_empty());
+    }
+
+    #[test]
+    fn serve_panic_flags_unwrap_expect_panic() {
+        let src = format!(
+            "fn f() {{ x{UNWRAP_CALL}; y{EXPECT_CALL}\"boom\"); {PANIC_MACRO}(\"no\"); }}\n"
+        );
+        let hits = rules_hit("crates/serve/src/server.rs", &src);
+        assert_eq!(hits, ["serve-panic", "serve-panic", "serve-panic"]);
+    }
+
+    #[test]
+    fn serve_panic_only_applies_to_serve_non_test() {
+        let src = format!("fn f() {{ x{UNWRAP_CALL}; }}\n");
+        assert!(rules_hit("crates/core/src/session.rs", &src).is_empty());
+        let test_src = format!("{CFG_TEST}\nfn f() {{ x{UNWRAP_CALL}; }}\n");
+        assert!(rules_hit("crates/serve/src/server.rs", &test_src).is_empty());
+    }
+
+    #[test]
+    fn serve_panic_ignores_doc_comments() {
+        let src = format!("/// Example: `conn{UNWRAP_CALL}` is fine in docs.\nfn f() {{}}\n");
+        assert!(rules_hit("crates/serve/src/protocol.rs", &src).is_empty());
+    }
+
+    #[test]
+    fn debug_macros_flagged_everywhere_even_in_tests() {
+        let src = format!("{CFG_TEST}\nfn f() {{ {TODO_MACRO}() }}\n");
+        assert_eq!(
+            rules_hit("crates/index/src/rtree.rs", &src),
+            ["no-debug-macro"]
+        );
+        let src2 = format!("fn g() {{ {DBG_MACRO}(x); {UNIMPLEMENTED_MACRO}() }}\n");
+        assert_eq!(
+            rules_hit("crates/exec/src/pool.rs", &src2),
+            ["no-debug-macro", "no-debug-macro"]
+        );
+    }
+
+    #[test]
+    fn allow_without_justification_flagged() {
+        let src = format!("{ALLOW_OUTER}dead_code)]\nfn unused() {{}}\n");
+        assert_eq!(
+            rules_hit("crates/index/src/rtree.rs", &src),
+            ["allow-justification"]
+        );
+    }
+
+    #[test]
+    fn allow_with_comment_above_or_trailing_passes() {
+        let above = format!(
+            "// kept for symmetry with len()\n{ALLOW_OUTER}dead_code)]\nfn unused() {{}}\n"
+        );
+        assert!(rules_hit("crates/index/src/rtree.rs", &above).is_empty());
+        let trailing = format!("{ALLOW_OUTER}dead_code)] // kept for symmetry\nfn unused() {{}}\n");
+        assert!(rules_hit("crates/index/src/rtree.rs", &trailing).is_empty());
+    }
+
+    #[test]
+    fn comment_stripping_keeps_urls_in_strings() {
+        let line = "let url = \"https://example.com\"; // trailing note";
+        assert_eq!(strip_comment(line), "let url = \"https://example.com\"; ");
+        let quote_char = "if c == '\"' { nested = true } // quote literal";
+        assert_eq!(strip_comment(quote_char), "if c == '\"' { nested = true } ");
+    }
+
+    #[test]
+    fn word_boundary_rejects_ordered_prefix() {
+        assert!(has_word("std::sync::Mutex<u32>", "Mutex"));
+        assert!(!has_word("OrderedMutex<u32>", "Mutex"));
+        assert!(has_word("MutexGuard<'a, T>", "Mutex"));
+    }
+
+    #[test]
+    fn bench_artifact_drift_detected_both_directions() {
+        let root = std::env::temp_dir().join(format!(
+            "tidy-bench-fixture-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let gate_dir = root.join("crates/bench/src/bin");
+        fs::create_dir_all(&gate_dir).expect("fixture dirs");
+        fs::write(
+            gate_dir.join("bench_gate.rs"),
+            "const DEFAULT_ARTIFACTS: [&str; 2] = [\n    \"BENCH_ops.json\",\n    \"BENCH_gone.json\",\n];\n",
+        )
+        .expect("fixture gate");
+        fs::write(root.join("BENCH_ops.json"), "{}").expect("fixture artifact");
+        fs::write(root.join("BENCH_extra.json"), "{}").expect("fixture artifact");
+        let violations = check_bench_artifacts(&root);
+        let msgs: Vec<&str> = violations.iter().map(|v| v.msg.as_str()).collect();
+        assert_eq!(violations.len(), 2, "violations: {msgs:?}");
+        assert!(msgs.iter().any(|m| m.contains("BENCH_gone.json")));
+        assert!(msgs.iter().any(|m| m.contains("BENCH_extra.json")));
+        fs::remove_dir_all(&root).expect("fixture cleanup");
+    }
+
+    #[test]
+    fn clean_tree_snippet_passes_all_rules() {
+        let src = "use deeplens_analyze::sync::{LockRank, OrderedRwLock};\n\
+                   struct Catalog { shards: Vec<OrderedRwLock<u32>> }\n";
+        assert!(rules_hit("crates/core/src/shared.rs", src).is_empty());
+    }
+}

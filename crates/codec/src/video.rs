@@ -403,6 +403,8 @@ impl<'a> VideoDecoder<'a> {
     }
 
     /// Decode the next frame, or `None` at end of stream.
+    // Not an Iterator impl: decoding borrows the reader mutably and callers
+    // need the struct's other accessors (`remaining`) between frames.
     #[allow(clippy::should_implement_trait)]
     pub fn next_frame(&mut self) -> Option<crate::Result<Image>> {
         if self.decoded >= self.header.frame_count {

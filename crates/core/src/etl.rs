@@ -626,7 +626,7 @@ impl<'s> PipelineBatch<'s> {
                     // One sequential decode for every job over this source,
                     // served through the session's bounded frame cache so a
                     // later batch over the same stream can skip it too.
-                    let mut cache = self.session.frame_cache().lock().expect("frame cache");
+                    let mut cache = self.session.frame_cache().lock();
                     cache.scan_frames(bytes, &frames)?.into_iter().collect()
                 }
                 FrameStore::Raw(all) => frames
@@ -1185,7 +1185,7 @@ mod tests {
             .unwrap();
             let counts = b.run().unwrap();
             assert_eq!(
-                s.frame_cache().lock().unwrap().decoded(),
+                s.frame_cache().lock().decoded(),
                 10,
                 "the shared scan decodes the union window exactly once"
             );
@@ -1378,7 +1378,7 @@ mod tests {
             b.ingest(tile_featurize(16), "cam", 0..8, out).unwrap();
             b.run().unwrap()
         };
-        let decoded = |s: &crate::session::Session| s.frame_cache().lock().unwrap().decoded();
+        let decoded = |s: &crate::session::Session| s.frame_cache().lock().decoded();
         run_once(&s, "first");
         assert_eq!(decoded(&s), 8);
         // Second batch over the same stream: served from the session cache.

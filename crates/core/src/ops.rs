@@ -255,6 +255,8 @@ pub struct BatchJoinMember<'a> {
     pub probe_is_left: bool,
     /// Optional θ-predicate applied per candidate pair, called as
     /// `pred(left_patch, right_patch)` in the original query's orientation.
+    // The full trait-object type is the API: naming it via an alias would
+    // hide the Sync bound callers must satisfy.
     #[allow(clippy::type_complexity)]
     pub predicate: Option<&'a (dyn Fn(&Patch, &Patch) -> bool + Sync)>,
 }

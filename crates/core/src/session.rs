@@ -20,8 +20,9 @@
 
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 
+use deeplens_analyze::sync::{LockRank, OrderedMutex};
 use deeplens_codec::{FrameCache, Image};
 use deeplens_exec::{Device, Executor, WorkerPool};
 
@@ -53,8 +54,10 @@ pub struct Session {
     slot: usize,
     dir: PathBuf,
     /// Bounded cache of decoded video frames serving this session's
-    /// shared-scan ingest batches ([`Session::ingest_batch`]).
-    frame_cache: Mutex<FrameCache>,
+    /// shared-scan ingest batches ([`Session::ingest_batch`]). Ranked
+    /// `FrameCache`: a leaf with respect to catalog state — never held
+    /// across a catalog or buffer acquisition.
+    frame_cache: OrderedMutex<FrameCache>,
 }
 
 impl Session {
@@ -79,7 +82,11 @@ impl Session {
             device,
             slot,
             dir: dir.as_ref().to_path_buf(),
-            frame_cache: Mutex::new(FrameCache::new(DEFAULT_FRAME_CACHE_FRAMES)),
+            frame_cache: OrderedMutex::new(
+                LockRank::FrameCache,
+                "Session::frame_cache",
+                FrameCache::new(DEFAULT_FRAME_CACHE_FRAMES),
+            ),
         })
     }
 
@@ -171,7 +178,7 @@ impl Session {
 
     /// The session's decoded-frame cache (shared-scan ingest reads and
     /// fills it).
-    pub(crate) fn frame_cache(&self) -> &Mutex<FrameCache> {
+    pub(crate) fn frame_cache(&self) -> &OrderedMutex<FrameCache> {
         &self.frame_cache
     }
 
@@ -179,7 +186,7 @@ impl Session {
     /// frames (0 disables retention: every ingest batch re-decodes). The
     /// existing contents are dropped.
     pub fn set_frame_cache_capacity(&mut self, frames: usize) {
-        *self.frame_cache.get_mut().expect("frame cache") = FrameCache::new(frames);
+        *self.frame_cache.get_mut() = FrameCache::new(frames);
     }
 
     /// Similarity join on the session's device: `(left_idx, right_idx)`

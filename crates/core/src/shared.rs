@@ -2,7 +2,7 @@
 //!
 //! A [`SharedCatalog`] is the multi-session form of [`Catalog`]: the
 //! collection map is split across N shards keyed by a hash of the collection
-//! name, each shard behind its own `parking_lot::RwLock`, and every
+//! name, each shard behind its own ranked `OrderedRwLock`, and every
 //! collection is stored as an [`Arc`] snapshot with **copy-on-write**
 //! semantics. Readers obtain a consistent [`SharedCatalog::snapshot`] and
 //! scan it latch-free for as long as they like; a writer that materializes,
@@ -12,16 +12,21 @@
 //! half-materialized or half-indexed collection — it sees the version that
 //! was current when it took its snapshot.
 //!
-//! **Latch ordering** (deadlock freedom):
+//! **Latch ordering** (deadlock freedom): every lock here is ranked, and the
+//! [`LockRank`] enum in `deeplens-analyze` is the single source of truth for
+//! the order — `SessionSlots` < `CatalogShard` < `Lineage`, checked at
+//! runtime under `debug_assertions`. Concretely:
 //!
-//! 1. at most one shard latch is held at a time — cross-shard operations
+//! 1. at most one `CatalogShard` latch is held at a time (the checker
+//!    rejects a second same-rank acquisition) — cross-shard operations
 //!    ([`SharedCatalog::names`]) visit shards sequentially, releasing each
 //!    latch before taking the next;
-//! 2. the lineage lock is never held while *acquiring* a shard latch —
+//! 2. the `Lineage` lock is never held while *acquiring* a shard latch —
 //!    [`SharedCatalog::materialize`] records lineage before it touches the
 //!    collection shard, and the one place that nests the two
 //!    ([`SharedCatalog::materialize_new`], which must publish lineage and
-//!    collection atomically) takes them in shard → lineage order;
+//!    collection atomically) takes them in the ascending
+//!    `CatalogShard` → `Lineage` rank order;
 //! 3. patch-id reservation ([`SharedCatalog::reserve_patch_ids`]) is a
 //!    lock-free atomic fetch-add and participates in no ordering at all.
 
@@ -29,7 +34,7 @@ use std::collections::{BTreeSet, HashMap};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use parking_lot::{Mutex, RwLock};
+use deeplens_analyze::sync::{LockRank, OrderedMutex, OrderedRwLock};
 
 use crate::catalog::{PatchCollection, PatchIdRange};
 use crate::lineage::LineageStore;
@@ -44,15 +49,15 @@ pub const DEFAULT_SHARDS: usize = 16;
 /// lock-free patch-id allocator.
 #[derive(Debug)]
 pub struct SharedCatalog {
-    shards: Vec<RwLock<HashMap<String, Arc<PatchCollection>>>>,
-    lineage: RwLock<LineageStore>,
+    shards: Vec<OrderedRwLock<HashMap<String, Arc<PatchCollection>>>>,
+    lineage: OrderedRwLock<LineageStore>,
     next_id: AtomicU64,
     /// Slot numbers of the currently attached sessions. Each session holds
     /// the lowest slot that was free when it attached; the *rank* of a
     /// session's slot within this set decides which sessions receive the
     /// remainder threads of an uneven budget split
     /// ([`SharedCatalog::session_thread_share`]).
-    session_slots: Mutex<BTreeSet<usize>>,
+    session_slots: OrderedMutex<BTreeSet<usize>>,
 }
 
 impl Default for SharedCatalog {
@@ -70,10 +75,26 @@ impl SharedCatalog {
     /// An empty shared catalog with an explicit shard count (minimum 1).
     pub fn with_shards(shards: usize) -> Self {
         SharedCatalog {
-            shards: (0..shards.max(1)).map(|_| RwLock::default()).collect(),
-            lineage: RwLock::new(LineageStore::new()),
+            shards: (0..shards.max(1))
+                .map(|_| {
+                    OrderedRwLock::new(
+                        LockRank::CatalogShard,
+                        "SharedCatalog::shards",
+                        HashMap::new(),
+                    )
+                })
+                .collect(),
+            lineage: OrderedRwLock::new(
+                LockRank::Lineage,
+                "SharedCatalog::lineage",
+                LineageStore::new(),
+            ),
             next_id: AtomicU64::new(0),
-            session_slots: Mutex::new(BTreeSet::new()),
+            session_slots: OrderedMutex::new(
+                LockRank::SessionSlots,
+                "SharedCatalog::session_slots",
+                BTreeSet::new(),
+            ),
         }
     }
 
@@ -84,7 +105,7 @@ impl SharedCatalog {
 
     /// FNV-1a over the collection name picks the shard; stable across runs
     /// so shard-count experiments are reproducible.
-    fn shard_of(&self, name: &str) -> &RwLock<HashMap<String, Arc<PatchCollection>>> {
+    fn shard_of(&self, name: &str) -> &OrderedRwLock<HashMap<String, Arc<PatchCollection>>> {
         let mut h: u64 = 0xcbf2_9ce4_8422_2325;
         for b in name.as_bytes() {
             h ^= u64::from(*b);

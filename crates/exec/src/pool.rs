@@ -11,7 +11,8 @@
 
 use std::ops::Range;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+
+use deeplens_analyze::sync::{LockRank, OrderedMutex};
 
 /// A scoped worker pool executing morsel-sharded kernels.
 ///
@@ -71,7 +72,14 @@ impl WorkerPool {
         }
 
         let cursor = AtomicUsize::new(0);
-        let collected: Mutex<Vec<(usize, T)>> = Mutex::new(Vec::with_capacity(n_morsels));
+        // `WorkerResults` is the innermost rank: each worker takes it once,
+        // at the end of its morsel run, holding nothing else (workers are
+        // fresh scoped threads with empty held stacks).
+        let collected: OrderedMutex<Vec<(usize, T)>> = OrderedMutex::new(
+            LockRank::WorkerResults,
+            "WorkerPool::collected",
+            Vec::with_capacity(n_morsels),
+        );
         std::thread::scope(|s| {
             for _ in 0..self.threads.min(n_morsels) {
                 s.spawn(|| {
@@ -83,11 +91,11 @@ impl WorkerPool {
                         }
                         local.push((m, f(morsel_range(m))));
                     }
-                    collected.lock().unwrap().extend(local);
+                    collected.lock().extend(local);
                 });
             }
         });
-        let mut tagged = collected.into_inner().unwrap();
+        let mut tagged = collected.into_inner();
         tagged.sort_unstable_by_key(|(m, _)| *m);
         debug_assert_eq!(tagged.len(), n_morsels);
         tagged.into_iter().map(|(_, v)| v).collect()

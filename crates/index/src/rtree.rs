@@ -104,6 +104,8 @@ impl Node {
         }
     }
 
+    // Exercised only by debug assertions and kept for node-level invariant
+    // checks; not part of any query path.
     #[allow(dead_code)]
     fn len(&self) -> usize {
         match self {

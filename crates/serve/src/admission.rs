@@ -19,17 +19,21 @@
 //! system drains (the `running == 0` escape hatch), so one oversized query
 //! can never deadlock the server — it just runs alone.
 //!
-//! The synchronization is a plain [`std::sync::Mutex`] + [`Condvar`] ticket
-//! queue (the workspace's `parking_lot` shim deliberately has no `Condvar`):
-//! each waiter takes a ticket and proceeds only when its ticket is at the
-//! head and capacity is available, so admission order is arrival order —
-//! a flood of cheap requests cannot starve an expensive one at the head.
+//! The synchronization is a ranked `OrderedMutex` + `OrderedCondvar` ticket
+//! queue: each waiter takes a ticket and proceeds only when its ticket is at
+//! the head and capacity is available, so admission order is arrival order —
+//! a flood of cheap requests cannot starve an expensive one at the head. The
+//! controller's lock carries [`LockRank::AdmissionQueue`], the outermost
+//! rank in the workspace order: a request blocks here before touching any
+//! engine state, and nothing may be held while entering the controller
+//! (checked at runtime under `debug_assertions`).
 //!
 //! [`DevicePlanner`]: deeplens_core::optimizer::DevicePlanner
 //! [`Overloaded`]: Overloaded
 
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Condvar, Mutex};
+
+use deeplens_analyze::sync::{LockRank, OrderedCondvar, OrderedMutex};
 
 /// Admission knobs.
 #[derive(Debug, Clone, Copy)]
@@ -76,14 +80,20 @@ struct State {
 }
 
 /// Cost-weighted admission controller shared by every connection.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct AdmissionController {
     config_budget_us: f64,
     max_queue_depth: usize,
-    state: Mutex<State>,
-    cv: Condvar,
+    state: OrderedMutex<State>,
+    cv: OrderedCondvar,
     admitted: AtomicU64,
     shed: AtomicU64,
+}
+
+impl Default for AdmissionController {
+    fn default() -> Self {
+        Self::new(AdmissionConfig::default())
+    }
 }
 
 impl AdmissionController {
@@ -92,8 +102,12 @@ impl AdmissionController {
         AdmissionController {
             config_budget_us: config.max_inflight_cost_us.max(0.0),
             max_queue_depth: config.max_queue_depth,
-            state: Mutex::new(State::default()),
-            cv: Condvar::new(),
+            state: OrderedMutex::new(
+                LockRank::AdmissionQueue,
+                "AdmissionController::state",
+                State::default(),
+            ),
+            cv: OrderedCondvar::new(),
             admitted: AtomicU64::new(0),
             shed: AtomicU64::new(0),
         }
@@ -105,7 +119,7 @@ impl AdmissionController {
     /// wait queue is already at the configured depth.
     pub fn admit(&self, cost_us: f64) -> Result<Permit<'_>, Overloaded> {
         let cost_us = cost_us.max(1.0);
-        let mut st = self.state.lock().expect("admission lock");
+        let mut st = self.state.lock();
         let fits =
             |st: &State| st.running == 0 || st.inflight_cost_us + cost_us <= self.config_budget_us;
         if !(st.queued == 0 && fits(&st)) {
@@ -120,7 +134,7 @@ impl AdmissionController {
             st.next_ticket += 1;
             st.queued += 1;
             while !(st.head == ticket && fits(&st)) {
-                st = self.cv.wait(st).expect("admission wait");
+                st = self.cv.wait(st);
             }
             st.head += 1;
             st.queued -= 1;
@@ -154,16 +168,16 @@ impl AdmissionController {
 
     /// Waiters currently queued for budget.
     pub fn queued(&self) -> usize {
-        self.state.lock().expect("admission lock").queued
+        self.state.lock().queued
     }
 
     /// Sum of admitted, still-running request costs (µs).
     pub fn inflight_cost_us(&self) -> f64 {
-        self.state.lock().expect("admission lock").inflight_cost_us
+        self.state.lock().inflight_cost_us
     }
 
     fn release(&self, cost_us: f64) {
-        let mut st = self.state.lock().expect("admission lock");
+        let mut st = self.state.lock();
         st.running -= 1;
         st.inflight_cost_us = (st.inflight_cost_us - cost_us).max(0.0);
         drop(st);
@@ -280,7 +294,7 @@ mod tests {
             max_queue_depth: 16,
         }));
         let hog = ctl.admit(10.0).unwrap();
-        let order = Arc::new(Mutex::new(Vec::new()));
+        let order = Arc::new(std::sync::Mutex::new(Vec::new()));
         let mut handles = Vec::new();
         for i in 0..4 {
             let ctl_i = ctl.clone();

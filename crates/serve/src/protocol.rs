@@ -331,6 +331,25 @@ impl Response {
         }
         Ok(out)
     }
+
+    /// Encode into a frame payload, degrading to an `Error` reply instead of
+    /// failing: the server always has *something* well-formed to put on the
+    /// wire, so a response that cannot encode (e.g. an oversized result set)
+    /// is reported to the client rather than panicking or silently dropping
+    /// the connection.
+    pub fn encode_or_error(&self) -> Vec<u8> {
+        if let Ok(payload) = self.encode() {
+            return payload;
+        }
+        // Hand-rolled fallback frame: tag + 2-byte length + static message.
+        // Infallible by construction (the message is short and ASCII).
+        const MSG: &[u8] = b"unencodable response";
+        let mut out = Vec::with_capacity(3 + MSG.len());
+        out.push(R_ERROR);
+        out.extend_from_slice(&(MSG.len() as u16).to_le_bytes());
+        out.extend_from_slice(MSG);
+        out
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -369,20 +388,29 @@ impl<'a> Cursor<'a> {
         Ok(self.take(1)?[0])
     }
 
+    /// Take exactly `N` bytes as an array — the infallible-by-construction
+    /// form of `take(N).try_into()`, keeping the decode path panic-free.
+    fn arr<const N: usize>(&mut self) -> Result<[u8; N], WireError> {
+        let slice = self.take(N)?;
+        let mut out = [0u8; N];
+        out.copy_from_slice(slice);
+        Ok(out)
+    }
+
     fn u16(&mut self) -> Result<u16, WireError> {
-        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+        Ok(u16::from_le_bytes(self.arr()?))
     }
 
     fn u32(&mut self) -> Result<u32, WireError> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+        Ok(u32::from_le_bytes(self.arr()?))
     }
 
     fn u64(&mut self) -> Result<u64, WireError> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+        Ok(u64::from_le_bytes(self.arr()?))
     }
 
     fn f32(&mut self) -> Result<f32, WireError> {
-        Ok(f32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+        Ok(f32::from_le_bytes(self.arr()?))
     }
 
     fn string(&mut self) -> Result<String, WireError> {

@@ -19,9 +19,11 @@
 use std::io::Read;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
+
+use deeplens_analyze::sync::{LockRank, OrderedMutex};
 
 use deeplens_core::batch::BatchQuery;
 use deeplens_core::optimizer::{CostModel, DevicePlanner};
@@ -71,7 +73,7 @@ pub struct ServerHandle {
     local_addr: SocketAddr,
     shutdown: Arc<AtomicBool>,
     accept_thread: Option<JoinHandle<()>>,
-    connections: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    connections: Arc<OrderedMutex<Vec<JoinHandle<()>>>>,
     admission: Arc<AdmissionController>,
 }
 
@@ -98,8 +100,7 @@ impl ServerHandle {
         if let Some(t) = self.accept_thread.take() {
             let _ = t.join();
         }
-        let drained: Vec<JoinHandle<()>> =
-            std::mem::take(&mut *self.connections.lock().expect("connection registry"));
+        let drained: Vec<JoinHandle<()>> = std::mem::take(&mut *self.connections.lock());
         for t in drained {
             let _ = t.join();
         }
@@ -122,7 +123,11 @@ pub fn serve(catalog: Arc<SharedCatalog>, config: ServerConfig) -> std::io::Resu
 
     let shutdown = Arc::new(AtomicBool::new(false));
     let admission = Arc::new(AdmissionController::new(config.admission));
-    let connections: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+    let connections: Arc<OrderedMutex<Vec<JoinHandle<()>>>> = Arc::new(OrderedMutex::new(
+        LockRank::ConnectionRegistry,
+        "ServerHandle::connections",
+        Vec::new(),
+    ));
     // One calibration per server, not per request: the planner constants
     // are host properties.
     let planner = DevicePlanner::calibrated();
@@ -145,10 +150,7 @@ pub fn serve(catalog: Arc<SharedCatalog>, config: ServerConfig) -> std::io::Resu
                             max_frame_bytes: config.max_frame_bytes,
                         };
                         let handle = std::thread::spawn(move || conn.run(stream));
-                        connections
-                            .lock()
-                            .expect("connection registry")
-                            .push(handle);
+                        connections.lock().push(handle);
                     }
                     Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
                         std::thread::sleep(POLL_INTERVAL);
@@ -237,11 +239,7 @@ impl Connection {
     }
 
     fn reply(&self, stream: &mut TcpStream, response: &Response) -> Result<(), WireError> {
-        let payload = response.encode().unwrap_or_else(|_| {
-            Response::Error("unencodable response".into())
-                .encode()
-                .expect("static response")
-        });
+        let payload = response.encode_or_error();
         write_frame(stream, &payload)?;
         Ok(())
     }
@@ -301,7 +299,12 @@ impl Connection {
                     Err(e) => Response::Error(e.to_string()),
                 }
             }
-            Request::Ping | Request::Stats => unreachable!("handled without admission"),
+            // `handle` answers these without admission; replying an error
+            // here (rather than panicking the connection thread) keeps the
+            // request paths panic-free even if routing ever regresses.
+            Request::Ping | Request::Stats => {
+                Response::Error("internal: non-executing request routed to execute".into())
+            }
         }
     }
 

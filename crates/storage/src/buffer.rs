@@ -3,7 +3,7 @@
 //! The pool caches page images, absorbs repeated reads during tree descents,
 //! and defers writes until eviction or an explicit flush. The slot map is
 //! split across [`DEFAULT_SHARDS`] shards keyed by page id, each behind its
-//! own `parking_lot::RwLock`, with a reader/writer page-access protocol:
+//! own ranked `OrderedRwLock`, with a reader/writer page-access protocol:
 //!
 //! * **reads** ([`BufferPool::get`]) probe their shard under a *read* latch
 //!   — concurrent scans over distinct pages (and even the same page) never
@@ -13,15 +13,18 @@
 //!   only their shard's write latch — traffic on other shards proceeds;
 //! * the underlying [`Pager`] (file I/O, allocation) stays behind one mutex.
 //!
-//! **Latch ordering**: shard latch before pager mutex, always (a dirty
-//! eviction write-back acquires the pager while holding its shard; nothing
-//! ever acquires a shard latch while holding the pager, and no operation
-//! holds two shard latches at once) — so the pool is deadlock-free.
+//! **Latch ordering**: shard latch before pager mutex, always — in
+//! [`LockRank`] terms, `BufferShard` < `Pager`, the single source of truth
+//! checked at runtime under `debug_assertions`. A dirty eviction write-back
+//! acquires the pager while holding its shard; nothing ever acquires a shard
+//! latch while holding the pager, and no operation holds two `BufferShard`
+//! latches at once (the checker rejects a second same-rank acquisition) — so
+//! the pool is deadlock-free.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use parking_lot::{Mutex, RwLock};
+use deeplens_analyze::sync::{LockRank, OrderedMutex, OrderedRwLock};
 
 use crate::page::{Page, PageId};
 use crate::pager::Pager;
@@ -49,10 +52,10 @@ struct Shard {
 /// A sharded buffer pool over a [`Pager`].
 #[derive(Debug)]
 pub struct BufferPool {
-    shards: Vec<RwLock<Shard>>,
+    shards: Vec<OrderedRwLock<Shard>>,
     /// Per-shard slot capacity (total capacity divided across shards).
     shard_capacity: usize,
-    pager: Mutex<Pager>,
+    pager: OrderedMutex<Pager>,
     tick: AtomicU64,
     hits: AtomicU64,
     misses: AtomicU64,
@@ -79,9 +82,17 @@ impl BufferPool {
         let shards = shards.max(1);
         let shard_capacity = (capacity.max(8)).div_ceil(shards).max(1);
         BufferPool {
-            shards: (0..shards).map(|_| RwLock::default()).collect(),
+            shards: (0..shards)
+                .map(|_| {
+                    OrderedRwLock::new(
+                        LockRank::BufferShard,
+                        "BufferPool::shards",
+                        Shard::default(),
+                    )
+                })
+                .collect(),
             shard_capacity,
-            pager: Mutex::new(pager),
+            pager: OrderedMutex::new(LockRank::Pager, "BufferPool::pager", pager),
             tick: AtomicU64::new(0),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
@@ -94,7 +105,7 @@ impl BufferPool {
     }
 
     #[inline]
-    fn shard_of(&self, id: PageId) -> &RwLock<Shard> {
+    fn shard_of(&self, id: PageId) -> &OrderedRwLock<Shard> {
         &self.shards[id as usize % self.shards.len()]
     }
 

@@ -7,8 +7,8 @@
 //!
 //! * [`page`] / [`pager`] — 4 KiB checksummed pages over a single file with a
 //!   free list.
-//! * [`buffer`] — an LRU buffer pool ([`parking_lot`]-guarded) between the
-//!   access methods and the pager.
+//! * [`buffer`] — an LRU buffer pool (guarded by the ranked locks from
+//!   `deeplens-analyze`) between the access methods and the pager.
 //! * [`wal`] — a physical write-ahead log with commit records and replay.
 //! * [`btree`] — an on-disk B+Tree with variable-length byte keys/values,
 //!   overflow pages for large values, and ordered range scans (the engine

@@ -26,6 +26,8 @@
 //!   cost-weighted admission control.
 //! * [`vision`] ([`deeplens_vision`]) — synthetic scenes, the three
 //!   benchmark corpora, and simulated detector / OCR / depth models.
+//! * [`analyze`] ([`deeplens_analyze`]) — ranked lock wrappers (the lockdep
+//!   checker behind every lock above) and the `tidy` workspace lint.
 //!
 //! ```
 //! use deeplens::prelude::*;
@@ -41,6 +43,7 @@
 //! assert_eq!(catalog.collection("cars").unwrap().len(), 4);
 //! ```
 
+pub use deeplens_analyze as analyze;
 pub use deeplens_codec as codec;
 pub use deeplens_core as core;
 pub use deeplens_exec as exec;
