@@ -5,9 +5,10 @@
 //! Compares each `BENCH_*.json` artifact in `<fresh-dir>` against the copy
 //! in `<baseline-dir>` (the committed baselines, stashed before the bench
 //! smokes overwrite them) and exits non-zero if any result row regressed
-//! beyond the allowance. Artifact names default to the four recording
-//! benches: `BENCH_ops.json`, `BENCH_parallel.json`, `BENCH_devices.json`,
-//! `BENCH_etl.json`, `BENCH_serve.json`. A fresh row with no baseline
+//! beyond the allowance. Artifact names default to the recording benches:
+//! `BENCH_ops.json`, `BENCH_parallel.json`, `BENCH_devices.json`,
+//! `BENCH_etl.json`, `BENCH_serve.json`, `BENCH_columnar.json`. A fresh
+//! row with no baseline
 //! counterpart (a newly added benchmark) is reported as **"new, skipped"**
 //! — it neither fails the gate nor silently counts as enforced. But when an
 //! artifact shares **zero** rows with its baseline (everything vanished,
@@ -29,12 +30,13 @@ use std::process::ExitCode;
 
 use deeplens_bench::gate::{gate_file, GateConfig, RowStatus};
 
-const DEFAULT_ARTIFACTS: [&str; 5] = [
+const DEFAULT_ARTIFACTS: [&str; 6] = [
     "BENCH_ops.json",
     "BENCH_parallel.json",
     "BENCH_devices.json",
     "BENCH_etl.json",
     "BENCH_serve.json",
+    "BENCH_columnar.json",
 ];
 
 fn env_f64(name: &str, default: f64) -> f64 {

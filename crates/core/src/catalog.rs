@@ -11,11 +11,14 @@
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
+use deeplens_exec::WorkerPool;
 use deeplens_index::{BallTree, RTree, Rect, SortedRunIndex};
 
 use crate::lineage::LineageStore;
 use crate::patch::{Patch, PatchId};
+use crate::scan::{row_scan, ColumnarPatches, Projection, ScanFilter, ScanResult};
 use crate::value::Value;
 use crate::{DlError, Result};
 
@@ -76,6 +79,10 @@ pub struct PatchCollection {
     /// The patches, addressed by position.
     pub patches: Vec<Patch>,
     indexes: HashMap<String, SecondaryIndex>,
+    /// Chunked-columnar backing for zone-map scans, shared across clones
+    /// (the backing is immutable once built; `Arc` keeps the copy-on-write
+    /// clone cheap).
+    columnar: Option<Arc<ColumnarPatches>>,
 }
 
 impl PatchCollection {
@@ -84,6 +91,7 @@ impl PatchCollection {
         PatchCollection {
             patches,
             indexes: HashMap::new(),
+            columnar: None,
         }
     }
 
@@ -197,6 +205,44 @@ impl PatchCollection {
             },
         );
         Ok(())
+    }
+
+    /// Build (or rebuild) the chunked-columnar backing with `chunk_rows`
+    /// rows per chunk. Scans via [`PatchCollection::scan`] then prune with
+    /// the per-chunk zone maps instead of touching every row.
+    pub fn build_columnar(&mut self, chunk_rows: usize) {
+        self.columnar = Some(Arc::new(ColumnarPatches::from_patches(
+            &self.patches,
+            chunk_rows,
+        )));
+    }
+
+    /// [`PatchCollection::build_columnar`] at the default chunk size.
+    pub fn build_columnar_default(&mut self) {
+        self.columnar = Some(Arc::new(ColumnarPatches::from_patches_default(
+            &self.patches,
+        )));
+    }
+
+    /// The chunked-columnar backing, if built.
+    pub fn columnar(&self) -> Option<&ColumnarPatches> {
+        self.columnar.as_deref()
+    }
+
+    /// Scan the collection with zone-map pushdown when a current columnar
+    /// backing exists, falling back to the row layout otherwise. A backing
+    /// whose row count disagrees with the collection (patches were mutated
+    /// after the build) is stale and is bypassed, never served.
+    pub fn scan(
+        &self,
+        filter: &ScanFilter,
+        projection: Projection,
+        pool: &WorkerPool,
+    ) -> ScanResult {
+        match &self.columnar {
+            Some(c) if c.len() == self.patches.len() => c.scan(filter, projection, pool),
+            _ => row_scan(&self.patches, filter, projection),
+        }
     }
 
     fn index(&self, name: &str) -> Result<&SecondaryIndex> {
@@ -574,6 +620,36 @@ mod tests {
                 col.lookup_similar("parallel", &q, 1.5).unwrap()
             );
         }
+    }
+
+    #[test]
+    fn stale_columnar_backing_falls_back_to_rows() {
+        use crate::scan::{Projection, ScanFilter};
+        let mut cat = make_catalog();
+        let col = cat.collection_mut("dets").unwrap();
+        let pool = deeplens_exec::WorkerPool::new(1);
+        // No backing yet: row fallback.
+        assert!(
+            !col.scan(&ScanFilter::All, Projection::Count, &pool)
+                .stats
+                .used_columnar
+        );
+        col.build_columnar(16);
+        assert!(col.columnar().is_some());
+        let served = col.scan(&ScanFilter::All, Projection::Count, &pool);
+        assert!(served.stats.used_columnar);
+        assert_eq!(served.stats.rows_matched, 50);
+        // Mutating the patches makes the backing stale: the scan must
+        // bypass it (never serve the old rows) until it is rebuilt.
+        let extra = Patch::empty(PatchId(9999), ImgRef::frame("cam", 99));
+        col.patches.push(extra);
+        let stale = col.scan(&ScanFilter::All, Projection::Count, &pool);
+        assert!(!stale.stats.used_columnar, "stale backing bypassed");
+        assert_eq!(stale.stats.rows_matched, 51);
+        col.build_columnar_default();
+        let rebuilt = col.scan(&ScanFilter::All, Projection::Count, &pool);
+        assert!(rebuilt.stats.used_columnar);
+        assert_eq!(rebuilt.stats.rows_matched, 51);
     }
 
     #[test]

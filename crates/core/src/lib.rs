@@ -24,6 +24,8 @@
 //!   similarity-based deduplication (§5).
 //! * [`catalog`] — materialized patch collections and their secondary
 //!   indexes (hash, sorted, Ball-Tree, R-Tree, lineage) (§3.2).
+//! * [`scan`] — chunked-columnar patch layout with per-chunk statistics
+//!   tables and zone-map scan pushdown (§3.1).
 //! * [`shared`] — the sharded, copy-on-write [`shared::SharedCatalog`]
 //!   multiple concurrent query sessions attach to.
 //! * [`optimizer`] — the cost model (non-linear join costs, §7.4.1), device
@@ -57,6 +59,7 @@ pub mod lineage;
 pub mod ops;
 pub mod optimizer;
 pub mod patch;
+pub mod scan;
 pub mod session;
 pub mod shared;
 pub mod types;
@@ -77,6 +80,9 @@ pub mod prelude {
     pub use crate::ops;
     pub use crate::optimizer::{AccuracyProfile, CostModel, DevicePlanner, JoinStrategy};
     pub use crate::patch::{ImgRef, Patch, PatchData, PatchId};
+    pub use crate::scan::{
+        ColumnarPatches, Projection, ScanFilter, ScanResult, ScanStats, DEFAULT_CHUNK_ROWS,
+    };
     pub use crate::session::Session;
     pub use crate::shared::SharedCatalog;
     pub use crate::types::{DataKind, PatchSchema};

@@ -24,7 +24,9 @@ use std::collections::HashMap;
 use deeplens_exec::{Executor, Matrix, WorkerPool};
 use deeplens_index::BallTree;
 
+use crate::catalog::PatchCollection;
 use crate::patch::Patch;
+use crate::scan::{Projection, ScanFilter};
 use crate::value::Value;
 use crate::{DlError, Result};
 
@@ -62,6 +64,65 @@ pub fn limit<'a, I: Iterator<Item = Patch> + 'a>(
     n: usize,
 ) -> impl Iterator<Item = Patch> + 'a {
     input.take(n)
+}
+
+// --------------------------------------------------------------------------
+// Pushdown selections over materialized collections
+// --------------------------------------------------------------------------
+//
+// Unlike the lazy iterator adapters above, these run against a materialized
+// collection and push the predicate into its chunked-columnar backing when
+// one is current (zone maps skip non-overlapping chunks); collections
+// without a backing fall back to the row scan with identical results.
+
+/// Temporal selection: patches with `lo <= frame_no < hi`.
+pub fn select_frame_range(
+    col: &PatchCollection,
+    lo: u64,
+    hi: u64,
+    pool: &WorkerPool,
+) -> Vec<Patch> {
+    col.scan(&ScanFilter::FrameRange { lo, hi }, Projection::Full, pool)
+        .patches
+}
+
+/// Exact-match metadata selection: patches with `meta[key] == value`.
+pub fn select_meta_eq(
+    col: &PatchCollection,
+    key: &str,
+    value: &Value,
+    pool: &WorkerPool,
+) -> Vec<Patch> {
+    col.scan(
+        &ScanFilter::MetaEq {
+            key: key.to_string(),
+            value: value.clone(),
+        },
+        Projection::Full,
+        pool,
+    )
+    .patches
+}
+
+/// Numeric range selection: patches whose `meta[key]` coerces into
+/// `[lo, hi)` (see [`crate::patch::Patch::get_float`]).
+pub fn select_meta_range(
+    col: &PatchCollection,
+    key: &str,
+    lo: f64,
+    hi: f64,
+    pool: &WorkerPool,
+) -> Vec<Patch> {
+    col.scan(
+        &ScanFilter::MetaRange {
+            key: key.to_string(),
+            lo,
+            hi,
+        },
+        Projection::Full,
+        pool,
+    )
+    .patches
 }
 
 // --------------------------------------------------------------------------

@@ -23,6 +23,13 @@ pub struct CostModel {
     pub dist_eval_cost: f64,
     /// Build cost multiplier for Ball-Tree construction (per n·log n).
     pub build_factor: f64,
+    /// Cost units per row a collection scan touches (predicate evaluation
+    /// over already-decoded metadata).
+    pub scan_row_cost: f64,
+    /// Cost units per chunk a columnar scan *probes*: the zone-map lookup
+    /// plus the per-chunk decode setup. This is the fixed overhead the
+    /// chunked layout pays even for chunks it then skips.
+    pub chunk_probe_cost: f64,
 }
 
 impl Default for CostModel {
@@ -30,6 +37,8 @@ impl Default for CostModel {
         CostModel {
             dist_eval_cost: 1.0,
             build_factor: 1.5,
+            scan_row_cost: 0.2,
+            chunk_probe_cost: 4.0,
         }
     }
 }
@@ -133,6 +142,29 @@ impl CostModel {
             return 0.0;
         }
         frames as f64 * (decode_units + k as f64 * featurize_units)
+    }
+
+    /// Estimated cost of a row-layout scan over `rows` patches: every row
+    /// is touched regardless of the filter's selectivity.
+    pub fn row_scan_cost(&self, rows: usize) -> f64 {
+        rows as f64 * self.scan_row_cost
+    }
+
+    /// Estimated cost of a chunked-columnar scan over `rows` patches at
+    /// `chunk_rows` rows per chunk, where the zone maps skip `skip_rate`
+    /// of the chunks (0 = none skipped, 1 = all skipped). Every chunk pays
+    /// the probe cost; only surviving chunks pay the per-row decode —
+    /// which is why a selective scan over a sorted column undercuts
+    /// [`CostModel::row_scan_cost`] while an unselective one runs slightly
+    /// above it (the zone maps aren't free).
+    pub fn columnar_scan_cost(&self, rows: usize, chunk_rows: usize, skip_rate: f64) -> f64 {
+        if rows == 0 {
+            return 0.0;
+        }
+        let chunk_rows = chunk_rows.max(1);
+        let chunks = rows.div_ceil(chunk_rows) as f64;
+        let surviving = chunks * (1.0 - skip_rate.clamp(0.0, 1.0));
+        chunks * self.chunk_probe_cost + surviving * chunk_rows as f64 * self.scan_row_cost
     }
 
     /// Recommend a strategy for joining `n_left × n_right` in `dim`-d.
@@ -394,6 +426,53 @@ impl DevicePlanner {
     ) -> f64 {
         let bytes = dim * 4;
         self.estimate_us(device, model.probe_cost(n, dim) / self.units_per_us, bytes)
+    }
+
+    /// Estimated wall-clock (µs) of a chunked-columnar collection scan over
+    /// `rows` patches (`chunk_rows` per chunk, `row_bytes` of payload per
+    /// row) with the zone maps skipping `skip_rate` of the chunks, on
+    /// `device`. Only the surviving fraction's bytes move — late
+    /// materialization never touches pruned chunks' payloads.
+    pub fn scan_estimate_us(
+        &self,
+        model: &CostModel,
+        rows: usize,
+        chunk_rows: usize,
+        skip_rate: f64,
+        row_bytes: usize,
+        device: Device,
+    ) -> f64 {
+        let units = model.columnar_scan_cost(rows, chunk_rows, skip_rate);
+        let surviving = 1.0 - skip_rate.clamp(0.0, 1.0);
+        let bytes = (rows as f64 * surviving * row_bytes as f64) as usize;
+        self.estimate_us(device, units / self.units_per_us, bytes)
+    }
+
+    /// Choose a device for a chunked-columnar scan. Chunk decode is
+    /// host-side work on the collection's resident chunks (like tree
+    /// probes, it never offloads), so the race is across the CPU lattice
+    /// only — scalar, vectorized, and this session's parallel slice.
+    pub fn place_scan(
+        &self,
+        model: &CostModel,
+        rows: usize,
+        chunk_rows: usize,
+        skip_rate: f64,
+        row_bytes: usize,
+    ) -> Device {
+        let mut best = Device::Cpu;
+        let mut best_us = f64::INFINITY;
+        for device in self.candidates() {
+            if device == Device::GpuSim {
+                continue;
+            }
+            let us = self.scan_estimate_us(model, rows, chunk_rows, skip_rate, row_bytes, device);
+            if us < best_us {
+                best = device;
+                best_us = us;
+            }
+        }
+        best
     }
 
     /// Jointly choose a join strategy and a device for an `n_left × n_right`
@@ -1107,6 +1186,59 @@ mod tests {
             planner.batched_join_estimate_us(&model, 2_000, 500_000, 64, 0, Device::GpuSim),
             0.0
         );
+    }
+
+    #[test]
+    fn columnar_scan_cost_rewards_selectivity() {
+        let m = CostModel::default();
+        assert_eq!(m.columnar_scan_cost(0, 1024, 0.5), 0.0);
+        let rows = 100_000;
+        let row = m.row_scan_cost(rows);
+        // No chunks skipped: the columnar scan pays the zone-map probes on
+        // top of touching every row — slightly worse than the row layout.
+        let unselective = m.columnar_scan_cost(rows, 1024, 0.0);
+        assert!(unselective > row);
+        assert!(unselective < row * 1.2, "probe overhead stays small");
+        // 99% of chunks skipped: an order of magnitude under the row scan.
+        let selective = m.columnar_scan_cost(rows, 1024, 0.99);
+        assert!(selective < row / 10.0, "{selective} vs {row}");
+        // Monotone in skip rate; out-of-range rates clamp.
+        assert!(m.columnar_scan_cost(rows, 1024, 0.5) < unselective);
+        assert_eq!(
+            m.columnar_scan_cost(rows, 1024, 2.0),
+            m.columnar_scan_cost(rows, 1024, 1.0)
+        );
+        // Degenerate chunk size clamps to one row per chunk.
+        assert!(m.columnar_scan_cost(10, 0, 0.0) > 0.0);
+    }
+
+    #[test]
+    fn scan_placement_stays_on_cpu_and_scales() {
+        let planner = planner_fixture();
+        let model = CostModel::default();
+        // Scans never offload: chunk decode is host-side.
+        for rows in [100usize, 100_000, 10_000_000] {
+            let device = planner.place_scan(&model, rows, 1024, 0.0, 64);
+            assert_ne!(device, Device::GpuSim, "rows={rows}");
+        }
+        // A tiny scan stays serial; a big unselective scan fans out.
+        assert_eq!(planner.place_scan(&model, 512, 64, 0.0, 64), Device::Avx);
+        assert_eq!(
+            planner.place_scan(&model, 1_000_000, 1024, 0.0, 64),
+            Device::ParallelCpu(4)
+        );
+        // High skip rates shrink the work until the spawn overhead stops
+        // paying for itself and the planner returns to the single core.
+        assert_eq!(
+            planner.place_scan(&model, 1_000_000, 1024, 0.999, 64),
+            Device::Avx
+        );
+        // The pick is the planner's own minimum over the CPU lattice.
+        let picked = planner.place_scan(&model, 10_000_000, 1024, 0.0, 64);
+        let picked_us = planner.scan_estimate_us(&model, 10_000_000, 1024, 0.0, 64, picked);
+        for d in [Device::Cpu, Device::Avx, Device::ParallelCpu(4)] {
+            assert!(picked_us <= planner.scan_estimate_us(&model, 10_000_000, 1024, 0.0, 64, d));
+        }
     }
 
     #[test]

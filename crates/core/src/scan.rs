@@ -1,0 +1,1024 @@
+//! Chunked-columnar patch scans with zone-map pushdown (§3.1).
+//!
+//! The paper's §3.1 thesis is that physical layout choice is the dominant
+//! cost lever for visual queries. This module is the read side of that
+//! lever for materialized patch collections: [`ColumnarPatches`] shreds a
+//! collection into chunks of [`DEFAULT_CHUNK_ROWS`] rows, storing patch
+//! ids, source references, frame numbers, feature payloads, and every
+//! metadata key as separate `deeplens_storage::columnar` column chunks with
+//! per-chunk statistics tables.
+//!
+//! A [`ColumnarPatches::scan`] takes a [`ScanFilter`] and a [`Projection`]
+//! and works in three stages:
+//!
+//! 1. **Zone-map pruning** — each chunk's statistics are consulted against
+//!    the filter; chunks whose min/max (or label dictionary) cannot overlap
+//!    are skipped without decoding a single value.
+//! 2. **Filter-column decode** — surviving chunks decode *only* the column
+//!    the filter touches and compute the match mask; chunks whose mask
+//!    comes up empty stop there.
+//! 3. **Late materialization** — only the projected columns of chunks with
+//!    matches are decoded, and only the matching rows are assembled back
+//!    into [`Patch`]es.
+//!
+//! Surviving chunks fan out over the caller's [`WorkerPool`] morsels and
+//! reassemble in chunk order, so the output is the row-scan output — same
+//! patches, same order, byte for byte — at every thread count. Every
+//! pruning rule here is *conservative* with respect to [`ScanFilter::matches`]
+//! (the single definition of row semantics): a chunk is only skipped when
+//! no row in it can possibly match.
+
+use std::collections::BTreeSet;
+
+use deeplens_codec::Image;
+use deeplens_exec::WorkerPool;
+pub use deeplens_storage::columnar::DEFAULT_CHUNK_ROWS;
+use deeplens_storage::columnar::{BoolChunk, FeatureChunk, FloatChunk, IntChunk, StrChunk};
+
+use crate::patch::{ImgRef, Patch, PatchData, PatchId};
+use crate::value::Value;
+
+/// Order-preserving embedding of `u64` into `i64` (flip the sign bit):
+/// `a < b` as unsigned iff `map(a) < map(b)` as signed, so integer zone
+/// maps built over mapped frame numbers and patch ids prune correctly.
+fn ordered_i64(x: u64) -> i64 {
+    (x ^ (1 << 63)) as i64
+}
+
+/// Inverse of [`ordered_i64`].
+fn ordered_u64(x: i64) -> u64 {
+    (x as u64) ^ (1 << 63)
+}
+
+// --------------------------------------------------------------------------
+// Filters and projections
+// --------------------------------------------------------------------------
+
+/// A pushdown-able scan predicate.
+///
+/// [`ScanFilter::matches`] defines the row semantics; the columnar path
+/// reproduces them exactly (the equivalence proptests hold it to that).
+#[derive(Debug, Clone, PartialEq)]
+pub enum ScanFilter {
+    /// Every patch matches.
+    All,
+    /// Temporal filter: `lo <= frame_no < hi` on the source reference.
+    FrameRange {
+        /// Inclusive lower frame number.
+        lo: u64,
+        /// Exclusive upper frame number.
+        hi: u64,
+    },
+    /// Exact-match metadata filter: `meta[key] == value`, with the derived
+    /// [`Value`] equality (no cross-type coercion: `Int(5) != Float(5.0)`).
+    MetaEq {
+        /// The metadata key.
+        key: String,
+        /// The value to match.
+        value: Value,
+    },
+    /// Numeric range filter: `lo <= meta[key] < hi` under
+    /// [`Value::as_float`] semantics (integers coerce; strings and booleans
+    /// never match).
+    MetaRange {
+        /// The metadata key.
+        key: String,
+        /// Inclusive lower bound.
+        lo: f64,
+        /// Exclusive upper bound.
+        hi: f64,
+    },
+}
+
+impl ScanFilter {
+    /// Row semantics: whether `p` satisfies the filter. The columnar scan
+    /// path is defined as equivalent to filtering with this, row by row.
+    pub fn matches(&self, p: &Patch) -> bool {
+        match self {
+            ScanFilter::All => true,
+            ScanFilter::FrameRange { lo, hi } => {
+                p.img_ref.frame_no >= *lo && p.img_ref.frame_no < *hi
+            }
+            ScanFilter::MetaEq { key, value } => p.get(key) == Some(value),
+            ScanFilter::MetaRange { key, lo, hi } => {
+                p.get_float(key).is_some_and(|v| v >= *lo && v < *hi)
+            }
+        }
+    }
+}
+
+/// Which parts of matching patches a scan materializes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Projection {
+    /// Reconstruct complete patches — byte-identical to the row layout.
+    Full,
+    /// Identity, source reference, metadata, and lineage parents only; the
+    /// payload columns (features, pixels) are never decoded and `data`
+    /// comes back [`PatchData::Empty`].
+    MetaOnly,
+    /// Count matching rows; nothing is materialized.
+    Count,
+}
+
+/// Counters a scan reports: how much work the zone maps saved.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ScanStats {
+    /// Chunks in the backing.
+    pub chunks_total: usize,
+    /// Chunks skipped by zone-map pruning alone (no column decoded).
+    pub chunks_pruned: usize,
+    /// Chunks whose filter column was decoded.
+    pub chunks_decoded: usize,
+    /// Rows in the collection.
+    pub rows_total: usize,
+    /// Rows matching the filter.
+    pub rows_matched: usize,
+    /// Whether the chunked-columnar backing served the scan (`false` means
+    /// the row-layout fallback ran).
+    pub used_columnar: bool,
+}
+
+/// A scan's output: the materialized patches (empty under
+/// [`Projection::Count`]) and the work counters.
+#[derive(Debug, Clone)]
+pub struct ScanResult {
+    /// Matching patches, in collection order.
+    pub patches: Vec<Patch>,
+    /// Work counters for the scan.
+    pub stats: ScanStats,
+}
+
+// --------------------------------------------------------------------------
+// Metadata columns
+// --------------------------------------------------------------------------
+
+/// One metadata key's column within a chunk. The encoder picks the typed
+/// chunk matching the values; a key that mixes value types within one chunk
+/// falls back to row-wise [`Value`]s (correct, just unprunable).
+#[derive(Debug, Clone)]
+enum MetaColumn {
+    Int(IntChunk),
+    Float(FloatChunk),
+    Str(StrChunk),
+    Bool(BoolChunk),
+    Mixed(Vec<Option<Value>>),
+}
+
+impl MetaColumn {
+    fn encode(rows: &[Option<&Value>]) -> MetaColumn {
+        let mut ints = true;
+        let mut floats = true;
+        let mut strs = true;
+        let mut bools = true;
+        for v in rows.iter().flatten() {
+            match v {
+                Value::Int(_) => (floats, strs, bools) = (false, false, false),
+                Value::Float(_) => (ints, strs, bools) = (false, false, false),
+                Value::Str(_) => (ints, floats, bools) = (false, false, false),
+                Value::Bool(_) => (ints, floats, strs) = (false, false, false),
+            }
+        }
+        // An all-null column satisfies every arm; Int is the canonical pick.
+        if ints {
+            MetaColumn::Int(IntChunk::encode(
+                &rows
+                    .iter()
+                    .map(|v| v.and_then(Value::as_int))
+                    .collect::<Vec<_>>(),
+            ))
+        } else if floats {
+            MetaColumn::Float(FloatChunk::encode(
+                &rows
+                    .iter()
+                    .map(|v| {
+                        v.and_then(|v| match v {
+                            Value::Float(f) => Some(*f),
+                            _ => None,
+                        })
+                    })
+                    .collect::<Vec<_>>(),
+            ))
+        } else if strs {
+            MetaColumn::Str(StrChunk::encode(
+                &rows
+                    .iter()
+                    .map(|v| v.and_then(Value::as_str))
+                    .collect::<Vec<_>>(),
+            ))
+        } else if bools {
+            MetaColumn::Bool(BoolChunk::encode(
+                &rows
+                    .iter()
+                    .map(|v| v.and_then(Value::as_bool))
+                    .collect::<Vec<_>>(),
+            ))
+        } else {
+            MetaColumn::Mixed(rows.iter().map(|v| v.cloned()).collect())
+        }
+    }
+
+    fn decode(&self) -> Vec<Option<Value>> {
+        match self {
+            MetaColumn::Int(c) => c.decode().into_iter().map(|v| v.map(Value::Int)).collect(),
+            MetaColumn::Float(c) => c
+                .decode()
+                .into_iter()
+                .map(|v| v.map(Value::Float))
+                .collect(),
+            MetaColumn::Str(c) => c
+                .decode()
+                .into_iter()
+                .map(|v| v.map(|s| Value::Str(s.to_string())))
+                .collect(),
+            MetaColumn::Bool(c) => c.decode().into_iter().map(|v| v.map(Value::Bool)).collect(),
+            MetaColumn::Mixed(rows) => rows.clone(),
+        }
+    }
+
+    /// Zone-map check for [`ScanFilter::MetaEq`]: can any row equal `v`?
+    /// Cross-type columns can never match (derived [`Value`] equality), so
+    /// a typed column of the wrong type prunes outright.
+    fn may_match_eq(&self, v: &Value) -> bool {
+        match (self, v) {
+            (MetaColumn::Int(c), Value::Int(x)) => c.may_overlap(*x, *x),
+            (MetaColumn::Float(c), Value::Float(x)) => match (c.stats().min, c.stats().max) {
+                // Negated comparisons stay conservative when a NaN poisons
+                // the stats (every comparison with NaN is false → keep).
+                (Some(min), Some(max)) => !(max < *x || min > *x),
+                _ => false,
+            },
+            (MetaColumn::Str(c), Value::Str(s)) => c.may_contain(s),
+            (MetaColumn::Bool(c), Value::Bool(b)) => c.may_contain(*b),
+            (MetaColumn::Mixed(_), _) => true,
+            _ => false,
+        }
+    }
+
+    /// Zone-map check for [`ScanFilter::MetaRange`]: can any row coerce
+    /// ([`Value::as_float`]) into `[lo, hi)`? String and boolean columns
+    /// never coerce, so they prune outright.
+    fn may_overlap_range(&self, lo: f64, hi: f64) -> bool {
+        match self {
+            MetaColumn::Int(c) => match (c.stats().min, c.stats().max) {
+                (Some(min), Some(max)) => !((max as f64) < lo || (min as f64) >= hi),
+                _ => false,
+            },
+            MetaColumn::Float(c) => c.may_overlap(lo, hi),
+            MetaColumn::Str(_) | MetaColumn::Bool(_) => false,
+            MetaColumn::Mixed(_) => true,
+        }
+    }
+
+    /// The column's rows under [`Value::as_float`] coercion (the
+    /// [`ScanFilter::MetaRange`] evaluation domain).
+    fn decode_floats(&self) -> Vec<Option<f64>> {
+        match self {
+            MetaColumn::Int(c) => c
+                .decode()
+                .into_iter()
+                .map(|v| v.map(|x| x as f64))
+                .collect(),
+            MetaColumn::Float(c) => c.decode(),
+            MetaColumn::Str(c) => vec![None; c.len()],
+            MetaColumn::Bool(c) => vec![None; c.stats().count],
+            MetaColumn::Mixed(rows) => rows
+                .iter()
+                .map(|v| v.as_ref().and_then(Value::as_float))
+                .collect(),
+        }
+    }
+
+    /// Match mask for `== v` without materializing [`Value`]s.
+    fn eq_mask(&self, v: &Value) -> Vec<bool> {
+        match (self, v) {
+            (MetaColumn::Int(c), Value::Int(x)) => {
+                c.decode().into_iter().map(|r| r == Some(*x)).collect()
+            }
+            (MetaColumn::Float(c), Value::Float(x)) => c
+                .decode()
+                .into_iter()
+                // f64 PartialEq, exactly the derived Value equality (NaN
+                // never matches itself).
+                .map(|r| r.is_some_and(|f| f == *x))
+                .collect(),
+            (MetaColumn::Str(c), Value::Str(s)) => c
+                .decode()
+                .into_iter()
+                .map(|r| r == Some(s.as_str()))
+                .collect(),
+            (MetaColumn::Bool(c), Value::Bool(b)) => {
+                c.decode().into_iter().map(|r| r == Some(*b)).collect()
+            }
+            (MetaColumn::Mixed(rows), _) => rows.iter().map(|r| r.as_ref() == Some(v)).collect(),
+            // Typed column of another type: nothing can equal v.
+            _ => vec![false; self.len()],
+        }
+    }
+
+    fn len(&self) -> usize {
+        match self {
+            MetaColumn::Int(c) => c.len(),
+            MetaColumn::Float(c) => c.stats().count,
+            MetaColumn::Str(c) => c.len(),
+            MetaColumn::Bool(c) => c.stats().count,
+            MetaColumn::Mixed(rows) => rows.len(),
+        }
+    }
+}
+
+// --------------------------------------------------------------------------
+// Chunk groups and the collection backing
+// --------------------------------------------------------------------------
+
+/// One horizontal slice of the collection, all columns chunk-aligned.
+#[derive(Debug, Clone)]
+struct ChunkGroup {
+    rows: usize,
+    /// Patch ids, [`ordered_i64`]-mapped.
+    ids: IntChunk,
+    /// Source names of the image references.
+    sources: StrChunk,
+    /// Frame numbers of the image references, [`ordered_i64`]-mapped.
+    frame_nos: IntChunk,
+    /// Feature payloads ([`PatchData::Features`] rows).
+    features: FeatureChunk,
+    /// Pixel payloads stay row-wise: rasters are already dense binary and
+    /// no filter pushes into them.
+    pixels: Vec<Option<Image>>,
+    /// Lineage parents, row-wise (tiny, never filtered).
+    parents: Vec<Vec<PatchId>>,
+    /// One column per collection meta key, aligned with
+    /// [`ColumnarPatches::meta_keys`].
+    meta: Vec<MetaColumn>,
+}
+
+impl ChunkGroup {
+    fn encode(slice: &[Patch], meta_keys: &[String]) -> ChunkGroup {
+        let ids: Vec<Option<i64>> = slice.iter().map(|p| Some(ordered_i64(p.id.0))).collect();
+        let sources: Vec<Option<&str>> = slice
+            .iter()
+            .map(|p| Some(p.img_ref.source.as_str()))
+            .collect();
+        let frame_nos: Vec<Option<i64>> = slice
+            .iter()
+            .map(|p| Some(ordered_i64(p.img_ref.frame_no)))
+            .collect();
+        let features: Vec<Option<&[f32]>> = slice.iter().map(|p| p.data.features()).collect();
+        let meta = meta_keys
+            .iter()
+            .map(|key| {
+                let rows: Vec<Option<&Value>> = slice.iter().map(|p| p.get(key)).collect();
+                MetaColumn::encode(&rows)
+            })
+            .collect();
+        ChunkGroup {
+            rows: slice.len(),
+            ids: IntChunk::encode(&ids),
+            sources: StrChunk::encode(&sources),
+            frame_nos: IntChunk::encode(&frame_nos),
+            features: FeatureChunk::encode(&features),
+            pixels: slice.iter().map(|p| p.data.pixels().cloned()).collect(),
+            parents: slice.iter().map(|p| p.parents.clone()).collect(),
+            meta,
+        }
+    }
+}
+
+/// The chunked-columnar backing of a patch collection: every column of
+/// every chunk carries the statistics table [`ColumnarPatches::scan`]
+/// consults before decoding anything.
+#[derive(Debug, Clone)]
+pub struct ColumnarPatches {
+    chunk_rows: usize,
+    len: usize,
+    /// All metadata keys appearing anywhere in the collection, sorted.
+    meta_keys: Vec<String>,
+    chunks: Vec<ChunkGroup>,
+}
+
+impl ColumnarPatches {
+    /// Shred `patches` into column chunks of `chunk_rows` rows (minimum 1).
+    pub fn from_patches(patches: &[Patch], chunk_rows: usize) -> Self {
+        let chunk_rows = chunk_rows.max(1);
+        let keys: BTreeSet<&str> = patches
+            .iter()
+            .flat_map(|p| p.meta.keys().map(String::as_str))
+            .collect();
+        let meta_keys: Vec<String> = keys.into_iter().map(str::to_string).collect();
+        let chunks = patches
+            .chunks(chunk_rows)
+            .map(|slice| ChunkGroup::encode(slice, &meta_keys))
+            .collect();
+        ColumnarPatches {
+            chunk_rows,
+            len: patches.len(),
+            meta_keys,
+            chunks,
+        }
+    }
+
+    /// [`ColumnarPatches::from_patches`] at the default chunk size.
+    pub fn from_patches_default(patches: &[Patch]) -> Self {
+        Self::from_patches(patches, DEFAULT_CHUNK_ROWS)
+    }
+
+    /// Rows in the collection.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the backing holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Rows per chunk.
+    pub fn chunk_rows(&self) -> usize {
+        self.chunk_rows
+    }
+
+    /// Number of chunks.
+    pub fn chunk_count(&self) -> usize {
+        self.chunks.len()
+    }
+
+    /// The collection's metadata keys, sorted.
+    pub fn meta_keys(&self) -> &[String] {
+        &self.meta_keys
+    }
+
+    fn meta_index(&self, key: &str) -> Option<usize> {
+        self.meta_keys
+            .binary_search_by(|k| k.as_str().cmp(key))
+            .ok()
+    }
+
+    /// Zone-map verdict for one chunk: `false` only when *no* row of the
+    /// chunk can satisfy `filter`.
+    fn chunk_may_match(&self, group: &ChunkGroup, filter: &ScanFilter) -> bool {
+        if group.rows == 0 {
+            return false;
+        }
+        match filter {
+            ScanFilter::All => true,
+            ScanFilter::FrameRange { lo, hi } => {
+                *hi > *lo
+                    && group
+                        .frame_nos
+                        .may_overlap(ordered_i64(*lo), ordered_i64(hi - 1))
+            }
+            ScanFilter::MetaEq { key, value } => match self.meta_index(key) {
+                Some(k) => group.meta[k].may_match_eq(value),
+                None => false,
+            },
+            ScanFilter::MetaRange { key, lo, hi } => {
+                // lo >= hi (or a NaN bound) matches nothing row-wise either.
+                if lo.partial_cmp(hi) != Some(std::cmp::Ordering::Less) {
+                    return false;
+                }
+                match self.meta_index(key) {
+                    Some(k) => group.meta[k].may_overlap_range(*lo, *hi),
+                    None => false,
+                }
+            }
+        }
+    }
+
+    /// Match mask over one surviving chunk — decodes only the filter
+    /// column.
+    fn chunk_mask(&self, group: &ChunkGroup, filter: &ScanFilter) -> Vec<bool> {
+        match filter {
+            ScanFilter::All => vec![true; group.rows],
+            ScanFilter::FrameRange { lo, hi } => group
+                .frame_nos
+                .decode()
+                .into_iter()
+                .map(|v| {
+                    v.is_some_and(|m| {
+                        let f = ordered_u64(m);
+                        f >= *lo && f < *hi
+                    })
+                })
+                .collect(),
+            ScanFilter::MetaEq { key, value } => match self.meta_index(key) {
+                Some(k) => group.meta[k].eq_mask(value),
+                None => vec![false; group.rows],
+            },
+            ScanFilter::MetaRange { key, lo, hi } => match self.meta_index(key) {
+                Some(k) => group.meta[k]
+                    .decode_floats()
+                    .into_iter()
+                    .map(|v| v.is_some_and(|f| f >= *lo && f < *hi))
+                    .collect(),
+                None => vec![false; group.rows],
+            },
+        }
+    }
+
+    /// Materialize the masked rows of one chunk.
+    fn materialize(&self, group: &ChunkGroup, mask: &[bool], projection: Projection) -> Vec<Patch> {
+        let ids = group.ids.decode();
+        let sources = group.sources.decode();
+        let frame_nos = group.frame_nos.decode();
+        let meta_cols: Vec<Vec<Option<Value>>> =
+            group.meta.iter().map(MetaColumn::decode).collect();
+        let mut features = if projection == Projection::Full {
+            group.features.decode()
+        } else {
+            Vec::new()
+        };
+        let mut out = Vec::new();
+        for (row, keep) in mask.iter().enumerate() {
+            if !keep {
+                continue;
+            }
+            let id = PatchId(ordered_u64(ids[row].unwrap_or(0)));
+            let img_ref = ImgRef {
+                source: sources[row].unwrap_or("").to_string(),
+                frame_no: ordered_u64(frame_nos[row].unwrap_or(0)),
+            };
+            let data = if projection == Projection::Full {
+                if let Some(f) = features[row].take() {
+                    PatchData::Features(f)
+                } else if let Some(img) = &group.pixels[row] {
+                    PatchData::Pixels(img.clone())
+                } else {
+                    PatchData::Empty
+                }
+            } else {
+                PatchData::Empty
+            };
+            let mut patch = Patch {
+                id,
+                img_ref,
+                data,
+                meta: std::collections::BTreeMap::new(),
+                parents: group.parents[row].clone(),
+            };
+            for (k, col) in meta_cols.iter().enumerate() {
+                if let Some(v) = &col[row] {
+                    patch.meta.insert(self.meta_keys[k].clone(), v.clone());
+                }
+            }
+            out.push(patch);
+        }
+        out
+    }
+
+    /// Scan the backing: zone-map pruning, then filter-column decode, then
+    /// late materialization of matching rows — fanned out over `pool`
+    /// morsels and reassembled in chunk order, so the output equals the
+    /// row-layout scan at every thread count.
+    pub fn scan(
+        &self,
+        filter: &ScanFilter,
+        projection: Projection,
+        pool: &WorkerPool,
+    ) -> ScanResult {
+        self.scan_inner(filter, projection, pool, true)
+    }
+
+    /// [`ColumnarPatches::scan`] with zone-map pruning disabled: every
+    /// chunk's filter column is decoded (`chunks_pruned` stays 0). Same
+    /// output, strictly more work — the counterfactual baseline the
+    /// columnar bench measures pruning against.
+    pub fn scan_whole(
+        &self,
+        filter: &ScanFilter,
+        projection: Projection,
+        pool: &WorkerPool,
+    ) -> ScanResult {
+        self.scan_inner(filter, projection, pool, false)
+    }
+
+    fn scan_inner(
+        &self,
+        filter: &ScanFilter,
+        projection: Projection,
+        pool: &WorkerPool,
+        prune: bool,
+    ) -> ScanResult {
+        let survivors: Vec<usize> = self
+            .chunks
+            .iter()
+            .enumerate()
+            .filter(|(_, g)| !prune || self.chunk_may_match(g, filter))
+            .map(|(i, _)| i)
+            .collect();
+        let mut stats = ScanStats {
+            chunks_total: self.chunks.len(),
+            chunks_pruned: self.chunks.len() - survivors.len(),
+            chunks_decoded: survivors.len(),
+            rows_total: self.len,
+            rows_matched: 0,
+            used_columnar: true,
+        };
+        if survivors.is_empty() {
+            return ScanResult {
+                patches: Vec::new(),
+                stats,
+            };
+        }
+        let parts: Vec<(usize, Vec<Patch>)> = pool
+            .run_morsels(
+                survivors.len(),
+                pool.morsel_size(survivors.len()),
+                |range| {
+                    range
+                        .map(|si| {
+                            let group = &self.chunks[survivors[si]];
+                            let mask = self.chunk_mask(group, filter);
+                            let matched = mask.iter().filter(|m| **m).count();
+                            if matched == 0 || projection == Projection::Count {
+                                return (matched, Vec::new());
+                            }
+                            (matched, self.materialize(group, &mask, projection))
+                        })
+                        .collect::<Vec<_>>()
+                },
+            )
+            .into_iter()
+            .flatten()
+            .collect();
+        let mut patches = Vec::new();
+        for (matched, mut part) in parts {
+            stats.rows_matched += matched;
+            patches.append(&mut part);
+        }
+        ScanResult { patches, stats }
+    }
+}
+
+/// The row-layout scan the columnar path must agree with, and the fallback
+/// [`crate::catalog::PatchCollection::scan`] runs when no (current)
+/// columnar backing exists.
+pub fn row_scan(patches: &[Patch], filter: &ScanFilter, projection: Projection) -> ScanResult {
+    let mut out = Vec::new();
+    let mut matched = 0usize;
+    for p in patches {
+        if !filter.matches(p) {
+            continue;
+        }
+        matched += 1;
+        match projection {
+            Projection::Count => {}
+            Projection::Full => out.push(p.clone()),
+            Projection::MetaOnly => out.push(Patch {
+                id: p.id,
+                img_ref: p.img_ref.clone(),
+                data: PatchData::Empty,
+                meta: p.meta.clone(),
+                parents: p.parents.clone(),
+            }),
+        }
+    }
+    ScanResult {
+        patches: out,
+        stats: ScanStats {
+            chunks_total: 0,
+            chunks_pruned: 0,
+            chunks_decoded: 0,
+            rows_total: patches.len(),
+            rows_matched: matched,
+            used_columnar: false,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mixed_collection(n: u64) -> Vec<Patch> {
+        (0..n)
+            .map(|i| {
+                let base = Patch::features(
+                    PatchId(i),
+                    ImgRef::frame("cam", i / 4),
+                    vec![(i % 7) as f32, 1.0],
+                )
+                .with_meta("label", if i % 3 == 0 { "car" } else { "person" })
+                .with_meta("score", 0.1 + (i % 10) as f64 * 0.05)
+                .with_meta("frameno", (i / 4) as i64);
+                if i % 5 == 0 {
+                    base.with_meta("flagged", true)
+                } else {
+                    base
+                }
+            })
+            .collect()
+    }
+
+    fn assert_scan_equiv(patches: &[Patch], filter: &ScanFilter, chunk_rows: usize) {
+        let columnar = ColumnarPatches::from_patches(patches, chunk_rows);
+        let pool = WorkerPool::new(1);
+        let row = row_scan(patches, filter, Projection::Full);
+        let col = columnar.scan(filter, Projection::Full, &pool);
+        assert_eq!(
+            row.patches, col.patches,
+            "filter {filter:?} chunk {chunk_rows}"
+        );
+        assert_eq!(row.stats.rows_matched, col.stats.rows_matched);
+    }
+
+    #[test]
+    fn roundtrip_is_byte_identical_across_chunk_sizes() {
+        let patches = mixed_collection(100);
+        for chunk_rows in [1usize, 7, 1024] {
+            assert_scan_equiv(&patches, &ScanFilter::All, chunk_rows);
+        }
+    }
+
+    #[test]
+    fn filters_match_row_semantics() {
+        let patches = mixed_collection(120);
+        for chunk_rows in [3usize, 16, 1024] {
+            assert_scan_equiv(
+                &patches,
+                &ScanFilter::FrameRange { lo: 5, hi: 11 },
+                chunk_rows,
+            );
+            assert_scan_equiv(
+                &patches,
+                &ScanFilter::MetaEq {
+                    key: "label".into(),
+                    value: Value::Str("car".into()),
+                },
+                chunk_rows,
+            );
+            assert_scan_equiv(
+                &patches,
+                &ScanFilter::MetaEq {
+                    key: "flagged".into(),
+                    value: Value::Bool(true),
+                },
+                chunk_rows,
+            );
+            assert_scan_equiv(
+                &patches,
+                &ScanFilter::MetaRange {
+                    key: "score".into(),
+                    lo: 0.2,
+                    hi: 0.4,
+                },
+                chunk_rows,
+            );
+            // Int column under float-range coercion.
+            assert_scan_equiv(
+                &patches,
+                &ScanFilter::MetaRange {
+                    key: "frameno".into(),
+                    lo: 3.0,
+                    hi: 8.0,
+                },
+                chunk_rows,
+            );
+            // Missing key, cross-type equality, empty range.
+            assert_scan_equiv(
+                &patches,
+                &ScanFilter::MetaEq {
+                    key: "missing".into(),
+                    value: Value::Int(1),
+                },
+                chunk_rows,
+            );
+            assert_scan_equiv(
+                &patches,
+                &ScanFilter::MetaEq {
+                    key: "label".into(),
+                    value: Value::Int(3),
+                },
+                chunk_rows,
+            );
+            assert_scan_equiv(
+                &patches,
+                &ScanFilter::MetaRange {
+                    key: "score".into(),
+                    lo: 0.4,
+                    hi: 0.4,
+                },
+                chunk_rows,
+            );
+        }
+    }
+
+    #[test]
+    fn sorted_frame_filter_prunes_chunks() {
+        // 1024 patches, 4 per frame, chunked 64 rows: frame numbers are
+        // sorted, so a 2-frame window must touch at most a chunk or two.
+        let patches = mixed_collection(1024);
+        let columnar = ColumnarPatches::from_patches(&patches, 64);
+        assert_eq!(columnar.chunk_count(), 16);
+        let pool = WorkerPool::new(1);
+        let result = columnar.scan(
+            &ScanFilter::FrameRange { lo: 40, hi: 42 },
+            Projection::Full,
+            &pool,
+        );
+        assert_eq!(result.stats.rows_matched, 8);
+        assert_eq!(result.stats.chunks_total, 16);
+        assert!(
+            result.stats.chunks_decoded <= 2,
+            "selective sorted-column scan decoded {} of 16 chunks",
+            result.stats.chunks_decoded
+        );
+        assert_eq!(
+            result.stats.chunks_pruned + result.stats.chunks_decoded,
+            result.stats.chunks_total
+        );
+        // The full scan decodes everything.
+        let full = columnar.scan(&ScanFilter::All, Projection::Full, &pool);
+        assert_eq!(full.stats.chunks_decoded, 16);
+        assert_eq!(full.stats.rows_matched, 1024);
+    }
+
+    #[test]
+    fn label_dictionary_prunes_exactly() {
+        // Labels clustered by chunk: the dictionary makes equality pruning
+        // exact, so only the chunks actually holding the label decode.
+        let patches: Vec<Patch> = (0..300u64)
+            .map(|i| {
+                Patch::empty(PatchId(i), ImgRef::frame("cam", i)).with_meta(
+                    "label",
+                    match i / 100 {
+                        0 => "car",
+                        1 => "person",
+                        _ => "bike",
+                    },
+                )
+            })
+            .collect();
+        let columnar = ColumnarPatches::from_patches(&patches, 50);
+        let pool = WorkerPool::new(1);
+        let result = columnar.scan(
+            &ScanFilter::MetaEq {
+                key: "label".into(),
+                value: Value::Str("person".into()),
+            },
+            Projection::Full,
+            &pool,
+        );
+        assert_eq!(result.stats.rows_matched, 100);
+        assert_eq!(result.stats.chunks_total, 6);
+        assert_eq!(result.stats.chunks_decoded, 2, "only the person chunks");
+        // An absent label decodes nothing at all.
+        let miss = columnar.scan(
+            &ScanFilter::MetaEq {
+                key: "label".into(),
+                value: Value::Str("giraffe".into()),
+            },
+            Projection::Count,
+            &pool,
+        );
+        assert_eq!(miss.stats.chunks_decoded, 0);
+        assert_eq!(miss.stats.rows_matched, 0);
+    }
+
+    #[test]
+    fn scan_whole_matches_but_never_prunes() {
+        let patches = mixed_collection(512);
+        let columnar = ColumnarPatches::from_patches(&patches, 64);
+        let pool = WorkerPool::new(1);
+        let filter = ScanFilter::FrameRange { lo: 10, hi: 20 };
+        let pruned = columnar.scan(&filter, Projection::Full, &pool);
+        let whole = columnar.scan_whole(&filter, Projection::Full, &pool);
+        assert_eq!(pruned.patches, whole.patches);
+        assert_eq!(pruned.stats.rows_matched, whole.stats.rows_matched);
+        assert!(pruned.stats.chunks_pruned > 0);
+        assert_eq!(whole.stats.chunks_pruned, 0);
+        assert_eq!(whole.stats.chunks_decoded, columnar.chunk_count());
+    }
+
+    #[test]
+    fn thread_counts_do_not_change_output() {
+        let patches = mixed_collection(500);
+        let columnar = ColumnarPatches::from_patches(&patches, 32);
+        let filter = ScanFilter::MetaEq {
+            key: "label".into(),
+            value: Value::Str("car".into()),
+        };
+        let reference = columnar.scan(&filter, Projection::Full, &WorkerPool::new(1));
+        for threads in [2usize, 4] {
+            let got = columnar.scan(&filter, Projection::Full, &WorkerPool::new(threads));
+            assert_eq!(reference.patches, got.patches, "{threads} threads");
+            assert_eq!(reference.stats, got.stats);
+        }
+    }
+
+    #[test]
+    fn projections() {
+        let patches = mixed_collection(64);
+        let columnar = ColumnarPatches::from_patches(&patches, 16);
+        let pool = WorkerPool::new(1);
+        let filter = ScanFilter::FrameRange { lo: 0, hi: 4 };
+        let full = columnar.scan(&filter, Projection::Full, &pool);
+        let meta = columnar.scan(&filter, Projection::MetaOnly, &pool);
+        let count = columnar.scan(&filter, Projection::Count, &pool);
+        assert_eq!(full.stats.rows_matched, 16);
+        assert_eq!(meta.stats.rows_matched, 16);
+        assert_eq!(count.stats.rows_matched, 16);
+        assert!(count.patches.is_empty());
+        assert_eq!(full.patches.len(), meta.patches.len());
+        for (f, m) in full.patches.iter().zip(&meta.patches) {
+            assert_eq!(f.id, m.id);
+            assert_eq!(f.img_ref, m.img_ref);
+            assert_eq!(f.meta, m.meta);
+            assert_eq!(f.parents, m.parents);
+            assert_eq!(m.data, PatchData::Empty);
+        }
+        // MetaOnly agrees with the row fallback's MetaOnly.
+        let row_meta = row_scan(&patches, &filter, Projection::MetaOnly);
+        assert_eq!(meta.patches, row_meta.patches);
+    }
+
+    #[test]
+    fn pixels_parents_and_mixed_types_roundtrip() {
+        let img = Image::solid(8, 6, [10, 20, 30]);
+        let patches = vec![
+            Patch::pixels(PatchId(0), ImgRef::frame("v", 0), img).with_meta("k", 1i64),
+            Patch::empty(PatchId(1), ImgRef::frame("v", 1))
+                .with_meta("k", "mixed")
+                .with_parent(PatchId(0)),
+            Patch::features(PatchId(2), ImgRef::frame("v", 2), vec![])
+                .with_meta("k", 2.5)
+                .with_parent(PatchId(0))
+                .with_parent(PatchId(1)),
+        ];
+        for chunk_rows in [1usize, 2, 10] {
+            assert_scan_equiv(&patches, &ScanFilter::All, chunk_rows);
+            // Mixed column: unprunable but still exact.
+            assert_scan_equiv(
+                &patches,
+                &ScanFilter::MetaEq {
+                    key: "k".into(),
+                    value: Value::Int(1),
+                },
+                chunk_rows,
+            );
+            assert_scan_equiv(
+                &patches,
+                &ScanFilter::MetaRange {
+                    key: "k".into(),
+                    lo: 1.0,
+                    hi: 3.0,
+                },
+                chunk_rows,
+            );
+        }
+    }
+
+    #[test]
+    fn extreme_frame_numbers_prune_and_match_correctly() {
+        // The u64 → i64 order-preserving map: frame numbers above i64::MAX
+        // must still range-filter and zone-prune correctly.
+        let patches: Vec<Patch> = [0u64, 1, u64::MAX / 2, u64::MAX - 1, u64::MAX]
+            .iter()
+            .enumerate()
+            .map(|(i, &f)| Patch::empty(PatchId(i as u64), ImgRef::frame("v", f)))
+            .collect();
+        for chunk_rows in [1usize, 2, 8] {
+            assert_scan_equiv(
+                &patches,
+                &ScanFilter::FrameRange {
+                    lo: u64::MAX / 2,
+                    hi: u64::MAX,
+                },
+                chunk_rows,
+            );
+            assert_scan_equiv(
+                &patches,
+                &ScanFilter::FrameRange { lo: 0, hi: 2 },
+                chunk_rows,
+            );
+            assert_scan_equiv(
+                &patches,
+                &ScanFilter::FrameRange { lo: 5, hi: 5 },
+                chunk_rows,
+            );
+        }
+        // A window strictly above every stored frame decodes nothing (the
+        // chunks are pruned, not decoded-and-rejected) — except the chunk
+        // containing u64::MAX itself.
+        let columnar = ColumnarPatches::from_patches(&patches[..3], 1);
+        let pool = WorkerPool::new(1);
+        let result = columnar.scan(
+            &ScanFilter::FrameRange {
+                lo: u64::MAX - 1,
+                hi: u64::MAX,
+            },
+            Projection::Count,
+            &pool,
+        );
+        assert_eq!(result.stats.chunks_decoded, 0);
+    }
+
+    #[test]
+    fn empty_collection_scans_cleanly() {
+        let columnar = ColumnarPatches::from_patches(&[], 1024);
+        assert!(columnar.is_empty());
+        assert_eq!(columnar.chunk_count(), 0);
+        let result = columnar.scan(&ScanFilter::All, Projection::Full, &WorkerPool::new(1));
+        assert!(result.patches.is_empty());
+        assert_eq!(result.stats.rows_matched, 0);
+    }
+}

@@ -261,6 +261,35 @@ impl Session {
             .build_ball_index(collection, index_name, self.effective_threads())
     }
 
+    /// Build the chunked-columnar scan backing of `collection` so that
+    /// [`Session::scan`] prunes chunks with zone maps instead of touching
+    /// every patch.
+    pub fn build_columnar(&self, collection: &str) -> Result<()> {
+        self.catalog.build_columnar(collection)
+    }
+
+    /// Scan `collection` against a consistent snapshot on the session pool:
+    /// zone-map pushdown when the collection has a current columnar
+    /// backing, row fallback otherwise (check `stats.used_columnar`).
+    pub fn scan(
+        &self,
+        collection: &str,
+        filter: &crate::scan::ScanFilter,
+        projection: crate::scan::Projection,
+    ) -> Result<crate::scan::ScanResult> {
+        let snap = self.catalog.snapshot(collection)?;
+        Ok(snap.scan(filter, projection, &self.pool()))
+    }
+
+    /// Count the patches of `collection` matching `filter` without
+    /// materializing any of them.
+    pub fn scan_count(&self, collection: &str, filter: &crate::scan::ScanFilter) -> Result<usize> {
+        Ok(self
+            .scan(collection, filter, crate::scan::Projection::Count)?
+            .stats
+            .rows_matched)
+    }
+
     /// Run an ETL pipeline over `frames` on the session pool, materializing
     /// into the shared catalog under `output_name`. Returns the number of
     /// patches materialized.

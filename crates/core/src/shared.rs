@@ -244,6 +244,18 @@ impl SharedCatalog {
         self.update_collection(collection, |c| c.build_spatial_index(index_name))
     }
 
+    /// Build the chunked-columnar scan backing of collection `collection`
+    /// at the default chunk size (zone-map pushdown for
+    /// [`PatchCollection::scan`]).
+    pub fn build_columnar(&self, collection: &str) -> Result<()> {
+        self.update_collection(collection, |c| c.build_columnar_default())
+    }
+
+    /// [`SharedCatalog::build_columnar`] with an explicit rows-per-chunk.
+    pub fn build_columnar_chunked(&self, collection: &str, chunk_rows: usize) -> Result<()> {
+        self.update_collection(collection, |c| c.build_columnar(chunk_rows))
+    }
+
     /// Build a Ball-Tree over feature payloads with up to `threads` build
     /// workers.
     ///

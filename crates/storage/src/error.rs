@@ -32,6 +32,21 @@ pub enum StorageError {
     },
     /// An access-method invariant was violated (indicates a bug or a corrupt file).
     Corrupt(String),
+    /// A caller-supplied parameter is invalid for the requested operation.
+    InvalidArgument(String),
+    /// A frame's dimensions do not match the layout's fixed raster shape.
+    DimensionMismatch {
+        /// Width the layout was created with.
+        expected_w: u32,
+        /// Height the layout was created with.
+        expected_h: u32,
+        /// Width of the offending frame.
+        got_w: u32,
+        /// Height of the offending frame.
+        got_h: u32,
+        /// Frame number of the offending frame.
+        frame_no: u64,
+    },
     /// Decoding a stored video/image payload failed.
     Codec(String),
     /// The WAL contains a malformed record.
@@ -59,6 +74,20 @@ impl fmt::Display for StorageError {
                 write!(f, "entry of {size} bytes exceeds maximum {max}")
             }
             StorageError::Corrupt(msg) => write!(f, "corrupt structure: {msg}"),
+            StorageError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
+            StorageError::DimensionMismatch {
+                expected_w,
+                expected_h,
+                got_w,
+                got_h,
+                frame_no,
+            } => {
+                write!(
+                    f,
+                    "frame {frame_no} is {got_w}x{got_h} but the layout stores \
+                     {expected_w}x{expected_h} rasters"
+                )
+            }
             StorageError::Codec(msg) => write!(f, "codec failure: {msg}"),
             StorageError::WalCorrupt(msg) => write!(f, "corrupt WAL: {msg}"),
         }

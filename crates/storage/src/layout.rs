@@ -84,12 +84,23 @@ pub struct FrameFile {
 
 impl FrameFile {
     /// Ingest `frames` into a fresh Frame File at `path`.
+    ///
+    /// Raw payloads carry no shape of their own — the file header's
+    /// width/height reconstructs every record — so a raw Frame File requires
+    /// all frames to share the first frame's dimensions and rejects a mixed
+    /// ingest with [`StorageError::DimensionMismatch`]. (Intra-coded frames
+    /// embed their dimensions and may vary freely.)
     pub fn ingest<P: AsRef<Path>>(path: P, frames: &[Image], format: FrameFormat) -> Result<Self> {
-        let mut tree = BTree::create(path)?;
         let (width, height) = frames
             .first()
             .map(|f| (f.width(), f.height()))
             .unwrap_or((0, 0));
+        if format == FrameFormat::Raw {
+            for (i, frame) in frames.iter().enumerate() {
+                Self::check_raw_dims(width, height, frame, i as u64)?;
+            }
+        }
+        let mut tree = BTree::create(path)?;
         for (i, frame) in frames.iter().enumerate() {
             let payload = match format {
                 FrameFormat::Raw => frame.data().to_vec(),
@@ -107,11 +118,32 @@ impl FrameFile {
         })
     }
 
+    /// Reject a raw-format frame whose shape differs from the file's fixed
+    /// raster dimensions: `decode_payload` would otherwise reinterpret its
+    /// bytes at the wrong stride and silently return garbage pixels.
+    fn check_raw_dims(width: u32, height: u32, frame: &Image, frame_no: u64) -> Result<()> {
+        if frame.width() != width || frame.height() != height {
+            return Err(StorageError::DimensionMismatch {
+                expected_w: width,
+                expected_h: height,
+                got_w: frame.width(),
+                got_h: frame.height(),
+                frame_no,
+            });
+        }
+        Ok(())
+    }
+
     /// Append one frame with the next frame number.
+    ///
+    /// Like [`FrameFile::ingest`], a raw-format append must match the file's
+    /// fixed dimensions once any frame is stored.
     pub fn append(&mut self, frame: &Image) -> Result<u64> {
         if self.tree.is_empty() {
             self.width = frame.width();
             self.height = frame.height();
+        } else if self.format == FrameFormat::Raw {
+            Self::check_raw_dims(self.width, self.height, frame, self.tree.len())?;
         }
         let no = self.tree.len();
         let payload = match self.format {
@@ -224,6 +256,12 @@ impl VideoStore for EncodedFile {
         // The codec is sequential: reaching frame `start` requires decoding
         // every preceding frame. This is the cost Fig. 3 measures.
         self.decoded = 0;
+        // An empty or fully out-of-range request answers itself: decoding
+        // the prefix would return nothing while still paying for every
+        // frame below `end`.
+        if start >= end || start >= self.frame_count {
+            return Ok(vec![]);
+        }
         let mut out = Vec::new();
         let mut dec = deeplens_codec::video::VideoDecoder::new(&self.bytes)?;
         for no in 0..end.min(self.frame_count) {
@@ -265,13 +303,20 @@ pub struct SegmentedFile {
 
 impl SegmentedFile {
     /// Segment `frames` into clips of `clip_len` and persist at `path`.
+    ///
+    /// A zero `clip_len` is rejected with [`StorageError::InvalidArgument`]:
+    /// there is no zero-frame clip partitioning of a video.
     pub fn ingest<P: AsRef<Path>>(
         path: P,
         frames: &[Image],
         clip_len: u64,
         quality: Quality,
     ) -> Result<Self> {
-        assert!(clip_len > 0, "clip length must be positive");
+        if clip_len == 0 {
+            return Err(StorageError::InvalidArgument(
+                "segmented layout clip length must be positive".to_string(),
+            ));
+        }
         let mut tree = BTree::create(path)?;
         for (ci, chunk) in frames.chunks(clip_len as usize).enumerate() {
             let clip = encode_video(chunk, VideoConfig::sequential(quality))?;
@@ -557,6 +602,83 @@ mod tests {
         let mut sf = SegmentedFile::ingest(tmpfile("sf-empty"), &frames, 4, Quality::High).unwrap();
         assert!(sf.scan_range(5, 5).unwrap().is_empty());
         assert!(sf.scan_range(100, 200).unwrap().is_empty());
+    }
+
+    #[test]
+    fn raw_frame_file_rejects_mixed_dimension_ingest() {
+        // Regression: decode_payload reconstructs every raw record with the
+        // *first* frame's width/height, so a mixed-dimension ingest used to
+        // round-trip silently into garbage pixels.
+        let frames = vec![
+            Image::solid(48, 32, [10, 20, 30]),
+            Image::solid(24, 16, [40, 50, 60]),
+        ];
+        let err = FrameFile::ingest(tmpfile("ff-mixed"), &frames, FrameFormat::Raw).unwrap_err();
+        match err {
+            StorageError::DimensionMismatch {
+                expected_w: 48,
+                expected_h: 32,
+                got_w: 24,
+                got_h: 16,
+                frame_no: 1,
+            } => {}
+            other => panic!("expected DimensionMismatch, got {other:?}"),
+        }
+        // Intra-coded frames embed their own dimensions: mixed shapes are
+        // legitimate there and must keep working.
+        let mut ff = FrameFile::ingest(
+            tmpfile("ff-mixed-jpeg"),
+            &frames,
+            FrameFormat::Intra(Quality::High),
+        )
+        .unwrap();
+        let got = ff.scan_range(0, 2).unwrap();
+        assert_eq!(got[0].1.width(), 48);
+        assert_eq!(got[1].1.width(), 24);
+    }
+
+    #[test]
+    fn raw_frame_file_rejects_mixed_dimension_append() {
+        let frames = clip(3);
+        let mut ff = FrameFile::ingest(tmpfile("ff-app"), &frames, FrameFormat::Raw).unwrap();
+        let odd = Image::solid(12, 12, [1, 2, 3]);
+        assert!(matches!(
+            ff.append(&odd),
+            Err(StorageError::DimensionMismatch { frame_no: 3, .. })
+        ));
+        assert_eq!(ff.frame_count(), 3, "rejected append stores nothing");
+        // A matching frame still appends, and the file stays lossless.
+        let ok = Image::solid(48, 32, [7, 8, 9]);
+        assert_eq!(ff.append(&ok).unwrap(), 3);
+        assert_eq!(ff.get(3).unwrap().unwrap(), ok);
+    }
+
+    #[test]
+    fn segmented_zero_clip_len_is_an_error_not_a_panic() {
+        // Regression: this used to assert! and take the process down — the
+        // TileGenerator tile==0 bug class (PR 2), reappearing in storage.
+        let frames = clip(4);
+        let err = SegmentedFile::ingest(tmpfile("sf-zero"), &frames, 0, Quality::High).unwrap_err();
+        assert!(matches!(err, StorageError::InvalidArgument(_)), "{err:?}");
+    }
+
+    #[test]
+    fn encoded_out_of_range_scan_decodes_nothing() {
+        // Regression: scan_range(start >= frame_count) used to decode the
+        // whole prefix 0..end just to return an empty vec.
+        let frames = clip(20);
+        let mut ef = EncodedFile::ingest(tmpfile("ef-oor"), &frames, Quality::High).unwrap();
+        assert!(ef.scan_range(100, 200).unwrap().is_empty());
+        assert_eq!(ef.last_decoded_frames(), 0, "no prefix decode");
+        assert!(ef.scan_range(20, 25).unwrap().is_empty());
+        assert_eq!(ef.last_decoded_frames(), 0);
+        // Empty ranges inside the file decode nothing either.
+        assert!(ef.scan_range(5, 5).unwrap().is_empty());
+        assert_eq!(ef.last_decoded_frames(), 0);
+        // And a real scan still works afterwards.
+        let got = ef.scan_range(15, 18).unwrap();
+        assert_eq!(got.len(), 3);
+        assert_eq!(ef.last_decoded_frames(), 18);
     }
 
     #[test]

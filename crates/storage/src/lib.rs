@@ -31,6 +31,7 @@
 
 pub mod btree;
 pub mod buffer;
+pub mod columnar;
 pub mod error;
 pub mod hashstore;
 pub mod layout;
