@@ -19,6 +19,10 @@
 //! 5. **bench-artifacts** — the `DEFAULT_ARTIFACTS` list in the bench gate
 //!    binary names exactly the `BENCH_*.json` files committed at the
 //!    workspace root, in both directions.
+//! 6. **module-doc** — every `src/**/*.rs` file in a non-shim crate opens
+//!    with a `//!` module doc as its first non-blank line, so `cargo doc`
+//!    renders a description for every module and the docs burndown cannot
+//!    silently regress (the shims are vendored API stand-ins and exempt).
 //!
 //! The scanner is deliberately line-based, not a Rust parser: it strips
 //! `//` comments (with a string-literal heuristic so `"https://..."`
@@ -177,6 +181,7 @@ pub fn check_source(rel_path: &str, text: &str) -> Vec<Violation> {
     check_serve_panics(rel_path, &lines, &mut out);
     check_debug_macros(rel_path, &lines, &mut out);
     check_allow_justifications(rel_path, &lines, &mut out);
+    check_module_docs(rel_path, text, &mut out);
     out
 }
 
@@ -292,6 +297,42 @@ fn check_allow_justifications(rel_path: &str, lines: &[Line<'_>], out: &mut Vec<
                 ),
             });
         }
+    }
+}
+
+/// Rule 6: every non-shim module file opens with `//!` module docs.
+///
+/// Works on the raw text (not the comment-stripped lines — the doc comment
+/// IS a comment): the first non-blank line must start with `//!`. Shim
+/// crates mirror external APIs verbatim and are exempt.
+fn check_module_docs(rel_path: &str, text: &str, out: &mut Vec<Violation>) {
+    if rel_path.starts_with("crates/shims/") {
+        return;
+    }
+    let first = text
+        .lines()
+        .enumerate()
+        .find(|(_, raw)| !raw.trim().is_empty());
+    let Some((idx, raw)) = first else {
+        out.push(Violation {
+            file: rel_path.to_string(),
+            line: 1,
+            rule: "module-doc",
+            msg: "empty module file; add `//!` docs or delete it".to_string(),
+        });
+        return;
+    };
+    if !raw.trim_start().starts_with("//!") {
+        out.push(Violation {
+            file: rel_path.to_string(),
+            line: idx + 1,
+            rule: "module-doc",
+            msg: format!(
+                "module must open with `//!` docs (first non-blank line is \
+                 `{}`); describe what the module is for",
+                raw.trim()
+            ),
+        });
     }
 }
 
@@ -467,8 +508,11 @@ mod tests {
     // Fixtures build banned tokens with `format!`/concat so scanning THIS
     // file (rule 3 applies to test code too) stays clean.
 
+    /// Run `check_source` on a fixture, prefixing the module docs rule 6
+    /// demands so each test exercises only the rule it targets.
     fn rules_hit(rel: &str, text: &str) -> Vec<&'static str> {
-        check_source(rel, text)
+        let documented = format!("//! Fixture module.\n\n{text}");
+        check_source(rel, &documented)
             .into_iter()
             .map(|v| v.rule)
             .collect()
@@ -557,6 +601,56 @@ mod tests {
         assert!(rules_hit("crates/index/src/rtree.rs", &above).is_empty());
         let trailing = format!("{ALLOW_OUTER}dead_code)] // kept for symmetry\nfn unused() {{}}\n");
         assert!(rules_hit("crates/index/src/rtree.rs", &trailing).is_empty());
+    }
+
+    #[test]
+    fn module_doc_required_as_first_non_blank_line() {
+        // `check_source` directly (not `rules_hit`) — these fixtures test
+        // the module header itself.
+        let undocumented = "use std::fmt;\nfn f() {}\n";
+        let hits: Vec<_> = check_source("crates/core/src/ops.rs", undocumented)
+            .into_iter()
+            .map(|v| (v.rule, v.line))
+            .collect();
+        assert_eq!(hits, [("module-doc", 1)]);
+
+        // Leading blank lines don't count; the violation names the first
+        // non-blank line.
+        let late = "\n\nuse std::fmt;\n";
+        let hits: Vec<_> = check_source("crates/core/src/ops.rs", late)
+            .into_iter()
+            .map(|v| (v.rule, v.line))
+            .collect();
+        assert_eq!(hits, [("module-doc", 3)]);
+
+        // `///` item docs are not module docs.
+        let item_doc = "/// Item doc.\nfn f() {}\n";
+        assert_eq!(
+            check_source("crates/core/src/ops.rs", item_doc)
+                .into_iter()
+                .map(|v| v.rule)
+                .collect::<Vec<_>>(),
+            ["module-doc"]
+        );
+
+        let empty = "";
+        assert_eq!(
+            check_source("crates/core/src/ops.rs", empty)
+                .into_iter()
+                .map(|v| v.rule)
+                .collect::<Vec<_>>(),
+            ["module-doc"]
+        );
+    }
+
+    #[test]
+    fn module_doc_passes_documented_and_exempts_shims() {
+        let documented = "//! Module docs.\nuse std::fmt;\n";
+        assert!(check_source("crates/core/src/ops.rs", documented).is_empty());
+        let indented = "  //! Indented docs still count.\nfn f() {}\n";
+        assert!(check_source("crates/exec/src/pool.rs", indented).is_empty());
+        let undocumented = "pub struct Mirror;\n";
+        assert!(check_source("crates/shims/proptest/src/lib.rs", undocumented).is_empty());
     }
 
     #[test]

@@ -26,8 +26,20 @@
 //! At selectivity 1.0 both sides decode everything and the count ratio is
 //! ~1: the zone maps' total overhead is the probe pass, bounded by the
 //! chunk count.
+//!
+//! A second sweep times the **packed-vs-materialize join plans** over
+//! frame windows of fixed absolute size: the packed plan feeds the
+//! surviving feature chunks straight to the block-form threshold kernel
+//! (`ops::similarity_join_packed`, no row assembled), the materialize plan
+//! scans both sides to full patches and runs the row-path Ball-Tree join.
+//! At selective windows the packed plan must win (row assembly + index
+//! build dominate); as the window grows the Ball-Tree's sub-quadratic
+//! probing overtakes the packed kernel's all-pairs work — the crossover
+//! `CostModel::prefer_packed_join` models. A byte-identity guard holds the
+//! two plans to the same pair set before any timing is recorded.
 
 use deeplens_bench::report::{self, median_secs};
+use deeplens_core::ops;
 use deeplens_core::prelude::*;
 
 /// Selectivities of the frame-window sweep, in percent of the rows.
@@ -156,11 +168,71 @@ fn main() {
         }
     }
 
+    // Packed-vs-materialize join sweep over fixed-size frame windows.
+    // The self-join makes the comparison symmetric and keeps one window
+    // variable; tau is sized so matches are sparse (realistic dedup radii).
+    let join_tau = 2.0f32;
+    let join_windows: [usize; 3] = if quick {
+        [64, 256, 1024]
+    } else {
+        [64, 512, 4096]
+    };
+    struct JoinRecord {
+        name: &'static str,
+        window_rows: usize,
+        median_s: f64,
+    }
+    let mut join_records: Vec<JoinRecord> = Vec::new();
+    for w in join_windows {
+        let span = (w / per_frame).max(1) as u64;
+        let lo = (frames - span.min(frames)) / 2;
+        let filter = ScanFilter::FrameRange { lo, hi: lo + span };
+
+        // Byte-identity guard: both plans must answer identically before
+        // their wall-clocks mean anything.
+        let packed_pairs =
+            ops::similarity_join_packed(&columnar, &filter, &columnar, &filter, join_tau, &pool);
+        let mat_rows = columnar.scan(&filter, Projection::Full, &pool).patches;
+        let mat_pairs = ops::similarity_join_balltree(&mat_rows, &mat_rows, join_tau, &pool);
+        assert_eq!(
+            packed_pairs, mat_pairs,
+            "packed join diverged from the row path at window {w}"
+        );
+
+        let packed_s = median_secs(reps, || {
+            ops::similarity_join_packed(&columnar, &filter, &columnar, &filter, join_tau, &pool)
+                .len()
+        });
+        let mat_s = median_secs(reps, || {
+            let l = columnar.scan(&filter, Projection::Full, &pool).patches;
+            let r = columnar.scan(&filter, Projection::Full, &pool).patches;
+            ops::similarity_join_balltree(&l, &r, join_tau, &pool).len()
+        });
+        join_records.push(JoinRecord {
+            name: "join_packed",
+            window_rows: w,
+            median_s: packed_s,
+        });
+        join_records.push(JoinRecord {
+            name: "join_materialize",
+            window_rows: w,
+            median_s: mat_s,
+        });
+    }
+
     for r in &records {
         println!(
             "bench columnar/{:<24} selectivity {:>3}%   median {:>9.3} ms",
             r.name,
             r.selectivity_pct,
+            r.median_s * 1e3
+        );
+    }
+    for r in &join_records {
+        println!(
+            "bench columnar/{:<24} window {:>6} rows  median {:>9.3} ms",
+            r.name,
+            r.window_rows,
             r.median_s * 1e3
         );
     }
@@ -187,7 +259,7 @@ fn main() {
             ]),
         ),
     ];
-    let result_rows: Vec<String> = records
+    let mut result_rows: Vec<String> = records
         .iter()
         .map(|r| {
             format!(
@@ -196,6 +268,12 @@ fn main() {
             )
         })
         .collect();
+    result_rows.extend(join_records.iter().map(|r| {
+        format!(
+            "{{\"name\": \"{}\", \"window_rows\": {}, \"median_s\": {:.6}}}",
+            r.name, r.window_rows, r.median_s
+        )
+    }));
     sections.push(("results", report::json_array(&result_rows)));
     // The acceptance figure: at <=10% selectivity over the sorted column
     // the zone-map count scan must beat decoding every chunk by >= 2x
@@ -210,6 +288,28 @@ fn main() {
             ("zone_vs_whole_speedup_1pct", format!("{speedup:.3}"))
         });
     }
+    // The packed-join acceptance figure: at the smallest (most selective)
+    // window the packed plan must beat materialize-then-join — that ratio
+    // is the win this PR's scan → join path exists for. The largest window
+    // documents the crossover (the Ball-Tree eventually wins; the planner's
+    // `prefer_packed_join` models exactly that flip).
+    let join_lookup = |name: &str, w: usize| {
+        join_records
+            .iter()
+            .find(|r| r.name == name && r.window_rows == w)
+            .map(|r| r.median_s)
+            .unwrap_or(f64::NAN)
+    };
+    let selective = join_windows[0];
+    let packed_speedup =
+        join_lookup("join_materialize", selective) / join_lookup("join_packed", selective);
+    println!(
+        "bench columnar/packed_vs_materialize speedup at {selective} rows: {packed_speedup:.2}x"
+    );
+    sections.push((
+        "packed_vs_materialize_speedup_selective",
+        format!("{packed_speedup:.3}"),
+    ));
 
     report::record_artifact(
         "BENCH_COLUMNAR_OUT",

@@ -14,14 +14,14 @@
 //! * on a [`Device::GpuSim`] session, joins over the same snapshot pair
 //!   share one all-pairs kernel dispatch: the distance matrix is computed
 //!   once and the launch + transfer overhead is paid once for the whole
-//!   group ([`Executor::threshold_join_multi`]);
+//!   group ([`deeplens_exec::Executor::threshold_join_multi`]);
 //! * **index probes** against the same prebuilt Ball-Tree index share the
 //!   snapshot and the index, with the K probes sharded over the session's
 //!   morsel pool.
 //!
 //! **Compatibility** is decided by snapshot identity, not by name: every
 //! collection a batch mentions is resolved to one consistent snapshot up
-//! front ([`SharedCatalog::snapshot_many`]), and queries group when they
+//! front ([`crate::shared::SharedCatalog::snapshot_many`]), and queries group when they
 //! agree on the snapshot the shared pass scans (for tree joins, the side
 //! the tree is built over — the smaller relation, exactly the side the
 //! serial path would index). Incompatible queries still execute correctly;
@@ -340,11 +340,31 @@ impl<'s> QueryBatch<'s> {
         let mut ball_groups: Vec<BallGroup> = Vec::new();
         let mut gpu_groups: Vec<GpuGroup> = Vec::new();
         let mut probe_groups: Vec<ProbeGroup> = Vec::new();
+        let mut results: Vec<Option<BatchResult>> = (0..self.queries.len()).map(|_| None).collect();
 
         for (qi, q) in self.queries.iter().enumerate() {
             match q {
                 BatchQuery::SimilarityJoin { tau, predicate, .. } => {
                     let (l, r) = (per_query[qi][0], per_query[qi][1]);
+                    if !gpu {
+                        // Packed peel-off: a member whose snapshots both
+                        // carry live columnar backings and whose cost
+                        // estimate favors the packed plan runs chunk-direct
+                        // here — same pair set as the shared Ball-Tree pass
+                        // it skips.
+                        if let Some(pairs) = ops::packed_join_pair_if_preferred(
+                            &snaps[l],
+                            &snaps[r],
+                            *tau,
+                            predicate
+                                .as_deref()
+                                .map(|p| p as &(dyn Fn(&Patch, &Patch) -> bool + Sync)),
+                            &pool,
+                        ) {
+                            results[qi] = Some(BatchResult::Pairs(pairs));
+                            continue;
+                        }
+                    }
                     if gpu {
                         // The GPU path joins (left × right) as-is: group by
                         // the exact snapshot pair.
@@ -374,6 +394,14 @@ impl<'s> QueryBatch<'s> {
                 }
                 BatchQuery::Dedup { tau, .. } => {
                     let c = per_query[qi][0];
+                    if !gpu {
+                        if let Some(clusters) =
+                            ops::packed_dedup_if_preferred(&snaps[c], *tau, &pool)
+                        {
+                            results[qi] = Some(BatchResult::Clusters(clusters));
+                            continue;
+                        }
+                    }
                     let member = BallMember {
                         query: qi,
                         probes: c,
@@ -402,8 +430,6 @@ impl<'s> QueryBatch<'s> {
                 }
             }
         }
-
-        let mut results: Vec<Option<BatchResult>> = (0..self.queries.len()).map(|_| None).collect();
 
         // Shared Ball-Tree passes (CPU joins + dedups).
         for group in &ball_groups {
@@ -509,8 +535,7 @@ impl<'s> QueryBatch<'s> {
                     BatchResult::Pairs(Self::filter_pairs(pairs, &l.patches, &r.patches, predicate))
                 }
                 BatchQuery::Dedup { collection, tau } => {
-                    let col = self.session.catalog.snapshot(collection)?;
-                    BatchResult::Clusters(self.session.dedup(&col.patches, *tau))
+                    BatchResult::Clusters(self.session.dedup_collection(collection, *tau)?)
                 }
                 BatchQuery::IndexProbe {
                     collection,

@@ -22,6 +22,39 @@ use crate::scan::{row_scan, ColumnarPatches, Projection, ScanFilter, ScanResult}
 use crate::value::Value;
 use crate::{DlError, Result};
 
+/// Process-wide count of scans that found a *live* (row-count-current)
+/// columnar backing on their collection.
+static COLUMNAR_HITS: AtomicU64 = AtomicU64::new(0);
+/// Process-wide count of scans that found a backing but had to bypass it
+/// because it was stale (row count disagreed with the collection).
+static COLUMNAR_STALE: AtomicU64 = AtomicU64::new(0);
+/// Process-wide count of columnar backings rebuilt by a re-materialize
+/// carrying a prior backing forward (see [`Catalog::materialize`] /
+/// `SharedCatalog::materialize`).
+static COLUMNAR_REBUILT: AtomicU64 = AtomicU64::new(0);
+
+/// Scans served by a live columnar backing since process start.
+///
+/// Together with [`columnar_backing_stale`] this gives the backing hit/stale
+/// rate the serve stats endpoint reports.
+pub fn columnar_backing_hits() -> u64 {
+    COLUMNAR_HITS.load(Ordering::Relaxed)
+}
+
+/// Scans that bypassed a stale columnar backing since process start.
+pub fn columnar_backing_stale() -> u64 {
+    COLUMNAR_STALE.load(Ordering::Relaxed)
+}
+
+/// Columnar backings rebuilt by re-materializes since process start.
+pub fn columnar_backings_rebuilt() -> u64 {
+    COLUMNAR_REBUILT.load(Ordering::Relaxed)
+}
+
+pub(crate) fn note_columnar_rebuilt() {
+    COLUMNAR_REBUILT.fetch_add(1, Ordering::Relaxed);
+}
+
 /// A secondary index over one collection.
 #[derive(Clone)]
 pub enum SecondaryIndex {
@@ -229,6 +262,32 @@ impl PatchCollection {
         self.columnar.as_deref()
     }
 
+    /// Rows-per-chunk of the backing, if one exists (live or stale).
+    /// Re-materializes use this to rebuild a replacement backing at the
+    /// same granularity.
+    pub fn columnar_chunk_rows(&self) -> Option<usize> {
+        self.columnar.as_ref().map(|c| c.chunk_rows())
+    }
+
+    /// The columnar backing **iff it is current** (row count agrees with the
+    /// collection). A stale backing — patches mutated after the build — is
+    /// never returned. Each call bumps the process-wide backing hit or
+    /// stale counter ([`columnar_backing_hits`] / [`columnar_backing_stale`])
+    /// so the serve stats endpoint can report the rates.
+    pub fn live_columnar(&self) -> Option<&ColumnarPatches> {
+        match &self.columnar {
+            Some(c) if c.len() == self.patches.len() => {
+                COLUMNAR_HITS.fetch_add(1, Ordering::Relaxed);
+                Some(c)
+            }
+            Some(_) => {
+                COLUMNAR_STALE.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+            None => None,
+        }
+    }
+
     /// Scan the collection with zone-map pushdown when a current columnar
     /// backing exists, falling back to the row layout otherwise. A backing
     /// whose row count disagrees with the collection (patches were mutated
@@ -239,9 +298,9 @@ impl PatchCollection {
         projection: Projection,
         pool: &WorkerPool,
     ) -> ScanResult {
-        match &self.columnar {
-            Some(c) if c.len() == self.patches.len() => c.scan(filter, projection, pool),
-            _ => row_scan(&self.patches, filter, projection),
+        match self.live_columnar() {
+            Some(c) => c.scan(filter, projection, pool),
+            None => row_scan(&self.patches, filter, projection),
         }
     }
 
@@ -396,10 +455,24 @@ impl Catalog {
     /// The historical signature returned nothing, which let two writers
     /// overwrite each other invisibly; use [`Catalog::materialize_new`] to
     /// make a name conflict a hard error instead.
+    ///
+    /// If the replaced collection carried a columnar backing, the new
+    /// collection's backing is **rebuilt** at the same chunk granularity
+    /// rather than silently dropped, and the rebuild is counted
+    /// ([`columnar_backings_rebuilt`]). Secondary indexes are *not* carried
+    /// forward — they are positional and would be wrong for the new rows.
     pub fn materialize(&mut self, name: &str, patches: Vec<Patch>) -> Option<PatchCollection> {
         self.lineage.record_all(patches.iter());
-        self.collections
-            .insert(name.to_string(), PatchCollection::from_patches(patches))
+        let mut collection = PatchCollection::from_patches(patches);
+        if let Some(chunk_rows) = self
+            .collections
+            .get(name)
+            .and_then(PatchCollection::columnar_chunk_rows)
+        {
+            collection.build_columnar(chunk_rows);
+            note_columnar_rebuilt();
+        }
+        self.collections.insert(name.to_string(), collection)
     }
 
     /// [`Catalog::materialize`] that refuses to replace: errors with

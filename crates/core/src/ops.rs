@@ -19,14 +19,16 @@
 //! execution; [`crate::session::Session`] supplies the pool its device
 //! implies.
 
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 
+use deeplens_exec::packed::{self, PackedBlock};
 use deeplens_exec::{Executor, Matrix, WorkerPool};
 use deeplens_index::BallTree;
 
 use crate::catalog::PatchCollection;
+use crate::optimizer::CostModel;
 use crate::patch::Patch;
-use crate::scan::{Projection, ScanFilter};
+use crate::scan::{ColumnarPatches, PackedScan, Projection, ScanFilter};
 use crate::value::Value;
 use crate::{DlError, Result};
 
@@ -569,6 +571,207 @@ pub fn dedup_similarity(patches: &[Patch], tau: f32, pool: &WorkerPool) -> Vec<V
 pub fn dedup_bruteforce(patches: &[Patch], tau: f32) -> Vec<Vec<u32>> {
     let pairs = similarity_join_nested(patches, patches, tau);
     cluster_from_pairs(patches.len(), &pairs)
+}
+
+// --------------------------------------------------------------------------
+// Packed-form operators (scan → join without row materialization)
+// --------------------------------------------------------------------------
+
+/// Borrow a packed scan's surviving chunks as kernel-ready feature blocks
+/// for the block-form kernels in [`deeplens_exec::packed`].
+pub fn packed_blocks(scan: &PackedScan) -> Vec<PackedBlock<'_>> {
+    scan.chunks()
+        .iter()
+        .map(|c| {
+            PackedBlock::new(
+                c.features().values(),
+                c.features().offsets(),
+                c.features().validity(),
+                c.out_base(),
+            )
+        })
+        .collect()
+}
+
+/// Dimensionality of the first feature payload in `patches` (0 if none):
+/// the cost model's `dim` input for routing decisions.
+fn feature_dim(patches: &[Patch]) -> usize {
+    patches
+        .iter()
+        .find_map(|p| p.data.features().map(<[f32]>::len))
+        .unwrap_or(0)
+}
+
+/// Packed-form similarity join: zone-pruned packed scans on both sides feed
+/// the surviving feature blocks straight to the block-form threshold kernel
+/// — no row is materialized anywhere on this path
+/// ([`crate::scan::rows_materialized`] does not move).
+///
+/// Pair indices are positions in each side's *filtered* output, exactly the
+/// indices a scan-then-join over the materialized patches would emit; under
+/// [`ScanFilter::All`] they are collection positions. The pair set is
+/// byte-identical to the row-path joins (the kernels share the distance
+/// expression), sorted.
+pub fn similarity_join_packed(
+    left: &ColumnarPatches,
+    filter_left: &ScanFilter,
+    right: &ColumnarPatches,
+    filter_right: &ScanFilter,
+    tau: f32,
+    pool: &WorkerPool,
+) -> Vec<(u32, u32)> {
+    let ls = left.scan_packed(filter_left, pool);
+    let rs = right.scan_packed(filter_right, pool);
+    packed::packed_threshold_join(&packed_blocks(&ls), &packed_blocks(&rs), tau, pool)
+}
+
+/// Late materialization for a packed join: assemble only the rows named by
+/// `outs` (filtered-output indices), keyed back by those indices.
+fn late_materialize(
+    col: &ColumnarPatches,
+    scan: &PackedScan,
+    outs: &BTreeSet<u32>,
+) -> HashMap<u32, Patch> {
+    let rows: Vec<usize> = outs.iter().map(|o| scan.global_row(*o)).collect();
+    let patches = col.materialize_rows(&rows);
+    outs.iter().copied().zip(patches).collect()
+}
+
+/// [`similarity_join_packed`] with a θ-predicate over the matched patches.
+///
+/// The distance kernel runs purely over packed blocks; only the rows that
+/// appear in a *candidate pair* are then late-materialized for the
+/// predicate, so an arbitrarily unselective scan with a selective `tau`
+/// still never assembles non-matching rows. Candidate order (sorted) is
+/// preserved through the predicate, matching the row path's
+/// filter-after-join semantics.
+pub fn similarity_join_packed_filtered(
+    left: &ColumnarPatches,
+    filter_left: &ScanFilter,
+    right: &ColumnarPatches,
+    filter_right: &ScanFilter,
+    tau: f32,
+    predicate: impl Fn(&Patch, &Patch) -> bool,
+    pool: &WorkerPool,
+) -> Vec<(u32, u32)> {
+    let ls = left.scan_packed(filter_left, pool);
+    let rs = right.scan_packed(filter_right, pool);
+    let mut pairs =
+        packed::packed_threshold_join(&packed_blocks(&ls), &packed_blocks(&rs), tau, pool);
+    if pairs.is_empty() {
+        return pairs;
+    }
+    let l_outs: BTreeSet<u32> = pairs.iter().map(|(i, _)| *i).collect();
+    let r_outs: BTreeSet<u32> = pairs.iter().map(|(_, j)| *j).collect();
+    let l_rows = late_materialize(left, &ls, &l_outs);
+    let r_rows = late_materialize(right, &rs, &r_outs);
+    pairs.retain(|(i, j)| predicate(&l_rows[i], &r_rows[j]));
+    pairs
+}
+
+/// Packed-form similarity deduplication: the block-form self-join kernel
+/// over the filtered collection, clustered like [`dedup_similarity`].
+/// Byte-identical to scanning and deduplicating the materialized patches.
+pub fn dedup_similarity_packed(
+    col: &ColumnarPatches,
+    filter: &ScanFilter,
+    tau: f32,
+    pool: &WorkerPool,
+) -> Vec<Vec<u32>> {
+    let scan = col.scan_packed(filter, pool);
+    let pairs = packed::packed_dedup_pairs(&packed_blocks(&scan), tau, pool);
+    cluster_from_pairs(scan.matched(), &pairs)
+}
+
+/// A shareable θ-predicate over a candidate pair, as the packed routing
+/// probe accepts it (`Sync` so morsel workers may consult it).
+pub type PairPredicate<'a> = &'a (dyn Fn(&Patch, &Patch) -> bool + Sync);
+
+/// The packed routing probe: runs the join in packed form iff both
+/// collections carry a **live** columnar backing and the cost model
+/// estimates the packed plan cheaper ([`CostModel::prefer_packed_join`]).
+/// Returns `None` when the row path should run instead — batched execution
+/// uses this to peel packed-eligible members off its shared Ball-Tree pass.
+///
+/// With a predicate, candidate pairs surface from the packed kernel and only
+/// their rows are late-materialized for the θ-check (filter-after-join, the
+/// row path's semantics).
+pub fn packed_join_pair_if_preferred(
+    left: &PatchCollection,
+    right: &PatchCollection,
+    tau: f32,
+    predicate: Option<PairPredicate<'_>>,
+    pool: &WorkerPool,
+) -> Option<Vec<(u32, u32)>> {
+    let lc = left.live_columnar()?;
+    let rc = right.live_columnar()?;
+    let dim = feature_dim(&left.patches).max(feature_dim(&right.patches));
+    if !CostModel::default().prefer_packed_join(
+        left.len(),
+        right.len(),
+        dim.max(1),
+        lc.chunk_rows(),
+    ) {
+        return None;
+    }
+    Some(match predicate {
+        Some(p) => similarity_join_packed_filtered(
+            lc,
+            &ScanFilter::All,
+            rc,
+            &ScanFilter::All,
+            tau,
+            p,
+            pool,
+        ),
+        None => similarity_join_packed(lc, &ScanFilter::All, rc, &ScanFilter::All, tau, pool),
+    })
+}
+
+/// Dedup counterpart of [`packed_join_pair_if_preferred`]: packed-form
+/// clusters iff the backing is live and the self-join routes packed,
+/// `None` otherwise.
+pub fn packed_dedup_if_preferred(
+    col: &PatchCollection,
+    tau: f32,
+    pool: &WorkerPool,
+) -> Option<Vec<Vec<u32>>> {
+    let c = col.live_columnar()?;
+    let dim = feature_dim(&col.patches);
+    if !CostModel::default().prefer_packed_join(col.len(), col.len(), dim.max(1), c.chunk_rows()) {
+        return None;
+    }
+    Some(dedup_similarity_packed(c, &ScanFilter::All, tau, pool))
+}
+
+/// Collection-level similarity join with packed-vs-materialize routing.
+///
+/// When both collections carry a live columnar backing and the cost model
+/// estimates the packed plan cheaper ([`CostModel::prefer_packed_join`]),
+/// the join runs in packed form straight off the chunks; otherwise it runs
+/// the row-path Ball-Tree join. Both paths emit the identical sorted pair
+/// set (that equivalence is proptested), so the routing decision affects
+/// wall-clock only — never results.
+pub fn similarity_join_collections(
+    left: &PatchCollection,
+    right: &PatchCollection,
+    tau: f32,
+    pool: &WorkerPool,
+) -> Vec<(u32, u32)> {
+    packed_join_pair_if_preferred(left, right, tau, None, pool)
+        .unwrap_or_else(|| similarity_join_balltree(&left.patches, &right.patches, tau, pool))
+}
+
+/// Collection-level deduplication with the same packed-vs-materialize
+/// routing as [`similarity_join_collections`]; results are byte-identical
+/// on either path.
+pub fn dedup_similarity_collection(
+    col: &PatchCollection,
+    tau: f32,
+    pool: &WorkerPool,
+) -> Vec<Vec<u32>> {
+    packed_dedup_if_preferred(col, tau, pool)
+        .unwrap_or_else(|| dedup_similarity(&col.patches, tau, pool))
 }
 
 #[cfg(test)]

@@ -30,6 +30,12 @@ pub struct CostModel {
     /// plus the per-chunk decode setup. This is the fixed overhead the
     /// chunked layout pays even for chunks it then skips.
     pub chunk_probe_cost: f64,
+    /// Cost units to assemble one full `Patch` row out of a surviving chunk:
+    /// every column decoded, strings and vectors allocated, metadata map
+    /// rebuilt. An order of magnitude above [`CostModel::scan_row_cost`]
+    /// (touching an already-decoded row) — the gap the packed join path
+    /// exists to avoid paying for rows that never match.
+    pub materialize_row_cost: f64,
 }
 
 impl Default for CostModel {
@@ -39,6 +45,7 @@ impl Default for CostModel {
             build_factor: 1.5,
             scan_row_cost: 0.2,
             chunk_probe_cost: 4.0,
+            materialize_row_cost: 2.0,
         }
     }
 }
@@ -165,6 +172,69 @@ impl CostModel {
         let chunks = rows.div_ceil(chunk_rows) as f64;
         let surviving = chunks * (1.0 - skip_rate.clamp(0.0, 1.0));
         chunks * self.chunk_probe_cost + surviving * chunk_rows as f64 * self.scan_row_cost
+    }
+
+    /// Estimated cost of the **packed** join plan over the rows a
+    /// zone-pruned scan matched: decode only the *feature column* of the
+    /// surviving chunks (chunk probe + one [`CostModel::scan_row_cost`] per
+    /// matched row) and run the all-pairs kernel directly over the packed
+    /// blocks — no row assembly, no index build.
+    pub fn packed_join_cost(
+        &self,
+        rows_left: usize,
+        rows_right: usize,
+        dim: usize,
+        chunk_rows: usize,
+    ) -> f64 {
+        let chunk_rows = chunk_rows.max(1);
+        let chunks = (rows_left.div_ceil(chunk_rows) + rows_right.div_ceil(chunk_rows)) as f64;
+        chunks * self.chunk_probe_cost
+            + (rows_left + rows_right) as f64 * self.scan_row_cost
+            + self.nested_loop_cost(rows_left, rows_right, dim)
+    }
+
+    /// Estimated cost of the **materialize-then-join** plan over the same
+    /// matched rows: assemble every matching row in full
+    /// ([`CostModel::materialize_row_cost`] each), then run the best
+    /// row-path join strategy ([`CostModel::recommend`]) over the
+    /// materialized relations.
+    pub fn materialized_join_cost(
+        &self,
+        rows_left: usize,
+        rows_right: usize,
+        dim: usize,
+        chunk_rows: usize,
+    ) -> f64 {
+        let chunk_rows = chunk_rows.max(1);
+        let chunks = (rows_left.div_ceil(chunk_rows) + rows_right.div_ceil(chunk_rows)) as f64;
+        let join = match self.recommend(rows_left, rows_right, dim) {
+            JoinStrategy::NestedLoop => self.nested_loop_cost(rows_left, rows_right, dim),
+            JoinStrategy::IndexLeft => self.index_join_cost(rows_left, rows_right, dim),
+            JoinStrategy::IndexRight => self.index_join_cost(rows_right, rows_left, dim),
+        };
+        chunks * self.chunk_probe_cost
+            + (rows_left + rows_right) as f64 * self.materialize_row_cost
+            + join
+    }
+
+    /// The packed-vs-materialize decision for a similarity join whose scan
+    /// matched `rows_left × rows_right` rows: `true` when feeding packed
+    /// feature blocks straight to the all-pairs kernel is estimated cheaper
+    /// than materializing the rows and running the best index join.
+    ///
+    /// Packed wins at *selective* filters — few matched rows, where row
+    /// assembly and an index build dominate the quadratic kernel — and
+    /// loses once the matched side grows enough for the Ball-Tree's
+    /// sub-quadratic probing to pay for the materialization.
+    pub fn prefer_packed_join(
+        &self,
+        rows_left: usize,
+        rows_right: usize,
+        dim: usize,
+        chunk_rows: usize,
+    ) -> bool {
+        self.packed_join_cost(rows_left, rows_right, dim, chunk_rows)
+            <= self.materialized_join_cost(rows_left, rows_right, dim, chunk_rows)
     }
 
     /// Recommend a strategy for joining `n_left × n_right` in `dim`-d.
@@ -512,6 +582,59 @@ impl DevicePlanner {
             }
         }
         best
+    }
+
+    /// Estimated wall-clock (µs) of the packed join plan
+    /// ([`CostModel::packed_join_cost`]) on `device`. Chunk decode and the
+    /// block-form kernel are host-side work on resident chunks (the packed
+    /// path exists to *avoid* moving rows), so GPU offload is not in this
+    /// race — callers pass CPU-lattice devices only.
+    pub fn packed_join_estimate_us(
+        &self,
+        model: &CostModel,
+        rows_left: usize,
+        rows_right: usize,
+        dim: usize,
+        chunk_rows: usize,
+        device: Device,
+    ) -> f64 {
+        let units = model.packed_join_cost(rows_left, rows_right, dim, chunk_rows);
+        let bytes = (rows_left + rows_right) * dim * 4;
+        self.estimate_us(device, units / self.units_per_us, bytes)
+    }
+
+    /// Whether to run a similarity join over columnar-backed collections in
+    /// packed form, and on which device: races the packed plan across the
+    /// CPU lattice against the materialize-then-join plan at its own best
+    /// strategy/device placement, and returns `(packed?, device)` for the
+    /// winner.
+    pub fn place_packed_join(
+        &self,
+        model: &CostModel,
+        rows_left: usize,
+        rows_right: usize,
+        dim: usize,
+        chunk_rows: usize,
+    ) -> (bool, Device) {
+        let mut best_packed = (Device::Cpu, f64::INFINITY);
+        for device in self.candidates() {
+            if device == Device::GpuSim {
+                continue;
+            }
+            let us =
+                self.packed_join_estimate_us(model, rows_left, rows_right, dim, chunk_rows, device);
+            if us < best_packed.1 {
+                best_packed = (device, us);
+            }
+        }
+        let (strategy, mat_device) = self.place_join(model, rows_left, rows_right, dim);
+        let mat_us = self.join_estimate_us(model, strategy, rows_left, rows_right, dim, mat_device)
+            + model.materialize_row_cost * (rows_left + rows_right) as f64 / self.units_per_us;
+        if best_packed.1 <= mat_us {
+            (true, best_packed.0)
+        } else {
+            (false, mat_device)
+        }
     }
 }
 

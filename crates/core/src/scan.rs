@@ -29,14 +29,33 @@
 //! no row in it can possibly match.
 
 use std::collections::BTreeSet;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use deeplens_codec::Image;
 use deeplens_exec::WorkerPool;
 pub use deeplens_storage::columnar::DEFAULT_CHUNK_ROWS;
-use deeplens_storage::columnar::{BoolChunk, FeatureChunk, FloatChunk, IntChunk, StrChunk};
+use deeplens_storage::columnar::{
+    BoolChunk, FeatureChunk, FloatChunk, IntChunk, PackedFeatures, StrChunk,
+};
 
 use crate::patch::{ImgRef, Patch, PatchData, PatchId};
 use crate::value::Value;
+
+/// Process-wide count of patches assembled back into rows from columnar
+/// chunks (by full/meta-projection scans and by
+/// [`ColumnarPatches::materialize_rows`]).
+///
+/// The packed `scan → join` path is *defined* by what it does not do:
+/// feature chunks flow to the kernels without row assembly, and only the
+/// rows of matching pairs ever materialize. Tests hold that claim against
+/// this counter, the same way the ETL layer's decode-once invariant is held
+/// against `deeplens_codec::frames_decoded`.
+static ROWS_MATERIALIZED: AtomicU64 = AtomicU64::new(0);
+
+/// Total patches materialized from columnar chunks, process-wide.
+pub fn rows_materialized() -> u64 {
+    ROWS_MATERIALIZED.load(Ordering::Relaxed)
+}
 
 /// Order-preserving embedding of `u64` into `i64` (flip the sign bit):
 /// `a < b` as unsigned iff `map(a) < map(b)` as signed, so integer zone
@@ -562,6 +581,7 @@ impl ColumnarPatches {
             }
             out.push(patch);
         }
+        ROWS_MATERIALIZED.fetch_add(out.len() as u64, Ordering::Relaxed);
         out
     }
 
@@ -646,6 +666,199 @@ impl ColumnarPatches {
             patches.append(&mut part);
         }
         ScanResult { patches, stats }
+    }
+
+    /// Feature-projected packed scan: the `scan → join` entry point.
+    ///
+    /// Runs the same zone-map pruning and filter-column decode as
+    /// [`ColumnarPatches::scan`], but instead of materializing matching
+    /// rows it hands back each surviving chunk's feature column in packed
+    /// form ([`PackedFeatures`]), compacted to the matching rows — the
+    /// projection pushed all the way below the operator layer: only the
+    /// filter column and the feature column are ever decoded, and **no row
+    /// is assembled** ([`rows_materialized`] does not move). Ids and
+    /// metadata of interesting rows are fetched later, per matching pair,
+    /// via [`ColumnarPatches::materialize_rows`].
+    ///
+    /// Chunks fan out over `pool` morsels and reassemble in chunk order;
+    /// [`PackedChunk::out_base`] numbers matching rows exactly as the
+    /// materialized scan result would, so kernel outputs over the packed
+    /// chunks index the same row space as a join over
+    /// [`ColumnarPatches::scan`]'s patches.
+    pub fn scan_packed(&self, filter: &ScanFilter, pool: &WorkerPool) -> PackedScan {
+        let survivors: Vec<usize> = self
+            .chunks
+            .iter()
+            .enumerate()
+            .filter(|(_, g)| self.chunk_may_match(g, filter))
+            .map(|(i, _)| i)
+            .collect();
+        let mut stats = ScanStats {
+            chunks_total: self.chunks.len(),
+            chunks_pruned: self.chunks.len() - survivors.len(),
+            chunks_decoded: survivors.len(),
+            rows_total: self.len,
+            rows_matched: 0,
+            used_columnar: true,
+        };
+        // (chunk index, selective row gather, packed feature column).
+        type PackedPart = (usize, Option<Vec<u32>>, PackedFeatures);
+        let parts: Vec<Option<PackedPart>> = pool
+            .run_morsels(
+                survivors.len(),
+                pool.morsel_size(survivors.len()),
+                |range| {
+                    range
+                        .map(|si| {
+                            let chunk = survivors[si];
+                            let group = &self.chunks[chunk];
+                            let mask = self.chunk_mask(group, filter);
+                            let matched = mask.iter().filter(|m| **m).count();
+                            if matched == 0 {
+                                return None;
+                            }
+                            let packed = group.features.decode_packed();
+                            if matched == group.rows {
+                                Some((chunk, None, packed))
+                            } else {
+                                let sel: Vec<u32> = mask
+                                    .iter()
+                                    .enumerate()
+                                    .filter(|(_, m)| **m)
+                                    .map(|(i, _)| i as u32)
+                                    .collect();
+                                let compact = packed.select(&sel);
+                                Some((chunk, Some(sel), compact))
+                            }
+                        })
+                        .collect::<Vec<_>>()
+                },
+            )
+            .into_iter()
+            .flatten()
+            .collect();
+        let mut chunks = Vec::new();
+        let mut out_base = 0u32;
+        for part in parts.into_iter().flatten() {
+            let (chunk, sel, features) = part;
+            let matched = features.rows();
+            chunks.push(PackedChunk {
+                chunk,
+                row_base: chunk * self.chunk_rows,
+                out_base,
+                sel,
+                features,
+            });
+            out_base += matched as u32;
+            stats.rows_matched += matched;
+        }
+        PackedScan { stats, chunks }
+    }
+
+    /// Late materialization for the packed path: assemble the given global
+    /// rows (strictly increasing) back into [`Patch`]es, decoding each
+    /// containing chunk's projected columns once. This is the only place
+    /// the packed `scan → join` plan touches ids, metadata, or pixels —
+    /// and it is called with matching rows only.
+    pub fn materialize_rows(&self, rows: &[usize]) -> Vec<Patch> {
+        let mut out = Vec::with_capacity(rows.len());
+        let mut i = 0usize;
+        while i < rows.len() {
+            let chunk = rows[i] / self.chunk_rows;
+            let group = &self.chunks[chunk];
+            let mut mask = vec![false; group.rows];
+            while i < rows.len() && rows[i] / self.chunk_rows == chunk {
+                mask[rows[i] - chunk * self.chunk_rows] = true;
+                i += 1;
+            }
+            out.append(&mut self.materialize(group, &mask, Projection::Full));
+        }
+        out
+    }
+}
+
+/// One surviving chunk of a [`ColumnarPatches::scan_packed`]: the feature
+/// column of the chunk's matching rows, in packed form, plus the bookkeeping
+/// to place those rows in the filtered output row space and to find them
+/// again for late materialization.
+#[derive(Debug, Clone)]
+pub struct PackedChunk {
+    /// Chunk index in the backing.
+    chunk: usize,
+    /// Global row index of the chunk's first row.
+    row_base: usize,
+    /// Position of this chunk's first matching row in the filtered output
+    /// (what a join over the materialized scan result would call its index).
+    out_base: u32,
+    /// Chunk-local indices of the matching rows, strictly increasing;
+    /// `None` when every row of the chunk matched.
+    sel: Option<Vec<u32>>,
+    /// The feature column, compacted to the matching rows.
+    features: PackedFeatures,
+}
+
+impl PackedChunk {
+    /// Chunk index in the backing.
+    pub fn chunk(&self) -> usize {
+        self.chunk
+    }
+
+    /// Output index of the chunk's first matching row.
+    pub fn out_base(&self) -> u32 {
+        self.out_base
+    }
+
+    /// Matching rows carried by this chunk.
+    pub fn matched(&self) -> usize {
+        self.features.rows()
+    }
+
+    /// The packed feature column of the matching rows.
+    pub fn features(&self) -> &PackedFeatures {
+        &self.features
+    }
+
+    /// Global row index of the `i`-th matching row.
+    pub fn global_row(&self, i: usize) -> usize {
+        match &self.sel {
+            None => self.row_base + i,
+            Some(sel) => self.row_base + sel[i] as usize,
+        }
+    }
+}
+
+/// The result of a [`ColumnarPatches::scan_packed`]: surviving chunks in
+/// chunk order, with the same [`ScanStats`] the materializing scan reports.
+#[derive(Debug, Clone)]
+pub struct PackedScan {
+    /// Pruning/decode counters (identical semantics to
+    /// [`ColumnarPatches::scan`]; `rows_matched` counts the packed rows).
+    pub stats: ScanStats,
+    chunks: Vec<PackedChunk>,
+}
+
+impl PackedScan {
+    /// Total matching rows across all surviving chunks.
+    pub fn matched(&self) -> usize {
+        self.stats.rows_matched
+    }
+
+    /// The surviving chunks, in chunk order.
+    pub fn chunks(&self) -> &[PackedChunk] {
+        &self.chunks
+    }
+
+    /// Map a filtered-output row index back to its global row in the
+    /// backing (for late materialization of interesting rows).
+    ///
+    /// Panics when `out` is at or past [`PackedScan::matched`].
+    pub fn global_row(&self, out: u32) -> usize {
+        let i = self
+            .chunks
+            .partition_point(|c| c.out_base <= out)
+            .checked_sub(1)
+            .expect("out index below the first chunk");
+        self.chunks[i].global_row((out - self.chunks[i].out_base) as usize)
     }
 }
 

@@ -231,16 +231,34 @@ impl Session {
     /// consistent snapshots of `left` and `right` are taken from the shared
     /// catalog and joined on the session's device — concurrent writers
     /// cannot perturb the scan.
+    ///
+    /// CPU devices route through the collection-level packed-vs-materialize
+    /// decision ([`ops::similarity_join_collections`]): when both snapshots
+    /// carry a live columnar backing and the cost model favors it, the join
+    /// consumes packed feature chunks directly instead of the row path. The
+    /// pair set is byte-identical either way.
     pub fn join_collections(&self, left: &str, right: &str, tau: f32) -> Result<Vec<(u32, u32)>> {
         let l = self.catalog.snapshot(left)?;
         let r = self.catalog.snapshot(right)?;
-        self.similarity_join(&l.patches, &r.patches, tau)
+        match self.device {
+            Device::GpuSim => self.similarity_join(&l.patches, &r.patches, tau),
+            _ => Ok(ops::similarity_join_collections(&l, &r, tau, &self.pool())),
+        }
     }
 
     /// Similarity deduplication (§5 q4) on the session pool: clusters of
     /// patches within `tau` of each other, transitively.
     pub fn dedup(&self, patches: &[Patch], tau: f32) -> Vec<Vec<u32>> {
         ops::dedup_similarity(patches, tau, &self.pool())
+    }
+
+    /// [`Session::dedup`] over a materialized collection, with the
+    /// collection-level packed-vs-materialize routing
+    /// ([`ops::dedup_similarity_collection`]). Clusters are byte-identical
+    /// to deduplicating the snapshot's patches directly.
+    pub fn dedup_collection(&self, collection: &str, tau: f32) -> Result<Vec<Vec<u32>>> {
+        let col = self.catalog.snapshot(collection)?;
+        Ok(ops::dedup_similarity_collection(&col, tau, &self.pool()))
     }
 
     /// Generic θ-join on the session pool.

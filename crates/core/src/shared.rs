@@ -1,6 +1,6 @@
 //! The shared, sharded catalog behind concurrent query sessions.
 //!
-//! A [`SharedCatalog`] is the multi-session form of [`Catalog`]: the
+//! A [`SharedCatalog`] is the multi-session form of [`Catalog`](crate::catalog::Catalog): the
 //! collection map is split across N shards keyed by a hash of the collection
 //! name, each shard behind its own ranked `OrderedRwLock`, and every
 //! collection is stored as an [`Arc`] snapshot with **copy-on-write**
@@ -137,12 +137,31 @@ impl SharedCatalog {
     /// replaced (if any) so concurrent writers cannot clobber each other
     /// invisibly; use [`SharedCatalog::materialize_new`] to make the
     /// conflict a hard error instead.
+    ///
+    /// If the version being replaced carries a columnar backing, the new
+    /// version's backing is **rebuilt** at the same chunk granularity —
+    /// off-latch, like the rest of construction — instead of silently
+    /// dropped (the rebuild is counted via
+    /// [`crate::catalog::columnar_backings_rebuilt`]). The prior chunk size
+    /// is peeked under the shard's *read* latch, which is released before
+    /// the lineage lock or the write latch is taken (ordering rules 1–2);
+    /// a backing raced in between the peek and the publish is missed, which
+    /// only costs a later stale-bypass, never correctness.
     pub fn materialize(&self, name: &str, patches: Vec<Patch>) -> Option<Arc<PatchCollection>> {
+        let prior_chunk_rows = self
+            .shard_of(name)
+            .read()
+            .get(name)
+            .and_then(|c| c.columnar_chunk_rows());
         self.lineage.write().record_all(patches.iter());
-        let collection = Arc::new(PatchCollection::from_patches(patches));
+        let mut collection = PatchCollection::from_patches(patches);
+        if let Some(chunk_rows) = prior_chunk_rows {
+            collection.build_columnar(chunk_rows);
+            crate::catalog::note_columnar_rebuilt();
+        }
         self.shard_of(name)
             .write()
-            .insert(name.to_string(), collection)
+            .insert(name.to_string(), Arc::new(collection))
     }
 
     /// [`SharedCatalog::materialize`] that refuses to replace: errors with

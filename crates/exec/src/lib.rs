@@ -27,6 +27,9 @@
 //! * [`kernels`] — distance batches, threshold joins, histograms and the
 //!   convolution stack used to emulate NN inference, each in scalar,
 //!   vectorized, and parallel form.
+//! * [`packed`] — the same join/dedup/distance kernels over *packed*
+//!   feature blocks (flat values + row offsets), consumed chunk-at-a-time
+//!   from the columnar scan layer without materializing rows.
 //! * [`executor`] — ties a device to its kernel implementations.
 
 #![deny(missing_docs)]
@@ -35,6 +38,7 @@ pub mod device;
 pub mod executor;
 pub mod kernels;
 pub mod matrix;
+pub mod packed;
 pub mod pool;
 
 pub use device::{configured_threads, Device, GpuProfile};

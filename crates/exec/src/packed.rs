@@ -1,0 +1,384 @@
+//! Packed-form compute kernels: threshold joins, distance batches, and
+//! dedup probes over flat feature blocks.
+//!
+//! The kernels in [`crate::kernels`] consume dense [`crate::Matrix`]
+//! operands — every row materialized, fixed stride, no nulls. These kernels
+//! consume [`PackedBlock`]s instead: the chunk-at-a-time form the columnar
+//! scan layer decodes (one flat `f32` buffer per chunk plus a `rows + 1`
+//! offset table and optional validity flags), so a `scan → join` plan can
+//! hand surviving feature chunks straight to the join without materializing
+//! whole patch rows first.
+//!
+//! **Correctness bar**: output is byte-identical to the row-path operators
+//! (nested-loop / Ball-Tree similarity join over materialized rows). That
+//! pins two things:
+//!
+//! * the distance expression is exactly the row path's `sq_euclidean`
+//!   (4-lane accumulation, identical operation order — replicated here
+//!   because `deeplens-exec` sits below `deeplens-index` in the dependency
+//!   graph), compared with the same `d² <= τ²` predicate;
+//! * null (featureless) rows are skipped pair-wise, matching how the
+//!   nested join skips patches without features, and pairs come back
+//!   sorted, matching the Ball-Tree join's contract.
+//!
+//! Parallelism is morsel-driven over blocks with in-order reassembly, so
+//! every kernel is byte-identical across thread counts.
+
+use crate::pool::WorkerPool;
+
+/// One block of feature rows for the packed kernels: a flat value buffer,
+/// per-row spans into it, optional validity, and the output index of the
+/// block's first row.
+///
+/// A block is typically one surviving chunk of a columnar scan: `values` /
+/// `offsets` / `valid` borrow the chunk's decoded packed form, and `base`
+/// places the block's rows in the filtered output row space (so emitted
+/// pair indices match a join over the materialized scan result).
+#[derive(Debug, Clone, Copy)]
+pub struct PackedBlock<'a> {
+    values: &'a [f32],
+    /// Per-row prefix offsets, `rows + 1` entries.
+    offsets: &'a [u32],
+    /// Per-row validity; `None` means every row is valid.
+    valid: Option<&'a [bool]>,
+    /// Output index of row 0.
+    base: u32,
+}
+
+impl<'a> PackedBlock<'a> {
+    /// Wrap a decoded chunk. `offsets` must hold `rows + 1` monotone
+    /// entries bounded by `values.len()`; `valid`, when present, one flag
+    /// per row.
+    pub fn new(
+        values: &'a [f32],
+        offsets: &'a [u32],
+        valid: Option<&'a [bool]>,
+        base: u32,
+    ) -> Self {
+        assert!(!offsets.is_empty(), "offsets must hold rows + 1 entries");
+        assert!(
+            *offsets.last().expect("non-empty") as usize <= values.len(),
+            "offsets exceed the value buffer"
+        );
+        if let Some(v) = valid {
+            assert_eq!(v.len(), offsets.len() - 1, "one validity flag per row");
+        }
+        PackedBlock {
+            values,
+            offsets,
+            valid,
+            base,
+        }
+    }
+
+    /// Rows in the block (valid + null).
+    pub fn rows(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Output index of row 0.
+    pub fn base(&self) -> u32 {
+        self.base
+    }
+
+    /// Row `i`'s feature vector, `None` for a null row.
+    #[inline]
+    pub fn row(&self, i: usize) -> Option<&'a [f32]> {
+        if self.valid.is_some_and(|v| !v[i]) {
+            return None;
+        }
+        Some(&self.values[self.offsets[i] as usize..self.offsets[i + 1] as usize])
+    }
+}
+
+/// Squared Euclidean distance, replicating `deeplens_index::dist::
+/// sq_euclidean` operation for operation: 4-lane accumulation then a scalar
+/// tail. The packed kernels must produce bit-identical distances to the
+/// row-path join operators, which all funnel through that expression.
+#[inline]
+fn sq_euclidean(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut acc = [0f32; 4];
+    let chunks = a.len() / 4;
+    for i in 0..chunks {
+        for lane in 0..4 {
+            let d = a[i * 4 + lane] - b[i * 4 + lane];
+            acc[lane] += d * d;
+        }
+    }
+    let mut sum = acc[0] + acc[1] + acc[2] + acc[3];
+    for i in chunks * 4..a.len() {
+        let d = a[i] - b[i];
+        sum += d * d;
+    }
+    sum
+}
+
+/// Packed-form threshold join: all `(left_out, right_out)` pairs whose
+/// feature rows lie within Euclidean distance `tau`, sorted. Null rows on
+/// either side are skipped pair-wise, exactly like the row-path nested
+/// join skips featureless patches.
+///
+/// Left blocks shard over `pool` as morsels and reassemble in block order,
+/// so the output is byte-identical across thread counts.
+pub fn packed_threshold_join(
+    left: &[PackedBlock],
+    right: &[PackedBlock],
+    tau: f32,
+    pool: &WorkerPool,
+) -> Vec<(u32, u32)> {
+    let tau_sq = tau * tau;
+    let mut out: Vec<(u32, u32)> = pool
+        .run_morsels(left.len(), pool.morsel_size(left.len()), |range| {
+            let mut part = Vec::new();
+            for bi in range {
+                let lb = &left[bi];
+                for i in 0..lb.rows() {
+                    let Some(lf) = lb.row(i) else {
+                        continue;
+                    };
+                    for rb in right {
+                        for j in 0..rb.rows() {
+                            let Some(rf) = rb.row(j) else {
+                                continue;
+                            };
+                            if sq_euclidean(lf, rf) <= tau_sq {
+                                part.push((lb.base + i as u32, rb.base + j as u32));
+                            }
+                        }
+                    }
+                }
+            }
+            part
+        })
+        .into_iter()
+        .flatten()
+        .collect();
+    out.sort_unstable();
+    out
+}
+
+/// Packed-form distance batch: `(out_index, d²)` for every valid row
+/// across `blocks` against one query vector, in row order. The probe half
+/// of an index-free range query over packed chunks.
+pub fn packed_distances(
+    query: &[f32],
+    blocks: &[PackedBlock],
+    pool: &WorkerPool,
+) -> Vec<(u32, f32)> {
+    pool.run_morsels(blocks.len(), pool.morsel_size(blocks.len()), |range| {
+        let mut part = Vec::new();
+        for bi in range {
+            let b = &blocks[bi];
+            for i in 0..b.rows() {
+                if let Some(f) = b.row(i) {
+                    part.push((b.base + i as u32, sq_euclidean(query, f)));
+                }
+            }
+        }
+        part
+    })
+    .into_iter()
+    .flatten()
+    .collect()
+}
+
+/// Packed-form dedup probe: the self-join pair set of
+/// [`packed_threshold_join`]`(blocks, blocks, tau)` — every ordered pair
+/// `(i, j)` within `tau`, diagonal included — computed once per unordered
+/// pair and mirrored (`sq_euclidean` is bitwise symmetric, so the mirrored
+/// comparison cannot diverge). Feed the pairs to a union-find to cluster.
+pub fn packed_dedup_pairs(blocks: &[PackedBlock], tau: f32, pool: &WorkerPool) -> Vec<(u32, u32)> {
+    let tau_sq = tau * tau;
+    let mut out: Vec<(u32, u32)> = pool
+        .run_morsels(blocks.len(), pool.morsel_size(blocks.len()), |range| {
+            let mut part = Vec::new();
+            for bi in range {
+                let lb = &blocks[bi];
+                for i in 0..lb.rows() {
+                    let Some(lf) = lb.row(i) else {
+                        continue;
+                    };
+                    let gi = lb.base + i as u32;
+                    // Diagonal: computed honestly — NaN features must fail
+                    // the `<=` exactly as they do on the row path.
+                    if sq_euclidean(lf, lf) <= tau_sq {
+                        part.push((gi, gi));
+                    }
+                    // Strict upper triangle of this block, then every later
+                    // block: each unordered pair evaluated once, emitted in
+                    // both orientations.
+                    for j in i + 1..lb.rows() {
+                        if let Some(rf) = lb.row(j) {
+                            if sq_euclidean(lf, rf) <= tau_sq {
+                                let gj = lb.base + j as u32;
+                                part.push((gi, gj));
+                                part.push((gj, gi));
+                            }
+                        }
+                    }
+                    for rb in &blocks[bi + 1..] {
+                        for j in 0..rb.rows() {
+                            if let Some(rf) = rb.row(j) {
+                                if sq_euclidean(lf, rf) <= tau_sq {
+                                    let gj = rb.base + j as u32;
+                                    part.push((gi, gj));
+                                    part.push((gj, gi));
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            part
+        })
+        .into_iter()
+        .flatten()
+        .collect();
+    out.sort_unstable();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Reference: the nested row-path join over materialized rows.
+    fn nested_reference(
+        left: &[Option<Vec<f32>>],
+        right: &[Option<Vec<f32>>],
+        tau: f32,
+    ) -> Vec<(u32, u32)> {
+        let tau_sq = tau * tau;
+        let mut out = Vec::new();
+        for (i, l) in left.iter().enumerate() {
+            let Some(lf) = l else { continue };
+            for (j, r) in right.iter().enumerate() {
+                let Some(rf) = r else { continue };
+                if sq_euclidean(lf, rf) <= tau_sq {
+                    out.push((i as u32, j as u32));
+                }
+            }
+        }
+        out
+    }
+
+    /// Pack rows into blocks of `chunk` rows.
+    fn blocks(rows: &[Option<Vec<f32>>], chunk: usize) -> Vec<(Vec<f32>, Vec<u32>, Vec<bool>)> {
+        rows.chunks(chunk)
+            .map(|slice| {
+                let mut values = Vec::new();
+                let mut offsets = vec![0u32];
+                let mut valid = Vec::new();
+                for r in slice {
+                    if let Some(f) = r {
+                        values.extend_from_slice(f);
+                        valid.push(true);
+                    } else {
+                        valid.push(false);
+                    }
+                    offsets.push(values.len() as u32);
+                }
+                (values, offsets, valid)
+            })
+            .collect()
+    }
+
+    fn as_blocks(owned: &[(Vec<f32>, Vec<u32>, Vec<bool>)], chunk: usize) -> Vec<PackedBlock<'_>> {
+        owned
+            .iter()
+            .enumerate()
+            .map(|(i, (v, o, val))| PackedBlock::new(v, o, Some(val), (i * chunk) as u32))
+            .collect()
+    }
+
+    fn rows(seed: u64, n: usize, dim: usize) -> Vec<Option<Vec<f32>>> {
+        let mut s = seed;
+        (0..n)
+            .map(|_| {
+                s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+                if s >> 33 & 7 == 0 {
+                    None
+                } else {
+                    Some(
+                        (0..dim)
+                            .map(|_| {
+                                s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+                                ((s >> 33) % 100) as f32 / 10.0
+                            })
+                            .collect(),
+                    )
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn threshold_join_matches_nested_reference() {
+        let l = rows(1, 37, 5);
+        let r = rows(2, 29, 5);
+        let mut want = nested_reference(&l, &r, 3.0);
+        want.sort_unstable();
+        for chunk in [1usize, 7, 64] {
+            let lo = blocks(&l, chunk);
+            let ro = blocks(&r, chunk);
+            for threads in [1usize, 2, 4] {
+                let got = packed_threshold_join(
+                    &as_blocks(&lo, chunk),
+                    &as_blocks(&ro, chunk),
+                    3.0,
+                    &WorkerPool::new(threads),
+                );
+                assert_eq!(got, want, "chunk {chunk}, threads {threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn dedup_pairs_match_self_join() {
+        let p = rows(3, 41, 4);
+        let pool = WorkerPool::new(2);
+        for chunk in [1usize, 8, 64] {
+            let o = blocks(&p, chunk);
+            let b = as_blocks(&o, chunk);
+            let self_join = packed_threshold_join(&b, &b, 2.5, &pool);
+            let dedup = packed_dedup_pairs(&b, 2.5, &pool);
+            assert_eq!(dedup, self_join, "chunk {chunk}");
+        }
+    }
+
+    #[test]
+    fn distances_cover_valid_rows_in_order() {
+        let p = rows(4, 23, 3);
+        let o = blocks(&p, 6);
+        let got = packed_distances(&[1.0, 2.0, 3.0], &as_blocks(&o, 6), &WorkerPool::new(3));
+        let want: Vec<(u32, f32)> = p
+            .iter()
+            .enumerate()
+            .filter_map(|(i, r)| {
+                r.as_ref()
+                    .map(|f| (i as u32, sq_euclidean(&[1.0, 2.0, 3.0], f)))
+            })
+            .collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn nan_features_never_pair_even_with_themselves() {
+        let p = vec![Some(vec![f32::NAN, 1.0]), Some(vec![0.0, 1.0])];
+        let o = blocks(&p, 2);
+        let b = as_blocks(&o, 2);
+        let pool = WorkerPool::new(1);
+        // Every distance involving the NaN row is NaN, so every `<=`
+        // involving row 0 fails — including its own diagonal.
+        assert_eq!(packed_dedup_pairs(&b, 10.0, &pool), vec![(1, 1)]);
+    }
+
+    #[test]
+    fn empty_inputs_yield_no_pairs() {
+        let pool = WorkerPool::new(2);
+        assert!(packed_threshold_join(&[], &[], 1.0, &pool).is_empty());
+        assert!(packed_dedup_pairs(&[], 1.0, &pool).is_empty());
+        assert!(packed_distances(&[1.0], &[], &pool).is_empty());
+    }
+}

@@ -255,6 +255,9 @@ impl Connection {
                 collections: self.catalog.names().len() as u32,
                 admitted: self.admission.admitted(),
                 shed: self.admission.shed(),
+                columnar_hits: deeplens_core::catalog::columnar_backing_hits(),
+                columnar_stale: deeplens_core::catalog::columnar_backing_stale(),
+                columnar_rebuilt: deeplens_core::catalog::columnar_backings_rebuilt(),
             }),
             executing => {
                 let cost_us = self.request_cost_us(executing);

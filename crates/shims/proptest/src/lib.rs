@@ -2,7 +2,7 @@
 //! crate: the build environment has no network access, so this in-tree crate
 //! provides the subset of the API the DeepLens test-suite uses — the
 //! [`proptest!`] macro, range / `any` / tuple / `prop::collection::vec`
-//! strategies, [`ProptestConfig`], and the `prop_assert*` macros.
+//! strategies, [`test_runner::ProptestConfig`], and the `prop_assert*` macros.
 //!
 //! Differences from real proptest, deliberately accepted:
 //!
@@ -43,7 +43,7 @@ pub mod collection {
     }
 }
 
-/// The [`Strategy`] trait and implementations for ranges and tuples.
+/// The [`Strategy`](strategy::Strategy) trait and implementations for ranges and tuples.
 pub mod strategy {
     use crate::test_runner::TestRng;
 

@@ -769,6 +769,161 @@ impl FeatureChunk {
         };
         values + self.offsets.len() * 4
     }
+
+    /// Decode the chunk into [`PackedFeatures`]: one flat value buffer plus
+    /// per-row spans, instead of the per-row `Vec` allocations
+    /// [`FeatureChunk::decode`] performs. This is the form the packed-form
+    /// compute kernels consume chunk-at-a-time; the values are bit-identical
+    /// to the rows [`FeatureChunk::decode`] returns.
+    pub fn decode_packed(&self) -> PackedFeatures {
+        let values: Vec<f32> = match &self.values {
+            FeatureValues::Raw(v) => v.clone(),
+            FeatureValues::Quantized {
+                reference,
+                width,
+                packed,
+            } => {
+                let total = *self.offsets.last().unwrap_or(&0) as usize;
+                bitpack::unpack(packed, *width, total)
+                    .into_iter()
+                    .map(|off| (*reference as i128 + off as i128) as f32)
+                    .collect()
+            }
+        };
+        if self.null_count == 0 {
+            return PackedFeatures {
+                values,
+                offsets: self.offsets.clone(),
+                valid: None,
+            };
+        }
+        // Re-express the non-null prefix offsets per row: a null row repeats
+        // the previous offset (empty span) and is marked invalid.
+        let mut offsets = Vec::with_capacity(self.count + 1);
+        offsets.push(0u32);
+        let mut valid = Vec::with_capacity(self.count);
+        let mut valid_row = 0usize;
+        for row in 0..self.count {
+            if self.validity.is_valid(row) {
+                valid_row += 1;
+                valid.push(true);
+            } else {
+                valid.push(false);
+            }
+            offsets.push(self.offsets[valid_row]);
+        }
+        PackedFeatures {
+            values,
+            offsets,
+            valid: Some(valid),
+        }
+    }
+}
+
+/// A feature chunk decoded into packed form: the non-null rows' values
+/// concatenated in row order in one flat buffer, with per-row spans into it.
+///
+/// This is the zero-per-row-allocation counterpart of
+/// [`FeatureChunk::decode`]: where `decode` hands back a
+/// `Vec<Option<Vec<f32>>>`, the packed form keeps the whole chunk in one
+/// `Vec<f32>` plus a `rows + 1` offset table, which is what the packed-form
+/// join/dedup kernels iterate without materializing rows. A null row has an
+/// empty span and reads back as `None`; a *valid* row with an empty span is
+/// a genuine zero-length feature vector.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PackedFeatures {
+    values: Vec<f32>,
+    /// Per-row prefix offsets (`rows + 1` entries, monotone).
+    offsets: Vec<u32>,
+    /// Per-row validity; `None` when every row is valid.
+    valid: Option<Vec<bool>>,
+}
+
+impl PackedFeatures {
+    /// A packed block with no rows.
+    pub fn empty() -> Self {
+        PackedFeatures {
+            values: Vec::new(),
+            offsets: vec![0],
+            valid: None,
+        }
+    }
+
+    /// Number of rows (valid + null).
+    pub fn rows(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Whether the block holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows() == 0
+    }
+
+    /// The flat value buffer (non-null rows concatenated in row order).
+    pub fn values(&self) -> &[f32] {
+        &self.values
+    }
+
+    /// The per-row prefix offsets into [`PackedFeatures::values`]
+    /// (`rows + 1` entries).
+    pub fn offsets(&self) -> &[u32] {
+        &self.offsets
+    }
+
+    /// Per-row validity flags, or `None` when every row is valid.
+    pub fn validity(&self) -> Option<&[bool]> {
+        self.valid.as_deref()
+    }
+
+    /// Row `i`'s feature vector, `None` for a null row.
+    pub fn row(&self, i: usize) -> Option<&[f32]> {
+        if self.valid.as_ref().is_some_and(|v| !v[i]) {
+            return None;
+        }
+        Some(&self.values[self.offsets[i] as usize..self.offsets[i + 1] as usize])
+    }
+
+    /// When every row is valid and shares one non-zero length, that length —
+    /// the fixed-stride fast path (quantized frame-of-reference feature
+    /// chunks are typically fixed-stride).
+    pub fn fixed_stride(&self) -> Option<usize> {
+        if self.valid.is_some() || self.rows() == 0 {
+            return None;
+        }
+        let stride = self.offsets[1] as usize;
+        if stride == 0 {
+            return None;
+        }
+        for w in self.offsets.windows(2) {
+            if (w[1] - w[0]) as usize != stride {
+                return None;
+            }
+        }
+        Some(stride)
+    }
+
+    /// Gather the given rows (chunk-local, strictly increasing) into a new
+    /// packed block, preserving null rows among them.
+    pub fn select(&self, rows: &[u32]) -> PackedFeatures {
+        let mut values = Vec::new();
+        let mut offsets = Vec::with_capacity(rows.len() + 1);
+        offsets.push(0u32);
+        let mut valid: Option<Vec<bool>> = self.valid.as_ref().map(|_| Vec::new());
+        for &r in rows {
+            let r = r as usize;
+            let (lo, hi) = (self.offsets[r] as usize, self.offsets[r + 1] as usize);
+            values.extend_from_slice(&self.values[lo..hi]);
+            offsets.push(values.len() as u32);
+            if let (Some(out), Some(src)) = (valid.as_mut(), self.valid.as_ref()) {
+                out.push(src[r]);
+            }
+        }
+        PackedFeatures {
+            values,
+            offsets,
+            valid,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -958,6 +1113,58 @@ mod tests {
         let rows: Vec<Option<&[f32]>> = vec![Some(&a), Some(&b), None, Some(&c)];
         let chunk = FeatureChunk::encode(&rows);
         assert_eq!(chunk.decode(), vec![Some(a), Some(b), None, Some(c)]);
+    }
+
+    #[test]
+    fn packed_decode_matches_row_decode() {
+        // Mixed dims, an empty-but-valid row, nulls, and both encodings.
+        let a: Vec<f32> = vec![1.0, 2.0];
+        let b: Vec<f32> = vec![];
+        let c: Vec<f32> = vec![5.5, 6.25, 7.0];
+        for rows in [
+            vec![Some(&a[..]), Some(&b[..]), None, Some(&c[..])],
+            vec![Some(&a[..]), Some(&a[..])],
+            vec![None, None],
+            vec![],
+        ] {
+            let chunk = FeatureChunk::encode(&rows);
+            let packed = chunk.decode_packed();
+            let decoded = chunk.decode();
+            assert_eq!(packed.rows(), decoded.len());
+            for (i, row) in decoded.iter().enumerate() {
+                assert_eq!(packed.row(i), row.as_deref());
+            }
+            assert_eq!(packed.offsets().len(), packed.rows() + 1);
+        }
+    }
+
+    #[test]
+    fn packed_decode_quantized_is_bit_exact() {
+        let a: Vec<f32> = vec![200.0, 201.0, 199.0];
+        let b: Vec<f32> = vec![205.0, 200.0, 203.0];
+        let rows: Vec<Option<&[f32]>> = vec![Some(&a), Some(&b)];
+        let chunk = FeatureChunk::encode(&rows);
+        assert!(chunk.is_quantized());
+        let packed = chunk.decode_packed();
+        assert_eq!(packed.values(), &[200.0, 201.0, 199.0, 205.0, 200.0, 203.0]);
+        assert_eq!(packed.fixed_stride(), Some(3));
+        assert!(packed.validity().is_none());
+    }
+
+    #[test]
+    fn packed_select_gathers_rows_and_nulls() {
+        let a: Vec<f32> = vec![1.0, 2.0];
+        let c: Vec<f32> = vec![5.0, 6.0, 7.0];
+        let rows: Vec<Option<&[f32]>> = vec![Some(&a), None, Some(&c), Some(&a)];
+        let packed = FeatureChunk::encode(&rows).decode_packed();
+        assert_eq!(packed.fixed_stride(), None);
+        let sel = packed.select(&[1, 2]);
+        assert_eq!(sel.rows(), 2);
+        assert_eq!(sel.row(0), None);
+        assert_eq!(sel.row(1), Some(&c[..]));
+        let none = packed.select(&[]);
+        assert!(none.is_empty());
+        assert_eq!(PackedFeatures::empty().rows(), 0);
     }
 
     #[test]

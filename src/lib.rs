@@ -29,18 +29,45 @@
 //! * [`analyze`] ([`deeplens_analyze`]) — ranked lock wrappers (the lockdep
 //!   checker behind every lock above) and the `tidy` workspace lint.
 //!
+//! See `ARCHITECTURE.md` at the repository root for the crate graph, the
+//! life of a served query, the copy-on-write snapshot model, the lock
+//! order, and the columnar chunk format.
+//!
+//! # Quickstart
+//!
+//! The same snippet as the README's quickstart, compile-checked here:
+//!
 //! ```
 //! use deeplens::prelude::*;
 //!
-//! let mut catalog = Catalog::new();
-//! let patches: Vec<Patch> = (0..4)
+//! # fn main() -> Result<(), DlError> {
+//! // One in-process engine: a session over a private catalog.
+//! let session = Session::ephemeral()?;
+//! let patches: Vec<Patch> = (0..64u64)
 //!     .map(|i| {
-//!         Patch::features(catalog.next_patch_id(), ImgRef::frame("v", i), vec![i as f32])
-//!             .with_meta("label", "car")
+//!         Patch::features(PatchId(i), ImgRef::frame("cam", i / 4), vec![(i % 8) as f32, 1.0])
+//!             .with_meta("label", if i % 3 == 0 { "car" } else { "person" })
 //!     })
 //!     .collect();
-//! catalog.materialize("cars", patches);
-//! assert_eq!(catalog.collection("cars").unwrap().len(), 4);
+//! session.catalog.materialize("dets", patches);
+//!
+//! // Pack the rows into the chunked columnar layout: selective scans prune
+//! // whole chunks via zone maps, and joins run packed when the cost model
+//! // prices that under materializing rows.
+//! session.build_columnar("dets")?;
+//! let recent = session.scan(
+//!     "dets",
+//!     &ScanFilter::FrameRange { lo: 10, hi: 14 },
+//!     Projection::Full,
+//! )?;
+//! assert_eq!(recent.patches.len(), 16);
+//!
+//! // A self-similarity join; the planner routes it through the packed or
+//! // row-form plan — either way the pairs are byte-identical.
+//! let pairs = session.join_collections("dets", "dets", 1.0)?;
+//! assert!(!pairs.is_empty());
+//! # Ok(())
+//! # }
 //! ```
 
 pub use deeplens_analyze as analyze;

@@ -280,9 +280,20 @@ fn columnar_backing_survives_cow_and_respects_snapshots() {
         indexed.columnar().is_some(),
         "index build keeps the backing"
     );
-    // Replacing the collection drops it with the old version.
+    // Replacing the collection REBUILDS the backing over the new rows at
+    // the old granularity (instead of silently dropping it) and counts the
+    // rebuild.
+    let rebuilt_before = deeplens_core::catalog::columnar_backings_rebuilt();
     catalog.materialize("c", random_patches(12, 50));
-    assert!(catalog.snapshot("c").unwrap().columnar().is_none());
+    let replaced = catalog.snapshot("c").unwrap();
+    let carried = replaced.columnar().expect("backing rebuilt, not dropped");
+    assert_eq!(carried.chunk_rows(), 32, "granularity carried forward");
+    assert_eq!(carried.len(), 50, "rebuilt over the new rows — not stale");
+    assert!(replaced.live_columnar().is_some());
+    assert_eq!(
+        deeplens_core::catalog::columnar_backings_rebuilt(),
+        rebuilt_before + 1
+    );
     assert!(catalog.build_columnar("missing").is_err());
     drop(session);
 }
