@@ -59,9 +59,13 @@ pub enum LockRank {
     /// while holding a single `BufferShard` latch (flush/evict), never the
     /// reverse.
     Pager = 7,
-    /// `exec::pool` per-dispatch result collector. Innermost: a worker takes
-    /// it briefly at the end of a morsel batch, holding nothing else.
+    /// `exec::pool` per-dispatch result collector. A worker takes it briefly
+    /// at the end of a morsel batch, holding nothing else.
     WorkerResults = 8,
+    /// One shard of the `core::cache` snapshot-keyed result cache. Innermost
+    /// leaf: lookups and inserts hold exactly this lock, and cached values
+    /// are cloned out before any other lock can be wanted.
+    ResultCacheShard = 9,
 }
 
 impl fmt::Display for LockRank {
@@ -513,6 +517,7 @@ mod tests {
             BufferShard,
             Pager,
             WorkerResults,
+            ResultCacheShard,
         ];
         for pair in order.windows(2) {
             assert!(pair[0] < pair[1], "{} must precede {}", pair[0], pair[1]);

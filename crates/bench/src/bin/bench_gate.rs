@@ -7,7 +7,8 @@
 //! smokes overwrite them) and exits non-zero if any result row regressed
 //! beyond the allowance. Artifact names default to the recording benches:
 //! `BENCH_ops.json`, `BENCH_parallel.json`, `BENCH_devices.json`,
-//! `BENCH_etl.json`, `BENCH_serve.json`, `BENCH_columnar.json`. A fresh
+//! `BENCH_etl.json`, `BENCH_serve.json`, `BENCH_columnar.json`,
+//! `BENCH_cache.json`. A fresh
 //! row with no baseline
 //! counterpart (a newly added benchmark) is reported as **"new, skipped"**
 //! — it neither fails the gate nor silently counts as enforced. But when an
@@ -30,13 +31,14 @@ use std::process::ExitCode;
 
 use deeplens_bench::gate::{gate_file, GateConfig, RowStatus};
 
-const DEFAULT_ARTIFACTS: [&str; 6] = [
+const DEFAULT_ARTIFACTS: [&str; 7] = [
     "BENCH_ops.json",
     "BENCH_parallel.json",
     "BENCH_devices.json",
     "BENCH_etl.json",
     "BENCH_serve.json",
     "BENCH_columnar.json",
+    "BENCH_cache.json",
 ];
 
 fn env_f64(name: &str, default: f64) -> f64 {

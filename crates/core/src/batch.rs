@@ -41,6 +41,7 @@ use std::sync::Arc;
 
 use deeplens_exec::Device;
 
+use crate::cache::{fingerprint, CachedResult};
 use crate::catalog::PatchCollection;
 use crate::ops::{self, BatchJoinMember};
 use crate::patch::Patch;
@@ -81,7 +82,8 @@ pub enum BatchQuery {
         tau: f32,
     },
     /// Range probe of a prebuilt Ball-Tree index: positions within `tau` of
-    /// `probe`, in index traversal order.
+    /// `probe`, sorted ascending (shape-independent, so a delta-maintained
+    /// index answers byte-identically to a fresh rebuild).
     IndexProbe {
         /// Collection name.
         collection: String,
@@ -136,7 +138,7 @@ pub enum BatchResult {
     Pairs(Vec<(u32, u32)>),
     /// Dedup clusters (sorted members, ordered by smallest member).
     Clusters(Vec<Vec<u32>>),
-    /// Index-probe hits in traversal order.
+    /// Index-probe hits, sorted ascending.
     Hits(Vec<u32>),
 }
 
@@ -337,12 +339,47 @@ impl<'s> QueryBatch<'s> {
         let pool = self.session.pool();
         let gpu = self.session.device() == Device::GpuSim;
 
+        // Snapshot-keyed fingerprints, per member, over the versions this
+        // batch resolved (None = uncacheable: unversioned snapshot or a
+        // host θ-predicate). A hit replays the byte-identical result of a
+        // previous execution and skips the member's grouping entirely.
+        let cache = self.session.catalog.result_cache();
+        let keys: Vec<Option<Vec<u8>>> = self
+            .queries
+            .iter()
+            .enumerate()
+            .map(|(qi, q)| match q {
+                BatchQuery::SimilarityJoin { tau, predicate, .. } => match predicate {
+                    Some(_) => None,
+                    None => fingerprint::join_key(
+                        snaps[per_query[qi][0]].version(),
+                        snaps[per_query[qi][1]].version(),
+                        *tau,
+                    ),
+                },
+                BatchQuery::Dedup { tau, .. } => {
+                    fingerprint::dedup_key(snaps[per_query[qi][0]].version(), *tau)
+                }
+                BatchQuery::IndexProbe {
+                    index, probe, tau, ..
+                } => fingerprint::probe_key(snaps[per_query[qi][0]].version(), index, probe, *tau),
+            })
+            .collect();
+        let mut from_cache = vec![false; self.queries.len()];
+
         let mut ball_groups: Vec<BallGroup> = Vec::new();
         let mut gpu_groups: Vec<GpuGroup> = Vec::new();
         let mut probe_groups: Vec<ProbeGroup> = Vec::new();
         let mut results: Vec<Option<BatchResult>> = (0..self.queries.len()).map(|_| None).collect();
 
         for (qi, q) in self.queries.iter().enumerate() {
+            if let Some(key) = &keys[qi] {
+                if let Some(CachedResult::Batch(cached)) = cache.get(key) {
+                    results[qi] = Some(cached);
+                    from_cache[qi] = true;
+                    continue;
+                }
+            }
             match q {
                 BatchQuery::SimilarityJoin { tau, predicate, .. } => {
                     let (l, r) = (per_query[qi][0], per_query[qi][1]);
@@ -509,10 +546,18 @@ impl<'s> QueryBatch<'s> {
             }
         }
 
-        Ok(results
+        let results: Vec<BatchResult> = results
             .into_iter()
             .map(|r| r.expect("member executed"))
-            .collect())
+            .collect();
+        // Populate the cache with the freshly computed members (cache hits
+        // are already resident; re-inserting them would only churn the LRU).
+        for ((key, result), served) in keys.into_iter().zip(&results).zip(from_cache) {
+            if let (Some(key), false) = (key, served) {
+                cache.insert(key, CachedResult::Batch(result.clone()));
+            }
+        }
+        Ok(results)
     }
 
     /// The serial reference path: issue every query one at a time through

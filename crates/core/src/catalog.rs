@@ -14,9 +14,10 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use deeplens_exec::WorkerPool;
-use deeplens_index::{BallTree, RTree, Rect, SortedRunIndex};
+use deeplens_index::{BallTree, DeltaBallTree, RTree, Rect, SortedRunIndex};
 
 use crate::lineage::LineageStore;
+use crate::optimizer::CostModel;
 use crate::patch::{Patch, PatchId};
 use crate::scan::{row_scan, ColumnarPatches, Projection, ScanFilter, ScanResult};
 use crate::value::Value;
@@ -32,6 +33,16 @@ static COLUMNAR_STALE: AtomicU64 = AtomicU64::new(0);
 /// carrying a prior backing forward (see [`Catalog::materialize`] /
 /// `SharedCatalog::materialize`).
 static COLUMNAR_REBUILT: AtomicU64 = AtomicU64::new(0);
+/// Process-wide count of columnar backings built *eagerly* by a materialize
+/// because `CostModel::prefer_columnar_backing` predicted a win (no explicit
+/// `build_columnar` call).
+static COLUMNAR_AUTOBUILT: AtomicU64 = AtomicU64::new(0);
+/// Process-wide count of Ball indexes carried across a re-materialize by
+/// delta maintenance (tombstones + side buffer), i.e. without a rebuild.
+static INDEX_DELTA_MAINTAINED: AtomicU64 = AtomicU64::new(0);
+/// Process-wide count of Ball-index deltas that crossed the cost model's
+/// merge threshold and were collapsed into a full rebuild.
+static INDEX_DELTA_MERGES: AtomicU64 = AtomicU64::new(0);
 
 /// Scans served by a live columnar backing since process start.
 ///
@@ -53,6 +64,23 @@ pub fn columnar_backings_rebuilt() -> u64 {
 
 pub(crate) fn note_columnar_rebuilt() {
     COLUMNAR_REBUILT.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Columnar backings built eagerly by the cost model since process start.
+pub fn columnar_backings_autobuilt() -> u64 {
+    COLUMNAR_AUTOBUILT.load(Ordering::Relaxed)
+}
+
+/// Ball indexes carried across a re-materialize by delta maintenance since
+/// process start.
+pub fn index_deltas_maintained() -> u64 {
+    INDEX_DELTA_MAINTAINED.load(Ordering::Relaxed)
+}
+
+/// Ball-index deltas merged into a full rebuild since process start (the
+/// serve stats endpoint reports this as `delta_merges`).
+pub fn index_delta_merges() -> u64 {
+    INDEX_DELTA_MERGES.load(Ordering::Relaxed)
 }
 
 /// A secondary index over one collection.
@@ -77,10 +105,12 @@ pub enum SecondaryIndex {
         /// The R-Tree (payloads are positions).
         tree: RTree,
     },
-    /// Similarity index on feature payloads.
+    /// Similarity index on feature payloads. The delta-maintained form: a
+    /// base Ball-Tree plus tombstones and a side buffer, so re-materializes
+    /// carry it forward without an O(n log n) rebuild (ids are positions).
     Ball {
-        /// The Ball-Tree (ids are positions).
-        tree: BallTree,
+        /// The delta-maintained Ball-Tree.
+        index: DeltaBallTree,
     },
 }
 
@@ -116,6 +146,12 @@ pub struct PatchCollection {
     /// (the backing is immutable once built; `Arc` keeps the copy-on-write
     /// clone cheap).
     columnar: Option<Arc<ColumnarPatches>>,
+    /// Snapshot version stamped by `SharedCatalog` at publish time; `0`
+    /// means "never published with a version" and is excluded from result
+    /// caching. Versions are globally unique across all collections of a
+    /// catalog, so a `(version, query)` cache key can never alias a
+    /// different snapshot.
+    version: u64,
 }
 
 impl PatchCollection {
@@ -125,7 +161,17 @@ impl PatchCollection {
             patches,
             indexes: HashMap::new(),
             columnar: None,
+            version: 0,
         }
+    }
+
+    /// The snapshot version stamped at publish time (`0` = unversioned).
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    pub(crate) fn set_version(&mut self, version: u64) {
+        self.version = version;
     }
 
     /// Number of patches.
@@ -234,7 +280,7 @@ impl PatchCollection {
         self.indexes.insert(
             index_name.to_string(),
             SecondaryIndex::Ball {
-                tree: BallTree::from_vectors_parallel(&vectors, threads),
+                index: DeltaBallTree::from_tree(BallTree::from_vectors_parallel(&vectors, threads)),
             },
         );
         Ok(())
@@ -255,6 +301,115 @@ impl PatchCollection {
         self.columnar = Some(Arc::new(ColumnarPatches::from_patches_default(
             &self.patches,
         )));
+    }
+
+    /// Carry a replaced collection's physical design forward onto this
+    /// freshly materialized one — the single pass both materialize paths
+    /// ([`Catalog::materialize`] and `SharedCatalog::materialize`) run:
+    ///
+    /// * the **columnar backing** is rebuilt at the prior granularity (or
+    ///   built eagerly when [`CostModel::prefer_columnar_backing`] predicts
+    ///   a win and the prior version had none);
+    /// * **hash / sorted / spatial** indexes are rebuilt over the new rows
+    ///   (they are O(n) builds, positional, and cheap next to the rows
+    ///   themselves);
+    /// * **Ball** indexes are *delta-maintained*: unchanged rows keep the
+    ///   prior base tree (an `Arc` copy), changed/appended rows go into the
+    ///   tombstone set and side buffer, and the delta is collapsed into a
+    ///   full rebuild only when [`CostModel::incremental_index_cost`]
+    ///   crosses [`CostModel::rebuild_cost`]. A Ball index whose new rows
+    ///   lack features (or change dimensionality) is dropped, exactly as a
+    ///   fresh build over those rows would fail.
+    pub fn carry_from(&mut self, prior: &PatchCollection, model: &CostModel, threads: usize) {
+        if let Some(chunk_rows) = prior.columnar_chunk_rows() {
+            self.build_columnar(chunk_rows);
+            note_columnar_rebuilt();
+        } else if model.prefer_columnar_backing(self.len(), crate::scan::DEFAULT_CHUNK_ROWS) {
+            self.build_columnar_default();
+            COLUMNAR_AUTOBUILT.fetch_add(1, Ordering::Relaxed);
+        }
+        for (name, index) in &prior.indexes {
+            match index {
+                SecondaryIndex::Hash { key, .. } => self.build_hash_index(name, key),
+                SecondaryIndex::Sorted { key, .. } => self.build_sorted_index(name, key),
+                SecondaryIndex::Spatial { .. } => self.build_spatial_index(name),
+                SecondaryIndex::Ball { index } => {
+                    self.carry_ball_index(name, index, &prior.patches, model, threads);
+                }
+            }
+        }
+    }
+
+    /// Eagerly build the columnar backing of a *first* materialize (no
+    /// prior version) when the cost model predicts a win.
+    pub(crate) fn maybe_autobuild_columnar(&mut self, model: &CostModel) {
+        if model.prefer_columnar_backing(self.len(), crate::scan::DEFAULT_CHUNK_ROWS) {
+            self.build_columnar_default();
+            COLUMNAR_AUTOBUILT.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Delta-maintain one Ball index across a re-materialize, or collapse
+    /// it into a rebuild when the cost model says the delta stopped being
+    /// cheap. `prior_rows` are the rows the prior index described.
+    fn carry_ball_index(
+        &mut self,
+        index_name: &str,
+        prior_index: &DeltaBallTree,
+        prior_rows: &[Patch],
+        model: &CostModel,
+        threads: usize,
+    ) {
+        let Some(maintained) = self.maintained_ball(prior_index, prior_rows) else {
+            // New rows without features (or with a different dimensionality)
+            // cannot be indexed — a fresh build over them would fail the
+            // same way, so the index is dropped, as every re-materialize
+            // did before maintenance existed.
+            return;
+        };
+        let dim = maintained.dim().unwrap_or(1);
+        let merge = model.incremental_index_cost(self.len(), maintained.delta_rows(), dim)
+            >= model.rebuild_cost(self.len(), dim);
+        if merge && self.build_ball_index_parallel(index_name, threads).is_ok() {
+            INDEX_DELTA_MERGES.fetch_add(1, Ordering::Relaxed);
+        } else if !merge {
+            self.indexes.insert(
+                index_name.to_string(),
+                SecondaryIndex::Ball { index: maintained },
+            );
+            INDEX_DELTA_MAINTAINED.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// The delta-maintained form of `prior_index` updated to this
+    /// collection's rows: bitwise-unchanged rows stay on the base tree,
+    /// changed/appended rows become tombstones + delta entries, truncation
+    /// tombstones the tail. `None` when maintenance is impossible (a row
+    /// lost its features or changed dimensionality).
+    fn maintained_ball(
+        &self,
+        prior_index: &DeltaBallTree,
+        prior_rows: &[Patch],
+    ) -> Option<DeltaBallTree> {
+        let mut index = prior_index.clone();
+        if self.patches.len() < prior_rows.len() {
+            index.truncate(self.patches.len());
+        }
+        for (pos, (new, old)) in self.patches.iter().zip(prior_rows).enumerate() {
+            let features = new.data.features();
+            if features == old.data.features() {
+                continue;
+            }
+            if !index.upsert(pos as u32, features?.to_vec()) {
+                return None;
+            }
+        }
+        for (pos, p) in self.patches.iter().enumerate().skip(prior_rows.len()) {
+            if !index.upsert(pos as u32, p.data.features()?.to_vec()) {
+                return None;
+            }
+        }
+        Some(index)
     }
 
     /// The chunked-columnar backing, if built.
@@ -351,10 +506,12 @@ impl PatchCollection {
     }
 
     /// Similarity lookup through a Ball-Tree index: positions within `tau`
-    /// of `query`.
+    /// of `query`, sorted ascending. The sorted order is deliberate — it is
+    /// independent of the tree's shape, so a delta-maintained index answers
+    /// byte-identically to a freshly rebuilt one.
     pub fn lookup_similar(&self, index_name: &str, query: &[f32], tau: f32) -> Result<Vec<u32>> {
         match self.index(index_name)? {
-            SecondaryIndex::Ball { tree } => Ok(tree.range_query(query, tau)),
+            SecondaryIndex::Ball { index } => Ok(index.range_query(query, tau)),
             other => Err(DlError::WrongIndex {
                 expected: "ball",
                 actual: other.kind(),
@@ -456,21 +613,21 @@ impl Catalog {
     /// overwrite each other invisibly; use [`Catalog::materialize_new`] to
     /// make a name conflict a hard error instead.
     ///
-    /// If the replaced collection carried a columnar backing, the new
-    /// collection's backing is **rebuilt** at the same chunk granularity
-    /// rather than silently dropped, and the rebuild is counted
-    /// ([`columnar_backings_rebuilt`]). Secondary indexes are *not* carried
-    /// forward — they are positional and would be wrong for the new rows.
+    /// The replaced collection's physical design is carried forward in one
+    /// pass ([`PatchCollection::carry_from`]): a columnar backing is
+    /// rebuilt at the same granularity (counted via
+    /// [`columnar_backings_rebuilt`]), hash/sorted/spatial indexes are
+    /// rebuilt over the new rows, and Ball indexes are **delta-maintained**
+    /// — unchanged rows keep the prior tree; only a cost-model-priced merge
+    /// triggers a full rebuild. A first materialize with no prior version
+    /// still gets an eager columnar backing when
+    /// [`CostModel::prefer_columnar_backing`] predicts a win.
     pub fn materialize(&mut self, name: &str, patches: Vec<Patch>) -> Option<PatchCollection> {
         self.lineage.record_all(patches.iter());
         let mut collection = PatchCollection::from_patches(patches);
-        if let Some(chunk_rows) = self
-            .collections
-            .get(name)
-            .and_then(PatchCollection::columnar_chunk_rows)
-        {
-            collection.build_columnar(chunk_rows);
-            note_columnar_rebuilt();
+        match self.collections.get(name) {
+            Some(prior) => collection.carry_from(prior, &CostModel::default(), 1),
+            None => collection.maybe_autobuild_columnar(&CostModel::default()),
         }
         self.collections.insert(name.to_string(), collection)
     }

@@ -28,6 +28,8 @@
 //!   tables and zone-map scan pushdown (§3.1).
 //! * [`shared`] — the sharded, copy-on-write [`shared::SharedCatalog`]
 //!   multiple concurrent query sessions attach to.
+//! * [`cache`] — the snapshot-keyed result cache in front of session
+//!   queries, invalidated for free by the catalog's version counters.
 //! * [`optimizer`] — the cost model (non-linear join costs, §7.4.1), device
 //!   placement (§7.4.2), and accuracy-aware plan ordering (§7.4.3).
 //! * [`session`] — a facade tying catalog, devices and ETL together.
@@ -52,6 +54,7 @@
 //! ```
 
 pub mod batch;
+pub mod cache;
 pub mod catalog;
 pub mod error;
 pub mod etl;
@@ -73,6 +76,7 @@ pub type Result<T> = std::result::Result<T, DlError>;
 /// Common imports for DeepLens applications.
 pub mod prelude {
     pub use crate::batch::{BatchQuery, BatchResult, JoinPredicate, QueryBatch};
+    pub use crate::cache::{CachedResult, ResultCache};
     pub use crate::catalog::{Catalog, PatchCollection, PatchIdRange, SecondaryIndex};
     pub use crate::error::DlError;
     pub use crate::etl::{Generator, Pipeline, PipelineBatch, Transformer};

@@ -237,6 +237,50 @@ impl CostModel {
             <= self.materialized_join_cost(rows_left, rows_right, dim, chunk_rows)
     }
 
+    /// Estimated cost of discarding a maintained Ball index and rebuilding
+    /// it from scratch over the collection's current `n` rows — the
+    /// alternative [`CostModel::incremental_index_cost`] is priced against.
+    pub fn rebuild_cost(&self, n: usize, dim: usize) -> f64 {
+        self.build_cost(n, dim)
+    }
+
+    /// Estimated cost of *keeping* a delta-maintained Ball index whose side
+    /// structures cover `delta_rows` rows (tombstones + delta buffer) of an
+    /// `n`-row collection: every one of the next ~[`DELTA_PROBE_HORIZON`]
+    /// probes pays an exact distance evaluation per delta row on top of the
+    /// base-tree descent, plus a once-off bookkeeping term for maintaining
+    /// the side structures.
+    ///
+    /// Crossing [`CostModel::rebuild_cost`] is the merge trigger: with the
+    /// default constants the break-even delta fraction is
+    /// `build_factor * log2(n) / DELTA_PROBE_HORIZON` — roughly 15% at a
+    /// thousand rows and 39% at a hundred thousand — so a ≤10% write
+    /// trickle always stays on the incremental side.
+    pub fn incremental_index_cost(&self, n: usize, delta_rows: usize, dim: usize) -> f64 {
+        let _ = n; // the cost of *keeping* the delta is independent of n
+        let d = delta_rows as f64;
+        d * self.scan_row_cost + DELTA_PROBE_HORIZON * d * self.dist_eval_cost * dim as f64 / 8.0
+    }
+
+    /// Whether a freshly materialized collection of `rows` rows should get
+    /// a chunked-columnar backing built eagerly, without waiting for an
+    /// explicit `build_columnar` call: `true` when the zone-map scan win
+    /// ([`CostModel::row_scan_cost`] minus [`CostModel::columnar_scan_cost`]
+    /// at a nominal [`NOMINAL_ZONE_SKIP`] skip rate), amortized over
+    /// [`COLUMNAR_AMORTIZE_SCANS`] scans, pays for encoding the columns
+    /// (one [`CostModel::materialize_row_cost`] per row). Collections under
+    /// [`COLUMNAR_AUTOBUILD_MIN_CHUNKS`] chunks never qualify — with
+    /// nothing to skip, zone maps are pure overhead.
+    pub fn prefer_columnar_backing(&self, rows: usize, chunk_rows: usize) -> bool {
+        let chunk_rows = chunk_rows.max(1);
+        if rows < COLUMNAR_AUTOBUILD_MIN_CHUNKS * chunk_rows {
+            return false;
+        }
+        let win =
+            self.row_scan_cost(rows) - self.columnar_scan_cost(rows, chunk_rows, NOMINAL_ZONE_SKIP);
+        win * COLUMNAR_AMORTIZE_SCANS >= rows as f64 * self.materialize_row_cost
+    }
+
     /// Recommend a strategy for joining `n_left × n_right` in `dim`-d.
     pub fn recommend(&self, n_left: usize, n_right: usize, dim: usize) -> JoinStrategy {
         let nested = self.nested_loop_cost(n_left, n_right, dim);
@@ -257,6 +301,25 @@ impl CostModel {
 /// demultiplexed against the member's own threshold and predicate (a
 /// per-candidate comparison) instead of re-descending the tree per query.
 pub const BATCH_RESIDUAL_FRACTION: f64 = 0.15;
+
+/// Probes a maintained index is expected to serve between merge
+/// opportunities (re-materializes): each pays an exact scan of the delta
+/// buffer, so a larger horizon makes the model merge sooner.
+pub const DELTA_PROBE_HORIZON: f64 = 64.0;
+
+/// Scans an eagerly built columnar backing is amortized over when deciding
+/// whether a fresh materialize should build one unprompted.
+pub const COLUMNAR_AMORTIZE_SCANS: f64 = 16.0;
+
+/// Nominal zone-map skip rate assumed for the auto-build decision: the
+/// fraction of chunks a *selective* scan prunes (the workload the backing
+/// exists for).
+pub const NOMINAL_ZONE_SKIP: f64 = 0.9;
+
+/// Minimum chunk count before an eager columnar build can pay off: below
+/// this, zone maps have nothing to skip. At the default chunk granularity
+/// this puts the auto-build floor at 4096 rows.
+pub const COLUMNAR_AUTOBUILD_MIN_CHUNKS: usize = 4;
 
 /// Device placement advisor over all four backends: scalar CPU, vectorized
 /// CPU, multi-core parallel CPU, and GPU offload.

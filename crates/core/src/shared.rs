@@ -28,7 +28,12 @@
 //!    collection atomically) takes them in the ascending
 //!    `CatalogShard` → `Lineage` rank order;
 //! 3. patch-id reservation ([`SharedCatalog::reserve_patch_ids`]) is a
-//!    lock-free atomic fetch-add and participates in no ordering at all.
+//!    lock-free atomic fetch-add and participates in no ordering at all;
+//! 4. the result cache's shard locks (`ResultCacheShard`, the innermost
+//!    rank) are taken only inside [`crate::cache::ResultCache`] lookups and
+//!    inserts, never while acquiring anything else — and the snapshot
+//!    version counter feeding the cache keys is, like the id allocator, a
+//!    lock-free fetch-add stamped on every publish path.
 
 use std::collections::{BTreeSet, HashMap};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -36,8 +41,10 @@ use std::sync::Arc;
 
 use deeplens_analyze::sync::{LockRank, OrderedMutex, OrderedRwLock};
 
+use crate::cache::{ResultCache, DEFAULT_RESULT_CACHE_CAPACITY};
 use crate::catalog::{PatchCollection, PatchIdRange};
 use crate::lineage::LineageStore;
+use crate::optimizer::CostModel;
 use crate::patch::{ImgRef, Patch, PatchId};
 use crate::{DlError, Result};
 
@@ -58,6 +65,15 @@ pub struct SharedCatalog {
     /// remainder threads of an uneven budget split
     /// ([`SharedCatalog::session_thread_share`]).
     session_slots: OrderedMutex<BTreeSet<usize>>,
+    /// Monotonic publish counter behind the collection snapshot versions:
+    /// every publish (materialize, copy-on-write index or columnar build)
+    /// stamps the new snapshot with the next value, so versions are
+    /// globally unique across collections and a `(version, query)` result
+    /// cache key can never alias. `0` is reserved for "unversioned".
+    version_counter: AtomicU64,
+    /// The snapshot-keyed result cache sessions consult. Invalidation is
+    /// the version counter: post-write keys never match pre-write entries.
+    result_cache: ResultCache,
 }
 
 impl Default for SharedCatalog {
@@ -74,6 +90,14 @@ impl SharedCatalog {
 
     /// An empty shared catalog with an explicit shard count (minimum 1).
     pub fn with_shards(shards: usize) -> Self {
+        Self::with_shards_and_cache(shards, DEFAULT_RESULT_CACHE_CAPACITY)
+    }
+
+    /// [`SharedCatalog::with_shards`] with an explicit result-cache entry
+    /// budget. `cache_capacity == 0` disables result caching — the
+    /// uncached reference configuration the cache bench and the
+    /// byte-identity tests compare against.
+    pub fn with_shards_and_cache(shards: usize, cache_capacity: usize) -> Self {
         SharedCatalog {
             shards: (0..shards.max(1))
                 .map(|_| {
@@ -95,7 +119,19 @@ impl SharedCatalog {
                 "SharedCatalog::session_slots",
                 BTreeSet::new(),
             ),
+            version_counter: AtomicU64::new(0),
+            result_cache: ResultCache::with_capacity(cache_capacity),
         }
+    }
+
+    /// The snapshot-keyed result cache (bounded LRU; see [`crate::cache`]).
+    pub fn result_cache(&self) -> &ResultCache {
+        &self.result_cache
+    }
+
+    /// The next globally unique snapshot version (never 0).
+    fn next_version(&self) -> u64 {
+        self.version_counter.fetch_add(1, Ordering::Relaxed) + 1
     }
 
     /// Number of shards the collection map is split across.
@@ -138,27 +174,29 @@ impl SharedCatalog {
     /// invisibly; use [`SharedCatalog::materialize_new`] to make the
     /// conflict a hard error instead.
     ///
-    /// If the version being replaced carries a columnar backing, the new
-    /// version's backing is **rebuilt** at the same chunk granularity —
-    /// off-latch, like the rest of construction — instead of silently
-    /// dropped (the rebuild is counted via
-    /// [`crate::catalog::columnar_backings_rebuilt`]). The prior chunk size
-    /// is peeked under the shard's *read* latch, which is released before
-    /// the lineage lock or the write latch is taken (ordering rules 1–2);
-    /// a backing raced in between the peek and the publish is missed, which
-    /// only costs a later stale-bypass, never correctness.
+    /// The replaced version's physical design is carried forward in one
+    /// off-latch pass ([`PatchCollection::carry_from`]): a columnar backing
+    /// is rebuilt at the same granularity (or built eagerly when
+    /// `CostModel::prefer_columnar_backing` predicts a win),
+    /// hash/sorted/spatial indexes are rebuilt over the new rows, and Ball
+    /// indexes are **delta-maintained** — unchanged rows keep the prior
+    /// tree; only a cost-model-priced merge triggers a full rebuild. The
+    /// prior snapshot is peeked under the shard's *read* latch, which is
+    /// released before the lineage lock or the write latch is taken
+    /// (ordering rules 1–2); a version raced in between the peek and the
+    /// publish is missed, which only costs a dropped carry, never
+    /// correctness. The publish stamps a fresh snapshot version, so result
+    /// cache entries keyed to the replaced version can never be served
+    /// again.
     pub fn materialize(&self, name: &str, patches: Vec<Patch>) -> Option<Arc<PatchCollection>> {
-        let prior_chunk_rows = self
-            .shard_of(name)
-            .read()
-            .get(name)
-            .and_then(|c| c.columnar_chunk_rows());
+        let prior = self.shard_of(name).read().get(name).cloned();
         self.lineage.write().record_all(patches.iter());
         let mut collection = PatchCollection::from_patches(patches);
-        if let Some(chunk_rows) = prior_chunk_rows {
-            collection.build_columnar(chunk_rows);
-            crate::catalog::note_columnar_rebuilt();
+        match &prior {
+            Some(prior) => collection.carry_from(prior, &CostModel::default(), 1),
+            None => collection.maybe_autobuild_columnar(&CostModel::default()),
         }
+        collection.set_version(self.next_version());
         self.shard_of(name)
             .write()
             .insert(name.to_string(), Arc::new(collection))
@@ -176,7 +214,10 @@ impl SharedCatalog {
         // one sanctioned shard→lineage nesting (ordering rule 2): it cannot
         // deadlock because no code path acquires a shard latch while
         // holding the lineage lock.
-        let collection = Arc::new(PatchCollection::from_patches(patches));
+        let mut collection = PatchCollection::from_patches(patches);
+        collection.maybe_autobuild_columnar(&CostModel::default());
+        collection.set_version(self.next_version());
+        let collection = Arc::new(collection);
         let mut shard = self.shard_of(name).write();
         if shard.contains_key(name) {
             return Err(DlError::Conflict(format!(
@@ -234,7 +275,11 @@ impl SharedCatalog {
     /// shard's write latch. If readers hold snapshots of the current
     /// version, the collection is cloned and the clone mutated — their
     /// snapshots stay consistent; otherwise the sole copy is mutated in
-    /// place.
+    /// place. Either way the mutated collection is stamped with a fresh
+    /// snapshot version (an in-place mutation makes the old version
+    /// unreachable, so retiring its number is exactly right) — result
+    /// cache entries keyed to the pre-mutation version go permanently
+    /// unmatchable.
     fn update_collection<T>(
         &self,
         name: &str,
@@ -244,7 +289,10 @@ impl SharedCatalog {
         let slot = shard
             .get_mut(name)
             .ok_or_else(|| DlError::NotFound(format!("collection '{name}'")))?;
-        Ok(f(Arc::make_mut(slot)))
+        let collection = Arc::make_mut(slot);
+        let out = f(collection);
+        collection.set_version(self.next_version());
+        Ok(out)
     }
 
     /// Build (or rebuild) a hash index on metadata `key` of collection
@@ -303,6 +351,7 @@ impl SharedCatalog {
                 .get_mut(collection)
                 .ok_or_else(|| DlError::NotFound(format!("collection '{collection}'")))?;
             if Arc::ptr_eq(slot, &before) {
+                copy.set_version(self.next_version());
                 *slot = Arc::new(copy);
                 return Ok(());
             }

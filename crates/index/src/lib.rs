@@ -18,11 +18,15 @@
 //!   approximate mitigation for costly exact multidimensional indexing.
 //! * [`sorted::SortedRunIndex`] — binary-searchable sorted runs over a
 //!   single `f64` attribute (the "sorted file" of §3.2).
+//! * [`delta::DeltaBallTree`] — a Ball-Tree plus tombstones and a flat
+//!   delta buffer, maintaining threshold queries incrementally under
+//!   writes (byte-identical to a fresh build, sorted by position).
 //! * [`bruteforce`] — linear-scan reference implementations used as the
 //!   unindexed baseline and as ground truth in tests.
 
 pub mod balltree;
 pub mod bruteforce;
+pub mod delta;
 pub mod dist;
 pub mod kdtree;
 pub mod lsh;
@@ -30,6 +34,7 @@ pub mod rtree;
 pub mod sorted;
 
 pub use balltree::BallTree;
+pub use delta::DeltaBallTree;
 pub use kdtree::KdTree;
 pub use lsh::LshIndex;
 pub use rtree::{RTree, Rect};

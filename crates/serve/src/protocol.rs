@@ -87,6 +87,17 @@ pub struct ServeStats {
     /// Columnar backings rebuilt by re-materializes (rather than silently
     /// dropped) since process start.
     pub columnar_rebuilt: u64,
+    /// Result-cache lookups served from cache since the catalog was built
+    /// (`SharedCatalog::result_cache`).
+    pub cache_hits: u64,
+    /// Result-cache lookups that fell through to execution.
+    pub cache_misses: u64,
+    /// Result-cache entries evicted by the LRU bound.
+    pub cache_evictions: u64,
+    /// Ball-index deltas collapsed into a full rebuild by the cost model's
+    /// merge policy since process start
+    /// (`deeplens_core::catalog::index_delta_merges`).
+    pub delta_merges: u64,
 }
 
 /// A client request.
@@ -333,6 +344,10 @@ impl Response {
                 out.extend_from_slice(&s.columnar_hits.to_le_bytes());
                 out.extend_from_slice(&s.columnar_stale.to_le_bytes());
                 out.extend_from_slice(&s.columnar_rebuilt.to_le_bytes());
+                out.extend_from_slice(&s.cache_hits.to_le_bytes());
+                out.extend_from_slice(&s.cache_misses.to_le_bytes());
+                out.extend_from_slice(&s.cache_evictions.to_le_bytes());
+                out.extend_from_slice(&s.delta_merges.to_le_bytes());
             }
             Response::Overloaded => out.push(R_OVERLOADED),
             Response::Error(msg) => {
@@ -576,6 +591,10 @@ impl Response {
                 columnar_hits: c.u64()?,
                 columnar_stale: c.u64()?,
                 columnar_rebuilt: c.u64()?,
+                cache_hits: c.u64()?,
+                cache_misses: c.u64()?,
+                cache_evictions: c.u64()?,
+                delta_merges: c.u64()?,
             }),
             R_OVERLOADED => Response::Overloaded,
             R_ERROR => Response::Error(c.string()?),
@@ -662,6 +681,10 @@ mod tests {
             columnar_hits: 41,
             columnar_stale: 5,
             columnar_rebuilt: 2,
+            cache_hits: 19,
+            cache_misses: 23,
+            cache_evictions: 1,
+            delta_merges: 4,
         });
         assert_eq!(Response::decode(&stats.encode().unwrap()).unwrap(), stats);
         for r in [

@@ -258,6 +258,10 @@ impl Connection {
                 columnar_hits: deeplens_core::catalog::columnar_backing_hits(),
                 columnar_stale: deeplens_core::catalog::columnar_backing_stale(),
                 columnar_rebuilt: deeplens_core::catalog::columnar_backings_rebuilt(),
+                cache_hits: self.catalog.result_cache().hits(),
+                cache_misses: self.catalog.result_cache().misses(),
+                cache_evictions: self.catalog.result_cache().evictions(),
+                delta_merges: deeplens_core::catalog::index_delta_merges(),
             }),
             executing => {
                 let cost_us = self.request_cost_us(executing);
@@ -340,6 +344,18 @@ impl Connection {
     }
 
     fn query_cost_us(&self, planner: &DevicePlanner, query: &BatchQuery) -> f64 {
+        // A member whose snapshot-keyed result is resident in the catalog's
+        // result cache executes as a clone, not a join: re-price it to zero
+        // (the request-level clamp keeps the admission floor at 1 µs). The
+        // peek races with eviction and with concurrent writers, but a stale
+        // answer here only misprices admission — execution consults the
+        // cache again and always returns correct bytes.
+        if self
+            .cached_query_key(query)
+            .is_some_and(|key| self.catalog.result_cache().peek(&key))
+        {
+            return 0.0;
+        }
         match query {
             BatchQuery::SimilarityJoin { left, right, .. } => {
                 let (nl, dim) = self.collection_shape(left);
@@ -358,6 +374,45 @@ impl Connection {
                 let (n, dim) = self.collection_shape(collection);
                 planner.probe_estimate_us(&self.model, n, dim, Device::Avx)
             }
+        }
+    }
+
+    /// The result-cache fingerprint `query` would be served under against
+    /// the catalog's *current* snapshot versions, or `None` when the query
+    /// is uncacheable (missing collection, unversioned snapshot, or a
+    /// θ-predicate — the last cannot arrive over the wire).
+    fn cached_query_key(&self, query: &BatchQuery) -> Option<Vec<u8>> {
+        use deeplens_core::cache::fingerprint;
+        match query {
+            BatchQuery::SimilarityJoin {
+                left,
+                right,
+                tau,
+                predicate,
+            } => {
+                if predicate.is_some() {
+                    return None;
+                }
+                fingerprint::join_key(
+                    self.catalog.snapshot(left).ok()?.version(),
+                    self.catalog.snapshot(right).ok()?.version(),
+                    *tau,
+                )
+            }
+            BatchQuery::Dedup { collection, tau } => {
+                fingerprint::dedup_key(self.catalog.snapshot(collection).ok()?.version(), *tau)
+            }
+            BatchQuery::IndexProbe {
+                collection,
+                index,
+                probe,
+                tau,
+            } => fingerprint::probe_key(
+                self.catalog.snapshot(collection).ok()?.version(),
+                index,
+                probe,
+                *tau,
+            ),
         }
     }
 
